@@ -1,0 +1,71 @@
+package skadi
+
+// One benchmark per experiment in DESIGN.md's per-experiment index.
+// Each regenerates the corresponding figure/claim reproduction; run
+//
+//	go test -bench=. -benchmem
+//
+// at the repository root, or use cmd/skadi-bench for the readable tables.
+
+import (
+	"strings"
+	"testing"
+
+	"skadi/internal/experiments"
+)
+
+// runExperimentBench executes one experiment b.N times and logs its table
+// once, so benchmark output doubles as the result record.
+func runExperimentBench(b *testing.B, id string) {
+	b.Helper()
+	fn, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var table *experiments.Table
+	for i := 0; i < b.N; i++ {
+		var err error
+		table, err = fn()
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	if table != nil {
+		b.Log("\n" + table.Render())
+	}
+}
+
+func BenchmarkE1_DeploymentModels(b *testing.B)   { runExperimentBench(b, "e1") }
+func BenchmarkE2_LoweringPipeline(b *testing.B)   { runExperimentBench(b, "e2") }
+func BenchmarkE3_Gen1VsGen2(b *testing.B)         { runExperimentBench(b, "e3") }
+func BenchmarkE4_PullVsPush(b *testing.B)         { runExperimentBench(b, "e4") }
+func BenchmarkE5_SchedulingPolicies(b *testing.B) { runExperimentBench(b, "e5") }
+func BenchmarkE6_FaultTolerance(b *testing.B)     { runExperimentBench(b, "e6") }
+func BenchmarkE7_FormatMarshalling(b *testing.B)  { runExperimentBench(b, "e7") }
+func BenchmarkE8_IRBackendsFusion(b *testing.B)   { runExperimentBench(b, "e8") }
+func BenchmarkE9_CachingTiers(b *testing.B)       { runExperimentBench(b, "e9") }
+func BenchmarkE11_GangScheduling(b *testing.B)    { runExperimentBench(b, "e11") }
+func BenchmarkE12_PipelineOverlap(b *testing.B)   { runExperimentBench(b, "e12") }
+func BenchmarkE13_Autoscaling(b *testing.B)       { runExperimentBench(b, "e13") }
+
+// TestE10_CapabilityMatrix asserts Table 1's Skadi row: every capability
+// probe must pass (E10 is a pass/fail matrix, not a timing experiment).
+func TestE10_CapabilityMatrix(t *testing.T) {
+	fn, ok := experiments.Lookup("e10")
+	if !ok {
+		t.Fatal("e10 not registered")
+	}
+	table, err := fn()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + table.Render())
+	for _, row := range table.Rows {
+		if row[2] != "PASS" {
+			t.Errorf("capability %s: %s", row[0], row[2])
+		}
+	}
+	if !strings.Contains(table.Notes, "✓") {
+		t.Errorf("notes = %q", table.Notes)
+	}
+}

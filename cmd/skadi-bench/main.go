@@ -1,0 +1,66 @@
+// Command skadi-bench runs the reproduction experiments (E1–E12 in
+// DESIGN.md's per-experiment index) and prints their tables. Each
+// experiment regenerates one figure or claim of the Skadi paper.
+//
+// Usage:
+//
+//	skadi-bench              # run everything
+//	skadi-bench -e e3,e4     # run selected experiments
+//	skadi-bench -list        # list experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"skadi/internal/experiments"
+)
+
+func main() {
+	var (
+		exps = flag.String("e", "all", "comma-separated experiment ids (e1..e12) or 'all'")
+		list = flag.Bool("list", false, "list available experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exps == "all" {
+		ids = experiments.IDs()
+	} else {
+		for _, id := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	failed := 0
+	for _, id := range ids {
+		fn, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			failed++
+			continue
+		}
+		start := time.Now()
+		table, err := fn()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+			failed++
+			continue
+		}
+		fmt.Print(table.Render())
+		fmt.Printf("   (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

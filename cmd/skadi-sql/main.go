@@ -1,0 +1,229 @@
+// Command skadi-sql is an interactive SQL shell over the distributed
+// runtime: it loads CSV files as tables and executes queries through the
+// full lowering pipeline (parse → FlowGraph → physical graph → tasks).
+//
+// Usage:
+//
+//	skadi-sql -table orders=orders.csv -table items=items.csv
+//	> SELECT region, SUM(amount) FROM orders GROUP BY region
+//
+// Without -table flags it starts with a built-in demo table "demo".
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/core"
+)
+
+// tableFlags collects repeated -table name=path flags.
+type tableFlags map[string]string
+
+func (t tableFlags) String() string { return fmt.Sprint(map[string]string(t)) }
+
+func (t tableFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	t[name] = path
+	return nil
+}
+
+func main() {
+	tables := tableFlags{}
+	flag.Var(tables, "table", "load a CSV file as a table: name=path (repeatable)")
+	parallelism := flag.Int("parallelism", 2, "scan/shuffle parallelism")
+	flag.Parse()
+
+	s, err := core.New(core.ClusterSpec{
+		Servers: 4, ServerSlots: 4, ServerMemBytes: 512 << 20,
+		GPUs: 2, FPGAs: 2, DeviceSlots: 2, DeviceMemBytes: 128 << 20,
+		MemBladeBytes: 1 << 30,
+	}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	s.Parallelism = *parallelism
+
+	loaded := map[string]*arrowlite.Batch{}
+	for name, path := range tables {
+		batch, err := loadCSV(path)
+		if err != nil {
+			log.Fatalf("loading %s: %v", path, err)
+		}
+		loaded[name] = batch
+		fmt.Printf("loaded table %q: %d rows, %d columns\n", name, batch.NumRows(), batch.NumCols())
+	}
+	if len(loaded) == 0 {
+		loaded["demo"] = demoTable()
+		fmt.Println(`no -table flags; loaded built-in table "demo" (region, item, amount)`)
+	}
+
+	fmt.Println(`enter SQL (prefix with "explain" for the plan; blank line or ctrl-d to exit)`)
+	scanner := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Print("> ")
+		if !scanner.Scan() {
+			break
+		}
+		query := strings.TrimSpace(scanner.Text())
+		if query == "" {
+			break
+		}
+		if rest, ok := strings.CutPrefix(strings.ToLower(query), "explain "); ok {
+			plan, err := s.Explain(query[len(query)-len(rest):], loaded)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(plan)
+			continue
+		}
+		result, err := s.SQL(context.Background(), query, loaded)
+		if err != nil {
+			fmt.Println("error:", err)
+			continue
+		}
+		printBatch(os.Stdout, result)
+	}
+}
+
+// loadCSV reads a CSV with a header row, inferring int64/float64/bytes
+// column types from the first data row.
+func loadCSV(path string) (*arrowlite.Batch, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	r := csv.NewReader(f)
+	header, err := r.Read()
+	if err != nil {
+		return nil, fmt.Errorf("reading header: %w", err)
+	}
+	records, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("no data rows")
+	}
+	fields := make([]arrowlite.Field, len(header))
+	for c, name := range header {
+		fields[c] = arrowlite.Field{Name: strings.TrimSpace(name), Type: inferType(records[0][c])}
+	}
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(fields...))
+	for _, rec := range records {
+		values := make([]any, len(fields))
+		for c, cell := range rec {
+			cell = strings.TrimSpace(cell)
+			switch fields[c].Type {
+			case arrowlite.Int64:
+				n, err := strconv.ParseInt(cell, 10, 64)
+				if err != nil {
+					return nil, fmt.Errorf("column %q: %w", fields[c].Name, err)
+				}
+				values[c] = n
+			case arrowlite.Float64:
+				x, err := strconv.ParseFloat(cell, 64)
+				if err != nil {
+					return nil, fmt.Errorf("column %q: %w", fields[c].Name, err)
+				}
+				values[c] = x
+			default:
+				values[c] = cell
+			}
+		}
+		if err := b.Append(values...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+func inferType(cell string) arrowlite.DType {
+	cell = strings.TrimSpace(cell)
+	if _, err := strconv.ParseInt(cell, 10, 64); err == nil {
+		return arrowlite.Int64
+	}
+	if _, err := strconv.ParseFloat(cell, 64); err == nil {
+		return arrowlite.Float64
+	}
+	return arrowlite.Bytes
+}
+
+func demoTable() *arrowlite.Batch {
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "region", Type: arrowlite.Bytes},
+		arrowlite.Field{Name: "item", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "amount", Type: arrowlite.Float64},
+	))
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < 1000; i++ {
+		_ = b.Append(regions[i%4], int64(i%20), float64((i*37)%500)/5)
+	}
+	return b.Build()
+}
+
+// printBatch renders a result batch as an aligned table, capped at 40 rows.
+func printBatch(w io.Writer, batch *arrowlite.Batch) {
+	const maxRows = 40
+	header := make([]string, batch.NumCols())
+	for c, f := range batch.Schema.Fields {
+		header[c] = f.Name
+	}
+	rows := [][]string{header}
+	n := batch.NumRows()
+	shown := n
+	if shown > maxRows {
+		shown = maxRows
+	}
+	for r := 0; r < shown; r++ {
+		row := make([]string, batch.NumCols())
+		for c := range row {
+			col := batch.Col(c)
+			switch col.Type {
+			case arrowlite.Int64:
+				row[c] = strconv.FormatInt(col.Ints[r], 10)
+			case arrowlite.Float64:
+				row[c] = strconv.FormatFloat(col.Floats[r], 'g', 6, 64)
+			default:
+				row[c] = string(col.BytesAt(r))
+			}
+		}
+		rows = append(rows, row)
+	}
+	widths := make([]int, batch.NumCols())
+	for _, row := range rows {
+		for c, cell := range row {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	for _, row := range rows {
+		for c, cell := range row {
+			if c > 0 {
+				fmt.Fprint(w, "  ")
+			}
+			fmt.Fprintf(w, "%-*s", widths[c], cell)
+		}
+		fmt.Fprintln(w)
+	}
+	if n > shown {
+		fmt.Fprintf(w, "... (%d more rows)\n", n-shown)
+	}
+	fmt.Fprintf(w, "(%d rows)\n", n)
+}

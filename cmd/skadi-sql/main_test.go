@@ -1,0 +1,123 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"skadi/internal/arrowlite"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "t.csv")
+	if err := os.WriteFile(path, []byte(content), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestLoadCSVTypeInference(t *testing.T) {
+	path := writeCSV(t, "id,price,name\n1,2.5,apple\n2,3.0,pear\n")
+	batch, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.NumRows() != 2 || batch.NumCols() != 3 {
+		t.Fatalf("batch = %dx%d", batch.NumRows(), batch.NumCols())
+	}
+	wantTypes := []arrowlite.DType{arrowlite.Int64, arrowlite.Float64, arrowlite.Bytes}
+	for c, want := range wantTypes {
+		if batch.Schema.Fields[c].Type != want {
+			t.Errorf("column %d type = %v, want %v", c, batch.Schema.Fields[c].Type, want)
+		}
+	}
+	if batch.Col(0).Ints[1] != 2 || batch.Col(1).Floats[0] != 2.5 {
+		t.Error("values wrong")
+	}
+	if string(batch.Col(2).BytesAt(1)) != "pear" {
+		t.Errorf("name = %q", batch.Col(2).BytesAt(1))
+	}
+}
+
+func TestLoadCSVWhitespaceTrimmed(t *testing.T) {
+	path := writeCSV(t, "a, b\n 1 , x \n")
+	batch, err := loadCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Schema.Fields[1].Name != "b" {
+		t.Errorf("header = %q", batch.Schema.Fields[1].Name)
+	}
+	if batch.Col(0).Ints[0] != 1 || string(batch.Col(1).BytesAt(0)) != "x" {
+		t.Error("cells not trimmed")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	if _, err := loadCSV(filepath.Join(t.TempDir(), "missing.csv")); err == nil {
+		t.Error("missing file should fail")
+	}
+	empty := writeCSV(t, "a,b\n")
+	if _, err := loadCSV(empty); err == nil {
+		t.Error("header-only file should fail")
+	}
+	badType := writeCSV(t, "a\n1\nnot-a-number\n")
+	if _, err := loadCSV(badType); err == nil {
+		t.Error("type mismatch mid-file should fail")
+	}
+}
+
+func TestInferType(t *testing.T) {
+	cases := map[string]arrowlite.DType{
+		"42": arrowlite.Int64, "-7": arrowlite.Int64,
+		"3.14": arrowlite.Float64, "1e9": arrowlite.Float64,
+		"hello": arrowlite.Bytes, "": arrowlite.Bytes,
+	}
+	for in, want := range cases {
+		if got := inferType(in); got != want {
+			t.Errorf("inferType(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestTableFlags(t *testing.T) {
+	tf := tableFlags{}
+	if err := tf.Set("orders=/tmp/o.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if tf["orders"] != "/tmp/o.csv" {
+		t.Errorf("tf = %v", tf)
+	}
+	if err := tf.Set("no-equals"); err == nil {
+		t.Error("malformed flag should fail")
+	}
+}
+
+func TestPrintBatch(t *testing.T) {
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "k", Type: arrowlite.Bytes},
+		arrowlite.Field{Name: "n", Type: arrowlite.Int64},
+	))
+	for i := 0; i < 50; i++ {
+		_ = b.Append("key", int64(i))
+	}
+	var buf bytes.Buffer
+	printBatch(&buf, b.Build())
+	out := buf.String()
+	if !strings.Contains(out, "(50 rows)") {
+		t.Errorf("missing row count:\n%s", out)
+	}
+	if !strings.Contains(out, "more rows") {
+		t.Errorf("missing truncation notice:\n%s", out)
+	}
+}
+
+func TestDemoTableQueryable(t *testing.T) {
+	batch := demoTable()
+	if batch.NumRows() != 1000 || batch.Schema.Index("amount") < 0 {
+		t.Errorf("demo table = %dx%d", batch.NumRows(), batch.NumCols())
+	}
+}

@@ -1,0 +1,149 @@
+// Command skadi boots a simulated disaggregated cluster, runs one workload
+// from each declarative frontend through the distributed runtime, and
+// prints what happened — a smoke-test-sized tour of the system.
+//
+// Usage:
+//
+//	skadi                      # default cluster
+//	skadi -servers 8 -gpus 4   # bigger cluster
+//	skadi -gen2                # device-centric (Gen-2) wiring
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/core"
+	"skadi/internal/frontend/graphfe"
+	"skadi/internal/frontend/mlfe"
+	"skadi/internal/frontend/mrfe"
+	"skadi/internal/ir"
+	"skadi/internal/runtime"
+)
+
+func main() {
+	var (
+		servers = flag.Int("servers", 4, "worker servers")
+		gpus    = flag.Int("gpus", 2, "disaggregated GPUs")
+		fpgas   = flag.Int("fpgas", 2, "disaggregated FPGAs")
+		gen2    = flag.Bool("gen2", false, "device-centric (Gen-2) wiring instead of Gen-1")
+	)
+	flag.Parse()
+
+	opts := core.Options{}
+	if *gen2 {
+		opts.DeviceMode = runtime.Gen2
+	}
+	s, err := core.New(core.ClusterSpec{
+		Servers: *servers, ServerSlots: 4, ServerMemBytes: 256 << 20,
+		GPUs: *gpus, FPGAs: *fpgas, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
+		MemBladeBytes: 1 << 30, Racks: 2,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	fmt.Println("== cluster ==")
+	fmt.Print(s.ClusterSummary())
+	fmt.Printf("backends: %v\n\n", s.AvailableBackends())
+
+	// SQL.
+	fmt.Println("== sql frontend ==")
+	orders := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "region", Type: arrowlite.Bytes},
+		arrowlite.Field{Name: "amount", Type: arrowlite.Float64},
+	))
+	regions := []string{"east", "west", "north"}
+	for i := 0; i < 300; i++ {
+		_ = orders.Append(regions[i%3], float64(i%50))
+	}
+	const query = "SELECT region, SUM(amount), COUNT(*) FROM orders GROUP BY region ORDER BY sum_amount DESC"
+	fmt.Println("query:", query)
+	result, err := s.SQL(ctx, query, map[string]*arrowlite.Batch{"orders": orders.Build()})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for r := 0; r < result.NumRows(); r++ {
+		fmt.Printf("  %-6s sum=%6.0f count=%d\n",
+			result.ColByName("region").BytesAt(r),
+			result.ColByName("sum_amount").Floats[r],
+			result.ColByName("count").Ints[r])
+	}
+
+	// MapReduce.
+	fmt.Println("\n== mapreduce frontend ==")
+	wc := &mrfe.Job{
+		Name: "wordcount",
+		Map: func(rec []byte) []mrfe.KV {
+			var out []mrfe.KV
+			for _, w := range strings.Fields(string(rec)) {
+				out = append(out, mrfe.KV{Key: strings.ToLower(w), Value: []byte("1")})
+			}
+			return out
+		},
+		Reduce: func(_ string, vals [][]byte) []byte {
+			return []byte(fmt.Sprint(len(vals)))
+		},
+	}
+	counts, err := s.MapReduce(ctx, wc, [][]byte{
+		[]byte("the narrow waist between data systems and hardware"),
+		[]byte("the stateful serverless runtime and the caching layer"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, kv := range counts {
+		if string(kv.Value) != "1" {
+			fmt.Printf("  %-10s %s\n", kv.Key, kv.Value)
+		}
+	}
+
+	// Graph.
+	fmt.Println("\n== graph frontend (pagerank) ==")
+	ranks, err := s.PageRank(ctx, []graphfe.Edge{
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 2, Dst: 4},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 1},
+	}, 20, 0.85)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for id := int64(1); id <= 4; id++ {
+		fmt.Printf("  vertex %d: %.4f\n", id, ranks[id])
+	}
+
+	// ML.
+	fmt.Println("\n== ml frontend ==")
+	x := ir.NewTensor(128, 2)
+	y := ir.NewTensor(128, 1)
+	for i := 0; i < 128; i++ {
+		a, b := float64(i%16)/8-1, float64(i%9)/4-1
+		x.Set(i, 0, a)
+		x.Set(i, 1, b)
+		y.Data[i] = 2*a - 0.5*b
+	}
+	w, hist, err := s.TrainLinear(ctx, &mlfe.SGDTrainer{LearningRate: 0.2, Epochs: 50, Gang: true}, x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  learned w = [%.3f %.3f] (true [2.000 -0.500])\n", w.Data[0], w.Data[1])
+	fmt.Printf("  loss %.4f -> %.6f over %d epochs\n", hist[0], hist[len(hist)-1], len(hist))
+
+	// Runtime stats.
+	fmt.Println("\n== runtime ==")
+	stats := s.Runtime().FabricStats()
+	fmt.Printf("fabric: %d messages, %.2f MiB moved, %.2f ms simulated network time\n",
+		stats.Messages, float64(stats.Bytes)/(1<<20), float64(stats.SimTime.Microseconds())/1000)
+	var tasks, hops int64
+	for _, rl := range s.Runtime().Raylets() {
+		st := rl.Stats()
+		tasks += st.TasksExecuted
+		hops += st.DPUHops
+	}
+	fmt.Printf("raylets: %d tasks executed, %d DPU hops\n", tasks, hops)
+}

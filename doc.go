@@ -1,0 +1,14 @@
+// Package skadi is a from-scratch Go reproduction of "Skadi: Building a
+// Distributed Runtime for Data Systems in Disaggregated Data Centers"
+// (HotOS '23): a tiered access layer (SQL / MapReduce / graph / ML
+// frontends over an MLIR-style IR and a FlowGraph logical tier) on top of
+// a stateful serverless runtime (tasks, actors, futures with pull- and
+// push-based resolution, a heterogeneity-aware ownership table, lineage
+// and reliable-cache fault tolerance, and a caching layer spanning host
+// DRAM, device HBM, and disaggregated memory), all running on a simulated
+// disaggregated data center with DPU-fronted devices.
+//
+// Start at internal/core for the public façade, DESIGN.md for the system
+// inventory, and EXPERIMENTS.md for the reproduction results. The
+// repository-root benchmarks in bench_test.go regenerate every experiment.
+package skadi

@@ -1,0 +1,92 @@
+// Streaming: micro-batch stream processing with tumbling windows whose
+// state lives in stateful-serverless actors — the execution model
+// commercial FaaS cannot host because its functions are stateless (§1).
+//
+// A synthetic stream of service-latency events flows through a map stage
+// (filtering and re-keying), is hash-routed to window actors, and every
+// 3 micro-batches each service's p-like max latency is emitted.
+//
+// Run with: go run ./examples/streaming
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"skadi/internal/core"
+	"skadi/internal/frontend/streamfe"
+)
+
+func main() {
+	s, err := core.New(core.ClusterSpec{
+		Servers: 4, ServerSlots: 4, ServerMemBytes: 128 << 20,
+	}, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer s.Close()
+	ctx := context.Background()
+
+	// Synthetic stream: 9 micro-batches of latency samples per service.
+	services := []string{"api", "db", "cache"}
+	seed := uint64(77)
+	next := func(mod int) int {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return int(seed % uint64(mod))
+	}
+	var stream [][]streamfe.Record
+	for batch := 0; batch < 9; batch++ {
+		var records []streamfe.Record
+		for i := 0; i < 50; i++ {
+			svc := services[next(3)]
+			latency := float64(5 + next(95))
+			if svc == "db" && batch >= 6 {
+				latency += 200 // the db degrades in the last window
+			}
+			records = append(records, streamfe.Record{Key: svc, Value: latency})
+		}
+		stream = append(stream, records)
+	}
+
+	pipeline := &streamfe.Pipeline{
+		Name:        "latency-monitor",
+		Parallelism: 3,
+		Window:      3, // tumbling window of 3 micro-batches
+		Map: func(r streamfe.Record) []streamfe.Record {
+			if r.Value < 10 {
+				return nil // drop noise below 10ms
+			}
+			return []streamfe.Record{r}
+		},
+		Reduce: func(_ string, values []float64) float64 {
+			max := 0.0
+			for _, v := range values {
+				if v > max {
+					max = v
+				}
+			}
+			return max
+		},
+	}
+
+	outputs, err := s.Stream(ctx, pipeline, stream)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-window max latency (ms):")
+	current := -1
+	for _, o := range outputs {
+		if o.Window != current {
+			current = o.Window
+			fmt.Printf("window %d:\n", current)
+		}
+		flag := ""
+		if o.Value > 150 {
+			flag = "  << degradation detected"
+		}
+		fmt.Printf("  %-6s %6.0f%s\n", o.Key, o.Value, flag)
+	}
+}

@@ -1,0 +1,3 @@
+module skadi
+
+go 1.22

@@ -1,0 +1,483 @@
+// Package arrowlite implements a columnar record-batch format in the
+// spirit of Apache Arrow — the "shared format" the paper names as the
+// bedrock of the data plane (§1, data-plane benefit 2). The in-memory
+// layout IS the wire layout: fixed-width columns encode as raw
+// little-endian buffers and decode by aliasing the incoming bytes
+// (zero-copy), so functions on heterogeneous devices exchange data without
+// per-row marshalling. Experiment E7 compares this against the row-at-a-
+// time codec in package rowcodec.
+package arrowlite
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"unsafe"
+
+	"skadi/internal/wire"
+)
+
+// DType is a column element type.
+type DType int
+
+// Column element types.
+const (
+	// Int64 is a 64-bit signed integer column.
+	Int64 DType = iota
+	// Float64 is a 64-bit float column.
+	Float64
+	// Bytes is a variable-length binary/string column.
+	Bytes
+)
+
+// String returns the type name.
+func (d DType) String() string {
+	switch d {
+	case Int64:
+		return "int64"
+	case Float64:
+		return "float64"
+	case Bytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("dtype(%d)", int(d))
+	}
+}
+
+// Field is one column's name and type.
+type Field struct {
+	Name string
+	Type DType
+}
+
+// Schema is an ordered field list.
+type Schema struct {
+	Fields []Field
+}
+
+// NewSchema returns a schema over the given fields.
+func NewSchema(fields ...Field) *Schema { return &Schema{Fields: fields} }
+
+// Index returns the position of the named field, or -1.
+func (s *Schema) Index(name string) int {
+	for i, f := range s.Fields {
+		if f.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Equal reports schema equality.
+func (s *Schema) Equal(o *Schema) bool {
+	if len(s.Fields) != len(o.Fields) {
+		return false
+	}
+	for i := range s.Fields {
+		if s.Fields[i] != o.Fields[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Column holds one column's values. Exactly one of the value slices is
+// populated, per the field type. For Bytes columns, value i is
+// Blob[Offsets[i]:Offsets[i+1]].
+type Column struct {
+	Type    DType
+	Ints    []int64
+	Floats  []float64
+	Offsets []int32
+	Blob    []byte
+}
+
+// Len returns the number of values.
+func (c *Column) Len() int {
+	switch c.Type {
+	case Int64:
+		return len(c.Ints)
+	case Float64:
+		return len(c.Floats)
+	default:
+		if len(c.Offsets) == 0 {
+			return 0
+		}
+		return len(c.Offsets) - 1
+	}
+}
+
+// BytesAt returns value i of a Bytes column without copying.
+func (c *Column) BytesAt(i int) []byte {
+	return c.Blob[c.Offsets[i]:c.Offsets[i+1]]
+}
+
+// Batch is a set of equal-length columns conforming to a schema.
+type Batch struct {
+	Schema *Schema
+	Cols   []Column
+	rows   int
+}
+
+// Errors returned by the package.
+var (
+	// ErrSchemaMismatch reports appended values not matching the schema.
+	ErrSchemaMismatch = errors.New("arrowlite: schema mismatch")
+	// ErrCorrupt reports an undecodable buffer.
+	ErrCorrupt = errors.New("arrowlite: corrupt buffer")
+)
+
+// NumRows returns the row count.
+func (b *Batch) NumRows() int { return b.rows }
+
+// NumCols returns the column count.
+func (b *Batch) NumCols() int { return len(b.Cols) }
+
+// Col returns the column at position i.
+func (b *Batch) Col(i int) *Column { return &b.Cols[i] }
+
+// ColByName returns the named column, or nil.
+func (b *Batch) ColByName(name string) *Column {
+	i := b.Schema.Index(name)
+	if i < 0 {
+		return nil
+	}
+	return &b.Cols[i]
+}
+
+// Builder accumulates rows into a Batch.
+type Builder struct {
+	schema *Schema
+	cols   []Column
+	rows   int
+}
+
+// NewBuilder returns a builder for the schema.
+func NewBuilder(schema *Schema) *Builder {
+	b := &Builder{schema: schema, cols: make([]Column, len(schema.Fields))}
+	for i, f := range schema.Fields {
+		b.cols[i].Type = f.Type
+		if f.Type == Bytes {
+			b.cols[i].Offsets = append(b.cols[i].Offsets, 0)
+		}
+	}
+	return b
+}
+
+// Append adds one row. Values must match the schema: int64, float64, or
+// []byte/string per field type.
+func (b *Builder) Append(values ...any) error {
+	if len(values) != len(b.schema.Fields) {
+		return fmt.Errorf("%w: %d values for %d fields", ErrSchemaMismatch, len(values), len(b.schema.Fields))
+	}
+	for i, v := range values {
+		col := &b.cols[i]
+		switch col.Type {
+		case Int64:
+			n, ok := v.(int64)
+			if !ok {
+				if m, ok2 := v.(int); ok2 {
+					n, ok = int64(m), true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("%w: field %d wants int64, got %T", ErrSchemaMismatch, i, v)
+			}
+			col.Ints = append(col.Ints, n)
+		case Float64:
+			f, ok := v.(float64)
+			if !ok {
+				return fmt.Errorf("%w: field %d wants float64, got %T", ErrSchemaMismatch, i, v)
+			}
+			col.Floats = append(col.Floats, f)
+		case Bytes:
+			var data []byte
+			switch x := v.(type) {
+			case []byte:
+				data = x
+			case string:
+				data = []byte(x)
+			default:
+				return fmt.Errorf("%w: field %d wants bytes, got %T", ErrSchemaMismatch, i, v)
+			}
+			col.Blob = append(col.Blob, data...)
+			col.Offsets = append(col.Offsets, int32(len(col.Blob)))
+		}
+	}
+	b.rows++
+	return nil
+}
+
+// Build returns the accumulated batch. The builder must not be used after.
+func (b *Builder) Build() *Batch {
+	return &Batch{Schema: b.schema, Cols: b.cols, rows: b.rows}
+}
+
+// Encoding layout:
+//
+//	magic uint32 | nCols uvarint | nRows uvarint
+//	per field: name string | type byte
+//	per column: padding to 8 | buffer lengths + raw buffers
+const magic = 0x534b4142 // "SKAB"
+
+// Encode serializes the batch. Fixed-width buffers are written as raw
+// little-endian memory, 8-byte aligned so Decode can alias them.
+func Encode(b *Batch) []byte {
+	buf := wire.NewBuffer(256 + b.rows*8*len(b.Cols))
+	buf.Uint32(magic)
+	buf.Uvarint(uint64(len(b.Cols)))
+	buf.Uvarint(uint64(b.rows))
+	for _, f := range b.Schema.Fields {
+		buf.String(f.Name)
+		buf.Byte(byte(f.Type))
+	}
+	for i := range b.Cols {
+		col := &b.Cols[i]
+		switch col.Type {
+		case Int64:
+			pad(buf)
+			buf.Raw(int64sToBytes(col.Ints))
+		case Float64:
+			pad(buf)
+			buf.Raw(float64sToBytes(col.Floats))
+		case Bytes:
+			pad(buf)
+			buf.Raw(int32sToBytes(col.Offsets))
+			buf.Uvarint(uint64(len(col.Blob)))
+			buf.Raw(col.Blob)
+		}
+	}
+	return buf.Bytes()
+}
+
+// pad aligns the buffer to 8 bytes.
+func pad(buf *wire.Buffer) {
+	for buf.Len()%8 != 0 {
+		buf.Byte(0)
+	}
+}
+
+// Decode deserializes a batch, aliasing data's storage for fixed-width
+// columns (zero-copy). The caller must not modify data afterwards.
+func Decode(data []byte) (*Batch, error) {
+	r := wire.NewReader(data)
+	if r.Uint32() != magic {
+		return nil, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	nCols := int(r.Uvarint())
+	nRows := int(r.Uvarint())
+	if r.Err() != nil || nCols < 0 || nRows < 0 || nCols > 1<<16 {
+		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
+	}
+	schema := &Schema{Fields: make([]Field, nCols)}
+	for i := range schema.Fields {
+		schema.Fields[i].Name = r.String()
+		schema.Fields[i].Type = DType(r.Byte())
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: bad schema", ErrCorrupt)
+	}
+	batch := &Batch{Schema: schema, Cols: make([]Column, nCols), rows: nRows}
+	consumed := len(data) - r.Remaining()
+	for i := range batch.Cols {
+		col := &batch.Cols[i]
+		col.Type = schema.Fields[i].Type
+		switch col.Type {
+		case Int64:
+			consumed = align8(r, consumed)
+			raw := r.Raw(nRows * 8)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: int column %d", ErrCorrupt, i)
+			}
+			col.Ints = bytesToInt64s(raw, nRows)
+			consumed += nRows * 8
+		case Float64:
+			consumed = align8(r, consumed)
+			raw := r.Raw(nRows * 8)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: float column %d", ErrCorrupt, i)
+			}
+			col.Floats = bytesToFloat64s(raw, nRows)
+			consumed += nRows * 8
+		case Bytes:
+			consumed = align8(r, consumed)
+			raw := r.Raw((nRows + 1) * 4)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: offsets column %d", ErrCorrupt, i)
+			}
+			col.Offsets = bytesToInt32s(raw, nRows+1)
+			consumed += (nRows + 1) * 4
+			pre := r.Remaining()
+			blobLen := int(r.Uvarint())
+			col.Blob = r.Raw(blobLen)
+			if r.Err() != nil {
+				return nil, fmt.Errorf("%w: blob column %d", ErrCorrupt, i)
+			}
+			consumed += pre - r.Remaining()
+		default:
+			return nil, fmt.Errorf("%w: unknown dtype %d", ErrCorrupt, col.Type)
+		}
+	}
+	return batch, nil
+}
+
+// align8 skips padding so the next Raw read is 8-byte aligned relative to
+// the start of the buffer (Encode guarantees buffers start aligned).
+func align8(r *wire.Reader, consumed int) int {
+	for consumed%8 != 0 {
+		r.Byte()
+		consumed++
+	}
+	return consumed
+}
+
+// The casts below implement the zero-copy property: a fixed-width column's
+// wire bytes are reinterpreted in place. Encode always lays buffers out
+// 8-byte aligned, and little-endian layout matches every platform this
+// simulator targets (amd64/arm64).
+
+func int64sToBytes(v []int64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func float64sToBytes(v []float64) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*8)
+}
+
+func int32sToBytes(v []int32) []byte {
+	if len(v) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&v[0])), len(v)*4)
+}
+
+func bytesToInt64s(b []byte, n int) []int64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+}
+
+func bytesToFloat64s(b []byte, n int) []float64 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+}
+
+func bytesToInt32s(b []byte, n int) []int32 {
+	if n == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+}
+
+// Select returns a new batch containing the rows at the given indices.
+func (b *Batch) Select(rows []int) *Batch {
+	out := &Batch{Schema: b.Schema, Cols: make([]Column, len(b.Cols)), rows: len(rows)}
+	for i := range b.Cols {
+		src := &b.Cols[i]
+		dst := &out.Cols[i]
+		dst.Type = src.Type
+		switch src.Type {
+		case Int64:
+			dst.Ints = make([]int64, len(rows))
+			for j, r := range rows {
+				dst.Ints[j] = src.Ints[r]
+			}
+		case Float64:
+			dst.Floats = make([]float64, len(rows))
+			for j, r := range rows {
+				dst.Floats[j] = src.Floats[r]
+			}
+		case Bytes:
+			dst.Offsets = make([]int32, 1, len(rows)+1)
+			for _, r := range rows {
+				dst.Blob = append(dst.Blob, src.BytesAt(r)...)
+				dst.Offsets = append(dst.Offsets, int32(len(dst.Blob)))
+			}
+		}
+	}
+	return out
+}
+
+// Project returns a new batch with only the named columns (shared storage).
+func (b *Batch) Project(names ...string) (*Batch, error) {
+	out := &Batch{Schema: &Schema{}, rows: b.rows}
+	for _, name := range names {
+		i := b.Schema.Index(name)
+		if i < 0 {
+			return nil, fmt.Errorf("%w: no column %q", ErrSchemaMismatch, name)
+		}
+		out.Schema.Fields = append(out.Schema.Fields, b.Schema.Fields[i])
+		out.Cols = append(out.Cols, b.Cols[i])
+	}
+	return out, nil
+}
+
+// Concat appends other's rows to a copy of b. Schemas must match.
+func Concat(batches ...*Batch) (*Batch, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("%w: no batches", ErrSchemaMismatch)
+	}
+	first := batches[0]
+	out := &Batch{Schema: first.Schema, Cols: make([]Column, len(first.Cols))}
+	for i := range out.Cols {
+		out.Cols[i].Type = first.Cols[i].Type
+		if out.Cols[i].Type == Bytes {
+			out.Cols[i].Offsets = append(out.Cols[i].Offsets, 0)
+		}
+	}
+	for _, b := range batches {
+		if !b.Schema.Equal(first.Schema) {
+			return nil, fmt.Errorf("%w: concat of differing schemas", ErrSchemaMismatch)
+		}
+		out.rows += b.rows
+		for i := range out.Cols {
+			src, dst := &b.Cols[i], &out.Cols[i]
+			switch dst.Type {
+			case Int64:
+				dst.Ints = append(dst.Ints, src.Ints...)
+			case Float64:
+				dst.Floats = append(dst.Floats, src.Floats...)
+			case Bytes:
+				base := int32(len(dst.Blob))
+				dst.Blob = append(dst.Blob, src.Blob...)
+				for j := 1; j < len(src.Offsets); j++ {
+					dst.Offsets = append(dst.Offsets, base+src.Offsets[j])
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// SizeBytes estimates the batch's memory footprint.
+func (b *Batch) SizeBytes() int64 {
+	var total int64
+	for i := range b.Cols {
+		c := &b.Cols[i]
+		total += int64(len(c.Ints))*8 + int64(len(c.Floats))*8 + int64(len(c.Offsets))*4 + int64(len(c.Blob))
+	}
+	return total
+}
+
+// Float64At returns column col's value at row as float64, converting int
+// columns; it is the numeric accessor relational kernels use.
+func (b *Batch) Float64At(col, row int) float64 {
+	c := &b.Cols[col]
+	switch c.Type {
+	case Int64:
+		return float64(c.Ints[row])
+	case Float64:
+		return c.Floats[row]
+	default:
+		return math.NaN()
+	}
+}

@@ -1,0 +1,576 @@
+// Package caching implements Skadi's caching layer — the bedrock of the
+// stateful serverless runtime's data plane (§1, §2.1). It exposes a simple
+// KV API over every memory tier in the cluster: host DRAM on servers, HBM
+// on heterogeneous devices, and disaggregated memory — while hiding data
+// location and movement from its users. It supports three reliability
+// modes: none (lineage handles failures), replication, and Reed–Solomon
+// erasure coding; the lineage-vs-reliable-cache trade-off of §2.1 is
+// exercised by experiment E6.
+package caching
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"skadi/internal/dsm"
+	"skadi/internal/erasure"
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+	"skadi/internal/objectstore"
+)
+
+// Tier classifies a store's position in the memory hierarchy.
+type Tier int
+
+// Tiers, fastest first.
+const (
+	// HostDRAM is a server's local memory.
+	HostDRAM Tier = iota
+	// DeviceHBM is on-device memory (GPU/FPGA HBM).
+	DeviceHBM
+	// DisaggMem is pooled disaggregated memory reached over the fabric.
+	DisaggMem
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case HostDRAM:
+		return "dram"
+	case DeviceHBM:
+		return "hbm"
+	case DisaggMem:
+		return "disagg"
+	default:
+		return fmt.Sprintf("tier(%d)", int(t))
+	}
+}
+
+// Mode selects the reliability mechanism.
+type Mode int
+
+// Reliability modes.
+const (
+	// ModeNone stores one copy; failures are handled by lineage.
+	ModeNone Mode = iota
+	// ModeReplicate stores Replicas full copies on distinct nodes.
+	ModeReplicate
+	// ModeEC stores the primary copy plus ECData+ECParity erasure-coded
+	// shards spread across other nodes (Carbink-style far-memory EC).
+	ModeEC
+)
+
+// Errors returned by the layer.
+var (
+	// ErrNotFound reports a key with no surviving copy or reconstruction.
+	ErrNotFound = errors.New("caching: key not found")
+	// ErrNoStore reports an operation from a node with no registered store.
+	ErrNoStore = errors.New("caching: node has no registered store")
+)
+
+// Config configures a Layer.
+type Config struct {
+	Mode Mode
+	// Replicas is the total copy count for ModeReplicate (≥ 2).
+	Replicas int
+	// ECData/ECParity are the Reed–Solomon parameters for ModeEC.
+	ECData, ECParity int
+	// CacheOnRead keeps a local copy after a remote Get, so subsequent
+	// reads (and tasks migrated here) hit locally.
+	CacheOnRead bool
+}
+
+// Stats counts layer activity.
+type Stats struct {
+	LocalHits        int64
+	RemoteHits       int64
+	DSMHits          int64
+	Misses           int64
+	BytesTransferred int64
+	Reconstructions  int64
+	ReplicaWrites    int64
+	ShardWrites      int64
+}
+
+type ecInfo struct {
+	shardIDs []idgen.ObjectID
+	nodes    []idgen.NodeID // node of each shard
+	origLen  int
+	format   string
+}
+
+type storeInfo struct {
+	store *objectstore.Store
+	tier  Tier
+}
+
+// Layer is the cluster-wide caching layer. It is safe for concurrent use.
+type Layer struct {
+	fabric *fabric.Fabric
+	cfg    Config
+	coder  *erasure.Coder
+
+	mu        sync.Mutex
+	stores    map[idgen.NodeID]*storeInfo
+	order     []idgen.NodeID // registration order for deterministic placement
+	pool      *dsm.Pool
+	locations map[idgen.ObjectID]map[idgen.NodeID]bool
+	formats   map[idgen.ObjectID]string
+	inDSM     map[idgen.ObjectID]bool
+	ec        map[idgen.ObjectID]*ecInfo
+	rr        int // round-robin cursor for shard/replica placement
+	stats     Stats
+}
+
+// NewLayer returns a caching layer over the given fabric.
+func NewLayer(f *fabric.Fabric, cfg Config) (*Layer, error) {
+	l := &Layer{
+		fabric:    f,
+		cfg:       cfg,
+		stores:    make(map[idgen.NodeID]*storeInfo),
+		locations: make(map[idgen.ObjectID]map[idgen.NodeID]bool),
+		formats:   make(map[idgen.ObjectID]string),
+		inDSM:     make(map[idgen.ObjectID]bool),
+		ec:        make(map[idgen.ObjectID]*ecInfo),
+	}
+	if cfg.Mode == ModeReplicate && cfg.Replicas < 2 {
+		return nil, fmt.Errorf("caching: ModeReplicate needs Replicas >= 2, got %d", cfg.Replicas)
+	}
+	if cfg.Mode == ModeEC {
+		coder, err := erasure.New(cfg.ECData, cfg.ECParity)
+		if err != nil {
+			return nil, err
+		}
+		l.coder = coder
+	}
+	return l, nil
+}
+
+// AddStore registers a node's object store at the given tier and wires its
+// eviction path into the layer: evicted objects spill to disaggregated
+// memory when a pool is attached, or are dropped (with their location
+// forgotten) otherwise.
+func (l *Layer) AddStore(node idgen.NodeID, tier Tier, store *objectstore.Store) {
+	store.SetSpill(func(id idgen.ObjectID, data []byte, format string) error {
+		return l.onEvict(node, id, data)
+	})
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.stores[node]; !ok {
+		l.order = append(l.order, node)
+	}
+	l.stores[node] = &storeInfo{store: store, tier: tier}
+}
+
+// onEvict handles one eviction from a node's store: forget the location
+// and, if this was the last full copy and a DSM pool exists, demote the
+// bytes to disaggregated memory instead of losing them.
+func (l *Layer) onEvict(node idgen.NodeID, id idgen.ObjectID, data []byte) error {
+	l.mu.Lock()
+	if set, ok := l.locations[id]; ok {
+		delete(set, node)
+	}
+	lastCopy := len(l.locations[id]) == 0 && !l.inDSM[id]
+	pool := l.pool
+	l.mu.Unlock()
+	if !lastCopy || pool == nil {
+		return nil // another copy survives, or nothing to demote to
+	}
+	if err := pool.Write(node, id, data); err != nil {
+		if errors.Is(err, dsm.ErrExists) {
+			return nil
+		}
+		return err
+	}
+	l.mu.Lock()
+	l.inDSM[id] = true
+	l.mu.Unlock()
+	return nil
+}
+
+// SetDSM attaches the disaggregated-memory pool as the coldest tier.
+func (l *Layer) SetDSM(pool *dsm.Pool) {
+	l.mu.Lock()
+	l.pool = pool
+	l.mu.Unlock()
+}
+
+// NoteLocation records that node's store holds a full copy of id (used by
+// raylets after caching a fetched or pushed object locally), so the layer's
+// directory stays complete and Delete can reclaim every copy.
+func (l *Layer) NoteLocation(node idgen.NodeID, id idgen.ObjectID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.stores[node]; !ok {
+		return
+	}
+	l.recordLocationLocked(id, node)
+}
+
+// Store returns the raw object store registered for a node, or nil. Raylets
+// use it for spill wiring.
+func (l *Layer) Store(node idgen.NodeID) *objectstore.Store {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if si, ok := l.stores[node]; ok {
+		return si.store
+	}
+	return nil
+}
+
+// recordLocation notes that node holds id. Caller holds mu.
+func (l *Layer) recordLocationLocked(id idgen.ObjectID, node idgen.NodeID) {
+	set, ok := l.locations[id]
+	if !ok {
+		set = make(map[idgen.NodeID]bool)
+		l.locations[id] = set
+	}
+	set[node] = true
+}
+
+// Put stores a value under key id from the given node. The primary copy
+// lands in the node's own store (falling back to disaggregated memory on
+// OOM); replication/EC modes add redundancy on other nodes.
+func (l *Layer) Put(from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	l.mu.Lock()
+	si, ok := l.stores[from]
+	pool := l.pool
+	l.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrNoStore, from.Short())
+	}
+
+	// Primary copy: local store, falling back to the DSM tier on pressure.
+	primaryLocal := true
+	err := si.store.Put(id, data, format)
+	switch {
+	case err == nil:
+	case errors.Is(err, objectstore.ErrExists):
+		return err
+	case pool != nil:
+		if derr := pool.Write(from, id, data); derr != nil {
+			return fmt.Errorf("caching: primary put failed: %v; dsm: %w", err, derr)
+		}
+		primaryLocal = false
+	default:
+		return err
+	}
+
+	l.mu.Lock()
+	l.formats[id] = format
+	if primaryLocal {
+		l.recordLocationLocked(id, from)
+	} else {
+		l.inDSM[id] = true
+	}
+	l.mu.Unlock()
+
+	switch l.cfg.Mode {
+	case ModeReplicate:
+		return l.replicate(from, id, data, format)
+	case ModeEC:
+		return l.encodeShards(from, id, data, format)
+	}
+	return nil
+}
+
+// replicate writes Replicas-1 extra copies on other nodes.
+func (l *Layer) replicate(from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	targets := l.pickNodes(from, l.cfg.Replicas-1)
+	for _, node := range targets {
+		l.fabric.Send(from, node, len(data))
+		l.mu.Lock()
+		si := l.stores[node]
+		l.mu.Unlock()
+		if err := si.store.Put(id, data, format); err != nil {
+			return fmt.Errorf("caching: replica on %s: %w", node.Short(), err)
+		}
+		l.mu.Lock()
+		l.recordLocationLocked(id, node)
+		l.stats.ReplicaWrites++
+		l.stats.BytesTransferred += int64(len(data))
+		l.mu.Unlock()
+	}
+	return nil
+}
+
+// encodeShards writes k+m erasure shards across other nodes.
+func (l *Layer) encodeShards(from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	shards := l.coder.Split(data)
+	if err := l.coder.Encode(shards); err != nil {
+		return err
+	}
+	n := len(shards)
+	targets := l.pickNodes(from, n)
+	if len(targets) == 0 {
+		return fmt.Errorf("caching: no nodes available for EC shards")
+	}
+	info := &ecInfo{origLen: len(data), format: format}
+	for i, shard := range shards {
+		node := targets[i%len(targets)]
+		shardID := idgen.Next()
+		l.fabric.Send(from, node, len(shard))
+		l.mu.Lock()
+		si := l.stores[node]
+		l.mu.Unlock()
+		if err := si.store.Put(shardID, shard, "ec-shard"); err != nil {
+			return fmt.Errorf("caching: shard %d on %s: %w", i, node.Short(), err)
+		}
+		info.shardIDs = append(info.shardIDs, shardID)
+		info.nodes = append(info.nodes, node)
+		l.mu.Lock()
+		l.stats.ShardWrites++
+		l.stats.BytesTransferred += int64(len(shard))
+		l.mu.Unlock()
+	}
+	l.mu.Lock()
+	l.ec[id] = info
+	l.mu.Unlock()
+	return nil
+}
+
+// pickNodes returns up to n nodes other than exclude, round-robin over the
+// registration order for deterministic yet spread placement.
+func (l *Layer) pickNodes(exclude idgen.NodeID, n int) []idgen.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []idgen.NodeID
+	if len(l.order) == 0 {
+		return out
+	}
+	for i := 0; i < len(l.order) && len(out) < n; i++ {
+		node := l.order[(l.rr+i)%len(l.order)]
+		if node != exclude {
+			out = append(out, node)
+		}
+	}
+	l.rr = (l.rr + 1) % len(l.order)
+	return out
+}
+
+// Get returns the value for id, reading from the nearest tier: local store,
+// a remote replica, disaggregated memory, then EC reconstruction.
+func (l *Layer) Get(to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) {
+	l.mu.Lock()
+	si, hasStore := l.stores[to]
+	locs := l.locations[id]
+	format := l.formats[id]
+	pool := l.pool
+	inDSM := l.inDSM[id]
+	info := l.ec[id]
+	cacheOnRead := l.cfg.CacheOnRead
+	l.mu.Unlock()
+
+	// 1. Local store.
+	if hasStore {
+		if data, f, err := si.store.Get(id); err == nil {
+			l.mu.Lock()
+			l.stats.LocalHits++
+			l.mu.Unlock()
+			return data, f, nil
+		}
+	}
+
+	// 2. Remote replica: pick the cheapest location by fabric cost.
+	var best idgen.NodeID
+	bestSet := false
+	for node := range locs {
+		if node == to {
+			continue // stale: local store said no
+		}
+		if !bestSet || l.fabric.Cost(node, to, 0) < l.fabric.Cost(best, to, 0) {
+			best, bestSet = node, true
+		}
+	}
+	if bestSet {
+		l.mu.Lock()
+		remote := l.stores[best]
+		l.mu.Unlock()
+		if remote != nil {
+			if data, f, err := remote.store.Get(id); err == nil {
+				l.fabric.Send(best, to, len(data))
+				l.mu.Lock()
+				l.stats.RemoteHits++
+				l.stats.BytesTransferred += int64(len(data))
+				l.mu.Unlock()
+				l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, f)
+				return data, f, nil
+			}
+		}
+	}
+
+	// 3. Disaggregated memory.
+	if inDSM && pool != nil {
+		if data, err := pool.Read(to, id); err == nil {
+			l.mu.Lock()
+			l.stats.DSMHits++
+			l.stats.BytesTransferred += int64(len(data))
+			l.mu.Unlock()
+			l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, format)
+			return data, format, nil
+		}
+	}
+
+	// 4. EC reconstruction.
+	if info != nil {
+		data, err := l.reconstruct(to, info)
+		if err == nil {
+			l.mu.Lock()
+			l.stats.Reconstructions++
+			l.mu.Unlock()
+			l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, info.format)
+			return data, info.format, nil
+		}
+	}
+
+	l.mu.Lock()
+	l.stats.Misses++
+	l.mu.Unlock()
+	return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+}
+
+func (l *Layer) maybeCacheLocal(enabled, hasStore bool, si *storeInfo, to idgen.NodeID, id idgen.ObjectID, data []byte, format string) {
+	if !enabled || !hasStore {
+		return
+	}
+	if err := si.store.Put(id, data, format); err == nil {
+		l.mu.Lock()
+		l.recordLocationLocked(id, to)
+		l.mu.Unlock()
+	}
+}
+
+// reconstruct rebuilds a value from its surviving EC shards, paying the
+// fabric cost of fetching k shards.
+func (l *Layer) reconstruct(to idgen.NodeID, info *ecInfo) ([]byte, error) {
+	k := l.coder.DataShards()
+	total := k + l.coder.ParityShards()
+	shards := make([][]byte, total)
+	got := 0
+	for i, shardID := range info.shardIDs {
+		if got >= k && i >= k {
+			break // have enough data+early shards
+		}
+		l.mu.Lock()
+		si := l.stores[info.nodes[i]]
+		l.mu.Unlock()
+		if si == nil {
+			continue
+		}
+		data, _, err := si.store.Get(shardID)
+		if err != nil {
+			continue
+		}
+		l.fabric.Send(info.nodes[i], to, len(data))
+		l.mu.Lock()
+		l.stats.BytesTransferred += int64(len(data))
+		l.mu.Unlock()
+		shards[i] = data
+		got++
+	}
+	if err := l.coder.Reconstruct(shards); err != nil {
+		return nil, err
+	}
+	return l.coder.Join(shards, info.origLen)
+}
+
+// Contains reports whether id is readable by some path, without moving data.
+func (l *Layer) Contains(id idgen.ObjectID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if set, ok := l.locations[id]; ok && len(set) > 0 {
+		return true
+	}
+	if l.inDSM[id] {
+		return true
+	}
+	_, ok := l.ec[id]
+	return ok
+}
+
+// Locations returns the nodes currently recorded as holding a full copy,
+// sorted for determinism.
+func (l *Layer) Locations(id idgen.ObjectID) []idgen.NodeID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]idgen.NodeID, 0, len(l.locations[id]))
+	for node := range l.locations[id] {
+		out = append(out, node)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Delete removes every copy, shard, and DSM entry for id.
+func (l *Layer) Delete(id idgen.ObjectID) {
+	l.mu.Lock()
+	locs := l.locations[id]
+	info := l.ec[id]
+	pool := l.pool
+	inDSM := l.inDSM[id]
+	delete(l.locations, id)
+	delete(l.formats, id)
+	delete(l.inDSM, id)
+	delete(l.ec, id)
+	stores := l.stores
+	l.mu.Unlock()
+
+	for node := range locs {
+		if si, ok := stores[node]; ok {
+			_ = si.store.Delete(id)
+		}
+	}
+	if info != nil {
+		for i, shardID := range info.shardIDs {
+			if si, ok := stores[info.nodes[i]]; ok {
+				_ = si.store.Delete(shardID)
+			}
+		}
+	}
+	if inDSM && pool != nil {
+		_ = pool.Free(id)
+	}
+}
+
+// DropNode removes a failed node's store and forgets every location on it.
+// Keys whose only copy lived there become reconstructable (EC), readable
+// from a replica, or lost (lineage's job).
+func (l *Layer) DropNode(node idgen.NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.stores, node)
+	for i, id := range l.order {
+		if id == node {
+			l.order = append(l.order[:i], l.order[i+1:]...)
+			break
+		}
+	}
+	for _, set := range l.locations {
+		delete(set, node)
+	}
+}
+
+// Stats returns a snapshot of activity counters.
+func (l *Layer) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.stats
+}
+
+// StorageBytes returns the total bytes resident across all registered
+// stores plus the DSM pool — the denominator of the E6 storage-overhead
+// comparison.
+func (l *Layer) StorageBytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var total int64
+	for _, si := range l.stores {
+		total += si.store.Used()
+	}
+	if l.pool != nil {
+		total += l.pool.Used()
+	}
+	return total
+}

@@ -1,0 +1,261 @@
+package caching
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"skadi/internal/dsm"
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+	"skadi/internal/objectstore"
+)
+
+// rig wires a layer with n server stores of the given capacity.
+type rig struct {
+	layer  *Layer
+	fabric *fabric.Fabric
+	nodes  []idgen.NodeID
+}
+
+func newRig(t *testing.T, cfg Config, n int, capacity int64) *rig {
+	t.Helper()
+	f := fabric.New(fabric.Config{})
+	layer, err := NewLayer(f, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{layer: layer, fabric: f}
+	for i := 0; i < n; i++ {
+		node := idgen.Next()
+		f.Register(node, fabric.Location{Rack: i % 2, Island: -1})
+		layer.AddStore(node, HostDRAM, objectstore.New(capacity, nil))
+		r.nodes = append(r.nodes, node)
+	}
+	return r
+}
+
+func TestPutGetLocal(t *testing.T) {
+	r := newRig(t, Config{}, 2, 1<<20)
+	id := idgen.Next()
+	if err := r.layer.Put(r.nodes[0], id, []byte("v"), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	data, format, err := r.layer.Get(r.nodes[0], id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != "v" || format != "raw" {
+		t.Errorf("Get = %q/%q", data, format)
+	}
+	if r.layer.Stats().LocalHits != 1 {
+		t.Errorf("stats = %+v, want 1 local hit", r.layer.Stats())
+	}
+}
+
+func TestGetRemote(t *testing.T) {
+	r := newRig(t, Config{}, 2, 1<<20)
+	id := idgen.Next()
+	if err := r.layer.Put(r.nodes[0], id, make([]byte, 1000), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.layer.Get(r.nodes[1], id); err != nil {
+		t.Fatal(err)
+	}
+	st := r.layer.Stats()
+	if st.RemoteHits != 1 || st.BytesTransferred != 1000 {
+		t.Errorf("stats = %+v", st)
+	}
+	// Without CacheOnRead the remote read leaves no local copy.
+	locs := r.layer.Locations(id)
+	if len(locs) != 1 || locs[0] != r.nodes[0] {
+		t.Errorf("locations = %v", locs)
+	}
+}
+
+func TestCacheOnRead(t *testing.T) {
+	r := newRig(t, Config{CacheOnRead: true}, 2, 1<<20)
+	id := idgen.Next()
+	if err := r.layer.Put(r.nodes[0], id, make([]byte, 100), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.layer.Get(r.nodes[1], id); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.layer.Locations(id)) != 2 {
+		t.Errorf("locations = %v, want 2 after cached read", r.layer.Locations(id))
+	}
+	// Second read hits locally.
+	if _, _, err := r.layer.Get(r.nodes[1], id); err != nil {
+		t.Fatal(err)
+	}
+	if r.layer.Stats().LocalHits != 1 {
+		t.Errorf("stats = %+v, want a local hit on re-read", r.layer.Stats())
+	}
+}
+
+func TestGetMissing(t *testing.T) {
+	r := newRig(t, Config{}, 1, 1<<20)
+	if _, _, err := r.layer.Get(r.nodes[0], idgen.Next()); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get = %v, want ErrNotFound", err)
+	}
+	if r.layer.Stats().Misses != 1 {
+		t.Error("miss not counted")
+	}
+}
+
+func TestPutWithoutStore(t *testing.T) {
+	r := newRig(t, Config{}, 1, 1<<20)
+	if err := r.layer.Put(idgen.Next(), idgen.Next(), []byte("x"), "raw"); !errors.Is(err, ErrNoStore) {
+		t.Errorf("Put = %v, want ErrNoStore", err)
+	}
+}
+
+func TestSpillToDSMOnPressure(t *testing.T) {
+	r := newRig(t, Config{}, 1, 100)
+	blade := idgen.Next()
+	r.fabric.Register(blade, fabric.Location{Rack: 0, Island: -1})
+	pool := dsm.New(r.fabric, blade, 1<<20)
+	r.layer.SetDSM(pool)
+
+	big1, big2 := idgen.Next(), idgen.Next()
+	if err := r.layer.Put(r.nodes[0], big1, make([]byte, 80), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	// Second put exceeds the 100-byte store; primary goes to DSM directly
+	// since the store cannot evict enough (big1 is unpinned though, so the
+	// store may evict it — either way both must stay readable).
+	if err := r.layer.Put(r.nodes[0], big2, make([]byte, 80), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []idgen.ObjectID{big1, big2} {
+		if _, _, err := r.layer.Get(r.nodes[0], id); err != nil {
+			t.Errorf("Get(%s) after pressure: %v", id.Short(), err)
+		}
+	}
+}
+
+func TestReplicationSurvivesNodeLoss(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeReplicate, Replicas: 2}, 3, 1<<20)
+	id := idgen.Next()
+	if err := r.layer.Put(r.nodes[0], id, []byte("precious"), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	locs := r.layer.Locations(id)
+	if len(locs) != 2 {
+		t.Fatalf("locations = %d, want 2", len(locs))
+	}
+	// Kill the primary.
+	r.layer.DropNode(r.nodes[0])
+	data, _, err := r.layer.Get(r.nodes[1], id)
+	if err != nil {
+		t.Fatalf("Get after primary loss: %v", err)
+	}
+	if string(data) != "precious" {
+		t.Errorf("data = %q", data)
+	}
+}
+
+func TestReplicateValidation(t *testing.T) {
+	if _, err := NewLayer(fabric.New(fabric.Config{}), Config{Mode: ModeReplicate, Replicas: 1}); err == nil {
+		t.Error("Replicas=1 should be rejected")
+	}
+}
+
+func TestECSurvivesNodeLoss(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeEC, ECData: 2, ECParity: 1}, 4, 1<<20)
+	id := idgen.Next()
+	payload := bytes.Repeat([]byte("skadi!"), 100)
+	if err := r.layer.Put(r.nodes[0], id, payload, "raw"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary: only EC shards remain on nodes 1..3.
+	r.layer.DropNode(r.nodes[0])
+	data, format, err := r.layer.Get(r.nodes[1], id)
+	if err != nil {
+		t.Fatalf("Get after loss: %v", err)
+	}
+	if !bytes.Equal(data, payload) || format != "raw" {
+		t.Errorf("reconstructed %d bytes, format %q", len(data), format)
+	}
+	if r.layer.Stats().Reconstructions == 0 {
+		t.Error("reconstruction not counted")
+	}
+}
+
+func TestECStorageOverheadBelowReplication(t *testing.T) {
+	payload := make([]byte, 9000)
+	recRig := newRig(t, Config{Mode: ModeReplicate, Replicas: 3}, 6, 1<<20)
+	if err := recRig.layer.Put(recRig.nodes[0], idgen.Next(), payload, "raw"); err != nil {
+		t.Fatal(err)
+	}
+	ecRig := newRig(t, Config{Mode: ModeEC, ECData: 4, ECParity: 2}, 6, 1<<20)
+	if err := ecRig.layer.Put(ecRig.nodes[0], idgen.Next(), payload, "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if ecRig.layer.StorageBytes() >= recRig.layer.StorageBytes() {
+		t.Errorf("EC storage %d should undercut 3x replication %d",
+			ecRig.layer.StorageBytes(), recRig.layer.StorageBytes())
+	}
+}
+
+func TestDelete(t *testing.T) {
+	r := newRig(t, Config{Mode: ModeReplicate, Replicas: 2}, 3, 1<<20)
+	id := idgen.Next()
+	if err := r.layer.Put(r.nodes[0], id, []byte("x"), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	r.layer.Delete(id)
+	if r.layer.Contains(id) {
+		t.Error("Contains after Delete")
+	}
+	if _, _, err := r.layer.Get(r.nodes[0], id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Get after Delete = %v", err)
+	}
+	if r.layer.StorageBytes() != 0 {
+		t.Errorf("StorageBytes = %d after Delete", r.layer.StorageBytes())
+	}
+}
+
+func TestContains(t *testing.T) {
+	r := newRig(t, Config{}, 2, 1<<20)
+	id := idgen.Next()
+	if r.layer.Contains(id) {
+		t.Error("Contains before Put")
+	}
+	if err := r.layer.Put(r.nodes[0], id, []byte("x"), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if !r.layer.Contains(id) {
+		t.Error("Contains after Put")
+	}
+}
+
+func TestGetPrefersCheapestLocation(t *testing.T) {
+	// nodes[0] and nodes[2] are rack 0; nodes[1] rack 1. A reader on
+	// nodes[2] should fetch from the same-rack copy.
+	r := newRig(t, Config{Mode: ModeReplicate, Replicas: 2}, 3, 1<<20)
+	id := idgen.Next()
+	if err := r.layer.Put(r.nodes[0], id, make([]byte, 10), "raw"); err != nil {
+		t.Fatal(err)
+	}
+	r.fabric.ResetStats()
+	if _, _, err := r.layer.Get(r.nodes[2], id); err != nil {
+		t.Fatal(err)
+	}
+	// Same-rack transfer ⇒ Rack class traffic, no Core traffic.
+	if r.fabric.ClassStats(fabric.Core).Messages != 0 {
+		t.Error("Get crossed racks despite a same-rack replica")
+	}
+	if r.fabric.ClassStats(fabric.Rack).Messages == 0 {
+		t.Error("expected rack-class transfer")
+	}
+}
+
+func TestTierString(t *testing.T) {
+	for tier, want := range map[Tier]string{HostDRAM: "dram", DeviceHBM: "hbm", DisaggMem: "disagg"} {
+		if tier.String() != want {
+			t.Errorf("String = %q, want %q", tier.String(), want)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+// Package cluster models the disaggregated data center Skadi runs on:
+// regular servers, physically-disaggregated devices (a dominant resource
+// such as GPU, FPGA, or DRAM fronted by a DPU), memory blades, and
+// tightly-coupled islands — all placed on a shared fabric with an in-process
+// transport, plus failure injection (kill/restart) for fault-tolerance
+// experiments.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+	"skadi/internal/transport"
+)
+
+// NodeKind classifies a cluster node.
+type NodeKind int
+
+// Node kinds.
+const (
+	// Server is a regular server: CPUs + host DRAM, runs a full raylet.
+	Server NodeKind = iota
+	// DPU is the data processing unit fronting one or more disaggregated
+	// devices; in Gen-1 it runs the raylet managing its companion devices.
+	DPU
+	// GPUDevice is a physically-disaggregated GPU with HBM.
+	GPUDevice
+	// FPGADevice is a physically-disaggregated FPGA.
+	FPGADevice
+	// MemBlade is a disaggregated memory blade (DRAM pool).
+	MemBlade
+)
+
+// String returns the kind name.
+func (k NodeKind) String() string {
+	switch k {
+	case Server:
+		return "server"
+	case DPU:
+		return "dpu"
+	case GPUDevice:
+		return "gpu"
+	case FPGADevice:
+		return "fpga"
+	case MemBlade:
+		return "memblade"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Backend returns the kernel backend name a node kind executes, matching
+// the IR backend names ("cpu", "gpu", "fpga"). Memory blades and DPUs run
+// no kernels and return "".
+func (k NodeKind) Backend() string {
+	switch k {
+	case Server:
+		return "cpu"
+	case GPUDevice:
+		return "gpu"
+	case FPGADevice:
+		return "fpga"
+	default:
+		return ""
+	}
+}
+
+// Resources describes a node's capacity.
+type Resources struct {
+	// Slots is the number of tasks the node can execute concurrently
+	// (worker processes on a server, concurrent kernels on a device).
+	Slots int
+	// MemBytes is the node's local memory capacity (host DRAM on servers,
+	// HBM on devices, pool size on memory blades).
+	MemBytes int64
+}
+
+// Node is one cluster node.
+type Node struct {
+	ID   idgen.NodeID
+	Name string
+	Kind NodeKind
+	Res  Resources
+	Loc  fabric.Location
+
+	// FrontingDPU is the DPU that fronts this device (devices only).
+	FrontingDPU idgen.NodeID
+	// Companions are the devices fronted by this DPU (DPUs only).
+	Companions []idgen.NodeID
+
+	mu    sync.Mutex
+	alive bool
+}
+
+// Alive reports whether the node is up.
+func (n *Node) Alive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+func (n *Node) setAlive(v bool) {
+	n.mu.Lock()
+	n.alive = v
+	n.mu.Unlock()
+}
+
+// Config configures a Cluster.
+type Config struct {
+	// TimeScale is forwarded to the fabric (see fabric.Config).
+	TimeScale float64
+	// Profiles overrides the fabric link cost model.
+	Profiles map[fabric.LinkClass]fabric.LinkProfile
+}
+
+// Cluster is a set of nodes on a shared fabric and transport.
+type Cluster struct {
+	Fabric    *fabric.Fabric
+	Transport *transport.InProc
+
+	mu    sync.RWMutex
+	nodes map[idgen.NodeID]*Node
+	order []idgen.NodeID // insertion order, for deterministic iteration
+}
+
+// New returns an empty cluster.
+func New(cfg Config) *Cluster {
+	f := fabric.New(fabric.Config{TimeScale: cfg.TimeScale, Profiles: cfg.Profiles})
+	return &Cluster{
+		Fabric:    f,
+		Transport: transport.NewInProc(f),
+		nodes:     make(map[idgen.NodeID]*Node),
+	}
+}
+
+func (c *Cluster) add(n *Node) *Node {
+	n.alive = true
+	c.Fabric.Register(n.ID, n.Loc)
+	c.mu.Lock()
+	c.nodes[n.ID] = n
+	c.order = append(c.order, n.ID)
+	c.mu.Unlock()
+	return n
+}
+
+// AddServer adds a regular server in the given rack.
+func (c *Cluster) AddServer(name string, rack, slots int, memBytes int64) *Node {
+	return c.add(&Node{
+		ID:   idgen.Next(),
+		Name: name,
+		Kind: Server,
+		Res:  Resources{Slots: slots, MemBytes: memBytes},
+		Loc:  fabric.Location{Rack: rack, Island: -1},
+	})
+}
+
+// AddMemBlade adds a disaggregated memory blade fronted by its own DPU and
+// returns (dpu, blade).
+func (c *Cluster) AddMemBlade(name string, rack int, memBytes int64) (*Node, *Node) {
+	dpu := c.add(&Node{
+		ID:   idgen.Next(),
+		Name: name + "-dpu",
+		Kind: DPU,
+		Res:  Resources{Slots: 2},
+		Loc:  fabric.Location{Rack: rack, Island: -1},
+	})
+	blade := c.add(&Node{
+		ID:          idgen.Next(),
+		Name:        name,
+		Kind:        MemBlade,
+		Res:         Resources{MemBytes: memBytes},
+		Loc:         fabric.Location{Rack: rack, Island: -1, DPU: dpu.ID},
+		FrontingDPU: dpu.ID,
+	})
+	dpu.Companions = append(dpu.Companions, blade.ID)
+	return dpu, blade
+}
+
+// AddDeviceGroup adds a physically-disaggregated device group: one DPU
+// fronting n devices of the given kind (GPUDevice or FPGADevice). Returns
+// the DPU and the devices. island >= 0 places the devices in a
+// tightly-coupled island.
+func (c *Cluster) AddDeviceGroup(name string, rack, island, n int, kind NodeKind, slots int, memBytes int64) (*Node, []*Node) {
+	dpu := c.add(&Node{
+		ID:   idgen.Next(),
+		Name: name + "-dpu",
+		Kind: DPU,
+		Res:  Resources{Slots: 4},
+		Loc:  fabric.Location{Rack: rack, Island: -1},
+	})
+	devices := make([]*Node, n)
+	for i := range devices {
+		devices[i] = c.add(&Node{
+			ID:          idgen.Next(),
+			Name:        fmt.Sprintf("%s-%d", name, i),
+			Kind:        kind,
+			Res:         Resources{Slots: slots, MemBytes: memBytes},
+			Loc:         fabric.Location{Rack: rack, Island: island, DPU: dpu.ID},
+			FrontingDPU: dpu.ID,
+		})
+		dpu.Companions = append(dpu.Companions, devices[i].ID)
+	}
+	return dpu, devices
+}
+
+// AddDirectDevices adds n devices with their own network presence and no
+// fronting DPU — the Gen-2 device-centric wiring (§2.3.2), in which each
+// device runs its own raylet and talks to peers directly over the island
+// interconnect.
+func (c *Cluster) AddDirectDevices(name string, rack, island, n int, kind NodeKind, slots int, memBytes int64) []*Node {
+	devices := make([]*Node, n)
+	for i := range devices {
+		devices[i] = c.add(&Node{
+			ID:   idgen.Next(),
+			Name: fmt.Sprintf("%s-%d", name, i),
+			Kind: kind,
+			Res:  Resources{Slots: slots, MemBytes: memBytes},
+			Loc:  fabric.Location{Rack: rack, Island: island},
+		})
+	}
+	return devices
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id idgen.NodeID) *Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.nodes[id]
+}
+
+// Nodes returns all nodes in insertion order.
+func (c *Cluster) Nodes() []*Node {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*Node, 0, len(c.order))
+	for _, id := range c.order {
+		out = append(out, c.nodes[id])
+	}
+	return out
+}
+
+// NodesByKind returns all nodes of the given kind in insertion order.
+func (c *Cluster) NodesByKind(kind NodeKind) []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if n.Kind == kind {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// AliveNodes returns all live nodes in insertion order.
+func (c *Cluster) AliveNodes() []*Node {
+	var out []*Node
+	for _, n := range c.Nodes() {
+		if n.Alive() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// Kill marks a node dead and severs its transport. Tasks and objects on the
+// node are lost, which is what the fault-tolerance experiments exercise.
+func (c *Cluster) Kill(id idgen.NodeID) {
+	if n := c.Node(id); n != nil {
+		n.setAlive(false)
+		c.Transport.SetDown(id, true)
+	}
+}
+
+// Restart brings a previously-killed node back, with empty state.
+func (c *Cluster) Restart(id idgen.NodeID) {
+	if n := c.Node(id); n != nil {
+		n.setAlive(true)
+		c.Transport.SetDown(id, false)
+	}
+}
+
+// Summary returns a human-readable inventory, sorted for determinism.
+func (c *Cluster) Summary() string {
+	nodes := c.Nodes()
+	lines := make([]string, 0, len(nodes))
+	for _, n := range nodes {
+		status := "up"
+		if !n.Alive() {
+			status = "down"
+		}
+		lines = append(lines, fmt.Sprintf("%-16s %-8s rack=%d island=%d slots=%d mem=%dMiB %s",
+			n.Name, n.Kind, n.Loc.Rack, n.Loc.Island, n.Res.Slots, n.Res.MemBytes>>20, status))
+	}
+	sort.Strings(lines)
+	out := ""
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}

@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+	"skadi/internal/transport"
+)
+
+func testCluster() *Cluster {
+	return New(Config{TimeScale: 0})
+}
+
+func TestAddServer(t *testing.T) {
+	c := testCluster()
+	n := c.AddServer("s0", 1, 8, 1<<30)
+	if n.Kind != Server || n.Res.Slots != 8 || n.Res.MemBytes != 1<<30 {
+		t.Errorf("server = %+v", n)
+	}
+	if !n.Alive() {
+		t.Error("new node should be alive")
+	}
+	if got := c.Node(n.ID); got != n {
+		t.Error("Node lookup failed")
+	}
+}
+
+func TestAddDeviceGroup(t *testing.T) {
+	c := testCluster()
+	dpu, devices := c.AddDeviceGroup("gpu", 0, 3, 4, GPUDevice, 2, 16<<30)
+	if dpu.Kind != DPU {
+		t.Errorf("dpu kind = %v", dpu.Kind)
+	}
+	if len(devices) != 4 {
+		t.Fatalf("devices = %d, want 4", len(devices))
+	}
+	if len(dpu.Companions) != 4 {
+		t.Errorf("companions = %d, want 4", len(dpu.Companions))
+	}
+	for _, d := range devices {
+		if d.FrontingDPU != dpu.ID {
+			t.Error("device missing fronting DPU")
+		}
+		if d.Loc.Island != 3 {
+			t.Errorf("island = %d, want 3", d.Loc.Island)
+		}
+		// Fabric should classify device↔DPU as a DPU hop.
+		if got := c.Fabric.ClassBetween(d.ID, dpu.ID); got != fabric.DPUHop {
+			t.Errorf("device-dpu class = %v, want DPUHop", got)
+		}
+	}
+	// Devices in the same island talk over the island interconnect... but
+	// they share a DPU, which takes precedence in Gen-1 topology.
+	if got := c.Fabric.ClassBetween(devices[0].ID, devices[1].ID); got != fabric.DPUHop {
+		t.Errorf("device-device class = %v, want DPUHop (shared DPU)", got)
+	}
+}
+
+func TestAddMemBlade(t *testing.T) {
+	c := testCluster()
+	dpu, blade := c.AddMemBlade("mem0", 1, 64<<30)
+	if blade.Kind != MemBlade || blade.FrontingDPU != dpu.ID {
+		t.Errorf("blade = %+v", blade)
+	}
+	if blade.Res.MemBytes != 64<<30 {
+		t.Errorf("blade memory = %d", blade.Res.MemBytes)
+	}
+}
+
+func TestNodesByKindAndOrder(t *testing.T) {
+	c := testCluster()
+	s0 := c.AddServer("s0", 0, 4, 1<<30)
+	s1 := c.AddServer("s1", 0, 4, 1<<30)
+	c.AddDeviceGroup("g", 0, -1, 2, GPUDevice, 1, 1<<30)
+	servers := c.NodesByKind(Server)
+	if len(servers) != 2 || servers[0] != s0 || servers[1] != s1 {
+		t.Errorf("servers out of order: %v", servers)
+	}
+	if len(c.NodesByKind(GPUDevice)) != 2 {
+		t.Error("gpu count wrong")
+	}
+	if len(c.NodesByKind(DPU)) != 1 {
+		t.Error("dpu count wrong")
+	}
+	if len(c.Nodes()) != 5 {
+		t.Errorf("total nodes = %d, want 5", len(c.Nodes()))
+	}
+}
+
+func TestKillRestart(t *testing.T) {
+	c := testCluster()
+	n := c.AddServer("s0", 0, 4, 1<<30)
+	err := c.Transport.Listen(n.ID, func(context.Context, idgen.NodeID, string, []byte) ([]byte, error) {
+		return []byte("ok"), nil
+	})
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	caller := idgen.Next()
+
+	if _, err := c.Transport.Call(context.Background(), caller, n.ID, "x", nil); err != nil {
+		t.Fatalf("Call before kill: %v", err)
+	}
+	c.Kill(n.ID)
+	if n.Alive() {
+		t.Error("node should be dead after Kill")
+	}
+	if len(c.AliveNodes()) != 0 {
+		t.Error("AliveNodes should be empty")
+	}
+	if _, err := c.Transport.Call(context.Background(), caller, n.ID, "x", nil); !errors.Is(err, transport.ErrUnreachable) {
+		t.Errorf("Call to killed node = %v, want ErrUnreachable", err)
+	}
+	c.Restart(n.ID)
+	if !n.Alive() {
+		t.Error("node should be alive after Restart")
+	}
+	if _, err := c.Transport.Call(context.Background(), caller, n.ID, "x", nil); err != nil {
+		t.Errorf("Call after restart: %v", err)
+	}
+}
+
+func TestKillUnknownNodeIsNoop(t *testing.T) {
+	c := testCluster()
+	c.Kill(idgen.Next())    // must not panic
+	c.Restart(idgen.Next()) // must not panic
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		Server: "server", DPU: "dpu", GPUDevice: "gpu", FPGADevice: "fpga", MemBlade: "memblade",
+	} {
+		if k.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func TestKindBackends(t *testing.T) {
+	for k, want := range map[NodeKind]string{
+		Server: "cpu", GPUDevice: "gpu", FPGADevice: "fpga", DPU: "", MemBlade: "",
+	} {
+		if k.Backend() != want {
+			t.Errorf("Backend(%v) = %q, want %q", k, k.Backend(), want)
+		}
+	}
+}
+
+func TestSummary(t *testing.T) {
+	c := testCluster()
+	c.AddServer("alpha", 0, 4, 1<<30)
+	c.Kill(c.AddServer("beta", 1, 2, 1<<30).ID)
+	s := c.Summary()
+	if !strings.Contains(s, "alpha") || !strings.Contains(s, "beta") {
+		t.Errorf("Summary missing nodes:\n%s", s)
+	}
+	if !strings.Contains(s, "down") {
+		t.Errorf("Summary should show dead node:\n%s", s)
+	}
+}
+
+func TestServersInDifferentRacks(t *testing.T) {
+	c := testCluster()
+	a := c.AddServer("a", 0, 1, 1)
+	b := c.AddServer("b", 0, 1, 1)
+	far := c.AddServer("far", 2, 1, 1)
+	if got := c.Fabric.ClassBetween(a.ID, b.ID); got != fabric.Rack {
+		t.Errorf("same-rack class = %v", got)
+	}
+	if got := c.Fabric.ClassBetween(a.ID, far.ID); got != fabric.Core {
+		t.Errorf("cross-rack class = %v", got)
+	}
+}

@@ -1,0 +1,126 @@
+package dsm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+)
+
+func testPool(capacity int64) (*Pool, *fabric.Fabric, idgen.NodeID) {
+	f := fabric.New(fabric.Config{})
+	blade := idgen.Next()
+	server := idgen.Next()
+	f.Register(blade, fabric.Location{Rack: 0, Island: -1})
+	f.Register(server, fabric.Location{Rack: 0, Island: -1})
+	return New(f, blade, capacity), f, server
+}
+
+func TestWriteRead(t *testing.T) {
+	p, _, server := testPool(1024)
+	id := idgen.Next()
+	if err := p.Write(server, id, []byte("remote data")); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := p.Read(server, id)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if !bytes.Equal(got, []byte("remote data")) {
+		t.Errorf("Read = %q", got)
+	}
+	reads, writes := p.Accesses()
+	if reads != 1 || writes != 1 {
+		t.Errorf("accesses = %d/%d", reads, writes)
+	}
+}
+
+func TestWriteCopiesData(t *testing.T) {
+	p, _, server := testPool(1024)
+	id := idgen.Next()
+	data := []byte("mutable")
+	if err := p.Write(server, id, data); err != nil {
+		t.Fatal(err)
+	}
+	data[0] = 'X'
+	got, err := p.Read(server, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == 'X' {
+		t.Error("pool aliases caller's buffer; should copy")
+	}
+}
+
+func TestDuplicateWrite(t *testing.T) {
+	p, _, server := testPool(1024)
+	id := idgen.Next()
+	if err := p.Write(server, id, []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(server, id, []byte("b")); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate Write = %v, want ErrExists", err)
+	}
+}
+
+func TestOutOfMemory(t *testing.T) {
+	p, _, server := testPool(10)
+	if err := p.Write(server, idgen.Next(), make([]byte, 8)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(server, idgen.Next(), make([]byte, 8)); !errors.Is(err, ErrOutOfMemory) {
+		t.Errorf("Write = %v, want ErrOutOfMemory", err)
+	}
+}
+
+func TestFree(t *testing.T) {
+	p, _, server := testPool(10)
+	id := idgen.Next()
+	if err := p.Write(server, id, make([]byte, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Free(id); err != nil {
+		t.Fatal(err)
+	}
+	if p.Used() != 0 || p.Len() != 0 {
+		t.Errorf("Used=%d Len=%d after Free", p.Used(), p.Len())
+	}
+	if err := p.Free(id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("double Free = %v, want ErrNotFound", err)
+	}
+	if _, err := p.Read(server, id); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Read after Free = %v, want ErrNotFound", err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	p, _, server := testPool(100)
+	id := idgen.Next()
+	if p.Contains(server, id) {
+		t.Error("Contains before Write")
+	}
+	if err := p.Write(server, id, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Contains(server, id) {
+		t.Error("Contains after Write")
+	}
+}
+
+func TestFabricCharged(t *testing.T) {
+	p, f, server := testPool(1 << 20)
+	id := idgen.Next()
+	if err := p.Write(server, id, make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Read(server, id); err != nil {
+		t.Fatal(err)
+	}
+	// Blade and server share a rack; both directions charged.
+	stats := f.ClassStats(fabric.Rack)
+	if stats.Messages != 2 || stats.Bytes != 2000 {
+		t.Errorf("rack stats = %+v, want 2 msgs / 2000 bytes", stats)
+	}
+}

@@ -1,0 +1,358 @@
+package erasure
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refMul is slow carry-less ("peasant") multiplication modulo the field
+// polynomial — an independent reference for the table-based gfMul.
+func refMul(a, b byte) byte {
+	var p byte
+	aa, bb := int(a), int(b)
+	for bb != 0 {
+		if bb&1 != 0 {
+			p ^= byte(aa)
+		}
+		aa <<= 1
+		if aa&0x100 != 0 {
+			aa ^= fieldPoly
+		}
+		bb >>= 1
+	}
+	return p
+}
+
+func TestGFMulProperties(t *testing.T) {
+	// Exhaustively cross-check the table-based multiply against the
+	// reference implementation.
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			if got, want := gfMul(byte(a), byte(b)), refMul(byte(a), byte(b)); got != want {
+				t.Fatalf("gfMul(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+	// a*1 == a, a*0 == 0.
+	for a := 0; a < 256; a++ {
+		if gfMul(byte(a), 1) != byte(a) {
+			t.Fatalf("%d * 1 != %d", a, a)
+		}
+		if gfMul(byte(a), 0) != 0 {
+			t.Fatalf("%d * 0 != 0", a)
+		}
+	}
+}
+
+func TestGFMulCommutativeAssociativeProperty(t *testing.T) {
+	comm := func(a, b byte) bool { return gfMul(a, b) == gfMul(b, a) }
+	if err := quick.Check(comm, nil); err != nil {
+		t.Error("commutativity:", err)
+	}
+	assoc := func(a, b, c byte) bool {
+		return gfMul(gfMul(a, b), c) == gfMul(a, gfMul(b, c))
+	}
+	if err := quick.Check(assoc, nil); err != nil {
+		t.Error("associativity:", err)
+	}
+	distrib := func(a, b, c byte) bool {
+		return gfMul(a, b^c) == gfMul(a, b)^gfMul(a, c)
+	}
+	if err := quick.Check(distrib, nil); err != nil {
+		t.Error("distributivity:", err)
+	}
+}
+
+func TestGFDivInverse(t *testing.T) {
+	for a := 1; a < 256; a++ {
+		inv := gfInv(byte(a))
+		if gfMul(byte(a), inv) != 1 {
+			t.Fatalf("%d * inv(%d) != 1", a, a)
+		}
+		if gfDiv(byte(a), byte(a)) != 1 {
+			t.Fatalf("%d / %d != 1", a, a)
+		}
+	}
+}
+
+func TestGFDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("gfDiv by zero should panic")
+		}
+	}()
+	gfDiv(5, 0)
+}
+
+func TestMatrixInvertRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(8)
+		m := newMatrix(n, n)
+		// Random matrices over GF(256) are invertible with high
+		// probability; retry until one is.
+		var inv *matrix
+		for {
+			for i := range m.data {
+				m.data[i] = byte(rng.Intn(256))
+			}
+			var err error
+			inv, err = m.invert()
+			if err == nil {
+				break
+			}
+		}
+		prod := m.mul(inv)
+		id := identity(n)
+		if !bytes.Equal(prod.data, id.data) {
+			t.Fatalf("n=%d: M × M⁻¹ != I", n)
+		}
+	}
+}
+
+func TestMatrixSingular(t *testing.T) {
+	m := newMatrix(2, 2) // all zeros
+	if _, err := m.invert(); !errors.Is(err, ErrSingular) {
+		t.Errorf("invert of zero matrix = %v, want ErrSingular", err)
+	}
+}
+
+func TestNewCoderValidation(t *testing.T) {
+	cases := []struct{ k, m int }{{0, 2}, {-1, 1}, {1, -1}, {200, 100}}
+	for _, tc := range cases {
+		if _, err := New(tc.k, tc.m); err == nil {
+			t.Errorf("New(%d,%d) should fail", tc.k, tc.m)
+		}
+	}
+	if _, err := New(4, 2); err != nil {
+		t.Errorf("New(4,2): %v", err)
+	}
+	if _, err := New(1, 0); err != nil {
+		t.Errorf("New(1,0): %v", err)
+	}
+}
+
+func TestEncodeSystematic(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := c.Split([]byte("The quick brown fox jumps over the lazy dog"))
+	original := make([][]byte, 4)
+	for i := range original {
+		original[i] = append([]byte(nil), shards[i]...)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	// Systematic: data shards unchanged by Encode.
+	for i := range original {
+		if !bytes.Equal(original[i], shards[i]) {
+			t.Errorf("data shard %d modified by Encode", i)
+		}
+	}
+	ok, err := c.Verify(shards)
+	if err != nil || !ok {
+		t.Errorf("Verify = %v, %v", ok, err)
+	}
+}
+
+func TestVerifyDetectsCorruption(t *testing.T) {
+	c, _ := New(3, 2)
+	shards := c.Split(make([]byte, 300))
+	for i := range shards[0] {
+		shards[0][i] = byte(i)
+	}
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[1][0] ^= 0xff
+	ok, err := c.Verify(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("Verify should detect corruption")
+	}
+}
+
+func TestReconstructAllLossPatterns(t *testing.T) {
+	const k, m = 4, 2
+	c, err := New(k, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 1000)
+	rng.Read(data)
+
+	// Try every pattern of up to m losses.
+	for i := 0; i < k+m; i++ {
+		for j := i; j < k+m; j++ {
+			shards := c.Split(data)
+			if err := c.Encode(shards); err != nil {
+				t.Fatal(err)
+			}
+			want := make([][]byte, k+m)
+			for s := range shards {
+				want[s] = append([]byte(nil), shards[s]...)
+			}
+			shards[i] = nil
+			if j != i {
+				shards[j] = nil
+			}
+			if err := c.Reconstruct(shards); err != nil {
+				t.Fatalf("Reconstruct losing (%d,%d): %v", i, j, err)
+			}
+			for s := range shards {
+				if !bytes.Equal(shards[s], want[s]) {
+					t.Fatalf("shard %d wrong after losing (%d,%d)", s, i, j)
+				}
+			}
+			got, err := c.Join(shards, len(data))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("Join mismatch after losing (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestReconstructTooFewShards(t *testing.T) {
+	c, _ := New(4, 2)
+	shards := c.Split(make([]byte, 100))
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	shards[0], shards[1], shards[2] = nil, nil, nil // 3 losses > m=2
+	if err := c.Reconstruct(shards); !errors.Is(err, ErrTooFewShards) {
+		t.Errorf("Reconstruct = %v, want ErrTooFewShards", err)
+	}
+}
+
+func TestReconstructNothingMissing(t *testing.T) {
+	c, _ := New(2, 1)
+	shards := c.Split([]byte("abcdef"))
+	if err := c.Encode(shards); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reconstruct(shards); err != nil {
+		t.Errorf("Reconstruct with no losses: %v", err)
+	}
+}
+
+func TestShardSizeMismatch(t *testing.T) {
+	c, _ := New(2, 1)
+	shards := [][]byte{make([]byte, 10), make([]byte, 11), make([]byte, 10)}
+	if err := c.Encode(shards); !errors.Is(err, ErrShardSize) {
+		t.Errorf("Encode = %v, want ErrShardSize", err)
+	}
+}
+
+func TestSplitJoinRoundTripProperty(t *testing.T) {
+	c, err := New(5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(data []byte) bool {
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		shards := c.Split(data)
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		got, err := c.Join(shards, len(data))
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReconstructRandomLossProperty(t *testing.T) {
+	c, err := New(6, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	f := func(data []byte, lossSeed uint32) bool {
+		if len(data) == 0 {
+			data = []byte{1}
+		}
+		shards := c.Split(data)
+		if err := c.Encode(shards); err != nil {
+			return false
+		}
+		// Knock out up to m random shards.
+		losses := int(lossSeed % 4) // 0..3 = m
+		perm := rng.Perm(9)
+		for i := 0; i < losses; i++ {
+			shards[perm[i]] = nil
+		}
+		if err := c.Reconstruct(shards); err != nil {
+			return false
+		}
+		got, err := c.Join(shards, len(data))
+		return err == nil && bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStorageOverheadRatio(t *testing.T) {
+	// The whole point of EC vs replication: k=4,m=2 stores 1.5× instead of
+	// 3× for the same two-failure tolerance.
+	c, _ := New(4, 2)
+	data := make([]byte, 4000)
+	shards := c.Split(data)
+	total := 0
+	for _, s := range shards {
+		total += len(s)
+	}
+	if ratio := float64(total) / float64(len(data)); ratio > 1.51 {
+		t.Errorf("storage overhead = %.2fx, want ≤1.5x", ratio)
+	}
+}
+
+func BenchmarkEncode4x2_1MiB(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 1<<20)
+	shards := c.Split(data)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.Encode(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct4x2_1MiB(b *testing.B) {
+	c, _ := New(4, 2)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(1)).Read(data)
+	master := c.Split(data)
+	if err := c.Encode(master); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		shards := make([][]byte, len(master))
+		copy(shards, master)
+		shards[0], shards[5] = nil, nil
+		if err := c.Reconstruct(shards); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+// Package erasure implements systematic Reed–Solomon erasure coding over
+// GF(2^8). The caching layer uses it for its erasure-coded reliability mode
+// (the paper's alternative to lineage-based recovery, §2.1): k data shards
+// plus m parity shards, any k of which reconstruct the original data.
+package erasure
+
+// GF(2^8) arithmetic with the AES-friendly primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11d).
+
+const fieldPoly = 0x11d
+
+var (
+	expTable [512]byte // doubled so mul can skip a mod
+	logTable [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		expTable[i] = byte(x)
+		logTable[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= fieldPoly
+		}
+	}
+	for i := 255; i < 512; i++ {
+		expTable[i] = expTable[i-255]
+	}
+}
+
+// gfMul multiplies two field elements.
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+int(logTable[b])]
+}
+
+// gfDiv divides a by b. Division by zero panics: it indicates a bug in the
+// matrix code, not bad input.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("erasure: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return expTable[int(logTable[a])+255-int(logTable[b])]
+}
+
+// gfInv returns the multiplicative inverse of a.
+func gfInv(a byte) byte { return gfDiv(1, a) }
+
+// gfExp returns a**n.
+func gfExp(a byte, n int) byte {
+	if n == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	logA := int(logTable[a])
+	return expTable[(logA*n)%255]
+}
+
+// mulSlice computes out[i] ^= c * in[i]; the inner loop of encoding.
+func mulSliceXor(c byte, in, out []byte) {
+	if c == 0 {
+		return
+	}
+	logC := int(logTable[c])
+	for i, v := range in {
+		if v != 0 {
+			out[i] ^= expTable[logC+int(logTable[v])]
+		}
+	}
+}

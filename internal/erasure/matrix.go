@@ -1,0 +1,128 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrSingular reports a non-invertible matrix (should not occur with
+// Vandermonde-derived matrices and distinct rows).
+var ErrSingular = errors.New("erasure: matrix is singular")
+
+// matrix is a dense row-major matrix over GF(256).
+type matrix struct {
+	rows, cols int
+	data       []byte
+}
+
+func newMatrix(rows, cols int) *matrix {
+	return &matrix{rows: rows, cols: cols, data: make([]byte, rows*cols)}
+}
+
+func (m *matrix) at(r, c int) byte     { return m.data[r*m.cols+c] }
+func (m *matrix) set(r, c int, v byte) { m.data[r*m.cols+c] = v }
+func (m *matrix) row(r int) []byte     { return m.data[r*m.cols : (r+1)*m.cols] }
+func (m *matrix) swapRows(r1, r2 int) {
+	a, b := m.row(r1), m.row(r2)
+	for i := range a {
+		a[i], b[i] = b[i], a[i]
+	}
+}
+
+// identity returns the n×n identity matrix.
+func identity(n int) *matrix {
+	m := newMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.set(i, i, 1)
+	}
+	return m
+}
+
+// vandermonde returns the rows×cols Vandermonde matrix with entry
+// (r, c) = r**c, which has the property that any cols rows are linearly
+// independent.
+func vandermonde(rows, cols int) *matrix {
+	m := newMatrix(rows, cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			m.set(r, c, gfExp(byte(r), c))
+		}
+	}
+	return m
+}
+
+// mul returns m × other.
+func (m *matrix) mul(other *matrix) *matrix {
+	if m.cols != other.rows {
+		panic(fmt.Sprintf("erasure: dimension mismatch %dx%d × %dx%d", m.rows, m.cols, other.rows, other.cols))
+	}
+	out := newMatrix(m.rows, other.cols)
+	for r := 0; r < m.rows; r++ {
+		for c := 0; c < other.cols; c++ {
+			var v byte
+			for k := 0; k < m.cols; k++ {
+				v ^= gfMul(m.at(r, k), other.at(k, c))
+			}
+			out.set(r, c, v)
+		}
+	}
+	return out
+}
+
+// invert returns m⁻¹ using Gauss–Jordan elimination, or ErrSingular.
+func (m *matrix) invert() (*matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("erasure: cannot invert %dx%d matrix", m.rows, m.cols)
+	}
+	n := m.rows
+	work := newMatrix(n, n)
+	copy(work.data, m.data)
+	out := identity(n)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.at(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, ErrSingular
+		}
+		if pivot != col {
+			work.swapRows(pivot, col)
+			out.swapRows(pivot, col)
+		}
+		// Scale the pivot row to 1.
+		inv := gfInv(work.at(col, col))
+		for c := 0; c < n; c++ {
+			work.set(col, c, gfMul(work.at(col, c), inv))
+			out.set(col, c, gfMul(out.at(col, c), inv))
+		}
+		// Eliminate the column from every other row.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			factor := work.at(r, col)
+			if factor == 0 {
+				continue
+			}
+			for c := 0; c < n; c++ {
+				work.set(r, c, work.at(r, c)^gfMul(factor, work.at(col, c)))
+				out.set(r, c, out.at(r, c)^gfMul(factor, out.at(col, c)))
+			}
+		}
+	}
+	return out, nil
+}
+
+// subMatrixRows returns a new matrix made of the given rows of m.
+func (m *matrix) subMatrixRows(rows []int) *matrix {
+	out := newMatrix(len(rows), m.cols)
+	for i, r := range rows {
+		copy(out.row(i), m.row(r))
+	}
+	return out
+}

@@ -1,0 +1,229 @@
+package erasure
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Errors returned by the coder.
+var (
+	// ErrShardCount reports invalid k/m parameters.
+	ErrShardCount = errors.New("erasure: invalid shard counts")
+	// ErrShardSize reports shards of unequal or zero length.
+	ErrShardSize = errors.New("erasure: invalid shard sizes")
+	// ErrTooFewShards reports that fewer than k shards survive.
+	ErrTooFewShards = errors.New("erasure: too few shards to reconstruct")
+)
+
+// Coder encodes k data shards into m parity shards and reconstructs any
+// missing shards from any k survivors. Coders are immutable and safe for
+// concurrent use.
+type Coder struct {
+	k, m int
+	// enc is the (k+m)×k systematic encoding matrix: the top k rows are
+	// the identity, so data shards pass through unchanged.
+	enc *matrix
+}
+
+// New returns a Coder with k data shards and m parity shards.
+// Requirements: k ≥ 1, m ≥ 0, k+m ≤ 256.
+func New(k, m int) (*Coder, error) {
+	if k < 1 || m < 0 || k+m > 256 {
+		return nil, fmt.Errorf("%w: k=%d m=%d", ErrShardCount, k, m)
+	}
+	// Build a systematic matrix: vandermonde × (top k rows)⁻¹ keeps any-k-
+	// rows invertibility while making the top k×k block the identity.
+	vm := vandermonde(k+m, k)
+	top := vm.subMatrixRows(seq(k))
+	topInv, err := top.invert()
+	if err != nil {
+		return nil, err
+	}
+	return &Coder{k: k, m: m, enc: vm.mul(topInv)}, nil
+}
+
+func seq(n int) []int {
+	s := make([]int, n)
+	for i := range s {
+		s[i] = i
+	}
+	return s
+}
+
+// DataShards returns k.
+func (c *Coder) DataShards() int { return c.k }
+
+// ParityShards returns m.
+func (c *Coder) ParityShards() int { return c.m }
+
+// Encode fills shards[k:k+m] with parity computed from shards[0:k].
+// All k+m shards must be preallocated with equal lengths.
+func (c *Coder) Encode(shards [][]byte) error {
+	if err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < c.m; p++ {
+		parity := shards[c.k+p]
+		clear(parity)
+		encRow := c.enc.row(c.k + p)
+		for d := 0; d < c.k; d++ {
+			mulSliceXor(encRow[d], shards[d], parity)
+		}
+	}
+	return nil
+}
+
+// Verify reports whether the parity shards match the data shards.
+func (c *Coder) Verify(shards [][]byte) (bool, error) {
+	if err := c.checkShards(shards, false); err != nil {
+		return false, err
+	}
+	size := len(shards[0])
+	buf := make([]byte, size)
+	for p := 0; p < c.m; p++ {
+		clear(buf)
+		encRow := c.enc.row(c.k + p)
+		for d := 0; d < c.k; d++ {
+			mulSliceXor(encRow[d], shards[d], buf)
+		}
+		for i := range buf {
+			if buf[i] != shards[c.k+p][i] {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Reconstruct rebuilds all missing shards in place. Missing shards are nil
+// entries; present shards must have equal lengths and at least k must be
+// present.
+func (c *Coder) Reconstruct(shards [][]byte) error {
+	if err := c.checkShards(shards, true); err != nil {
+		return err
+	}
+	// Collect surviving shards and their encoding rows.
+	var (
+		presentRows []int
+		size        = -1
+		missing     = 0
+	)
+	for i, s := range shards {
+		if s == nil {
+			missing++
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		}
+		presentRows = append(presentRows, i)
+	}
+	if missing == 0 {
+		return nil
+	}
+	if len(presentRows) < c.k {
+		return fmt.Errorf("%w: %d of %d present, need %d",
+			ErrTooFewShards, len(presentRows), c.k+c.m, c.k)
+	}
+	// Invert the k×k matrix formed by the first k surviving rows to
+	// recover the original data shards.
+	useRows := presentRows[:c.k]
+	sub := c.enc.subMatrixRows(useRows)
+	inv, err := sub.invert()
+	if err != nil {
+		return err
+	}
+	// data[d] = Σ inv[d][j] * shards[useRows[j]]
+	data := make([][]byte, c.k)
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			data[d] = shards[d]
+			continue
+		}
+		out := make([]byte, size)
+		for j := 0; j < c.k; j++ {
+			mulSliceXor(inv.at(d, j), shards[useRows[j]], out)
+		}
+		data[d] = out
+		shards[d] = out
+	}
+	// Recompute any missing parity shards from the recovered data.
+	for p := 0; p < c.m; p++ {
+		if shards[c.k+p] != nil {
+			continue
+		}
+		out := make([]byte, size)
+		encRow := c.enc.row(c.k + p)
+		for d := 0; d < c.k; d++ {
+			mulSliceXor(encRow[d], data[d], out)
+		}
+		shards[c.k+p] = out
+	}
+	return nil
+}
+
+// checkShards validates shard slice shape. allowNil permits missing shards.
+func (c *Coder) checkShards(shards [][]byte, allowNil bool) error {
+	if len(shards) != c.k+c.m {
+		return fmt.Errorf("%w: got %d shards, want %d", ErrShardCount, len(shards), c.k+c.m)
+	}
+	size := -1
+	for i, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return fmt.Errorf("%w: shard %d is nil", ErrShardSize, i)
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		}
+		if len(s) != size {
+			return fmt.Errorf("%w: shard %d has %d bytes, want %d", ErrShardSize, i, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return fmt.Errorf("%w: no non-empty shards", ErrShardSize)
+	}
+	return nil
+}
+
+// Split pads data and splits it into k equal data shards plus m empty
+// parity shards, ready for Encode. The original length must be retained by
+// the caller for Join.
+func (c *Coder) Split(data []byte) [][]byte {
+	shardSize := (len(data) + c.k - 1) / c.k
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k; i++ {
+		shards[i] = make([]byte, shardSize)
+		start := i * shardSize
+		if start < len(data) {
+			copy(shards[i], data[start:])
+		}
+	}
+	for i := c.k; i < c.k+c.m; i++ {
+		shards[i] = make([]byte, shardSize)
+	}
+	return shards
+}
+
+// Join concatenates the k data shards and truncates to origLen.
+func (c *Coder) Join(shards [][]byte, origLen int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, ErrShardCount
+	}
+	out := make([]byte, 0, origLen)
+	for i := 0; i < c.k && len(out) < origLen; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing", ErrTooFewShards, i)
+		}
+		out = append(out, shards[i]...)
+	}
+	if len(out) < origLen {
+		return nil, fmt.Errorf("erasure: joined %d bytes, want %d", len(out), origLen)
+	}
+	return out[:origLen], nil
+}

@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+)
+
+func init() { register("e11", E11GangScheduling) }
+
+// E11GangScheduling reproduces §2.3's control-plane claim: "if necessary,
+// it could also integrate gang-scheduling to support SPMD-style
+// sub-graphs". An SPMD stage whose shards synchronize at a barrier runs on
+// a cluster with background load; independent placement lets some shards
+// start late (stragglers), while gang placement starts all shards
+// together. Reported: stage span (first shard start → last shard end).
+func E11GangScheduling() (*Table, error) {
+	t := &Table{
+		ID:     "e11",
+		Title:  "Gang scheduling for SPMD subgraphs (§2.3)",
+		Header: []string{"placement", "stage span", "ideal span", "straggler factor"},
+	}
+	for _, gang := range []bool{false, true} {
+		span, ideal, err := runSPMDStage(gang)
+		if err != nil {
+			return nil, err
+		}
+		name := "independent"
+		if gang {
+			name = "gang"
+		}
+		t.Rows = append(t.Rows, []string{
+			name, span.String(), ideal.String(),
+			fmt.Sprintf("%.1fx", float64(span)/float64(ideal)),
+		})
+	}
+	t.Notes = "Expected shape: with background load, independent placement queues some shards behind " +
+		"busy nodes and the barrier waits for the straggler; gang placement reserves all slots " +
+		"atomically so the stage spans ≈ one shard duration."
+	return t, nil
+}
+
+// runSPMDStage runs a 4-shard SPMD stage (2 ms per shard) on a 4-node × 1
+// slot cluster where 2 nodes carry ~10 ms of background work, and returns
+// (stage span, ideal span).
+func runSPMDStage(gang bool) (time.Duration, time.Duration, error) {
+	const shardDur = 2 * time.Millisecond
+	const bgDur = 10 * time.Millisecond
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 4, ServerSlots: 1, ServerMemBytes: 64 << 20,
+	}, runtime.Options{TimeScale: 1.0})
+	if err != nil {
+		return 0, 0, err
+	}
+	defer rt.Shutdown()
+
+	var mu sync.Mutex
+	var firstStart time.Time
+	var lastEnd time.Time
+	rt.Registry.Register("e11/shard", func(tctx *task.Context, _ [][]byte) ([][]byte, error) {
+		mu.Lock()
+		if firstStart.IsZero() {
+			firstStart = time.Now()
+		}
+		mu.Unlock()
+		tctx.Compute(shardDur)
+		mu.Lock()
+		lastEnd = time.Now()
+		mu.Unlock()
+		return [][]byte{nil}, nil
+	})
+	bgStarted := make(chan struct{}, 2)
+	rt.Registry.Register("e11/background", func(tctx *task.Context, _ [][]byte) ([][]byte, error) {
+		bgStarted <- struct{}{}
+		tctx.Compute(bgDur)
+		return [][]byte{nil}, nil
+	})
+
+	// Occupy two specific nodes with background work.
+	var workers []idgen.NodeID
+	for _, rl := range rt.Raylets() {
+		if rl.Node() != rt.Driver() {
+			workers = append(workers, rl.Node())
+		}
+	}
+	var bgRefs []idgen.ObjectID
+	for i := 0; i < 2; i++ {
+		spec := task.NewSpec(rt.Job(), "e11/background", nil, 1)
+		bgRefs = append(bgRefs, rt.SubmitTo(workers[i], spec)[0])
+	}
+	// The comparison is only valid once the background load actually holds
+	// its worker slots.
+	<-bgStarted
+	<-bgStarted
+
+	specs := make([]*task.Spec, 4)
+	for i := range specs {
+		specs[i] = task.NewSpec(rt.Job(), "e11/shard", nil, 1)
+		specs[i].Gang = "spmd"
+	}
+	ctx := context.Background()
+	var refs [][]idgen.ObjectID
+	if gang {
+		refs, err = rt.SubmitGang(ctx, specs)
+		if err != nil {
+			return 0, 0, err
+		}
+	} else {
+		for _, s := range specs {
+			s.Gang = ""
+			refs = append(refs, rt.Submit(s))
+		}
+	}
+	for _, r := range refs {
+		if _, err := rt.Get(ctx, r[0]); err != nil {
+			return 0, 0, err
+		}
+	}
+	for _, r := range bgRefs {
+		if _, err := rt.Get(ctx, r); err != nil {
+			return 0, 0, err
+		}
+	}
+	rt.Drain()
+	mu.Lock()
+	span := lastEnd.Sub(firstStart)
+	mu.Unlock()
+	return span, shardDur, nil
+}

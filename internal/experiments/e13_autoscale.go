@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/runtime"
+	"skadi/internal/scheduler"
+	"skadi/internal/task"
+)
+
+func init() { register("e13", E13Autoscaling) }
+
+// E13Autoscaling reproduces the serverless principle's elasticity half
+// (§1, §2.3: the control plane is responsible for "resource management,
+// task dispatching, auto-scaling"): a bursty workload hits a small fleet;
+// the autoscaler grows it under load and cordons idle workers afterwards,
+// so capacity follows the queue instead of being reserved (Fig. 1a's
+// serverful model) — pay-as-you-go for all the computing used.
+func E13Autoscaling() (*Table, error) {
+	t := &Table{
+		ID:     "e13",
+		Title:  "Autoscaling: capacity follows the queue (§2.3 control plane)",
+		Header: []string{"phase", "pending tasks", "active workers"},
+	}
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 2, ServerSlots: 1, ServerMemBytes: 64 << 20,
+	}, runtime.Options{TimeScale: 1.0})
+	if err != nil {
+		return nil, err
+	}
+	defer rt.Shutdown()
+	rt.Registry.Register("e13/work", func(tctx *task.Context, _ [][]byte) ([][]byte, error) {
+		tctx.Compute(3 * time.Millisecond)
+		return [][]byte{nil}, nil
+	})
+	stop := rt.EnableAutoscaler(scheduler.AutoscalerConfig{
+		MinNodes: 2, MaxNodes: 8,
+		UpThreshold: 2, DownThreshold: 0.5, CooldownTicks: 2,
+	}, 2*time.Millisecond, 1, 64<<20)
+	defer stop()
+
+	snapshot := func(phase string) {
+		t.Rows = append(t.Rows, []string{
+			phase, fmt.Sprint(rt.Pending()), fmt.Sprint(rt.ActiveWorkers()),
+		})
+	}
+	snapshot("idle (start)")
+
+	// Burst of 60 short tasks on 2 single-slot workers.
+	var refs []idgen.ObjectID
+	for i := 0; i < 60; i++ {
+		refs = append(refs, rt.Submit(task.NewSpec(rt.Job(), "e13/work", nil, 1))[0])
+	}
+	time.Sleep(15 * time.Millisecond)
+	snapshot("mid-burst")
+
+	ctx := context.Background()
+	for _, r := range refs {
+		if _, err := rt.Get(ctx, r); err != nil {
+			return nil, err
+		}
+	}
+	rt.Drain()
+	snapshot("burst drained")
+
+	// Idle long enough for the cooldown to cordon the extra workers.
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.ActiveWorkers() > 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	snapshot("idle (cooled down)")
+
+	t.Notes = "Expected shape: workers grow from the 2-node floor during the burst and return to it " +
+		"when idle; cordoned workers keep serving their resident objects (no data loss on " +
+		"scale-down)."
+	return t, nil
+}

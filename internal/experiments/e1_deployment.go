@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"context"
+
+	"skadi/internal/baselines"
+	"skadi/internal/fabric"
+	"skadi/internal/raylet"
+	"skadi/internal/runtime"
+	"skadi/internal/scheduler"
+	"skadi/internal/task"
+)
+
+func init() { register("e1", E1DeploymentModels) }
+
+// E1DeploymentModels reproduces Figure 1: the same 3-stage analytics
+// pipeline under (a) serverful, (b) stateless serverless bouncing data
+// through durable storage, and (c) Skadi's distributed runtime exchanging
+// data through the caching layer. Reported per intermediate size: simulated
+// end-to-end network time, bytes through durable storage, and total bytes.
+func E1DeploymentModels() (*Table, error) {
+	t := &Table{
+		ID:     "e1",
+		Title:  "Deployment models (Fig. 1): serverful vs stateless serverless vs distributed runtime",
+		Header: []string{"intermediate", "model", "net time", "durable bytes", "total bytes"},
+	}
+	const stages = 3
+	for _, size := range []int{64 << 10, 1 << 20, 16 << 20} {
+		payload := make([]byte, size)
+		passthrough := make([]baselines.Stage, stages)
+		for i := range passthrough {
+			passthrough[i] = func(d []byte) []byte { return d }
+		}
+
+		// (a) Serverful.
+		f := fabric.New(fabric.Config{})
+		serverful, err := baselines.RunServerful(f, passthrough, payload, 8)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{kib(int64(size)), "serverful",
+			msec(int64(serverful.Elapsed)), mib(serverful.DurableBytes), mib(serverful.TotalBytes)})
+
+		// (b) Stateless serverless.
+		f = fabric.New(fabric.Config{})
+		stateless, err := baselines.RunStateless(f, passthrough, payload)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{kib(int64(size)), "stateless-serverless",
+			msec(int64(stateless.Elapsed)), mib(stateless.DurableBytes), mib(stateless.TotalBytes)})
+
+		// (c) Skadi: stages chained by futures through the caching layer.
+		elapsed, durable, total, err := runSkadiPipeline(stages, size)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{kib(int64(size)), "skadi-stateful",
+			msec(elapsed), mib(durable), mib(total)})
+	}
+	t.Notes = "Expected shape: stateless pays durable-storage latency and 2x data volume per stage " +
+		"boundary; Skadi approaches serverful speed with zero reserved capacity."
+	return t, nil
+}
+
+// runSkadiPipeline executes the stage chain on a real runtime and returns
+// (simulated network nanos, durable bytes, total bytes).
+func runSkadiPipeline(stages, size int) (int64, int64, int64, error) {
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 4, ServerSlots: 4, ServerMemBytes: 512 << 20,
+	}, runtime.Options{Policy: scheduler.RoundRobin, Resolution: raylet.Push})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer rt.Shutdown()
+	rt.Registry.Register("e1/stage", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		return [][]byte{args[0]}, nil
+	})
+	input, err := rt.Put(make([]byte, size), "raw")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rt.Cluster.Fabric.ResetStats()
+	prev := input
+	for i := 0; i < stages; i++ {
+		spec := task.NewSpec(rt.Job(), "e1/stage", []task.Arg{task.RefArg(prev)}, 1)
+		prev = rt.Submit(spec)[0]
+	}
+	if _, err := rt.Get(context.Background(), prev); err != nil {
+		return 0, 0, 0, err
+	}
+	rt.Drain()
+	total := rt.Cluster.Fabric.TotalStats()
+	durable := rt.Cluster.Fabric.ClassStats(fabric.Durable)
+	return int64(total.SimTime), durable.Bytes, total.Bytes, nil
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/core"
+	"skadi/internal/frontend/sqlfe"
+	"skadi/internal/ir"
+	"skadi/internal/physical"
+)
+
+func init() { register("e2", E2LoweringPipeline) }
+
+// E2LoweringPipeline reproduces Figure 2's end-to-end path: a SQL
+// declaration is lowered onto a logical FlowGraph, graph-optimized,
+// lowered to a physical sharded graph, and executed on the heterogeneous
+// cluster — across a parallelism sweep. Reported per degree: logical
+// vertex count before/after optimization, shard task count, fabric bytes,
+// and a correctness check against degree 1.
+func E2LoweringPipeline() (*Table, error) {
+	t := &Table{
+		ID:     "e2",
+		Title:  "Lowering pipeline (Fig. 2): SQL -> FlowGraph -> optimized -> physical -> execution",
+		Header: []string{"parallelism", "logical vtx", "optimized vtx", "shard tasks", "net bytes", "result ok"},
+	}
+	const query = "SELECT region, SUM(amount), COUNT(*) FROM orders WHERE amount > 25 GROUP BY region"
+	table := e2Orders(4000)
+
+	var reference map[string]float64
+	for _, par := range []int{1, 2, 4, 8} {
+		q, err := sqlfe.Parse(query)
+		if err != nil {
+			return nil, err
+		}
+		g, err := sqlfe.PlanGraph(q, sqlfe.PlanOptions{ScanParallelism: par, ShuffleParallelism: par})
+		if err != nil {
+			return nil, err
+		}
+		logicalVtx := len(g.Vertices)
+		g.Optimize()
+		optimizedVtx := len(g.Vertices)
+
+		s, err := core.New(core.ClusterSpec{
+			Servers: 4, ServerSlots: 4, ServerMemBytes: 256 << 20,
+			GPUs: 2, FPGAs: 2, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
+		}, core.Options{})
+		if err != nil {
+			return nil, err
+		}
+		plan, err := physical.NewPlan(g, physical.Options{
+			DefaultParallelism: par,
+			Available:          map[string]bool{"cpu": true, "gpu": true, "fpga": true},
+		})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		shardTasks := 0
+		for _, pv := range plan.Vertices {
+			shardTasks += pv.Parallelism
+		}
+		s.Runtime().Cluster.Fabric.ResetStats()
+		results, err := physical.NewExecutor(s.Runtime(), plan).Run(context.Background(),
+			map[string][]*ir.Datum{"orders": {ir.TableDatum(table)}})
+		if err != nil {
+			s.Close()
+			return nil, err
+		}
+		bytes := s.Runtime().FabricStats().Bytes
+		sums := map[string]float64{}
+		for name, d := range results {
+			_ = name
+			for r := 0; r < d.Table.NumRows(); r++ {
+				sums[string(d.Table.ColByName("region").BytesAt(r))] = d.Table.ColByName("sum_amount").Floats[r]
+			}
+		}
+		ok := true
+		if reference == nil {
+			reference = sums
+		} else {
+			for k, v := range reference {
+				if sums[k] != v {
+					ok = false
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(par), fmt.Sprint(logicalVtx), fmt.Sprint(optimizedVtx),
+			fmt.Sprint(shardTasks), mib(bytes), fmt.Sprint(ok),
+		})
+		s.Close()
+	}
+	t.Notes = "Expected shape: optimization fuses the linear tail; shard tasks grow with the degree " +
+		"while results stay identical — users are oblivious to parallelism (§1)."
+	return t, nil
+}
+
+func e2Orders(n int) *arrowlite.Batch {
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "region", Type: arrowlite.Bytes},
+		arrowlite.Field{Name: "amount", Type: arrowlite.Float64},
+	))
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < n; i++ {
+		_ = b.Append(regions[i%len(regions)], float64(i%100))
+	}
+	return b.Build()
+}

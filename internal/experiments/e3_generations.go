@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"skadi/internal/raylet"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+)
+
+func init() { register("e3", E3Gen1VsGen2) }
+
+// E3Gen1VsGen2 reproduces Figure 3 / §2.3.2: a chain of short ops hopping
+// between two disaggregated devices, under the Gen-1 CPU-centric model
+// (every message transits the DPU) and the Gen-2 device-centric model
+// (device raylets talk directly). Reported per chain length: DPU hops,
+// fabric messages, simulated network time, and per-op overhead.
+func E3Gen1VsGen2() (*Table, error) {
+	t := &Table{
+		ID:     "e3",
+		Title:  "Gen-1 (DPU-centric) vs Gen-2 (device-centric) raylets (Fig. 3)",
+		Header: []string{"chain len", "mode", "dpu hops", "messages", "net time", "per-op"},
+	}
+	for _, chainLen := range []int{4, 16, 64} {
+		for _, mode := range []runtime.DeviceMode{runtime.Gen1, runtime.Gen2} {
+			hops, msgs, simNanos, err := runDeviceChain(mode, chainLen)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(chainLen), mode.String(),
+				fmt.Sprint(hops), fmt.Sprint(msgs),
+				msec(simNanos), usec(simNanos / int64(chainLen)),
+			})
+		}
+	}
+	t.Notes = "Expected shape: Gen-1 charges DPU hops on every control/data message, so per-op " +
+		"overhead stays high for short ops; Gen-2 eliminates the hops (the paper's motivation " +
+		"for device raylets and §2.3.2's 'frequent trips to the DPU are too costly')."
+	return t, nil
+}
+
+// runDeviceChain executes a chain of chainLen short GPU ops alternating
+// between two devices and returns (dpu hops, fabric messages, sim nanos).
+func runDeviceChain(mode runtime.DeviceMode, chainLen int) (int64, int64, int64, error) {
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 1, ServerSlots: 2, ServerMemBytes: 64 << 20,
+		GPUs: 2, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
+	}, runtime.Options{DeviceMode: mode, Resolution: raylet.Push})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer rt.Shutdown()
+
+	rt.Registry.Register("e3/shortop", func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		tctx.Compute(100 * time.Microsecond) // a short ML op
+		return [][]byte{args[0]}, nil
+	})
+
+	var devices []*raylet.Raylet
+	for _, rl := range rt.Raylets() {
+		if n := rt.Cluster.Node(rl.Node()); n != nil && n.Kind.Backend() == "gpu" {
+			devices = append(devices, rl)
+		}
+	}
+	if len(devices) < 2 {
+		return 0, 0, 0, fmt.Errorf("e3: need 2 gpu devices")
+	}
+
+	input, err := rt.Put(make([]byte, 4096), "raw")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	rt.Cluster.Fabric.ResetStats()
+	prev := input
+	for i := 0; i < chainLen; i++ {
+		spec := task.NewSpec(rt.Job(), "e3/shortop", []task.Arg{task.RefArg(prev)}, 1)
+		spec.Backend = "gpu"
+		prev = rt.SubmitTo(devices[i%2].Node(), spec)[0]
+	}
+	if _, err := rt.Get(context.Background(), prev); err != nil {
+		return 0, 0, 0, err
+	}
+	rt.Drain()
+
+	var hops int64
+	for _, rl := range rt.Raylets() {
+		hops += rl.Stats().DPUHops
+	}
+	total := rt.Cluster.Fabric.TotalStats()
+	return hops, total.Messages, int64(total.SimTime), nil
+}

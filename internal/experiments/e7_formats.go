@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/rowcodec"
+)
+
+func init() { register("e7", E7FormatMarshalling) }
+
+// E7FormatMarshalling reproduces §1's data-plane benefit 2: "a shared
+// format such as Arrow enables functions running on heterogeneous devices
+// to exchange data without costly data marshalling". The same batches are
+// exchanged via the zero-copy columnar format and via row-at-a-time
+// marshalling. Reported per row count: encode+decode time and wire size
+// for both, plus the speedup.
+func E7FormatMarshalling() (*Table, error) {
+	t := &Table{
+		ID:     "e7",
+		Title:  "Shared zero-copy format vs row marshalling (§1 benefit 2)",
+		Header: []string{"rows", "format", "encode", "decode", "wire size", "speedup"},
+	}
+	for _, rows := range []int{10_000, 100_000, 1_000_000} {
+		batch := e7Batch(rows)
+
+		colEnc, colDec, colSize, err := timeColumnar(batch)
+		if err != nil {
+			return nil, err
+		}
+		rowEnc, rowDec, rowSize, err := timeRowCodec(batch)
+		if err != nil {
+			return nil, err
+		}
+		speedup := float64(rowEnc+rowDec) / float64(colEnc+colDec)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(rows), "arrowlite (columnar)",
+			msec(colEnc), msec(colDec), mib(colSize), "1.0x",
+		})
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(rows), "rowcodec (marshalled)",
+			msec(rowEnc), msec(rowDec), mib(rowSize), fmt.Sprintf("%.1fx slower", speedup),
+		})
+	}
+	t.Notes = "Expected shape: columnar exchange is an order of magnitude cheaper and smaller; the " +
+		"gap grows with batch size because row marshalling boxes every value."
+	return t, nil
+}
+
+func e7Batch(rows int) *arrowlite.Batch {
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "id", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "value", Type: arrowlite.Float64},
+		arrowlite.Field{Name: "tag", Type: arrowlite.Bytes},
+	))
+	tags := []string{"alpha", "beta", "gamma", "delta"}
+	for i := 0; i < rows; i++ {
+		_ = b.Append(int64(i), float64(i)*0.5, tags[i%len(tags)])
+	}
+	return b.Build()
+}
+
+func timeColumnar(batch *arrowlite.Batch) (encNs, decNs, size int64, err error) {
+	const reps = 5
+	start := time.Now()
+	var data []byte
+	for i := 0; i < reps; i++ {
+		data = arrowlite.Encode(batch)
+	}
+	encNs = time.Since(start).Nanoseconds() / reps
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err = arrowlite.Decode(data); err != nil {
+			return
+		}
+	}
+	decNs = time.Since(start).Nanoseconds() / reps
+	size = int64(len(data))
+	return
+}
+
+func timeRowCodec(batch *arrowlite.Batch) (encNs, decNs, size int64, err error) {
+	const reps = 3
+	start := time.Now()
+	var data []byte
+	for i := 0; i < reps; i++ {
+		if data, err = rowcodec.Encode(batch); err != nil {
+			return
+		}
+	}
+	encNs = time.Since(start).Nanoseconds() / reps
+	start = time.Now()
+	for i := 0; i < reps; i++ {
+		if _, err = rowcodec.Decode(data, batch.Schema); err != nil {
+			return
+		}
+	}
+	decNs = time.Since(start).Nanoseconds() / reps
+	size = int64(len(data))
+	return
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"skadi/internal/ir"
+)
+
+func init() { register("e8", E8IRBackendsFusion) }
+
+// E8IRBackendsFusion reproduces §2.2: one hardware-agnostic IR op lowered
+// to multiple backends for direct comparison (Fig. 2's D1-gpu vs D2-fpga),
+// plus the cross-domain op-fusion benefit. Reported: the cost model's
+// estimated time per backend across op sizes (showing the launch-overhead
+// crossover), and the measured wall-time effect of elementwise fusion.
+func E8IRBackendsFusion() (*Table, error) {
+	t := &Table{
+		ID:     "e8",
+		Title:  "Hardware-agnostic IR: multi-backend lowering + op fusion (§2.2)",
+		Header: []string{"workload", "cpu", "fpga", "gpu", "winner"},
+	}
+	mm := &ir.Op{Dialect: "tensor", Name: "matmul"}
+	for _, elems := range []int64{100, 10_000, 10_000_000} {
+		costs := map[string]time.Duration{}
+		best, bestCost := "", time.Duration(1<<62)
+		for _, b := range []string{ir.BackendCPU, ir.BackendFPGA, ir.BackendGPU} {
+			c := ir.Cost(mm, elems, b)
+			costs[b] = c
+			if c < bestCost {
+				best, bestCost = b, c
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("matmul %d elems", elems),
+			costs[ir.BackendCPU].String(), costs[ir.BackendFPGA].String(),
+			costs[ir.BackendGPU].String(), best,
+		})
+	}
+
+	// Fusion ablation: relu→scale→addscalar over a 512x512 tensor,
+	// measured unfused vs fused.
+	input := ir.NewTensor(512, 512)
+	for i := range input.Data {
+		input.Data[i] = float64(i%101) - 50
+	}
+	build := func() *ir.Func {
+		f := ir.NewFunc("chain")
+		x := f.AddParam(ir.KTensor)
+		a := f.Add("tensor", "relu", ir.KTensor, nil, x)
+		s := f.Add("tensor", "scale", ir.KTensor, map[string]string{"factor": "0.5"}, a)
+		c := f.Add("tensor", "addscalar", ir.KTensor, map[string]string{"value": "1"}, s)
+		f.Return(c)
+		return f
+	}
+	timeEval := func(f *ir.Func) (time.Duration, error) {
+		const reps = 20
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := ir.Eval(f, []*ir.Datum{ir.TensorDatum(input)}); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start) / reps, nil
+	}
+	unfusedF := build()
+	unfused, err := timeEval(unfusedF)
+	if err != nil {
+		return nil, err
+	}
+	fusedF := build()
+	nFused := ir.FuseElementwise(fusedF)
+	fused, err := timeEval(fusedF)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{
+		fmt.Sprintf("fusion ablation (%d ops fused)", nFused),
+		unfused.String() + " (unfused)", "-", fused.String() + " (fused)",
+		fmt.Sprintf("%.2fx", float64(unfused)/float64(fused)),
+	})
+	t.Notes = "Expected shape: GPU wins large tensor ops, CPU wins tiny ops (launch overhead), FPGA " +
+		"sits between — the predefined-rule lowering exploits exactly this. Fusion removes " +
+		"intermediate tensors and wins wall time."
+	return t, nil
+}

@@ -1,0 +1,257 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 13 {
+		t.Fatalf("registered experiments = %d, want 13: %v", len(ids), ids)
+	}
+	for i, id := range ids {
+		want := "e" + strconv.Itoa(i+1)
+		if id != want {
+			t.Errorf("IDs()[%d] = %s, want %s (numeric order)", i, id, want)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("e99"); ok {
+		t.Error("Lookup of unknown experiment succeeded")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := &Table{
+		ID: "ex", Title: "demo",
+		Header: []string{"a", "longer"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  "note",
+	}
+	s := tbl.Render()
+	for _, want := range []string{"EX: demo", "longer", "333", "-- note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// runExperiment executes one experiment and sanity-checks its table.
+func runExperiment(t *testing.T, id string, minRows int) *Table {
+	t.Helper()
+	fn, ok := Lookup(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tbl, err := fn()
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
+	if len(tbl.Rows) < minRows {
+		t.Fatalf("%s: %d rows, want >= %d", id, len(tbl.Rows), minRows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Header) {
+			t.Fatalf("%s: row width %d != header %d", id, len(row), len(tbl.Header))
+		}
+	}
+	return tbl
+}
+
+func TestE1Shape(t *testing.T) {
+	tbl := runExperiment(t, "e1", 9)
+	// For every size triple, stateless must move the most durable bytes
+	// and Skadi must move none.
+	for i := 0; i < len(tbl.Rows); i += 3 {
+		stateless, skadi := tbl.Rows[i+1], tbl.Rows[i+2]
+		if !strings.Contains(stateless[1], "stateless") || !strings.Contains(skadi[1], "skadi") {
+			t.Fatalf("row order changed: %v", tbl.Rows[i:i+3])
+		}
+		if stateless[3] == "0.00 MiB" {
+			t.Error("stateless should move durable bytes")
+		}
+		if skadi[3] != "0.00 MiB" {
+			t.Errorf("skadi moved durable bytes: %v", skadi)
+		}
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl := runExperiment(t, "e3", 6)
+	// Per chain length: gen1 row then gen2 row; gen1 has hops, gen2 none.
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		gen1, gen2 := tbl.Rows[i], tbl.Rows[i+1]
+		if gen1[2] == "0" {
+			t.Errorf("gen1 charged no DPU hops: %v", gen1)
+		}
+		if gen2[2] != "0" {
+			t.Errorf("gen2 charged DPU hops: %v", gen2)
+		}
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl := runExperiment(t, "e5", 4)
+	// data-locality first; it must beat every other policy on bytes moved.
+	parse := func(cell string) float64 {
+		f, err := strconv.ParseFloat(strings.TrimSuffix(cell, " MiB"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return f
+	}
+	locality := parse(tbl.Rows[0][3])
+	for _, row := range tbl.Rows[1:] {
+		if parse(row[3]) < locality {
+			t.Errorf("policy %s moved fewer bytes (%s) than locality (%v MiB)",
+				row[0], row[3], locality)
+		}
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl := runExperiment(t, "e6", 3)
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[4], "true") {
+			t.Errorf("mode %s did not recover: %v", row[0], row)
+		}
+	}
+	// Lineage re-runs tasks; the cache modes must not.
+	if tbl.Rows[0][3] == "0" {
+		t.Error("lineage should re-run tasks")
+	}
+	for _, row := range tbl.Rows[1:] {
+		if row[3] != "0" {
+			t.Errorf("cache mode %s re-ran %s tasks", row[0], row[3])
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	tbl := runExperiment(t, "e7", 6)
+	for i := 1; i < len(tbl.Rows); i += 2 {
+		if !strings.Contains(tbl.Rows[i][5], "slower") {
+			t.Errorf("row marshalling not slower: %v", tbl.Rows[i])
+		}
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	tbl := runExperiment(t, "e8", 4)
+	if tbl.Rows[0][4] != "cpu" {
+		t.Errorf("tiny matmul winner = %s, want cpu (launch overhead)", tbl.Rows[0][4])
+	}
+	if tbl.Rows[2][4] != "gpu" {
+		t.Errorf("huge matmul winner = %s, want gpu", tbl.Rows[2][4])
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	runExperiment(t, "e9", 3)
+}
+
+func TestE10AllCapabilitiesPass(t *testing.T) {
+	tbl := runExperiment(t, "e10", 5)
+	for _, row := range tbl.Rows {
+		if row[2] != "PASS" {
+			t.Errorf("capability %s: %s", row[0], row[2])
+		}
+	}
+}
+
+// The remaining experiments (e2, e4, e11, e12) use real-time measurement
+// and run longer; exercise them in short form here and fully in the bench
+// harness.
+func TestE2Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e2 boots several clusters")
+	}
+	tbl := runExperiment(t, "e2", 4)
+	for _, row := range tbl.Rows {
+		if row[5] != "true" {
+			t.Errorf("parallelism %s changed results", row[0])
+		}
+	}
+}
+
+func TestE4Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e4 measures real stalls")
+	}
+	start := time.Now()
+	tbl := runExperiment(t, "e4", 6)
+	if time.Since(start) > 2*time.Minute {
+		t.Error("e4 too slow")
+	}
+	// Push rows must receive pushes; pull rows must pull.
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		pull, push := tbl.Rows[i], tbl.Rows[i+1]
+		if pull[4] != "0" {
+			t.Errorf("pull config received pushes: %v", pull)
+		}
+		if push[4] == "0" {
+			t.Errorf("push config received no pushes: %v", push)
+		}
+	}
+}
+
+func TestE11Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e11 measures real spans")
+	}
+	tbl := runExperiment(t, "e11", 2)
+	independent, gang := tbl.Rows[0], tbl.Rows[1]
+	indSpan, err1 := time.ParseDuration(independent[1])
+	gangSpan, err2 := time.ParseDuration(gang[1])
+	if err1 != nil || err2 != nil {
+		t.Fatalf("bad spans: %v / %v", err1, err2)
+	}
+	if gangSpan >= indSpan {
+		t.Errorf("gang span %v should beat independent %v", gangSpan, indSpan)
+	}
+}
+
+func TestE13Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e13 runs an elastic burst")
+	}
+	tbl := runExperiment(t, "e13", 4)
+	parse := func(cell string) int {
+		n, err := strconv.Atoi(cell)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return n
+	}
+	start, mid, cooled := parse(tbl.Rows[0][2]), parse(tbl.Rows[1][2]), parse(tbl.Rows[3][2])
+	if mid <= start {
+		t.Errorf("fleet did not grow: %d -> %d", start, mid)
+	}
+	if cooled != start {
+		t.Errorf("fleet did not return to floor: %d, want %d", cooled, start)
+	}
+}
+
+func TestE12Runs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e12 measures real makespans")
+	}
+	tbl := runExperiment(t, "e12", 3)
+	for _, row := range tbl.Rows {
+		futures, err1 := time.ParseDuration(row[1])
+		barrier, err2 := time.ParseDuration(row[2])
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad durations in %v", row)
+		}
+		// Real-time measurement: allow 15% noise; the trend assertion
+		// below is the real check.
+		if float64(futures) > float64(barrier)*1.15 {
+			t.Errorf("depth %s: futures %v slower than barrier %v", row[0], futures, barrier)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package fabric models the data-center interconnect of a disaggregated
+// cluster: which link class connects two endpoints, what a message or bulk
+// transfer costs on that link, and how many bytes/messages flowed where.
+//
+// The paper's architectural arguments (Gen-1 vs Gen-2 raylet placement,
+// pull vs push future resolution, durable-storage bouncing) are arguments
+// about message paths and their costs. The fabric makes those costs explicit
+// and measurable: every Send/Transfer both accumulates deterministic
+// simulated-time counters and (optionally) delays the caller by the scaled
+// simulated duration so that concurrency effects (overlap, stalls) are real.
+package fabric
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"skadi/internal/idgen"
+)
+
+// LinkClass identifies a class of interconnect with a shared cost profile.
+type LinkClass int
+
+// Link classes, ordered roughly by cost.
+const (
+	// Loopback is communication within a single node.
+	Loopback LinkClass = iota
+	// Island is the tightly-coupled high-speed interconnect inside a
+	// highly-customized cluster (NVLink/ICI-style).
+	Island
+	// DPUHop is the PCIe + DPU-processing hop between a device and the DPU
+	// fronting it (or between two devices proxied through one DPU).
+	DPUHop
+	// Rack is the intra-rack network (RDMA-style).
+	Rack
+	// Core is the cross-rack data-center network.
+	Core
+	// Durable is the path to cloud durable storage (the slow path that
+	// stateless serverless functions bounce data through, Fig. 1b).
+	Durable
+	numClasses
+)
+
+// String returns the class name.
+func (c LinkClass) String() string {
+	switch c {
+	case Loopback:
+		return "loopback"
+	case Island:
+		return "island"
+	case DPUHop:
+		return "dpu-hop"
+	case Rack:
+		return "rack"
+	case Core:
+		return "core"
+	case Durable:
+		return "durable"
+	default:
+		return fmt.Sprintf("link(%d)", int(c))
+	}
+}
+
+// LinkProfile is the cost model of one link class.
+type LinkProfile struct {
+	// Latency is the fixed per-message cost.
+	Latency time.Duration
+	// Bandwidth is the payload cost in bytes per second.
+	Bandwidth float64
+}
+
+// DefaultProfiles returns the cost profiles used throughout the experiments.
+// The absolute values are representative of 2023-era hardware; experiments
+// depend only on their ordering and rough ratios.
+func DefaultProfiles() map[LinkClass]LinkProfile {
+	return map[LinkClass]LinkProfile{
+		Loopback: {Latency: 200 * time.Nanosecond, Bandwidth: 20e9},
+		Island:   {Latency: 1 * time.Microsecond, Bandwidth: 50e9},
+		DPUHop:   {Latency: 5 * time.Microsecond, Bandwidth: 8e9},
+		Rack:     {Latency: 15 * time.Microsecond, Bandwidth: 3e9},
+		Core:     {Latency: 40 * time.Microsecond, Bandwidth: 1.5e9},
+		Durable:  {Latency: 5 * time.Millisecond, Bandwidth: 300e6},
+	}
+}
+
+// Location places an endpoint in the data-center topology.
+type Location struct {
+	// Rack is the rack number.
+	Rack int
+	// Island is the tightly-coupled island id, or -1 if the endpoint is not
+	// part of one.
+	Island int
+	// DPU is the DPU fronting this endpoint, or the nil ID for endpoints
+	// that are directly attached to the network (servers, DPUs themselves).
+	DPU idgen.NodeID
+}
+
+// Config configures a Fabric.
+type Config struct {
+	// TimeScale multiplies simulated durations before delaying the caller.
+	// 1.0 delays in real time; 0 disables delays entirely (pure
+	// accounting). Tests typically use 0; experiments use small scales.
+	TimeScale float64
+	// Profiles overrides the per-class cost model; nil uses
+	// DefaultProfiles.
+	Profiles map[LinkClass]LinkProfile
+}
+
+// classStats holds per-class accounting. All fields are atomics so the hot
+// path takes no locks.
+type classStats struct {
+	messages atomic.Int64
+	bytes    atomic.Int64
+	simNanos atomic.Int64
+}
+
+// Fabric is the cluster interconnect. It is safe for concurrent use.
+type Fabric struct {
+	timeScale float64
+	profiles  [numClasses]LinkProfile
+	stats     [numClasses]classStats
+
+	mu        sync.RWMutex
+	locations map[idgen.NodeID]Location
+}
+
+// New returns a Fabric with the given configuration.
+func New(cfg Config) *Fabric {
+	f := &Fabric{
+		timeScale: cfg.TimeScale,
+		locations: make(map[idgen.NodeID]Location),
+	}
+	profiles := cfg.Profiles
+	if profiles == nil {
+		profiles = DefaultProfiles()
+	}
+	for c, p := range profiles {
+		if c >= 0 && c < numClasses {
+			f.profiles[c] = p
+		}
+	}
+	return f
+}
+
+// Register places an endpoint in the topology. Re-registering replaces the
+// previous location.
+func (f *Fabric) Register(node idgen.NodeID, loc Location) {
+	f.mu.Lock()
+	f.locations[node] = loc
+	f.mu.Unlock()
+}
+
+// Unregister removes an endpoint.
+func (f *Fabric) Unregister(node idgen.NodeID) {
+	f.mu.Lock()
+	delete(f.locations, node)
+	f.mu.Unlock()
+}
+
+// ClassBetween derives the link class connecting two registered endpoints:
+// same node → Loopback; endpoints sharing a fronting DPU (or one being the
+// other's DPU) → DPUHop; same island → Island; same rack → Rack; otherwise
+// Core. Unregistered endpoints are treated as remote (Core).
+func (f *Fabric) ClassBetween(a, b idgen.NodeID) LinkClass {
+	if a == b {
+		return Loopback
+	}
+	f.mu.RLock()
+	la, oka := f.locations[a]
+	lb, okb := f.locations[b]
+	f.mu.RUnlock()
+	if !oka || !okb {
+		return Core
+	}
+	if (!la.DPU.IsNil() && (la.DPU == b || la.DPU == lb.DPU)) ||
+		(!lb.DPU.IsNil() && lb.DPU == a) {
+		return DPUHop
+	}
+	if la.Island >= 0 && la.Island == lb.Island {
+		return Island
+	}
+	if la.Rack == lb.Rack {
+		return Rack
+	}
+	return Core
+}
+
+// cost returns the simulated duration of moving size bytes over class.
+func (f *Fabric) cost(class LinkClass, size int) time.Duration {
+	p := f.profiles[class]
+	d := p.Latency
+	if size > 0 && p.Bandwidth > 0 {
+		d += time.Duration(float64(size) / p.Bandwidth * float64(time.Second))
+	}
+	return d
+}
+
+// account records the transfer and delays the caller per TimeScale.
+func (f *Fabric) account(class LinkClass, size int) time.Duration {
+	d := f.cost(class, size)
+	s := &f.stats[class]
+	s.messages.Add(1)
+	s.bytes.Add(int64(size))
+	s.simNanos.Add(int64(d))
+	f.wait(d)
+	return d
+}
+
+// Send charges the fabric for a message of size bytes between two endpoints
+// and returns the simulated duration. The caller is delayed by
+// TimeScale × duration.
+func (f *Fabric) Send(from, to idgen.NodeID, size int) time.Duration {
+	return f.account(f.ClassBetween(from, to), size)
+}
+
+// TransferClass charges an explicit link class; used for paths that are not
+// endpoint-to-endpoint (e.g. durable-storage puts).
+func (f *Fabric) TransferClass(class LinkClass, size int) time.Duration {
+	if class < 0 || class >= numClasses {
+		class = Core
+	}
+	return f.account(class, size)
+}
+
+// Cost returns the simulated duration of a transfer without performing it.
+func (f *Fabric) Cost(from, to idgen.NodeID, size int) time.Duration {
+	return f.cost(f.ClassBetween(from, to), size)
+}
+
+// wait delays the caller by d scaled by TimeScale. Durations below 200 µs
+// are spin-waited because OS timers cannot sleep that precisely, and the
+// short-op experiments depend on microsecond-scale delays being honoured.
+func (f *Fabric) wait(d time.Duration) {
+	if f.timeScale <= 0 || d <= 0 {
+		return
+	}
+	d = time.Duration(float64(d) * f.timeScale)
+	if d < 200*time.Microsecond {
+		deadline := time.Now().Add(d)
+		for time.Now().Before(deadline) {
+			runtime.Gosched()
+		}
+		return
+	}
+	time.Sleep(d)
+}
+
+// Stats is a snapshot of one link class's accounting.
+type Stats struct {
+	Messages int64
+	Bytes    int64
+	SimTime  time.Duration
+}
+
+// ClassStats returns the accounting snapshot for one link class.
+func (f *Fabric) ClassStats(class LinkClass) Stats {
+	if class < 0 || class >= numClasses {
+		return Stats{}
+	}
+	s := &f.stats[class]
+	return Stats{
+		Messages: s.messages.Load(),
+		Bytes:    s.bytes.Load(),
+		SimTime:  time.Duration(s.simNanos.Load()),
+	}
+}
+
+// TotalStats returns accounting summed over all link classes.
+func (f *Fabric) TotalStats() Stats {
+	var total Stats
+	for c := LinkClass(0); c < numClasses; c++ {
+		s := f.ClassStats(c)
+		total.Messages += s.Messages
+		total.Bytes += s.Bytes
+		total.SimTime += s.SimTime
+	}
+	return total
+}
+
+// ResetStats zeroes all accounting; experiments call this between runs.
+func (f *Fabric) ResetStats() {
+	for c := range f.stats {
+		f.stats[c].messages.Store(0)
+		f.stats[c].bytes.Store(0)
+		f.stats[c].simNanos.Store(0)
+	}
+}

@@ -1,0 +1,221 @@
+package fabric
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"skadi/internal/idgen"
+)
+
+// accountingFabric returns a Fabric that never delays, for fast tests.
+func accountingFabric() *Fabric {
+	return New(Config{TimeScale: 0})
+}
+
+func TestClassBetweenTopology(t *testing.T) {
+	f := accountingFabric()
+	server1 := idgen.Next()
+	server2 := idgen.Next()
+	serverFar := idgen.Next()
+	dpu := idgen.Next()
+	gpuA := idgen.Next()
+	gpuB := idgen.Next()
+	islandA := idgen.Next()
+	islandB := idgen.Next()
+
+	f.Register(server1, Location{Rack: 0, Island: -1})
+	f.Register(server2, Location{Rack: 0, Island: -1})
+	f.Register(serverFar, Location{Rack: 3, Island: -1})
+	f.Register(dpu, Location{Rack: 0, Island: -1})
+	f.Register(gpuA, Location{Rack: 0, Island: -1, DPU: dpu})
+	f.Register(gpuB, Location{Rack: 0, Island: -1, DPU: dpu})
+	f.Register(islandA, Location{Rack: 1, Island: 7})
+	f.Register(islandB, Location{Rack: 1, Island: 7})
+
+	cases := []struct {
+		name string
+		a, b idgen.NodeID
+		want LinkClass
+	}{
+		{"same node", server1, server1, Loopback},
+		{"same rack", server1, server2, Rack},
+		{"cross rack", server1, serverFar, Core},
+		{"device to its dpu", gpuA, dpu, DPUHop},
+		{"dpu to its device", dpu, gpuA, DPUHop},
+		{"devices behind same dpu", gpuA, gpuB, DPUHop},
+		{"tightly coupled island", islandA, islandB, Island},
+		{"unregistered endpoint", server1, idgen.Next(), Core},
+	}
+	for _, tc := range cases {
+		if got := f.ClassBetween(tc.a, tc.b); got != tc.want {
+			t.Errorf("%s: ClassBetween = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestClassBetweenSymmetric(t *testing.T) {
+	f := accountingFabric()
+	ids := make([]idgen.NodeID, 6)
+	dpu := idgen.Next()
+	f.Register(dpu, Location{Rack: 0, Island: -1})
+	for i := range ids {
+		ids[i] = idgen.Next()
+		loc := Location{Rack: i % 2, Island: -1}
+		if i%3 == 0 {
+			loc.DPU = dpu
+		}
+		if i%2 == 1 {
+			loc.Island = 4
+		}
+		f.Register(ids[i], loc)
+	}
+	for _, a := range ids {
+		for _, b := range ids {
+			if f.ClassBetween(a, b) != f.ClassBetween(b, a) {
+				t.Errorf("asymmetric class between %s and %s", a.Short(), b.Short())
+			}
+		}
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	f := accountingFabric()
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 0, Island: -1})
+
+	latOnly := f.Cost(a, b, 0)
+	if latOnly != DefaultProfiles()[Rack].Latency {
+		t.Errorf("zero-byte cost = %v, want pure latency %v", latOnly, DefaultProfiles()[Rack].Latency)
+	}
+	big := f.Cost(a, b, 3_000_000) // 1ms at 3 GB/s
+	if big <= latOnly {
+		t.Error("cost should grow with size")
+	}
+	wantApprox := latOnly + time.Millisecond
+	if big < wantApprox-100*time.Microsecond || big > wantApprox+100*time.Microsecond {
+		t.Errorf("3MB rack cost = %v, want ≈%v", big, wantApprox)
+	}
+}
+
+func TestCostMonotoneInSizeProperty(t *testing.T) {
+	f := accountingFabric()
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 1, Island: -1})
+	prop := func(s1, s2 uint32) bool {
+		x, y := int(s1%(1<<24)), int(s2%(1<<24))
+		if x > y {
+			x, y = y, x
+		}
+		return f.Cost(a, b, x) <= f.Cost(a, b, y)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	f := accountingFabric()
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 0, Island: -1})
+
+	f.Send(a, b, 100)
+	f.Send(a, b, 200)
+	f.TransferClass(Durable, 1000)
+
+	rack := f.ClassStats(Rack)
+	if rack.Messages != 2 || rack.Bytes != 300 {
+		t.Errorf("rack stats = %+v, want 2 msgs / 300 bytes", rack)
+	}
+	dur := f.ClassStats(Durable)
+	if dur.Messages != 1 || dur.Bytes != 1000 {
+		t.Errorf("durable stats = %+v", dur)
+	}
+	total := f.TotalStats()
+	if total.Messages != 3 || total.Bytes != 1300 {
+		t.Errorf("total stats = %+v", total)
+	}
+	if total.SimTime <= 0 {
+		t.Error("simulated time should accumulate")
+	}
+
+	f.ResetStats()
+	if got := f.TotalStats(); got.Messages != 0 || got.Bytes != 0 || got.SimTime != 0 {
+		t.Errorf("after reset, stats = %+v", got)
+	}
+}
+
+func TestDurableIsSlowest(t *testing.T) {
+	p := DefaultProfiles()
+	for _, c := range []LinkClass{Loopback, Island, DPUHop, Rack, Core} {
+		if p[c].Latency >= p[Durable].Latency {
+			t.Errorf("%v latency %v should be below durable %v", c, p[c].Latency, p[Durable].Latency)
+		}
+	}
+}
+
+func TestTimeScaleDelays(t *testing.T) {
+	f := New(Config{TimeScale: 1.0, Profiles: map[LinkClass]LinkProfile{
+		Core: {Latency: 2 * time.Millisecond},
+	}})
+	a, b := idgen.Next(), idgen.Next() // unregistered → Core
+	start := time.Now()
+	f.Send(a, b, 0)
+	if elapsed := time.Since(start); elapsed < 1500*time.Microsecond {
+		t.Errorf("Send with TimeScale=1 returned after %v, want ≥ ~2ms", elapsed)
+	}
+}
+
+func TestZeroTimeScaleFast(t *testing.T) {
+	f := accountingFabric()
+	start := time.Now()
+	for i := 0; i < 1000; i++ {
+		f.TransferClass(Durable, 1<<20)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("accounting-only fabric too slow: %v", elapsed)
+	}
+}
+
+func TestInvalidClassClamped(t *testing.T) {
+	f := accountingFabric()
+	f.TransferClass(LinkClass(99), 10)
+	if got := f.ClassStats(Core).Messages; got != 1 {
+		t.Errorf("invalid class should be clamped to Core, got %d core msgs", got)
+	}
+	if got := f.ClassStats(LinkClass(99)); got != (Stats{}) {
+		t.Errorf("ClassStats(invalid) = %+v, want zero", got)
+	}
+}
+
+func TestLinkClassString(t *testing.T) {
+	names := map[LinkClass]string{
+		Loopback: "loopback", Island: "island", DPUHop: "dpu-hop",
+		Rack: "rack", Core: "core", Durable: "durable",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("String(%d) = %q, want %q", int(c), c.String(), want)
+		}
+	}
+	if LinkClass(42).String() != "link(42)" {
+		t.Errorf("unknown class String = %q", LinkClass(42).String())
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	f := accountingFabric()
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 0, Island: -1})
+	if f.ClassBetween(a, b) != Rack {
+		t.Fatal("setup failed")
+	}
+	f.Unregister(b)
+	if got := f.ClassBetween(a, b); got != Core {
+		t.Errorf("after Unregister, class = %v, want Core", got)
+	}
+}

@@ -1,0 +1,425 @@
+// Package flowgraph implements FlowGraph, Skadi's logical graph tier
+// (§2.1–2.2): a classical dataflow graph in the Dryad/Naiad lineage whose
+// edges dictate how data flow and whose vertices are built either from
+// hardware-agnostic IR functions (the MLIR path) or from handcraft
+// operators registered in the task registry. Graph-level optimization
+// rules (linear-chain fusion, dead-vertex pruning, per-vertex IR passes)
+// run here, across application domains, before physical lowering.
+package flowgraph
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"skadi/internal/ir"
+)
+
+// EdgeKind describes how data moves along an edge.
+type EdgeKind int
+
+// Edge kinds.
+const (
+	// Forward connects producer shard i to consumer shard i (or
+	// gathers/splits when degrees differ).
+	Forward EdgeKind = iota
+	// Keyed repartitions table rows by a hash of the key column (the
+	// dashed keyed edges of Fig. 2).
+	Keyed
+	// Broadcast delivers the full producer output to every consumer shard.
+	Broadcast
+)
+
+// String returns the kind name.
+func (k EdgeKind) String() string {
+	switch k {
+	case Forward:
+		return "forward"
+	case Keyed:
+		return "keyed"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("edge(%d)", int(k))
+	}
+}
+
+// Vertex is one logical operator.
+type Vertex struct {
+	ID   int
+	Name string
+	// IR is the hardware-agnostic function (MLIR-based vertices). Exactly
+	// one of IR and Handcraft is set.
+	IR *ir.Func
+	// Handcraft names a registered task function (predefined operators:
+	// wrapped cudf/arrow-style kernels).
+	Handcraft string
+	// HandcraftBackend is the backend a handcraft op requires.
+	HandcraftBackend string
+	// Parallelism is the requested shard count (0 = planner default).
+	Parallelism int
+	// Gang marks the vertex's shards for atomic gang scheduling (SPMD).
+	Gang bool
+}
+
+// Edge connects two vertices.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+	// Key is the partitioning column for Keyed edges.
+	Key string
+}
+
+// Graph is a logical FlowGraph.
+type Graph struct {
+	Name     string
+	Vertices []*Vertex
+	Edges    []*Edge
+	nextID   int
+}
+
+// Errors returned by graph operations.
+var (
+	// ErrCyclic reports a cycle.
+	ErrCyclic = errors.New("flowgraph: graph is cyclic")
+	// ErrBadVertex reports an ill-formed vertex.
+	ErrBadVertex = errors.New("flowgraph: bad vertex")
+	// ErrBadEdge reports an edge referencing unknown vertices.
+	ErrBadEdge = errors.New("flowgraph: bad edge")
+)
+
+// New returns an empty graph.
+func New(name string) *Graph { return &Graph{Name: name} }
+
+// AddIR adds a vertex computing an IR function.
+func (g *Graph) AddIR(name string, fn *ir.Func) *Vertex {
+	v := &Vertex{ID: g.nextID, Name: name, IR: fn}
+	g.nextID++
+	g.Vertices = append(g.Vertices, v)
+	return v
+}
+
+// AddHandcraft adds a vertex running a registered task function on the
+// given backend.
+func (g *Graph) AddHandcraft(name, fn, backend string) *Vertex {
+	v := &Vertex{ID: g.nextID, Name: name, Handcraft: fn, HandcraftBackend: backend}
+	g.nextID++
+	g.Vertices = append(g.Vertices, v)
+	return v
+}
+
+// Connect adds a Forward edge.
+func (g *Graph) Connect(from, to *Vertex) *Edge {
+	e := &Edge{From: from.ID, To: to.ID, Kind: Forward}
+	g.Edges = append(g.Edges, e)
+	return e
+}
+
+// ConnectKeyed adds a Keyed edge partitioning on the named column.
+func (g *Graph) ConnectKeyed(from, to *Vertex, key string) *Edge {
+	e := &Edge{From: from.ID, To: to.ID, Kind: Keyed, Key: key}
+	g.Edges = append(g.Edges, e)
+	return e
+}
+
+// ConnectBroadcast adds a Broadcast edge.
+func (g *Graph) ConnectBroadcast(from, to *Vertex) *Edge {
+	e := &Edge{From: from.ID, To: to.ID, Kind: Broadcast}
+	g.Edges = append(g.Edges, e)
+	return e
+}
+
+// Vertex returns the vertex with the given ID, or nil.
+func (g *Graph) Vertex(id int) *Vertex {
+	for _, v := range g.Vertices {
+		if v.ID == id {
+			return v
+		}
+	}
+	return nil
+}
+
+// In returns the edges into v, in insertion order (the order consumer
+// functions receive their inputs).
+func (g *Graph) In(v *Vertex) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.To == v.ID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Out returns the edges out of v.
+func (g *Graph) Out(v *Vertex) []*Edge {
+	var out []*Edge
+	for _, e := range g.Edges {
+		if e.From == v.ID {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Sources returns vertices with no incoming edges.
+func (g *Graph) Sources() []*Vertex {
+	var out []*Vertex
+	for _, v := range g.Vertices {
+		if len(g.In(v)) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Sinks returns vertices with no outgoing edges.
+func (g *Graph) Sinks() []*Vertex {
+	var out []*Vertex
+	for _, v := range g.Vertices {
+		if len(g.Out(v)) == 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Validate checks structure: each vertex has exactly one payload, edges
+// reference existing vertices, IR vertices verify, and the graph is acyclic.
+func (g *Graph) Validate() error {
+	for _, v := range g.Vertices {
+		hasIR := v.IR != nil
+		hasHC := v.Handcraft != ""
+		if hasIR == hasHC {
+			return fmt.Errorf("%w: %q must have exactly one of IR and Handcraft", ErrBadVertex, v.Name)
+		}
+		if hasIR {
+			if err := v.IR.Verify(); err != nil {
+				return fmt.Errorf("%w: %q: %v", ErrBadVertex, v.Name, err)
+			}
+			if len(v.IR.Params) != len(g.In(v)) && len(g.In(v)) > 0 {
+				return fmt.Errorf("%w: %q has %d inputs but IR takes %d params",
+					ErrBadVertex, v.Name, len(g.In(v)), len(v.IR.Params))
+			}
+		}
+	}
+	ids := make(map[int]bool, len(g.Vertices))
+	for _, v := range g.Vertices {
+		ids[v.ID] = true
+	}
+	for _, e := range g.Edges {
+		if !ids[e.From] || !ids[e.To] {
+			return fmt.Errorf("%w: %d -> %d", ErrBadEdge, e.From, e.To)
+		}
+		if e.Kind == Keyed && e.Key == "" {
+			return fmt.Errorf("%w: keyed edge %d -> %d without key", ErrBadEdge, e.From, e.To)
+		}
+	}
+	_, err := g.TopoOrder()
+	return err
+}
+
+// TopoOrder returns vertices in dependency order, or ErrCyclic.
+func (g *Graph) TopoOrder() ([]*Vertex, error) {
+	indeg := make(map[int]int, len(g.Vertices))
+	for _, v := range g.Vertices {
+		indeg[v.ID] = 0
+	}
+	for _, e := range g.Edges {
+		indeg[e.To]++
+	}
+	var queue []*Vertex
+	for _, v := range g.Vertices {
+		if indeg[v.ID] == 0 {
+			queue = append(queue, v)
+		}
+	}
+	var order []*Vertex
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, e := range g.Out(v) {
+			indeg[e.To]--
+			if indeg[e.To] == 0 {
+				queue = append(queue, g.Vertex(e.To))
+			}
+		}
+	}
+	if len(order) != len(g.Vertices) {
+		return nil, ErrCyclic
+	}
+	return order, nil
+}
+
+// String renders the graph for logs and docs.
+func (g *Graph) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "graph %s {\n", g.Name)
+	for _, v := range g.Vertices {
+		payload := "handcraft:" + v.Handcraft
+		if v.IR != nil {
+			payload = "ir:" + v.IR.Name
+		}
+		par := ""
+		if v.Parallelism > 0 {
+			par = fmt.Sprintf(" x%d", v.Parallelism)
+		}
+		fmt.Fprintf(&sb, "  v%d %q [%s]%s\n", v.ID, v.Name, payload, par)
+	}
+	for _, e := range g.Edges {
+		label := e.Kind.String()
+		if e.Kind == Keyed {
+			label += "(" + e.Key + ")"
+		}
+		fmt.Fprintf(&sb, "  v%d -> v%d [%s]\n", e.From, e.To, label)
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// OptimizeStats reports what the graph optimizer did.
+type OptimizeStats struct {
+	FusedVertices  int
+	PrunedVertices int
+	IRSummary      []string
+}
+
+// Optimize applies the predefined graph-level rules (§2.1 step 2):
+//  1. fuse linear chains of IR vertices connected by Forward edges into
+//     single vertices (cross-vertex op fusion),
+//  2. prune vertices that cannot reach any sink that existed before
+//     pruning (dead subgraphs),
+//  3. run the IR pass pipeline inside every remaining IR vertex.
+func (g *Graph) Optimize() OptimizeStats {
+	var stats OptimizeStats
+	stats.FusedVertices = g.fuseLinearChains()
+	stats.PrunedVertices = g.pruneDead()
+	for _, v := range g.Vertices {
+		if v.IR != nil {
+			if summary := ir.Optimize(v.IR); summary != "no changes" {
+				stats.IRSummary = append(stats.IRSummary, v.Name+": "+summary)
+			}
+		}
+	}
+	return stats
+}
+
+// fuseLinearChains merges A -Forward-> B where A has exactly one outgoing
+// edge, B exactly one incoming edge, both vertices are IR, and their
+// parallelism requests agree.
+func (g *Graph) fuseLinearChains() int {
+	fused := 0
+	for {
+		var target *Edge
+		for _, e := range g.Edges {
+			if e.Kind != Forward {
+				continue
+			}
+			a, b := g.Vertex(e.From), g.Vertex(e.To)
+			if a == nil || b == nil || a.IR == nil || b.IR == nil {
+				continue
+			}
+			if len(g.Out(a)) != 1 || len(g.In(b)) != 1 {
+				continue
+			}
+			if a.Parallelism != b.Parallelism {
+				continue
+			}
+			if len(b.IR.Params) != len(a.IR.Rets) {
+				continue
+			}
+			target = e
+			break
+		}
+		if target == nil {
+			return fused
+		}
+		a, b := g.Vertex(target.From), g.Vertex(target.To)
+		composed, err := ir.Compose(a.IR, b.IR)
+		if err != nil {
+			// Incompatible signatures: leave this edge and stop trying it
+			// by marking via kind change? Simplest: give up fusing entirely.
+			return fused
+		}
+		// b absorbs a: b keeps its outgoing edges; a's incoming edges are
+		// redirected to b; a and the fused edge disappear.
+		b.IR = composed
+		b.Name = a.Name + "+" + b.Name
+		b.Gang = a.Gang || b.Gang
+		for _, e := range g.Edges {
+			if e.To == a.ID {
+				e.To = b.ID
+			}
+		}
+		g.removeEdge(target)
+		g.removeVertex(a)
+		fused++
+	}
+}
+
+// pruneDead removes vertices from which no sink is reachable... every DAG
+// vertex reaches some sink, so dead code here means: vertices not reachable
+// backwards from sinks that produce required outputs. We define required
+// sinks as all current sinks; a vertex is dead if no path leads from it to
+// any sink AND it is not a sink itself — which after fusion can only arise
+// from disconnected vertices explicitly marked by having no edges and no
+// name... In practice dead vertices come from frontends lowering unused
+// subqueries: vertices whose output feeds nothing and which are not sinks
+// of interest. We treat any non-sink vertex with out-degree zero as
+// impossible (it IS a sink), so pruning targets vertices disconnected from
+// the main component containing sinks with names not starting with "_".
+func (g *Graph) pruneDead() int {
+	// Mark backwards from non-underscore sinks.
+	live := make(map[int]bool)
+	var stack []int
+	for _, v := range g.Sinks() {
+		if !strings.HasPrefix(v.Name, "_") {
+			live[v.ID] = true
+			stack = append(stack, v.ID)
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range g.Edges {
+			if e.To == id && !live[e.From] {
+				live[e.From] = true
+				stack = append(stack, e.From)
+			}
+		}
+	}
+	pruned := 0
+	for i := len(g.Vertices) - 1; i >= 0; i-- {
+		v := g.Vertices[i]
+		if live[v.ID] {
+			continue
+		}
+		for j := len(g.Edges) - 1; j >= 0; j-- {
+			if g.Edges[j].From == v.ID || g.Edges[j].To == v.ID {
+				g.Edges = append(g.Edges[:j], g.Edges[j+1:]...)
+			}
+		}
+		g.Vertices = append(g.Vertices[:i], g.Vertices[i+1:]...)
+		pruned++
+	}
+	return pruned
+}
+
+func (g *Graph) removeEdge(target *Edge) {
+	for i, e := range g.Edges {
+		if e == target {
+			g.Edges = append(g.Edges[:i], g.Edges[i+1:]...)
+			return
+		}
+	}
+}
+
+func (g *Graph) removeVertex(target *Vertex) {
+	for i, v := range g.Vertices {
+		if v == target {
+			g.Vertices = append(g.Vertices[:i], g.Vertices[i+1:]...)
+			return
+		}
+	}
+}

@@ -1,0 +1,244 @@
+package flowgraph
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"skadi/internal/ir"
+)
+
+// reluFunc returns a one-op tensor IR function.
+func reluFunc(name string) *ir.Func {
+	f := ir.NewFunc(name)
+	x := f.AddParam(ir.KTensor)
+	y := f.Add("tensor", "relu", ir.KTensor, nil, x)
+	f.Return(y)
+	return f
+}
+
+func scaleFunc(name, factor string) *ir.Func {
+	f := ir.NewFunc(name)
+	x := f.AddParam(ir.KTensor)
+	y := f.Add("tensor", "scale", ir.KTensor, map[string]string{"factor": factor}, x)
+	f.Return(y)
+	return f
+}
+
+func TestBuildAndValidate(t *testing.T) {
+	g := New("job")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", scaleFunc("b", "2"))
+	g.Connect(a, b)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Sources()) != 1 || g.Sources()[0] != a {
+		t.Error("sources wrong")
+	}
+	if len(g.Sinks()) != 1 || g.Sinks()[0] != b {
+		t.Error("sinks wrong")
+	}
+}
+
+func TestValidateRejectsDoublePayload(t *testing.T) {
+	g := New("bad")
+	v := g.AddIR("v", reluFunc("v"))
+	v.Handcraft = "also"
+	if err := g.Validate(); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestValidateRejectsNoPayload(t *testing.T) {
+	g := New("bad")
+	g.AddHandcraft("v", "", "cpu")
+	if err := g.Validate(); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestValidateRejectsKeyedWithoutKey(t *testing.T) {
+	g := New("bad")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b"))
+	e := g.ConnectKeyed(a, b, "k")
+	e.Key = ""
+	if err := g.Validate(); !errors.Is(err, ErrBadEdge) {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestValidateRejectsArityMismatch(t *testing.T) {
+	g := New("bad")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b")) // takes 1 param
+	c := g.AddIR("c", reluFunc("c"))
+	g.Connect(a, b)
+	g.Connect(c, b) // now b has 2 inputs but 1 param
+	if err := g.Validate(); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("Validate = %v", err)
+	}
+}
+
+func TestTopoOrderAndCycle(t *testing.T) {
+	g := New("topo")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b"))
+	c := g.AddIR("c", reluFunc("c"))
+	g.Connect(a, b)
+	g.Connect(b, c)
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if order[0] != a || order[2] != c {
+		t.Error("order wrong")
+	}
+	g.Connect(c, a) // cycle
+	if _, err := g.TopoOrder(); !errors.Is(err, ErrCyclic) {
+		t.Errorf("TopoOrder = %v", err)
+	}
+}
+
+func TestFuseLinearChain(t *testing.T) {
+	g := New("fuse")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", scaleFunc("b", "3"))
+	c := g.AddIR("c", scaleFunc("c", "0.5"))
+	g.Connect(a, b)
+	g.Connect(b, c)
+	stats := g.Optimize()
+	if stats.FusedVertices != 2 {
+		t.Errorf("fused %d vertices, want 2", stats.FusedVertices)
+	}
+	if len(g.Vertices) != 1 {
+		t.Fatalf("vertices after fuse = %d", len(g.Vertices))
+	}
+	// The fused vertex's IR computes relu → ×3 → ×0.5; the IR-level pass
+	// should have further fused it into one tensor.fused op.
+	v := g.Vertices[0]
+	out, err := ir.Eval(v.IR, []*ir.Datum{ir.TensorDatum(&ir.Tensor{Shape: []int{1, 2}, Data: []float64{-4, 4}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Tensor.Data[0] != 0 || out[0].Tensor.Data[1] != 6 {
+		t.Errorf("fused result = %v", out[0].Tensor.Data)
+	}
+}
+
+func TestFuseSkipsKeyedEdges(t *testing.T) {
+	g := New("keyed")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b"))
+	g.ConnectKeyed(a, b, "k")
+	stats := g.Optimize()
+	if stats.FusedVertices != 0 {
+		t.Error("keyed edges must not fuse (they repartition)")
+	}
+	if len(g.Vertices) != 2 {
+		t.Error("vertices lost")
+	}
+}
+
+func TestFuseSkipsFanOut(t *testing.T) {
+	g := New("fan")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b"))
+	c := g.AddIR("c", reluFunc("c"))
+	g.Connect(a, b)
+	g.Connect(a, c) // a has two consumers
+	stats := g.Optimize()
+	if stats.FusedVertices != 0 {
+		t.Errorf("fused %d, want 0 (fan-out)", stats.FusedVertices)
+	}
+}
+
+func TestFuseSkipsMixedParallelism(t *testing.T) {
+	g := New("par")
+	a := g.AddIR("a", reluFunc("a"))
+	a.Parallelism = 4
+	b := g.AddIR("b", reluFunc("b"))
+	b.Parallelism = 2
+	g.Connect(a, b)
+	if stats := g.Optimize(); stats.FusedVertices != 0 {
+		t.Error("vertices with different parallelism must not fuse")
+	}
+}
+
+func TestPruneDeadSubgraph(t *testing.T) {
+	g := New("prune")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b"))
+	g.Connect(a, b)
+	// A disconnected vertex whose sink name is underscored: prunable.
+	dead := g.AddIR("_scratch", reluFunc("d"))
+	_ = dead
+	stats := g.Optimize()
+	if stats.PrunedVertices != 1 {
+		t.Errorf("pruned %d, want 1", stats.PrunedVertices)
+	}
+}
+
+func TestHandcraftVertex(t *testing.T) {
+	g := New("hc")
+	v := g.AddHandcraft("custom", "my.kernel", "fpga")
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if v.HandcraftBackend != "fpga" {
+		t.Error("backend lost")
+	}
+}
+
+func TestString(t *testing.T) {
+	g := New("render")
+	a := g.AddIR("scan", reluFunc("scan"))
+	a.Parallelism = 4
+	b := g.AddHandcraft("sink", "write", "cpu")
+	g.ConnectKeyed(a, b, "user_id")
+	s := g.String()
+	for _, want := range []string{"graph render", "scan", "x4", "keyed(user_id)", "handcraft:write"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestInOutOrder(t *testing.T) {
+	g := New("order")
+	a := g.AddIR("a", reluFunc("a"))
+	b := g.AddIR("b", reluFunc("b"))
+	join := g.AddHandcraft("join", "join", "cpu")
+	e1 := g.Connect(a, join)
+	e2 := g.Connect(b, join)
+	in := g.In(join)
+	if len(in) != 2 || in[0] != e1 || in[1] != e2 {
+		t.Error("In must preserve edge insertion order")
+	}
+}
+
+func TestComposeDirect(t *testing.T) {
+	f, err := ir.Compose(reluFunc("f"), scaleFunc("g", "2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ir.Eval(f, []*ir.Datum{ir.TensorDatum(&ir.Tensor{Shape: []int{1, 2}, Data: []float64{-1, 3}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Tensor.Data[0] != 0 || out[0].Tensor.Data[1] != 6 {
+		t.Errorf("compose result = %v", out[0].Tensor.Data)
+	}
+}
+
+func TestEdgeKindString(t *testing.T) {
+	for k, want := range map[EdgeKind]string{Forward: "forward", Keyed: "keyed", Broadcast: "broadcast"} {
+		if k.String() != want {
+			t.Errorf("String = %q", k.String())
+		}
+	}
+}

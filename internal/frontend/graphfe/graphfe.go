@@ -1,0 +1,286 @@
+// Package graphfe is the graph-processing frontend of the access layer: a
+// Pregel-style vertex-centric model (supersteps of message exchange along
+// edges) lowered onto per-superstep FlowGraphs with keyed shuffles, plus
+// PageRank and single-source shortest paths built on it — the "Graph"
+// entry of Fig. 2's declarative tier.
+package graphfe
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/flowgraph"
+	"skadi/internal/ir"
+	"skadi/internal/physical"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+)
+
+// Edge is one directed edge.
+type Edge struct {
+	Src, Dst int64
+}
+
+// Pregel runs a vertex program in synchronous supersteps. States and
+// messages are float64; vertices are int64 IDs.
+type Pregel struct {
+	// Name labels the job.
+	Name string
+	// Parallelism shards each superstep.
+	Parallelism int
+	// MaxSupersteps bounds the iteration count.
+	MaxSupersteps int
+	// Init produces a vertex's initial state.
+	Init func(id int64, outDegree int) float64
+	// Compute folds incoming messages into a new state. global is the
+	// superstep's aggregate (see GlobalAgg), 0 when no aggregator is set.
+	Compute func(id int64, state float64, messages []float64, global float64) float64
+	// Message produces the value sent along each out-edge (outDegree > 0).
+	Message func(id int64, state float64, outDegree int) float64
+	// GlobalAgg, if non-nil, is summed over all vertices before each
+	// superstep and passed to Compute — a Pregel aggregator. PageRank uses
+	// it to redistribute the rank mass of dangling vertices.
+	GlobalAgg func(id int64, state float64, outDegree int) float64
+	// Epsilon, if positive, stops early when no state moved more than it.
+	Epsilon float64
+}
+
+var pregelSeq atomic.Int64
+
+// stateSchema carries (id, state) rows between supersteps.
+var stateSchema = arrowlite.NewSchema(
+	arrowlite.Field{Name: "id", Type: arrowlite.Int64},
+	arrowlite.Field{Name: "state", Type: arrowlite.Float64},
+)
+
+// msgSchema carries (dst, value) messages.
+var msgSchema = arrowlite.NewSchema(
+	arrowlite.Field{Name: "dst", Type: arrowlite.Int64},
+	arrowlite.Field{Name: "value", Type: arrowlite.Float64},
+)
+
+// Run executes the program over the edge list and returns the final state
+// per vertex.
+func (p *Pregel) Run(ctx context.Context, rt *runtime.Runtime, edges []Edge) (map[int64]float64, error) {
+	if p.Init == nil || p.Compute == nil || p.Message == nil {
+		return nil, fmt.Errorf("graphfe: %q needs Init, Compute, and Message", p.Name)
+	}
+	if p.Parallelism < 1 {
+		p.Parallelism = 2
+	}
+	if p.MaxSupersteps < 1 {
+		p.MaxSupersteps = 10
+	}
+
+	// Vertex universe and out-degrees.
+	outDeg := make(map[int64]int)
+	adj := make(map[int64][]int64)
+	vertexSet := make(map[int64]bool)
+	for _, e := range edges {
+		outDeg[e.Src]++
+		adj[e.Src] = append(adj[e.Src], e.Dst)
+		vertexSet[e.Src] = true
+		vertexSet[e.Dst] = true
+	}
+	states := make(map[int64]float64, len(vertexSet))
+	for id := range vertexSet {
+		states[id] = p.Init(id, outDeg[id])
+	}
+
+	prefix := fmt.Sprintf("pregel/%s/%d", p.Name, pregelSeq.Add(1))
+	// scatter: states partition -> messages along out-edges.
+	scatterFn := prefix + "/scatter"
+	rt.Registry.Register(scatterFn, func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		out := arrowlite.NewBuilder(msgSchema)
+		for _, arg := range args {
+			d, err := ir.DecodeDatum(arg)
+			if err != nil {
+				return nil, err
+			}
+			ids, vals := d.Table.ColByName("id"), d.Table.ColByName("state")
+			for r := 0; r < d.Table.NumRows(); r++ {
+				id := ids.Ints[r]
+				deg := outDeg[id]
+				if deg == 0 {
+					continue
+				}
+				msg := p.Message(id, vals.Floats[r], deg)
+				for _, dst := range adj[id] {
+					if err := out.Append(dst, msg); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return [][]byte{ir.EncodeDatum(ir.TableDatum(out.Build()))}, nil
+	})
+	gatherFn := prefix + "/gather"
+
+	for step := 0; step < p.MaxSupersteps; step++ {
+		// Pregel aggregator: fold the current states into one global value
+		// available to every Compute this superstep.
+		global := 0.0
+		if p.GlobalAgg != nil {
+			for id, v := range states {
+				global += p.GlobalAgg(id, v, outDeg[id])
+			}
+		}
+		// gather: (states partition, message partitions) -> new states,
+		// re-registered each superstep to capture the aggregate.
+		rt.Registry.Register(gatherFn, func(_ *task.Context, args [][]byte) ([][]byte, error) {
+			// First arg group: the states partition; rest: messages.
+			d, err := ir.DecodeDatum(args[0])
+			if err != nil {
+				return nil, err
+			}
+			stateIDs, stateVals := d.Table.ColByName("id"), d.Table.ColByName("state")
+			inbox := make(map[int64][]float64)
+			for _, arg := range args[1:] {
+				m, err := ir.DecodeDatum(arg)
+				if err != nil {
+					return nil, err
+				}
+				dsts, vals := m.Table.ColByName("dst"), m.Table.ColByName("value")
+				for r := 0; r < m.Table.NumRows(); r++ {
+					inbox[dsts.Ints[r]] = append(inbox[dsts.Ints[r]], vals.Floats[r])
+				}
+			}
+			out := arrowlite.NewBuilder(stateSchema)
+			for r := 0; r < d.Table.NumRows(); r++ {
+				id := stateIDs.Ints[r]
+				next := p.Compute(id, stateVals.Floats[r], inbox[id], global)
+				if err := out.Append(id, next); err != nil {
+					return nil, err
+				}
+			}
+			return [][]byte{ir.EncodeDatum(ir.TableDatum(out.Build()))}, nil
+		})
+		// One superstep as a FlowGraph:
+		// states --keyed(id)--> scatter --keyed(dst)--> gather <--keyed(id)-- states
+		g := flowgraph.New(fmt.Sprintf("%s/step%d", p.Name, step))
+		src := g.AddHandcraft("states", prefix+"/identity", "cpu")
+		src.Parallelism = 1
+		scatterV := g.AddHandcraft("scatter", scatterFn, "cpu")
+		scatterV.Parallelism = p.Parallelism
+		gatherV := g.AddHandcraft("gather", gatherFn, "cpu")
+		gatherV.Parallelism = p.Parallelism
+		g.ConnectKeyed(src, scatterV, "id")
+		g.ConnectKeyed(src, gatherV, "id")
+		g.ConnectKeyed(scatterV, gatherV, "dst")
+
+		rt.Registry.Register(prefix+"/identity", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+			return [][]byte{args[0]}, nil
+		})
+
+		plan, err := physical.NewPlan(g, physical.Options{
+			DefaultParallelism: 1,
+			Available:          map[string]bool{"cpu": true},
+		})
+		if err != nil {
+			return nil, err
+		}
+		// Pack current states.
+		sb := arrowlite.NewBuilder(stateSchema)
+		for id, v := range states {
+			if err := sb.Append(id, v); err != nil {
+				return nil, err
+			}
+		}
+		results, err := physical.NewExecutor(rt, plan).Run(ctx, map[string][]*ir.Datum{
+			"states": {ir.TableDatum(sb.Build())},
+		})
+		if err != nil {
+			return nil, fmt.Errorf("graphfe: superstep %d: %w", step, err)
+		}
+		table := results["gather"].Table
+		next := make(map[int64]float64, len(states))
+		ids, vals := table.ColByName("id"), table.ColByName("state")
+		for r := 0; r < table.NumRows(); r++ {
+			next[ids.Ints[r]] = vals.Floats[r]
+		}
+		// Convergence check.
+		maxDelta := 0.0
+		for id, v := range next {
+			if d := math.Abs(v - states[id]); d > maxDelta {
+				maxDelta = d
+			}
+		}
+		states = next
+		if p.Epsilon > 0 && maxDelta < p.Epsilon {
+			break
+		}
+	}
+	return states, nil
+}
+
+// PageRank computes PageRank with the given damping over the edge list.
+// Dangling vertices' rank mass is redistributed uniformly via the Pregel
+// aggregator, so ranks always sum to 1.
+func PageRank(ctx context.Context, rt *runtime.Runtime, edges []Edge, iterations, parallelism int, damping float64) (map[int64]float64, error) {
+	n := float64(countVertices(edges))
+	p := &Pregel{
+		Name:          "pagerank",
+		Parallelism:   parallelism,
+		MaxSupersteps: iterations,
+		Init:          func(int64, int) float64 { return 1.0 / n },
+		Message: func(_ int64, state float64, outDegree int) float64 {
+			return state / float64(outDegree)
+		},
+		GlobalAgg: func(_ int64, state float64, outDegree int) float64 {
+			if outDegree == 0 {
+				return state // dangling mass
+			}
+			return 0
+		},
+		Compute: func(_ int64, _ float64, messages []float64, dangling float64) float64 {
+			sum := dangling / n
+			for _, m := range messages {
+				sum += m
+			}
+			return (1-damping)/n + damping*sum
+		},
+	}
+	return p.Run(ctx, rt, edges)
+}
+
+// SSSP computes single-source shortest path lengths (unit edge weights)
+// from the source vertex; unreachable vertices report +Inf.
+func SSSP(ctx context.Context, rt *runtime.Runtime, edges []Edge, source int64, parallelism int) (map[int64]float64, error) {
+	p := &Pregel{
+		Name:          "sssp",
+		Parallelism:   parallelism,
+		MaxSupersteps: countVertices(edges) + 1,
+		Epsilon:       0.5, // distances are integers; converged when unchanged
+		Init: func(id int64, _ int) float64 {
+			if id == source {
+				return 0
+			}
+			return math.Inf(1)
+		},
+		Message: func(_ int64, state float64, _ int) float64 {
+			return state + 1
+		},
+		Compute: func(_ int64, state float64, messages []float64, _ float64) float64 {
+			best := state
+			for _, m := range messages {
+				if m < best {
+					best = m
+				}
+			}
+			return best
+		},
+	}
+	return p.Run(ctx, rt, edges)
+}
+
+func countVertices(edges []Edge) int {
+	set := make(map[int64]bool)
+	for _, e := range edges {
+		set[e.Src] = true
+		set[e.Dst] = true
+	}
+	return len(set)
+}

@@ -1,0 +1,281 @@
+// Package mlfe is the ML frontend of the access layer: multi-layer
+// perceptron inference expressed as hardware-agnostic IR vertices (one per
+// layer, so the physical planner can pipeline layers across devices —
+// MPMD), and synchronous data-parallel SGD training that runs one
+// gang-scheduled SPMD gradient stage per epoch on the task API — the "ML"
+// entry of Fig. 2's declarative tier.
+package mlfe
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"skadi/internal/flowgraph"
+	"skadi/internal/idgen"
+	"skadi/internal/ir"
+	"skadi/internal/physical"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+)
+
+// MLP is a multi-layer perceptron with ReLU activations between layers.
+type MLP struct {
+	Name string
+	// Dims are the layer widths: Dims[0] inputs, Dims[len-1] outputs.
+	Dims []int
+	// Weights[i] is [Dims[i], Dims[i+1]]; Biases[i] is [1, Dims[i+1]].
+	Weights []*ir.Tensor
+	Biases  []*ir.Tensor
+}
+
+// NewMLP builds an MLP with deterministic pseudo-random weights.
+func NewMLP(name string, dims []int, seed uint64) (*MLP, error) {
+	if len(dims) < 2 {
+		return nil, fmt.Errorf("mlfe: MLP needs at least 2 dims, got %v", dims)
+	}
+	m := &MLP{Name: name, Dims: append([]int(nil), dims...)}
+	rng := seed | 1
+	next := func() float64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return (float64(rng%2000)/1000 - 1) * 0.5 // [-0.5, 0.5)
+	}
+	for l := 0; l+1 < len(dims); l++ {
+		w := ir.NewTensor(dims[l], dims[l+1])
+		for i := range w.Data {
+			w.Data[i] = next()
+		}
+		b := ir.NewTensor(1, dims[l+1])
+		m.Weights = append(m.Weights, w)
+		m.Biases = append(m.Biases, b)
+	}
+	return m, nil
+}
+
+// LayerFunc builds the IR function of one layer: relu(x·W + b) (no
+// activation on the final layer).
+func (m *MLP) LayerFunc(layer int) *ir.Func {
+	f := ir.NewFunc(fmt.Sprintf("%s/layer%d", m.Name, layer))
+	x := f.AddParam(ir.KTensor)
+	w := f.AddConst(ir.TensorDatum(m.Weights[layer]))
+	b := f.AddConst(ir.TensorDatum(m.Biases[layer]))
+	v := f.Add("tensor", "matmul", ir.KTensor, nil, x, w)
+	v = f.Add("tensor", "addrow", ir.KTensor, nil, v, b)
+	if layer+1 < len(m.Weights) {
+		v = f.Add("tensor", "relu", ir.KTensor, nil, v)
+	}
+	f.Return(v)
+	return f
+}
+
+// ForwardGraph builds the inference FlowGraph: one IR vertex per layer
+// connected by forward edges, so the physical planner places layers on
+// (possibly different) devices and pipelines batches through them.
+func (m *MLP) ForwardGraph() *flowgraph.Graph {
+	g := flowgraph.New("mlp:" + m.Name)
+	var prev *flowgraph.Vertex
+	for l := range m.Weights {
+		v := g.AddIR(fmt.Sprintf("layer%d", l), m.LayerFunc(l))
+		v.Parallelism = 1
+		if prev != nil {
+			g.Connect(prev, v)
+		}
+		prev = v
+	}
+	return g
+}
+
+// Forward evaluates the MLP locally (reference path, no runtime).
+func (m *MLP) Forward(x *ir.Tensor) (*ir.Tensor, error) {
+	cur := x
+	for l := range m.Weights {
+		out, err := ir.Eval(m.LayerFunc(l), []*ir.Datum{ir.TensorDatum(cur)})
+		if err != nil {
+			return nil, err
+		}
+		cur = out[0].Tensor
+	}
+	return cur, nil
+}
+
+// Predict runs inference through the distributed runtime: the forward
+// graph is lowered and executed on whatever backends the options allow.
+func (m *MLP) Predict(ctx context.Context, rt *runtime.Runtime, x *ir.Tensor, available map[string]bool) (*ir.Tensor, error) {
+	g := m.ForwardGraph()
+	g.Optimize()
+	plan, err := physical.NewPlan(g, physical.Options{DefaultParallelism: 1, Available: available})
+	if err != nil {
+		return nil, err
+	}
+	sourceName := g.Sources()[0].Name
+	sinkName := g.Sinks()[0].Name
+	results, err := physical.NewExecutor(rt, plan).Run(ctx, map[string][]*ir.Datum{
+		sourceName: {ir.TensorDatum(x)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results[sinkName].Tensor, nil
+}
+
+// SGDTrainer trains a linear model y ≈ X·w with data-parallel synchronous
+// SGD: each epoch fans the data shards out as one gang-scheduled SPMD
+// stage of gradient tasks, averages the gradients at the driver, and
+// updates the weights.
+type SGDTrainer struct {
+	LearningRate float64
+	Epochs       int
+	Shards       int
+	// Gang gang-schedules each epoch's gradient tasks (the SPMD pattern
+	// of §2.3); without it tasks are placed independently.
+	Gang bool
+}
+
+var trainSeq atomic.Int64
+
+// TrainLinear fits w minimizing mean squared error of X·w vs y.
+// X is [n,d]; y is [n,1]. It returns the weights and the per-epoch loss.
+func (t *SGDTrainer) TrainLinear(ctx context.Context, rt *runtime.Runtime, x, y *ir.Tensor) (*ir.Tensor, []float64, error) {
+	if len(x.Shape) != 2 || len(y.Shape) != 2 || x.Shape[0] != y.Shape[0] || y.Shape[1] != 1 {
+		return nil, nil, fmt.Errorf("mlfe: bad shapes X%v y%v", x.Shape, y.Shape)
+	}
+	if t.Shards < 1 {
+		t.Shards = 2
+	}
+	if t.Epochs < 1 {
+		t.Epochs = 10
+	}
+	if t.LearningRate <= 0 {
+		t.LearningRate = 0.1
+	}
+	n, d := x.Shape[0], x.Shape[1]
+	if t.Shards > n {
+		t.Shards = n
+	}
+
+	gradFn := fmt.Sprintf("mlfe/grad/%d", trainSeq.Add(1))
+	// grad task: args = [shardX, shardY, w] (all encoded tensors); returns
+	// [grad, loss] where grad is [d,1] scaled by shard row count and loss
+	// is the shard's summed squared error.
+	rt.Registry.Register(gradFn, func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		if len(args) != 3 {
+			return nil, fmt.Errorf("mlfe: grad wants 3 args")
+		}
+		var ts [3]*ir.Tensor
+		for i, a := range args {
+			dm, err := ir.DecodeDatum(a)
+			if err != nil {
+				return nil, err
+			}
+			if dm.Kind != ir.KTensor {
+				return nil, fmt.Errorf("mlfe: grad arg %d is %s", i, dm.Kind)
+			}
+			ts[i] = dm.Tensor
+		}
+		sx, sy, w := ts[0], ts[1], ts[2]
+		rows, cols := sx.Shape[0], sx.Shape[1]
+		grad := ir.NewTensor(cols, 1)
+		loss := 0.0
+		for r := 0; r < rows; r++ {
+			pred := 0.0
+			for c := 0; c < cols; c++ {
+				pred += sx.At(r, c) * w.Data[c]
+			}
+			err := pred - sy.Data[r]
+			loss += err * err
+			for c := 0; c < cols; c++ {
+				grad.Data[c] += 2 * err * sx.At(r, c)
+			}
+		}
+		return [][]byte{
+			ir.EncodeDatum(ir.TensorDatum(grad)),
+			ir.EncodeDatum(ir.ScalarDatum(loss)),
+		}, nil
+	})
+
+	// Shard the data once and keep the shard refs in the caching layer.
+	type shard struct{ xRef, yRef idgen.ObjectID }
+	shards := make([]shard, 0, t.Shards)
+	for s := 0; s < t.Shards; s++ {
+		lo, hi := s*n/t.Shards, (s+1)*n/t.Shards
+		if lo == hi {
+			continue
+		}
+		sx := &ir.Tensor{Shape: []int{hi - lo, d}, Data: x.Data[lo*d : hi*d]}
+		sy := &ir.Tensor{Shape: []int{hi - lo, 1}, Data: y.Data[lo:hi]}
+		xRef, err := rt.Put(ir.EncodeDatum(ir.TensorDatum(sx)), "datum")
+		if err != nil {
+			return nil, nil, err
+		}
+		yRef, err := rt.Put(ir.EncodeDatum(ir.TensorDatum(sy)), "datum")
+		if err != nil {
+			return nil, nil, err
+		}
+		shards = append(shards, shard{xRef, yRef})
+	}
+
+	w := ir.NewTensor(d, 1)
+	history := make([]float64, 0, t.Epochs)
+	for epoch := 0; epoch < t.Epochs; epoch++ {
+		wBytes := ir.EncodeDatum(ir.TensorDatum(w))
+		specs := make([]*task.Spec, len(shards))
+		for i, sh := range shards {
+			spec := task.NewSpec(rt.Job(), gradFn, []task.Arg{
+				task.RefArg(sh.xRef), task.RefArg(sh.yRef), task.ValueArg(wBytes),
+			}, 2)
+			if t.Gang {
+				spec.Gang = fmt.Sprintf("sgd-epoch-%d", epoch)
+			}
+			specs[i] = spec
+		}
+		var refs [][]idgen.ObjectID
+		if t.Gang {
+			var err error
+			refs, err = rt.SubmitGang(ctx, specs)
+			if err != nil {
+				return nil, nil, err
+			}
+		} else {
+			refs = make([][]idgen.ObjectID, len(specs))
+			for i, spec := range specs {
+				refs[i] = rt.Submit(spec)
+			}
+		}
+		// Average gradients, total loss.
+		sum := ir.NewTensor(d, 1)
+		totalLoss := 0.0
+		for _, r := range refs {
+			gb, err := rt.Get(ctx, r[0])
+			if err != nil {
+				return nil, nil, err
+			}
+			gd, err := ir.DecodeDatum(gb)
+			if err != nil {
+				return nil, nil, err
+			}
+			for i := range sum.Data {
+				sum.Data[i] += gd.Tensor.Data[i]
+			}
+			lb, err := rt.Get(ctx, r[1])
+			if err != nil {
+				return nil, nil, err
+			}
+			ld, err := ir.DecodeDatum(lb)
+			if err != nil {
+				return nil, nil, err
+			}
+			totalLoss += ld.Scalar
+		}
+		for i := range w.Data {
+			w.Data[i] -= t.LearningRate * sum.Data[i] / float64(n)
+		}
+		history = append(history, totalLoss/float64(n))
+		if math.IsNaN(history[len(history)-1]) || math.IsInf(history[len(history)-1], 0) {
+			return nil, history, fmt.Errorf("mlfe: training diverged at epoch %d (lower the learning rate)", epoch)
+		}
+	}
+	return w, history, nil
+}

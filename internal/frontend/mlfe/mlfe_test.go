@@ -1,0 +1,186 @@
+package mlfe
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"skadi/internal/ir"
+	"skadi/internal/runtime"
+)
+
+func testRuntime(t *testing.T) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 3, ServerSlots: 4, ServerMemBytes: 64 << 20,
+		GPUs: 2, DeviceSlots: 2, DeviceMemBytes: 32 << 20,
+	}, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func TestNewMLPShapes(t *testing.T) {
+	m, err := NewMLP("net", []int{4, 8, 2}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Weights) != 2 {
+		t.Fatalf("layers = %d", len(m.Weights))
+	}
+	if m.Weights[0].Shape[0] != 4 || m.Weights[0].Shape[1] != 8 {
+		t.Errorf("W0 shape = %v", m.Weights[0].Shape)
+	}
+	if m.Biases[1].Shape[0] != 1 || m.Biases[1].Shape[1] != 2 {
+		t.Errorf("b1 shape = %v", m.Biases[1].Shape)
+	}
+	if _, err := NewMLP("bad", []int{4}, 1); err == nil {
+		t.Error("single-dim MLP should fail")
+	}
+}
+
+func TestForwardReference(t *testing.T) {
+	m, err := NewMLP("net", []int{2, 3, 1}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := &ir.Tensor{Shape: []int{5, 2}, Data: []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}}
+	out, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shape[0] != 5 || out.Shape[1] != 1 {
+		t.Errorf("output shape = %v", out.Shape)
+	}
+}
+
+func TestPredictMatchesReference(t *testing.T) {
+	rt := testRuntime(t)
+	m, err := NewMLP("net", []int{3, 4, 2}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ir.NewTensor(6, 3)
+	for i := range x.Data {
+		x.Data[i] = float64(i%7) - 3
+	}
+	want, err := m.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Predict(context.Background(), rt, x,
+		map[string]bool{"cpu": true, "gpu": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameShape(want) {
+		t.Fatalf("shape = %v, want %v", got.Shape, want.Shape)
+	}
+	for i := range want.Data {
+		if math.Abs(got.Data[i]-want.Data[i]) > 1e-12 {
+			t.Fatalf("distributed inference differs at %d: %v vs %v", i, got.Data[i], want.Data[i])
+		}
+	}
+}
+
+func TestForwardGraphShape(t *testing.T) {
+	m, err := NewMLP("net", []int{2, 4, 4, 1}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.ForwardGraph()
+	if len(g.Vertices) != 3 {
+		t.Errorf("vertices = %d, want 3 layers", len(g.Vertices))
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// synthetic linear data y = X·wTrue + noiseless.
+func linearData(n, d int) (*ir.Tensor, *ir.Tensor, []float64) {
+	wTrue := make([]float64, d)
+	for i := range wTrue {
+		wTrue[i] = float64(i+1) * 0.5
+	}
+	x := ir.NewTensor(n, d)
+	y := ir.NewTensor(n, 1)
+	seed := uint64(12345)
+	next := func() float64 {
+		seed ^= seed << 13
+		seed ^= seed >> 7
+		seed ^= seed << 17
+		return float64(seed%1000)/500 - 1
+	}
+	for r := 0; r < n; r++ {
+		dot := 0.0
+		for c := 0; c < d; c++ {
+			v := next()
+			x.Set(r, c, v)
+			dot += v * wTrue[c]
+		}
+		y.Data[r] = dot
+	}
+	return x, y, wTrue
+}
+
+func TestTrainLinearConverges(t *testing.T) {
+	rt := testRuntime(t)
+	x, y, wTrue := linearData(200, 3)
+	trainer := &SGDTrainer{LearningRate: 0.1, Epochs: 60, Shards: 4}
+	w, history, err := trainer.TrainLinear(context.Background(), rt, x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 60 {
+		t.Fatalf("history = %d epochs", len(history))
+	}
+	if history[len(history)-1] >= history[0] {
+		t.Errorf("loss did not decrease: %v -> %v", history[0], history[len(history)-1])
+	}
+	for i, want := range wTrue {
+		if math.Abs(w.Data[i]-want) > 0.05 {
+			t.Errorf("w[%d] = %v, want ≈%v", i, w.Data[i], want)
+		}
+	}
+}
+
+func TestTrainLinearGangMatchesUngang(t *testing.T) {
+	// Gang scheduling changes placement, not math: same data, same result.
+	run := func(gang bool) []float64 {
+		rt := testRuntime(t)
+		x, y, _ := linearData(100, 2)
+		trainer := &SGDTrainer{LearningRate: 0.1, Epochs: 20, Shards: 3, Gang: gang}
+		w, _, err := trainer.TrainLinear(context.Background(), rt, x, y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Data
+	}
+	a, b := run(false), run(true)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Errorf("w[%d]: gang %v vs solo %v", i, b[i], a[i])
+		}
+	}
+}
+
+func TestTrainLinearBadShapes(t *testing.T) {
+	rt := testRuntime(t)
+	trainer := &SGDTrainer{}
+	if _, _, err := trainer.TrainLinear(context.Background(), rt,
+		ir.NewTensor(10, 2), ir.NewTensor(5, 1)); err == nil {
+		t.Error("row mismatch should fail")
+	}
+}
+
+func TestTrainDivergenceDetected(t *testing.T) {
+	rt := testRuntime(t)
+	x, y, _ := linearData(100, 3)
+	trainer := &SGDTrainer{LearningRate: 1e8, Epochs: 80, Shards: 2}
+	if _, _, err := trainer.TrainLinear(context.Background(), rt, x, y); err == nil {
+		t.Error("an absurd learning rate should diverge and be reported")
+	}
+}

@@ -1,0 +1,170 @@
+// Package mrfe is the MapReduce frontend of the access layer: classic
+// map/shuffle/reduce jobs expressed over key/value records, lowered onto a
+// FlowGraph with a keyed shuffle edge and executed on the stateful
+// serverless runtime — the "MR" entry of Fig. 2's declarative tier.
+package mrfe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/flowgraph"
+	"skadi/internal/ir"
+	"skadi/internal/physical"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+)
+
+// KV is one key/value pair.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Job describes a MapReduce computation.
+type Job struct {
+	// Name labels the job's graph and registered functions.
+	Name string
+	// Mappers and Reducers set the two stages' parallelism.
+	Mappers, Reducers int
+	// Map turns one input record into zero or more key/value pairs.
+	Map func(record []byte) []KV
+	// Reduce folds all values of one key into one output value.
+	Reduce func(key string, values [][]byte) []byte
+}
+
+// kvSchema is the wire schema between stages.
+var kvSchema = arrowlite.NewSchema(
+	arrowlite.Field{Name: "key", Type: arrowlite.Bytes},
+	arrowlite.Field{Name: "value", Type: arrowlite.Bytes},
+)
+
+// recordsToBatch packs raw records into a single-column batch.
+func recordsToBatch(records [][]byte) (*arrowlite.Batch, error) {
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "record", Type: arrowlite.Bytes},
+	))
+	for _, r := range records {
+		if err := b.Append(r); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+var jobSeq atomic.Int64
+
+// Run executes the job over the input records and returns the reduced
+// key/value pairs sorted by key.
+func (j *Job) Run(ctx context.Context, rt *runtime.Runtime, records [][]byte) ([]KV, error) {
+	if j.Map == nil || j.Reduce == nil {
+		return nil, fmt.Errorf("mrfe: job %q needs Map and Reduce", j.Name)
+	}
+	if j.Mappers < 1 {
+		j.Mappers = 2
+	}
+	if j.Reducers < 1 {
+		j.Reducers = 2
+	}
+	prefix := fmt.Sprintf("mr/%s/%d", j.Name, jobSeq.Add(1))
+
+	// Ship the user code: map and reduce become handcraft task functions
+	// operating on encoded table datums.
+	mapFn, reduceFn := prefix+"/map", prefix+"/reduce"
+	rt.Registry.Register(mapFn, func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		out := arrowlite.NewBuilder(kvSchema)
+		for _, arg := range args {
+			d, err := ir.DecodeDatum(arg)
+			if err != nil {
+				return nil, err
+			}
+			if d.Kind != ir.KTable {
+				return nil, fmt.Errorf("mrfe: map input is %s", d.Kind)
+			}
+			col := d.Table.ColByName("record")
+			if col == nil {
+				return nil, fmt.Errorf("mrfe: map input missing record column")
+			}
+			for r := 0; r < d.Table.NumRows(); r++ {
+				for _, kv := range j.Map(col.BytesAt(r)) {
+					if err := out.Append(kv.Key, kv.Value); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		return [][]byte{ir.EncodeDatum(ir.TableDatum(out.Build()))}, nil
+	})
+	rt.Registry.Register(reduceFn, func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		grouped := make(map[string][][]byte)
+		var order []string
+		for _, arg := range args {
+			d, err := ir.DecodeDatum(arg)
+			if err != nil {
+				return nil, err
+			}
+			if d.Kind != ir.KTable {
+				return nil, fmt.Errorf("mrfe: reduce input is %s", d.Kind)
+			}
+			keys, values := d.Table.ColByName("key"), d.Table.ColByName("value")
+			if keys == nil || values == nil {
+				return nil, fmt.Errorf("mrfe: reduce input missing kv columns")
+			}
+			for r := 0; r < d.Table.NumRows(); r++ {
+				k := string(keys.BytesAt(r))
+				if _, ok := grouped[k]; !ok {
+					order = append(order, k)
+				}
+				grouped[k] = append(grouped[k], values.BytesAt(r))
+			}
+		}
+		sort.Strings(order)
+		out := arrowlite.NewBuilder(kvSchema)
+		for _, k := range order {
+			if err := out.Append(k, j.Reduce(k, grouped[k])); err != nil {
+				return nil, err
+			}
+		}
+		return [][]byte{ir.EncodeDatum(ir.TableDatum(out.Build()))}, nil
+	})
+
+	// Logical graph: map --keyed(key)--> reduce.
+	g := flowgraph.New("mr:" + j.Name)
+	mapV := g.AddHandcraft("map", mapFn, "cpu")
+	mapV.Parallelism = j.Mappers
+	reduceV := g.AddHandcraft("reduce", reduceFn, "cpu")
+	reduceV.Parallelism = j.Reducers
+	g.ConnectKeyed(mapV, reduceV, "key")
+
+	plan, err := physical.NewPlan(g, physical.Options{
+		DefaultParallelism: 1,
+		Available:          map[string]bool{"cpu": true},
+	})
+	if err != nil {
+		return nil, err
+	}
+	input, err := recordsToBatch(records)
+	if err != nil {
+		return nil, err
+	}
+	results, err := physical.NewExecutor(rt, plan).Run(ctx, map[string][]*ir.Datum{
+		"map": {ir.TableDatum(input)},
+	})
+	if err != nil {
+		return nil, err
+	}
+	table := results["reduce"].Table
+	out := make([]KV, 0, table.NumRows())
+	keys, values := table.ColByName("key"), table.ColByName("value")
+	for r := 0; r < table.NumRows(); r++ {
+		out = append(out, KV{
+			Key:   string(keys.BytesAt(r)),
+			Value: append([]byte(nil), values.BytesAt(r)...),
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Key < out[k].Key })
+	return out, nil
+}

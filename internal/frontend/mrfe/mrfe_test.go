@@ -1,0 +1,122 @@
+package mrfe
+
+import (
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+
+	"skadi/internal/runtime"
+)
+
+func testRuntime(t *testing.T) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 3, ServerSlots: 4, ServerMemBytes: 64 << 20,
+	}, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// wordCount is the canonical MapReduce job.
+func wordCount(mappers, reducers int) *Job {
+	return &Job{
+		Name:    "wordcount",
+		Mappers: mappers, Reducers: reducers,
+		Map: func(record []byte) []KV {
+			var out []KV
+			for _, w := range strings.Fields(string(record)) {
+				out = append(out, KV{Key: strings.ToLower(w), Value: []byte("1")})
+			}
+			return out
+		},
+		Reduce: func(_ string, values [][]byte) []byte {
+			total := 0
+			for _, v := range values {
+				n, _ := strconv.Atoi(string(v))
+				total += n
+			}
+			return []byte(strconv.Itoa(total))
+		},
+	}
+}
+
+func TestWordCount(t *testing.T) {
+	rt := testRuntime(t)
+	records := [][]byte{
+		[]byte("the quick brown fox"),
+		[]byte("the lazy dog"),
+		[]byte("the quick dog jumps"),
+		[]byte("fox and dog"),
+	}
+	out, err := wordCount(3, 2).Run(context.Background(), rt, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]string{}
+	for _, kv := range out {
+		counts[kv.Key] = string(kv.Value)
+	}
+	want := map[string]string{"the": "3", "dog": "3", "quick": "2", "fox": "2", "lazy": "1"}
+	for k, v := range want {
+		if counts[k] != v {
+			t.Errorf("count[%s] = %s, want %s", k, counts[k], v)
+		}
+	}
+	// Output sorted by key.
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Error("output not sorted")
+		}
+	}
+}
+
+func TestSameKeySameReducer(t *testing.T) {
+	// With many reducers, all values of one key must still meet in one
+	// reduce call; a wrong shuffle would yield several partial counts.
+	rt := testRuntime(t)
+	var records [][]byte
+	for i := 0; i < 50; i++ {
+		records = append(records, []byte("same same same"))
+	}
+	out, err := wordCount(4, 4).Run(context.Background(), rt, records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || string(out[0].Value) != "150" {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	rt := testRuntime(t)
+	out, err := wordCount(2, 2).Run(context.Background(), rt, [][]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestMissingFunctions(t *testing.T) {
+	rt := testRuntime(t)
+	j := &Job{Name: "bad"}
+	if _, err := j.Run(context.Background(), rt, nil); err == nil {
+		t.Error("job without Map/Reduce should fail")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	rt := testRuntime(t)
+	j := wordCount(0, 0) // defaults kick in
+	if _, err := j.Run(context.Background(), rt, [][]byte{[]byte("a b")}); err != nil {
+		t.Fatal(err)
+	}
+	if j.Mappers < 1 || j.Reducers < 1 {
+		t.Error("defaults not applied")
+	}
+}

@@ -1,0 +1,98 @@
+// Package sqlfe is the SQL frontend of Skadi's access layer: it parses a
+// practical SQL subset (SELECT/FROM/JOIN/WHERE/GROUP BY/ORDER BY/LIMIT
+// with SUM/COUNT/AVG/MIN/MAX aggregates) and lowers queries onto logical
+// FlowGraphs built from rel-dialect IR ops — the "SQL" entry of Fig. 2's
+// domain-specific declarative tier.
+package sqlfe
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // ( ) , * . = != < <= > >=
+	tokKeyword
+)
+
+// keywords recognized case-insensitively.
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"ORDER": true, "LIMIT": true, "JOIN": true, "ON": true, "AND": true,
+	"AS": true, "DESC": true, "ASC": true, "HAVING": true, "DISTINCT": true,
+	"SUM": true, "COUNT": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lex splits a query into tokens.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := rune(input[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case c == '\'':
+			j := i + 1
+			for j < len(input) && input[j] != '\'' {
+				j++
+			}
+			if j >= len(input) {
+				return nil, fmt.Errorf("sqlfe: unterminated string at %d", i)
+			}
+			toks = append(toks, token{tokString, input[i+1 : j], i})
+			i = j + 1
+		case unicode.IsDigit(c) || (c == '-' && i+1 < len(input) && unicode.IsDigit(rune(input[i+1]))):
+			j := i + 1
+			for j < len(input) && (unicode.IsDigit(rune(input[j])) || input[j] == '.') {
+				j++
+			}
+			toks = append(toks, token{tokNumber, input[i:j], i})
+			i = j
+		case unicode.IsLetter(c) || c == '_':
+			j := i + 1
+			for j < len(input) && (unicode.IsLetter(rune(input[j])) || unicode.IsDigit(rune(input[j])) || input[j] == '_') {
+				j++
+			}
+			word := input[i:j]
+			if keywords[strings.ToUpper(word)] {
+				toks = append(toks, token{tokKeyword, strings.ToUpper(word), i})
+			} else {
+				toks = append(toks, token{tokIdent, word, i})
+			}
+			i = j
+		case strings.ContainsRune("(),*.", c):
+			toks = append(toks, token{tokSymbol, string(c), i})
+			i++
+		case c == '=', c == '<', c == '>', c == '!':
+			op := string(c)
+			if i+1 < len(input) && input[i+1] == '=' {
+				op += "="
+				i++
+			}
+			if op == "!" {
+				return nil, fmt.Errorf("sqlfe: stray '!' at %d", i)
+			}
+			toks = append(toks, token{tokSymbol, op, i})
+			i++
+		default:
+			return nil, fmt.Errorf("sqlfe: unexpected character %q at %d", c, i)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", len(input)})
+	return toks, nil
+}

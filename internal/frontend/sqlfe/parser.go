@@ -1,0 +1,353 @@
+package sqlfe
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// SelectItem is one projection: a bare column or an aggregate call.
+type SelectItem struct {
+	// Col is the column name ("" for COUNT(*)).
+	Col string
+	// Agg is "" for a bare column, else sum/count/avg/min/max.
+	Agg string
+	// Star marks SELECT *.
+	Star bool
+}
+
+// Cond is one WHERE conjunct: col op literal.
+type Cond struct {
+	Col string
+	// Op is one of = != < <= > >=.
+	Op string
+	// Val is the literal text; IsStr distinguishes 'strings' from numbers.
+	Val   string
+	IsStr bool
+}
+
+// JoinClause is an inner equi-join.
+type JoinClause struct {
+	Table    string
+	LeftKey  string
+	RightKey string
+}
+
+// Query is the parsed AST.
+type Query struct {
+	Select []SelectItem
+	// Distinct deduplicates the result rows.
+	Distinct bool
+	From     string
+	Join     *JoinClause
+	Where    []Cond
+	GroupBy  string
+	// Having filters aggregated rows; columns refer to output names
+	// (e.g. sum_amount, count).
+	Having  []Cond
+	OrderBy string
+	Desc    bool
+	// Limit is -1 when absent.
+	Limit int
+}
+
+// ErrSyntax reports a malformed query.
+var ErrSyntax = errors.New("sqlfe: syntax error")
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) atEOF() bool { return p.peek().kind == tokEOF }
+
+func (p *parser) expectKeyword(kw string) error {
+	t := p.next()
+	if t.kind != tokKeyword || t.text != kw {
+		return fmt.Errorf("%w: expected %s, got %q at %d", ErrSyntax, kw, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	t := p.next()
+	if t.kind != tokSymbol || t.text != sym {
+		return fmt.Errorf("%w: expected %q, got %q at %d", ErrSyntax, sym, t.text, t.pos)
+	}
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.next()
+	if t.kind == tokIdent {
+		return t.text, nil
+	}
+	// Aggregate output columns are named after their functions
+	// ("count", "sum_amount"), so HAVING count > 1 must treat the
+	// keyword as a column name.
+	if t.kind == tokKeyword && isAggKeyword(t.text) {
+		return strings.ToLower(t.text), nil
+	}
+	return "", fmt.Errorf("%w: expected identifier, got %q at %d", ErrSyntax, t.text, t.pos)
+}
+
+// column parses an optionally qualified column name, dropping the
+// qualifier (schemas in this engine are unqualified).
+func (p *parser) column() (string, error) {
+	name, err := p.ident()
+	if err != nil {
+		return "", err
+	}
+	if p.peek().kind == tokSymbol && p.peek().text == "." {
+		p.next()
+		return p.ident()
+	}
+	return name, nil
+}
+
+// Parse parses one SELECT statement.
+func Parse(input string) (*Query, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	q := &Query{Limit: -1}
+
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokKeyword && p.peek().text == "DISTINCT" {
+		p.next()
+		q.Distinct = true
+	}
+	for {
+		item, err := p.selectItem()
+		if err != nil {
+			return nil, err
+		}
+		q.Select = append(q.Select, item)
+		if p.peek().kind == tokSymbol && p.peek().text == "," {
+			p.next()
+			continue
+		}
+		break
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	q.From, err = p.ident()
+	if err != nil {
+		return nil, err
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "JOIN" {
+		p.next()
+		join := &JoinClause{}
+		join.Table, err = p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("ON"); err != nil {
+			return nil, err
+		}
+		join.LeftKey, err = p.column()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		join.RightKey, err = p.column()
+		if err != nil {
+			return nil, err
+		}
+		q.Join = join
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "WHERE" {
+		p.next()
+		for {
+			cond, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			q.Where = append(q.Where, cond)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "GROUP" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		q.GroupBy, err = p.column()
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "HAVING" {
+		p.next()
+		for {
+			cond, err := p.cond()
+			if err != nil {
+				return nil, err
+			}
+			q.Having = append(q.Having, cond)
+			if p.peek().kind == tokKeyword && p.peek().text == "AND" {
+				p.next()
+				continue
+			}
+			break
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "ORDER" {
+		p.next()
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		q.OrderBy, err = p.column()
+		if err != nil {
+			return nil, err
+		}
+		if p.peek().kind == tokKeyword && (p.peek().text == "DESC" || p.peek().text == "ASC") {
+			q.Desc = p.next().text == "DESC"
+		}
+	}
+
+	if p.peek().kind == tokKeyword && p.peek().text == "LIMIT" {
+		p.next()
+		t := p.next()
+		if t.kind != tokNumber {
+			return nil, fmt.Errorf("%w: LIMIT wants a number, got %q", ErrSyntax, t.text)
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad LIMIT %q", ErrSyntax, t.text)
+		}
+		q.Limit = n
+	}
+
+	if !p.atEOF() {
+		return nil, fmt.Errorf("%w: trailing input %q at %d", ErrSyntax, p.peek().text, p.peek().pos)
+	}
+	return q, q.validate()
+}
+
+func (p *parser) selectItem() (SelectItem, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSymbol && t.text == "*":
+		p.next()
+		return SelectItem{Star: true}, nil
+	case t.kind == tokKeyword && isAggKeyword(t.text):
+		p.next()
+		if err := p.expectSymbol("("); err != nil {
+			return SelectItem{}, err
+		}
+		item := SelectItem{Agg: strings.ToLower(t.text)}
+		if p.peek().kind == tokSymbol && p.peek().text == "*" {
+			p.next()
+			if item.Agg != "count" {
+				return SelectItem{}, fmt.Errorf("%w: %s(*) is invalid", ErrSyntax, item.Agg)
+			}
+		} else {
+			col, err := p.column()
+			if err != nil {
+				return SelectItem{}, err
+			}
+			item.Col = col
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return SelectItem{}, err
+		}
+		return item, nil
+	default:
+		col, err := p.column()
+		if err != nil {
+			return SelectItem{}, err
+		}
+		return SelectItem{Col: col}, nil
+	}
+}
+
+func isAggKeyword(kw string) bool {
+	switch kw {
+	case "SUM", "COUNT", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+func (p *parser) cond() (Cond, error) {
+	col, err := p.column()
+	if err != nil {
+		return Cond{}, err
+	}
+	op := p.next()
+	if op.kind != tokSymbol {
+		return Cond{}, fmt.Errorf("%w: expected comparison, got %q", ErrSyntax, op.text)
+	}
+	switch op.text {
+	case "=", "!=", "<", "<=", ">", ">=":
+	default:
+		return Cond{}, fmt.Errorf("%w: unknown comparison %q", ErrSyntax, op.text)
+	}
+	val := p.next()
+	switch val.kind {
+	case tokNumber:
+		return Cond{Col: col, Op: op.text, Val: val.text}, nil
+	case tokString:
+		return Cond{Col: col, Op: op.text, Val: val.text, IsStr: true}, nil
+	default:
+		return Cond{}, fmt.Errorf("%w: expected literal, got %q", ErrSyntax, val.text)
+	}
+}
+
+// validate applies the semantic rules.
+func (q *Query) validate() error {
+	hasAgg, hasBare := false, false
+	for _, item := range q.Select {
+		if item.Agg != "" {
+			hasAgg = true
+		} else if !item.Star {
+			hasBare = true
+		}
+	}
+	if q.GroupBy != "" && !hasAgg {
+		return fmt.Errorf("%w: GROUP BY requires aggregates", ErrSyntax)
+	}
+	if len(q.Having) > 0 && !hasAgg {
+		return fmt.Errorf("%w: HAVING requires aggregates", ErrSyntax)
+	}
+	if q.Distinct && hasAgg {
+		return fmt.Errorf("%w: DISTINCT cannot mix with aggregates", ErrSyntax)
+	}
+	if hasAgg && hasBare {
+		// Bare columns alongside aggregates must be the group key.
+		for _, item := range q.Select {
+			if item.Agg == "" && !item.Star && item.Col != q.GroupBy {
+				return fmt.Errorf("%w: column %q not in GROUP BY", ErrSyntax, item.Col)
+			}
+		}
+	}
+	if hasAgg {
+		for _, item := range q.Select {
+			if item.Star {
+				return fmt.Errorf("%w: SELECT * cannot mix with aggregates", ErrSyntax)
+			}
+		}
+	}
+	return nil
+}

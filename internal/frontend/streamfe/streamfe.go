@@ -1,0 +1,333 @@
+// Package streamfe is the streaming frontend of the access layer: a
+// micro-batch (discretized-streams-style) model over the stateful
+// serverless runtime. Each micro-batch flows through sharded stateless
+// map tasks, is hash-partitioned by key, and accumulates into *actors*
+// whose private state holds the open window — the stateful-serverless
+// capability the paper argues commercial FaaS lacks (§1). Tumbling windows
+// flush the actor state as aggregated records.
+//
+// This covers the "streaming" execution model in the paper's list of data
+// systems the distributed runtime must host (§1: BSP, task-parallel,
+// streaming, graph, ML).
+package streamfe
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/idgen"
+	"skadi/internal/ir"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+	"skadi/internal/wire"
+)
+
+// Record is one stream element.
+type Record struct {
+	Key   string
+	Value float64
+}
+
+// Output is one aggregated window result.
+type Output struct {
+	// Window is the zero-based tumbling-window index.
+	Window int
+	Key    string
+	Value  float64
+}
+
+// Pipeline is one streaming job.
+type Pipeline struct {
+	// Name labels the job's registered functions.
+	Name string
+	// Parallelism is the shard count of the map stage and the number of
+	// window actors.
+	Parallelism int
+	// Map transforms one record into zero or more records (filter,
+	// enrich, re-key). Nil means identity.
+	Map func(Record) []Record
+	// Window is the tumbling-window length in micro-batches (≥ 1).
+	Window int
+	// Reduce folds all of one key's values within a window. Nil sums.
+	Reduce func(key string, values []float64) float64
+}
+
+var streamSeq atomic.Int64
+
+// recSchema is the wire schema for record batches.
+var recSchema = arrowlite.NewSchema(
+	arrowlite.Field{Name: "key", Type: arrowlite.Bytes},
+	arrowlite.Field{Name: "value", Type: arrowlite.Float64},
+)
+
+// encodeRecords packs records into an encoded table datum.
+func encodeRecords(records []Record) ([]byte, error) {
+	b := arrowlite.NewBuilder(recSchema)
+	for _, r := range records {
+		if err := b.Append(r.Key, r.Value); err != nil {
+			return nil, err
+		}
+	}
+	return ir.EncodeDatum(ir.TableDatum(b.Build())), nil
+}
+
+// decodeRecords unpacks an encoded table datum.
+func decodeRecords(data []byte) ([]Record, error) {
+	d, err := ir.DecodeDatum(data)
+	if err != nil {
+		return nil, err
+	}
+	if d.Kind != ir.KTable {
+		return nil, fmt.Errorf("streamfe: expected table, got %s", d.Kind)
+	}
+	keys := d.Table.ColByName("key")
+	values := d.Table.ColByName("value")
+	if keys == nil || values == nil {
+		return nil, fmt.Errorf("streamfe: batch missing key/value columns")
+	}
+	out := make([]Record, d.Table.NumRows())
+	for r := range out {
+		out[r] = Record{Key: string(keys.BytesAt(r)), Value: values.Floats[r]}
+	}
+	return out, nil
+}
+
+// keyHash routes a key to one of n window actors.
+func keyHash(key string, n int) int {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(key))
+	return int(h.Sum64() % uint64(n))
+}
+
+// floatsToBytes / bytesToFloats serialize actor window state per key.
+func floatsToBytes(v []float64) []byte {
+	buf := wire.NewBuffer(8 * len(v))
+	buf.Uvarint(uint64(len(v)))
+	for _, x := range v {
+		buf.Float64(x)
+	}
+	return buf.Bytes()
+}
+
+func bytesToFloats(b []byte) ([]float64, error) {
+	if len(b) == 0 {
+		return nil, nil
+	}
+	r := wire.NewReader(b)
+	n := int(r.Uvarint())
+	if r.Err() != nil || n < 0 || n > r.Remaining()/8+1 {
+		return nil, fmt.Errorf("streamfe: corrupt state")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	if r.Err() != nil {
+		return nil, fmt.Errorf("streamfe: corrupt state")
+	}
+	return out, nil
+}
+
+// Run feeds the micro-batches through the pipeline and returns every
+// window's aggregates, ordered by (window, key). A trailing partial window
+// is flushed at stream end.
+func (p *Pipeline) Run(ctx context.Context, rt *runtime.Runtime, microBatches [][]Record) ([]Output, error) {
+	if p.Parallelism < 1 {
+		p.Parallelism = 2
+	}
+	if p.Window < 1 {
+		p.Window = 1
+	}
+	reduce := p.Reduce
+	if reduce == nil {
+		reduce = func(_ string, values []float64) float64 {
+			sum := 0.0
+			for _, v := range values {
+				sum += v
+			}
+			return sum
+		}
+	}
+	mapFn := p.Map
+	if mapFn == nil {
+		mapFn = func(r Record) []Record { return []Record{r} }
+	}
+	prefix := fmt.Sprintf("stream/%s/%d", p.Name, streamSeq.Add(1))
+
+	// Map stage: records in, P key-partitions out.
+	parts := p.Parallelism
+	mapName := prefix + "/map"
+	rt.Registry.Register(mapName, func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		var mapped []Record
+		for _, arg := range args {
+			records, err := decodeRecords(arg)
+			if err != nil {
+				return nil, err
+			}
+			for _, r := range records {
+				mapped = append(mapped, mapFn(r)...)
+			}
+		}
+		partitions := make([][]Record, parts)
+		for _, r := range mapped {
+			i := keyHash(r.Key, parts)
+			partitions[i] = append(partitions[i], r)
+		}
+		out := make([][]byte, parts)
+		for i, partition := range partitions {
+			enc, err := encodeRecords(partition)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = enc
+		}
+		return out, nil
+	})
+
+	// Window actors: accumulate partitions into per-key state; flush
+	// emits and clears the window.
+	actorName := prefix + "/window"
+	rt.Registry.Register(actorName, func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		switch tctx.Spec.Meta["op"] {
+		case "accumulate":
+			for _, arg := range args {
+				records, err := decodeRecords(arg)
+				if err != nil {
+					return nil, err
+				}
+				for _, r := range records {
+					vals, err := bytesToFloats(tctx.ActorState[r.Key])
+					if err != nil {
+						return nil, err
+					}
+					tctx.ActorState[r.Key] = floatsToBytes(append(vals, r.Value))
+				}
+			}
+			return [][]byte{nil}, nil
+		case "flush":
+			keys := make([]string, 0, len(tctx.ActorState))
+			for k := range tctx.ActorState {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var results []Record
+			for _, k := range keys {
+				vals, err := bytesToFloats(tctx.ActorState[k])
+				if err != nil {
+					return nil, err
+				}
+				if len(vals) == 0 {
+					continue
+				}
+				results = append(results, Record{Key: k, Value: reduce(k, vals)})
+				delete(tctx.ActorState, k)
+			}
+			enc, err := encodeRecords(results)
+			if err != nil {
+				return nil, err
+			}
+			return [][]byte{enc}, nil
+		default:
+			return nil, fmt.Errorf("streamfe: unknown op %q", tctx.Spec.Meta["op"])
+		}
+	})
+
+	// One actor per partition, placed by the scheduler.
+	actors := make([]idgen.ActorID, parts)
+	for i := range actors {
+		actor, err := rt.CreateActor("cpu")
+		if err != nil {
+			return nil, err
+		}
+		actors[i] = actor
+	}
+
+	var outputs []Output
+	window := 0
+	flushWindow := func() error {
+		flushRefs := make([]idgen.ObjectID, parts)
+		for i, actor := range actors {
+			spec := task.NewSpec(rt.Job(), actorName, nil, 1)
+			spec.Actor = actor
+			spec.Meta = map[string]string{"op": "flush"}
+			flushRefs[i] = rt.Submit(spec)[0]
+		}
+		for _, ref := range flushRefs {
+			data, err := rt.Get(ctx, ref)
+			if err != nil {
+				return err
+			}
+			records, err := decodeRecords(data)
+			if err != nil {
+				return err
+			}
+			for _, r := range records {
+				outputs = append(outputs, Output{Window: window, Key: r.Key, Value: r.Value})
+			}
+		}
+		window++
+		return nil
+	}
+
+	for batchIdx, batch := range microBatches {
+		// Shard the micro-batch across map tasks.
+		shards := make([][]Record, p.Parallelism)
+		for i, r := range batch {
+			shards[i%p.Parallelism] = append(shards[i%p.Parallelism], r)
+		}
+		accRefs := make([]idgen.ObjectID, 0, parts*p.Parallelism)
+		perPartition := make([][]idgen.ObjectID, parts)
+		for _, shard := range shards {
+			enc, err := encodeRecords(shard)
+			if err != nil {
+				return nil, err
+			}
+			in, err := rt.Put(enc, "datum")
+			if err != nil {
+				return nil, err
+			}
+			spec := task.NewSpec(rt.Job(), mapName, []task.Arg{task.RefArg(in)}, parts)
+			refs := rt.Submit(spec)
+			for i := 0; i < parts; i++ {
+				perPartition[i] = append(perPartition[i], refs[i])
+			}
+		}
+		// Route each partition to its window actor.
+		for i, actor := range actors {
+			args := make([]task.Arg, len(perPartition[i]))
+			for j, ref := range perPartition[i] {
+				args[j] = task.RefArg(ref)
+			}
+			spec := task.NewSpec(rt.Job(), actorName, args, 1)
+			spec.Actor = actor
+			spec.Meta = map[string]string{"op": "accumulate"}
+			accRefs = append(accRefs, rt.Submit(spec)[0])
+		}
+		// Micro-batch barrier: the window may only close after every
+		// accumulate for the batch has applied.
+		if _, err := rt.Wait(ctx, accRefs, len(accRefs)); err != nil {
+			return nil, err
+		}
+		if (batchIdx+1)%p.Window == 0 {
+			if err := flushWindow(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(microBatches)%p.Window != 0 {
+		if err := flushWindow(); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(outputs, func(i, j int) bool {
+		if outputs[i].Window != outputs[j].Window {
+			return outputs[i].Window < outputs[j].Window
+		}
+		return outputs[i].Key < outputs[j].Key
+	})
+	return outputs, nil
+}

@@ -1,0 +1,210 @@
+package streamfe
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"skadi/internal/runtime"
+)
+
+func testRuntime(t *testing.T) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 3, ServerSlots: 4, ServerMemBytes: 64 << 20,
+	}, runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+// batches builds micro-batches of (key, 1) click events.
+func clickBatches(spec ...string) [][]Record {
+	out := make([][]Record, len(spec))
+	for i, s := range spec {
+		for _, key := range strings.Fields(s) {
+			out[i] = append(out[i], Record{Key: key, Value: 1})
+		}
+	}
+	return out
+}
+
+// outputMap indexes outputs by (window, key).
+func outputMap(outputs []Output) map[int]map[string]float64 {
+	m := map[int]map[string]float64{}
+	for _, o := range outputs {
+		if m[o.Window] == nil {
+			m[o.Window] = map[string]float64{}
+		}
+		m[o.Window][o.Key] = o.Value
+	}
+	return m
+}
+
+func TestWindowedCounts(t *testing.T) {
+	rt := testRuntime(t)
+	p := &Pipeline{Name: "clicks", Parallelism: 2, Window: 2}
+	outputs, err := p.Run(context.Background(), rt, clickBatches(
+		"a b a", // batch 0 ┐ window 0
+		"b b c", // batch 1 ┘
+		"a",     // batch 2 ┐ window 1
+		"c c",   // batch 3 ┘
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := outputMap(outputs)
+	if len(m) != 2 {
+		t.Fatalf("windows = %d, want 2: %v", len(m), outputs)
+	}
+	want0 := map[string]float64{"a": 2, "b": 3, "c": 1}
+	want1 := map[string]float64{"a": 1, "c": 2}
+	for k, v := range want0 {
+		if m[0][k] != v {
+			t.Errorf("window 0 %s = %v, want %v", k, m[0][k], v)
+		}
+	}
+	for k, v := range want1 {
+		if m[1][k] != v {
+			t.Errorf("window 1 %s = %v, want %v", k, m[1][k], v)
+		}
+	}
+	// Window state was cleared between windows: no leakage of b into w1.
+	if _, ok := m[1]["b"]; ok {
+		t.Error("window 1 leaked key b from window 0")
+	}
+}
+
+func TestTrailingPartialWindowFlushed(t *testing.T) {
+	rt := testRuntime(t)
+	p := &Pipeline{Name: "tail", Parallelism: 2, Window: 3}
+	outputs, err := p.Run(context.Background(), rt, clickBatches("x", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := outputMap(outputs)
+	if m[0]["x"] != 2 {
+		t.Errorf("partial window x = %v, want 2", m[0]["x"])
+	}
+}
+
+func TestMapTransformAndFilter(t *testing.T) {
+	rt := testRuntime(t)
+	p := &Pipeline{
+		Name: "mapped", Parallelism: 2, Window: 1,
+		Map: func(r Record) []Record {
+			if r.Key == "drop" {
+				return nil
+			}
+			return []Record{{Key: "all", Value: r.Value * 10}}
+		},
+	}
+	outputs, err := p.Run(context.Background(), rt, [][]Record{{
+		{Key: "a", Value: 1}, {Key: "drop", Value: 100}, {Key: "b", Value: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 1 || outputs[0].Key != "all" || outputs[0].Value != 30 {
+		t.Errorf("outputs = %v", outputs)
+	}
+}
+
+func TestCustomReduce(t *testing.T) {
+	rt := testRuntime(t)
+	p := &Pipeline{
+		Name: "max", Parallelism: 2, Window: 1,
+		Reduce: func(_ string, values []float64) float64 {
+			best := math.Inf(-1)
+			for _, v := range values {
+				if v > best {
+					best = v
+				}
+			}
+			return best
+		},
+	}
+	outputs, err := p.Run(context.Background(), rt, [][]Record{{
+		{Key: "t", Value: 3}, {Key: "t", Value: 9}, {Key: "t", Value: 5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 1 || outputs[0].Value != 9 {
+		t.Errorf("outputs = %v", outputs)
+	}
+}
+
+func TestParallelismInvariance(t *testing.T) {
+	batches := clickBatches("a b c d e a b", "c c d a", "e e e")
+	reference := map[string]float64{}
+	for _, b := range batches {
+		for _, r := range b {
+			reference[r.Key] += r.Value
+		}
+	}
+	for _, par := range []int{1, 2, 4} {
+		rt := testRuntime(t)
+		p := &Pipeline{Name: "inv", Parallelism: par, Window: 3}
+		outputs, err := p.Run(context.Background(), rt, batches)
+		if err != nil {
+			t.Fatalf("par=%d: %v", par, err)
+		}
+		m := outputMap(outputs)
+		for k, v := range reference {
+			if m[0][k] != v {
+				t.Errorf("par=%d: %s = %v, want %v", par, k, m[0][k], v)
+			}
+		}
+	}
+}
+
+func TestEmptyStream(t *testing.T) {
+	rt := testRuntime(t)
+	p := &Pipeline{Name: "empty", Parallelism: 2, Window: 2}
+	outputs, err := p.Run(context.Background(), rt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(outputs) != 0 {
+		t.Errorf("outputs = %v", outputs)
+	}
+}
+
+func TestOutputsOrdered(t *testing.T) {
+	rt := testRuntime(t)
+	p := &Pipeline{Name: "order", Parallelism: 3, Window: 1}
+	outputs, err := p.Run(context.Background(), rt, clickBatches("z y x", "b a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(outputs); i++ {
+		a, b := outputs[i-1], outputs[i]
+		if a.Window > b.Window || (a.Window == b.Window && a.Key > b.Key) {
+			t.Fatalf("outputs not ordered: %v", outputs)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	for _, vals := range [][]float64{nil, {1}, {1, 2, 3.5, -7}, make([]float64, 100)} {
+		got, err := bytesToFloats(floatsToBytes(vals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(vals) {
+			t.Fatalf("len = %d, want %d", len(got), len(vals))
+		}
+		for i := range vals {
+			if got[i] != vals[i] {
+				t.Fatal("value mismatch")
+			}
+		}
+	}
+	if _, err := bytesToFloats([]byte{0xff, 0x01}); err == nil {
+		t.Error("corrupt state should fail")
+	}
+}

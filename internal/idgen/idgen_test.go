@@ -1,0 +1,106 @@
+package idgen
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestNextUnique(t *testing.T) {
+	seen := make(map[ID]bool)
+	for i := 0; i < 10000; i++ {
+		id := Next()
+		if seen[id] {
+			t.Fatalf("duplicate ID %s after %d generations", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+func TestNextConcurrentUnique(t *testing.T) {
+	const goroutines = 16
+	const perG = 2000
+	var mu sync.Mutex
+	seen := make(map[ID]bool, goroutines*perG)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			local := make([]ID, 0, perG)
+			for i := 0; i < perG; i++ {
+				local = append(local, Next())
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			for _, id := range local {
+				if seen[id] {
+					t.Errorf("duplicate ID %s", id)
+				}
+				seen[id] = true
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNilAndIsNil(t *testing.T) {
+	if !Nil.IsNil() {
+		t.Error("Nil.IsNil() = false")
+	}
+	if Next().IsNil() {
+		t.Error("Next().IsNil() = true")
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	id := Next()
+	if len(id.String()) != 32 {
+		t.Errorf("String() length = %d, want 32", len(id.String()))
+	}
+	if len(id.Short()) != 12 {
+		t.Errorf("Short() length = %d, want 12", len(id.Short()))
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	a := Next()
+	b := Next()
+	if !a.Less(b) {
+		t.Errorf("a=%s should be Less than b=%s", a, b)
+	}
+	if b.Less(a) {
+		t.Error("Less is not antisymmetric")
+	}
+	if a.Less(a) {
+		t.Error("Less is not irreflexive")
+	}
+}
+
+func TestFromSeq(t *testing.T) {
+	id := FromSeq(42)
+	if id.Seq() != 42 {
+		t.Errorf("Seq() = %d, want 42", id.Seq())
+	}
+	if FromSeq(41).Seq() >= id.Seq() {
+		t.Error("FromSeq ordering broken")
+	}
+}
+
+func TestSeqRoundTripProperty(t *testing.T) {
+	f := func(seq uint64) bool {
+		return FromSeq(seq).Seq() == seq
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessMatchesSeqProperty(t *testing.T) {
+	f := func(a, b uint64) bool {
+		return FromSeq(a).Less(FromSeq(b)) == (a < b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

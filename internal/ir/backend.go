@@ -1,0 +1,101 @@
+package ir
+
+import (
+	"fmt"
+	"time"
+)
+
+// Backend names. These match cluster.NodeKind.Backend so the physical
+// planner can map lowered ops onto nodes.
+const (
+	BackendCPU  = "cpu"
+	BackendGPU  = "gpu"
+	BackendFPGA = "fpga"
+)
+
+// BackendProfile is one backend's cost model: a fixed kernel-launch
+// overhead plus a per-element throughput factor relative to the CPU.
+// Absolute values are representative; experiments depend on ratios (GPU
+// has the highest throughput but also the highest launch cost, so short
+// ops favour CPU/FPGA — the crossover E8 measures).
+type BackendProfile struct {
+	// Launch is the fixed per-kernel invocation overhead.
+	Launch time.Duration
+	// SpeedFactor divides the CPU per-element cost (higher = faster).
+	SpeedFactor float64
+}
+
+// DefaultBackends returns the three standard backend profiles.
+func DefaultBackends() map[string]BackendProfile {
+	return map[string]BackendProfile{
+		BackendCPU:  {Launch: 0, SpeedFactor: 1},
+		BackendGPU:  {Launch: 12 * time.Microsecond, SpeedFactor: 14},
+		BackendFPGA: {Launch: 4 * time.Microsecond, SpeedFactor: 5},
+	}
+}
+
+// opClassCost returns the CPU cost per element for an op, by class.
+func opClassCost(op *Op) time.Duration {
+	switch {
+	case op.Key() == "tensor.matmul":
+		return 6 * time.Nanosecond
+	case op.Dialect == "tensor":
+		return 1 * time.Nanosecond
+	case op.Dialect == "rel":
+		return 4 * time.Nanosecond
+	default:
+		return 0
+	}
+}
+
+// Cost estimates the simulated execution time of one op over inputElems
+// elements on the given backend. The physical planner writes this into
+// task.Spec.Duration.
+func Cost(op *Op, inputElems int64, backend string) time.Duration {
+	prof, ok := DefaultBackends()[backend]
+	if !ok {
+		prof = DefaultBackends()[BackendCPU]
+	}
+	perElem := opClassCost(op)
+	work := time.Duration(float64(inputElems) * float64(perElem) / prof.SpeedFactor)
+	return prof.Launch + work
+}
+
+// LoweringRule decides the backend for one op given the set of available
+// backends.
+type LoweringRule func(op *Op, available map[string]bool) string
+
+// DefaultLoweringRule implements the paper's predefined-rules lowering
+// (§2.1 step 1): tensor ops prefer GPU, then FPGA; relational ops prefer
+// FPGA (streaming-friendly), then CPU; everything else runs on CPU.
+func DefaultLoweringRule(op *Op, available map[string]bool) string {
+	prefs := []string{BackendCPU}
+	switch op.Dialect {
+	case "tensor":
+		prefs = []string{BackendGPU, BackendFPGA, BackendCPU}
+	case "rel":
+		prefs = []string{BackendFPGA, BackendCPU}
+	}
+	for _, b := range prefs {
+		if available[b] {
+			return b
+		}
+	}
+	return BackendCPU
+}
+
+// Lower assigns a backend to every op using the rule. It returns an error
+// if an op lowers to a backend with no kernel for it (kernels are
+// backend-agnostic here, so this only fails for unknown ops).
+func Lower(f *Func, rule LoweringRule, available map[string]bool) error {
+	if rule == nil {
+		rule = DefaultLoweringRule
+	}
+	for _, op := range f.Ops {
+		if _, ok := LookupKernel(op.Key()); !ok {
+			return fmt.Errorf("%w: %s", ErrNoKernel, op.Key())
+		}
+		op.Backend = rule(op, available)
+	}
+	return nil
+}

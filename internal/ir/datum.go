@@ -1,0 +1,218 @@
+// Package ir implements Skadi's multi-level intermediate representation —
+// the MLIR-inspired substrate of the access layer (§2.2). Hardware-agnostic
+// ops from three dialects (rel for relational, tensor for ML, core for
+// constants/glue) build FlowGraph vertices; passes optimize across domains
+// (op fusion, constant folding, DCE); and lowering assigns each op a
+// hardware backend with a per-backend cost model, so one piece of code maps
+// to CPU, GPU, or FPGA execution (Fig. 2's D1-gpu / D2-fpga split).
+package ir
+
+import (
+	"errors"
+	"fmt"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/wire"
+)
+
+// Kind classifies a value/datum.
+type Kind int
+
+// Value kinds.
+const (
+	// KScalar is a float64 scalar.
+	KScalar Kind = iota
+	// KTensor is a dense float64 tensor.
+	KTensor
+	// KTable is a columnar record batch.
+	KTable
+	// KBytes is an opaque byte string.
+	KBytes
+)
+
+// String returns the kind name.
+func (k Kind) String() string {
+	switch k {
+	case KScalar:
+		return "scalar"
+	case KTensor:
+		return "tensor"
+	case KTable:
+		return "table"
+	case KBytes:
+		return "bytes"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Tensor is a dense row-major float64 tensor.
+type Tensor struct {
+	Shape []int
+	Data  []float64
+}
+
+// NewTensor allocates a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &Tensor{Shape: append([]int(nil), shape...), Data: make([]float64, n)}
+}
+
+// Elems returns the element count.
+func (t *Tensor) Elems() int { return len(t.Data) }
+
+// At returns the element at the given 2-D position (row-major).
+func (t *Tensor) At(i, j int) float64 { return t.Data[i*t.Shape[1]+j] }
+
+// Set assigns the element at the given 2-D position.
+func (t *Tensor) Set(i, j int, v float64) { t.Data[i*t.Shape[1]+j] = v }
+
+// SameShape reports whether two tensors have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.Shape) != len(o.Shape) {
+		return false
+	}
+	for i := range t.Shape {
+		if t.Shape[i] != o.Shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Datum is a runtime value flowing between ops and between tasks.
+type Datum struct {
+	Kind   Kind
+	Scalar float64
+	Tensor *Tensor
+	Table  *arrowlite.Batch
+	Bytes  []byte
+}
+
+// ScalarDatum wraps a float64.
+func ScalarDatum(v float64) *Datum { return &Datum{Kind: KScalar, Scalar: v} }
+
+// TensorDatum wraps a tensor.
+func TensorDatum(t *Tensor) *Datum { return &Datum{Kind: KTensor, Tensor: t} }
+
+// TableDatum wraps a record batch.
+func TableDatum(b *arrowlite.Batch) *Datum { return &Datum{Kind: KTable, Table: b} }
+
+// BytesDatum wraps raw bytes.
+func BytesDatum(b []byte) *Datum { return &Datum{Kind: KBytes, Bytes: b} }
+
+// ErrCorruptDatum reports an undecodable datum buffer.
+var ErrCorruptDatum = errors.New("ir: corrupt datum")
+
+// SizeBytes estimates the datum's footprint, used by cost models and the
+// caching layer accounting.
+func (d *Datum) SizeBytes() int64 {
+	switch d.Kind {
+	case KScalar:
+		return 8
+	case KTensor:
+		return int64(len(d.Tensor.Data)) * 8
+	case KTable:
+		return d.Table.SizeBytes()
+	default:
+		return int64(len(d.Bytes))
+	}
+}
+
+// Elems returns the logical element count (tensor elements, table rows, or
+// 1 for scalars/bytes), the unit of the op cost model.
+func (d *Datum) Elems() int64 {
+	switch d.Kind {
+	case KTensor:
+		return int64(d.Tensor.Elems())
+	case KTable:
+		return int64(d.Table.NumRows())
+	default:
+		return 1
+	}
+}
+
+// EncodeDatum serializes a datum for the object store.
+func EncodeDatum(d *Datum) []byte {
+	buf := wire.NewBuffer(64)
+	buf.Byte(byte(d.Kind))
+	switch d.Kind {
+	case KScalar:
+		buf.Float64(d.Scalar)
+	case KTensor:
+		buf.Uvarint(uint64(len(d.Tensor.Shape)))
+		for _, s := range d.Tensor.Shape {
+			buf.Uvarint(uint64(s))
+		}
+		buf.Uvarint(uint64(len(d.Tensor.Data)))
+		for _, v := range d.Tensor.Data {
+			buf.Float64(v)
+		}
+	case KTable:
+		buf.LenBytes(arrowlite.Encode(d.Table))
+	case KBytes:
+		buf.LenBytes(d.Bytes)
+	}
+	return buf.Bytes()
+}
+
+// DecodeDatum deserializes a datum.
+func DecodeDatum(data []byte) (*Datum, error) {
+	r := wire.NewReader(data)
+	kind := Kind(r.Byte())
+	if r.Err() != nil {
+		return nil, ErrCorruptDatum
+	}
+	switch kind {
+	case KScalar:
+		v := r.Float64()
+		if r.Err() != nil {
+			return nil, ErrCorruptDatum
+		}
+		return ScalarDatum(v), nil
+	case KTensor:
+		nShape := int(r.Uvarint())
+		if r.Err() != nil || nShape > 16 {
+			return nil, ErrCorruptDatum
+		}
+		shape := make([]int, nShape)
+		for i := range shape {
+			shape[i] = int(r.Uvarint())
+		}
+		n := int(r.Uvarint())
+		if r.Err() != nil || n < 0 || n > r.Remaining()/8 {
+			return nil, ErrCorruptDatum
+		}
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = r.Float64()
+		}
+		if r.Err() != nil {
+			return nil, ErrCorruptDatum
+		}
+		return TensorDatum(&Tensor{Shape: shape, Data: data}), nil
+	case KTable:
+		raw := r.LenBytes()
+		if r.Err() != nil {
+			return nil, ErrCorruptDatum
+		}
+		batch, err := arrowlite.Decode(raw)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorruptDatum, err)
+		}
+		return TableDatum(batch), nil
+	case KBytes:
+		raw := r.LenBytes()
+		if r.Err() != nil {
+			return nil, ErrCorruptDatum
+		}
+		cp := make([]byte, len(raw))
+		copy(cp, raw)
+		return BytesDatum(cp), nil
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrCorruptDatum, kind)
+	}
+}

@@ -1,0 +1,726 @@
+package ir
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"skadi/internal/arrowlite"
+)
+
+// Kernel executes one op over resolved inputs.
+type Kernel func(op *Op, args []*Datum) (*Datum, error)
+
+// Errors returned by execution.
+var (
+	// ErrNoKernel reports an op with no registered kernel.
+	ErrNoKernel = errors.New("ir: no kernel for op")
+	// ErrBadOperands reports operands of the wrong kind/shape.
+	ErrBadOperands = errors.New("ir: bad operands")
+)
+
+// kernels is the default kernel registry, keyed by "dialect.name". All
+// kernels compute on the CPU; backend selection affects cost and placement,
+// not semantics (one hardware-agnostic op, many lowerings).
+var kernels = map[string]Kernel{}
+
+// RegisterKernel installs a kernel, replacing any existing registration.
+func RegisterKernel(key string, k Kernel) { kernels[key] = k }
+
+// LookupKernel returns the kernel for an op key.
+func LookupKernel(key string) (Kernel, bool) {
+	k, ok := kernels[key]
+	return k, ok
+}
+
+// ExecOp runs a single op.
+func ExecOp(op *Op, args []*Datum) (*Datum, error) {
+	k, ok := kernels[op.Key()]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoKernel, op.Key())
+	}
+	return k(op, args)
+}
+
+// Eval interprets a function over the given arguments.
+func Eval(f *Func, args []*Datum) ([]*Datum, error) {
+	if len(args) != len(f.Params) {
+		return nil, fmt.Errorf("%w: %d args for %d params", ErrBadOperands, len(args), len(f.Params))
+	}
+	env := make(map[int]*Datum, f.nextID)
+	for i, p := range f.Params {
+		env[p.ID] = args[i]
+	}
+	for _, op := range f.Ops {
+		ins := make([]*Datum, len(op.Operands))
+		for i, in := range op.Operands {
+			d, ok := env[in.ID]
+			if !ok {
+				return nil, fmt.Errorf("%w: v%d undefined", ErrBadOperands, in.ID)
+			}
+			ins[i] = d
+		}
+		out, err := ExecOp(op, ins)
+		if err != nil {
+			return nil, fmt.Errorf("ir: %s: %w", op.Key(), err)
+		}
+		env[op.Results[0].ID] = out
+	}
+	rets := make([]*Datum, len(f.Rets))
+	for i, rv := range f.Rets {
+		d, ok := env[rv.ID]
+		if !ok {
+			return nil, fmt.Errorf("%w: return v%d undefined", ErrBadOperands, rv.ID)
+		}
+		rets[i] = d
+	}
+	return rets, nil
+}
+
+func wantTensor(d *Datum) (*Tensor, error) {
+	if d.Kind != KTensor {
+		return nil, fmt.Errorf("%w: want tensor, got %s", ErrBadOperands, d.Kind)
+	}
+	return d.Tensor, nil
+}
+
+func wantTable(d *Datum) (*arrowlite.Batch, error) {
+	if d.Kind != KTable {
+		return nil, fmt.Errorf("%w: want table, got %s", ErrBadOperands, d.Kind)
+	}
+	return d.Table, nil
+}
+
+func init() {
+	registerCoreKernels()
+	registerTensorKernels()
+	registerRelKernels()
+}
+
+func registerCoreKernels() {
+	RegisterKernel("core.const", func(op *Op, _ []*Datum) (*Datum, error) {
+		if op.Const == nil {
+			return nil, fmt.Errorf("%w: const without value", ErrBadOperands)
+		}
+		return op.Const, nil
+	})
+	RegisterKernel("core.identity", func(_ *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		return args[0], nil
+	})
+}
+
+// elementwise applies f to every element, returning a fresh tensor.
+func elementwise(t *Tensor, f func(float64) float64) *Tensor {
+	out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+	for i, v := range t.Data {
+		out.Data[i] = f(v)
+	}
+	return out
+}
+
+// unaryFn returns the scalar function for one fused-chain step, e.g.
+// "relu", "scale:2.0", "addscalar:-1".
+func unaryFn(step string) (func(float64) float64, error) {
+	name, arg, _ := strings.Cut(step, ":")
+	var x float64
+	if arg != "" {
+		var err error
+		x, err = strconv.ParseFloat(arg, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad step %q", ErrBadOperands, step)
+		}
+	}
+	switch name {
+	case "relu":
+		return func(v float64) float64 {
+			if v < 0 {
+				return 0
+			}
+			return v
+		}, nil
+	case "scale":
+		return func(v float64) float64 { return v * x }, nil
+	case "addscalar":
+		return func(v float64) float64 { return v + x }, nil
+	case "neg":
+		return func(v float64) float64 { return -v }, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown unary op %q", ErrBadOperands, name)
+	}
+}
+
+func registerTensorKernels() {
+	RegisterKernel("tensor.matmul", func(_ *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 2 {
+			return nil, ErrBadOperands
+		}
+		a, err := wantTensor(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := wantTensor(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Shape) != 2 || len(b.Shape) != 2 || a.Shape[1] != b.Shape[0] {
+			return nil, fmt.Errorf("%w: matmul %v × %v", ErrBadOperands, a.Shape, b.Shape)
+		}
+		m, k, n := a.Shape[0], a.Shape[1], b.Shape[1]
+		out := NewTensor(m, n)
+		for i := 0; i < m; i++ {
+			for l := 0; l < k; l++ {
+				av := a.Data[i*k+l]
+				if av == 0 {
+					continue
+				}
+				row := b.Data[l*n : (l+1)*n]
+				outRow := out.Data[i*n : (i+1)*n]
+				for j, bv := range row {
+					outRow[j] += av * bv
+				}
+			}
+		}
+		return TensorDatum(out), nil
+	})
+
+	binop := func(name string, f func(a, b float64) float64) {
+		RegisterKernel("tensor."+name, func(_ *Op, args []*Datum) (*Datum, error) {
+			if len(args) != 2 {
+				return nil, ErrBadOperands
+			}
+			a, err := wantTensor(args[0])
+			if err != nil {
+				return nil, err
+			}
+			b, err := wantTensor(args[1])
+			if err != nil {
+				return nil, err
+			}
+			if !a.SameShape(b) {
+				return nil, fmt.Errorf("%w: %s shapes %v vs %v", ErrBadOperands, name, a.Shape, b.Shape)
+			}
+			out := &Tensor{Shape: append([]int(nil), a.Shape...), Data: make([]float64, len(a.Data))}
+			for i := range a.Data {
+				out.Data[i] = f(a.Data[i], b.Data[i])
+			}
+			return TensorDatum(out), nil
+		})
+	}
+	binop("add", func(a, b float64) float64 { return a + b })
+	binop("mul", func(a, b float64) float64 { return a * b })
+	binop("sub", func(a, b float64) float64 { return a - b })
+
+	unop := func(name string) {
+		RegisterKernel("tensor."+name, func(op *Op, args []*Datum) (*Datum, error) {
+			if len(args) != 1 {
+				return nil, ErrBadOperands
+			}
+			t, err := wantTensor(args[0])
+			if err != nil {
+				return nil, err
+			}
+			step := name
+			switch name {
+			case "scale":
+				step = "scale:" + op.Attr("factor")
+			case "addscalar":
+				step = "addscalar:" + op.Attr("value")
+			}
+			f, err := unaryFn(step)
+			if err != nil {
+				return nil, err
+			}
+			return TensorDatum(elementwise(t, f)), nil
+		})
+	}
+	unop("relu")
+	unop("scale")
+	unop("addscalar")
+	unop("neg")
+
+	// tensor.addrow broadcasts a [1,n] bias over the rows of a [m,n]
+	// tensor — the bias-add of dense layers.
+	RegisterKernel("tensor.addrow", func(_ *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 2 {
+			return nil, ErrBadOperands
+		}
+		a, err := wantTensor(args[0])
+		if err != nil {
+			return nil, err
+		}
+		b, err := wantTensor(args[1])
+		if err != nil {
+			return nil, err
+		}
+		if len(a.Shape) != 2 || len(b.Shape) != 2 || b.Shape[0] != 1 || a.Shape[1] != b.Shape[1] {
+			return nil, fmt.Errorf("%w: addrow %v + %v", ErrBadOperands, a.Shape, b.Shape)
+		}
+		n := a.Shape[1]
+		out := &Tensor{Shape: append([]int(nil), a.Shape...), Data: make([]float64, len(a.Data))}
+		for i := range a.Data {
+			out.Data[i] = a.Data[i] + b.Data[i%n]
+		}
+		return TensorDatum(out), nil
+	})
+
+	RegisterKernel("tensor.sum", func(_ *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		t, err := wantTensor(args[0])
+		if err != nil {
+			return nil, err
+		}
+		var sum float64
+		for _, v := range t.Data {
+			sum += v
+		}
+		return ScalarDatum(sum), nil
+	})
+
+	// tensor.fused applies a chain of unary steps in one pass over the
+	// data — the product of the FuseElementwise pass.
+	RegisterKernel("tensor.fused", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		t, err := wantTensor(args[0])
+		if err != nil {
+			return nil, err
+		}
+		steps := strings.Split(op.Attr("chain"), "|")
+		fns := make([]func(float64) float64, len(steps))
+		for i, s := range steps {
+			fns[i], err = unaryFn(s)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out := &Tensor{Shape: append([]int(nil), t.Shape...), Data: make([]float64, len(t.Data))}
+		for i, v := range t.Data {
+			for _, f := range fns {
+				v = f(v)
+			}
+			out.Data[i] = v
+		}
+		return TensorDatum(out), nil
+	})
+}
+
+// compareFn builds a row predicate from filter attrs.
+func compareFn(op *Op, batch *arrowlite.Batch) (func(row int) bool, error) {
+	colName, cmp := op.Attr("col"), op.Attr("cmp")
+	colIdx := batch.Schema.Index(colName)
+	if colIdx < 0 {
+		return nil, fmt.Errorf("%w: no column %q", ErrBadOperands, colName)
+	}
+	col := batch.Col(colIdx)
+	if col.Type == arrowlite.Bytes {
+		want := []byte(op.Attr("value"))
+		switch cmp {
+		case "eq":
+			return func(r int) bool { return bytes.Equal(col.BytesAt(r), want) }, nil
+		case "ne":
+			return func(r int) bool { return !bytes.Equal(col.BytesAt(r), want) }, nil
+		default:
+			return nil, fmt.Errorf("%w: cmp %q on bytes column", ErrBadOperands, cmp)
+		}
+	}
+	want, err := strconv.ParseFloat(op.Attr("value"), 64)
+	if err != nil {
+		return nil, fmt.Errorf("%w: bad filter value %q", ErrBadOperands, op.Attr("value"))
+	}
+	num := func(r int) float64 { return batch.Float64At(colIdx, r) }
+	switch cmp {
+	case "lt":
+		return func(r int) bool { return num(r) < want }, nil
+	case "le":
+		return func(r int) bool { return num(r) <= want }, nil
+	case "gt":
+		return func(r int) bool { return num(r) > want }, nil
+	case "ge":
+		return func(r int) bool { return num(r) >= want }, nil
+	case "eq":
+		return func(r int) bool { return num(r) == want }, nil
+	case "ne":
+		return func(r int) bool { return num(r) != want }, nil
+	default:
+		return nil, fmt.Errorf("%w: unknown cmp %q", ErrBadOperands, cmp)
+	}
+}
+
+func registerRelKernels() {
+	RegisterKernel("rel.filter", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		batch, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		pred, err := compareFn(op, batch)
+		if err != nil {
+			return nil, err
+		}
+		var rows []int
+		for r := 0; r < batch.NumRows(); r++ {
+			if pred(r) {
+				rows = append(rows, r)
+			}
+		}
+		return TableDatum(batch.Select(rows)), nil
+	})
+
+	RegisterKernel("rel.project", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		batch, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		cols := strings.Split(op.Attr("cols"), ",")
+		out, err := batch.Project(cols...)
+		if err != nil {
+			return nil, err
+		}
+		return TableDatum(out), nil
+	})
+
+	RegisterKernel("rel.limit", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		batch, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(op.Attr("n"))
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("%w: bad limit %q", ErrBadOperands, op.Attr("n"))
+		}
+		if n > batch.NumRows() {
+			n = batch.NumRows()
+		}
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = i
+		}
+		return TableDatum(batch.Select(rows)), nil
+	})
+
+	RegisterKernel("rel.orderby", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		batch, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		colIdx := batch.Schema.Index(op.Attr("col"))
+		if colIdx < 0 {
+			return nil, fmt.Errorf("%w: no column %q", ErrBadOperands, op.Attr("col"))
+		}
+		desc := op.Attr("desc") == "true"
+		rows := make([]int, batch.NumRows())
+		for i := range rows {
+			rows[i] = i
+		}
+		col := batch.Col(colIdx)
+		less := func(a, b int) bool { return batch.Float64At(colIdx, a) < batch.Float64At(colIdx, b) }
+		if col.Type == arrowlite.Bytes {
+			less = func(a, b int) bool { return bytes.Compare(col.BytesAt(a), col.BytesAt(b)) < 0 }
+		}
+		sort.SliceStable(rows, func(i, j int) bool {
+			if desc {
+				return less(rows[j], rows[i])
+			}
+			return less(rows[i], rows[j])
+		})
+		return TableDatum(batch.Select(rows)), nil
+	})
+
+	RegisterKernel("rel.join", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 2 {
+			return nil, ErrBadOperands
+		}
+		left, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		right, err := wantTable(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return joinBatches(left, right, op.Attr("leftkey"), op.Attr("rightkey"))
+	})
+
+	RegisterKernel("rel.agg", func(op *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		batch, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return aggBatch(batch, op.Attr("group"), op.Attr("aggs"))
+	})
+
+	RegisterKernel("rel.distinct", func(_ *Op, args []*Datum) (*Datum, error) {
+		if len(args) != 1 {
+			return nil, ErrBadOperands
+		}
+		batch, err := wantTable(args[0])
+		if err != nil {
+			return nil, err
+		}
+		seen := make(map[string]bool, batch.NumRows())
+		var rows []int
+		var keyBuf []byte
+		for r := 0; r < batch.NumRows(); r++ {
+			keyBuf = keyBuf[:0]
+			for c := 0; c < batch.NumCols(); c++ {
+				col := batch.Col(c)
+				switch col.Type {
+				case arrowlite.Int64:
+					keyBuf = strconv.AppendInt(keyBuf, col.Ints[r], 10)
+				case arrowlite.Float64:
+					keyBuf = strconv.AppendFloat(keyBuf, col.Floats[r], 'g', -1, 64)
+				default:
+					keyBuf = strconv.AppendQuote(keyBuf, string(col.BytesAt(r)))
+				}
+				keyBuf = append(keyBuf, 0x1f)
+			}
+			if !seen[string(keyBuf)] {
+				seen[string(keyBuf)] = true
+				rows = append(rows, r)
+			}
+		}
+		return TableDatum(batch.Select(rows)), nil
+	})
+
+	RegisterKernel("rel.concat", func(_ *Op, args []*Datum) (*Datum, error) {
+		batches := make([]*arrowlite.Batch, len(args))
+		for i, a := range args {
+			b, err := wantTable(a)
+			if err != nil {
+				return nil, err
+			}
+			batches[i] = b
+		}
+		out, err := arrowlite.Concat(batches...)
+		if err != nil {
+			return nil, err
+		}
+		return TableDatum(out), nil
+	})
+}
+
+// joinBatches is an inner hash join on int64 key columns. The output
+// schema is left's columns followed by right's non-key columns.
+func joinBatches(left, right *arrowlite.Batch, leftKey, rightKey string) (*Datum, error) {
+	li := left.Schema.Index(leftKey)
+	ri := right.Schema.Index(rightKey)
+	if li < 0 || ri < 0 {
+		return nil, fmt.Errorf("%w: join keys %q/%q", ErrBadOperands, leftKey, rightKey)
+	}
+	if left.Col(li).Type != arrowlite.Int64 || right.Col(ri).Type != arrowlite.Int64 {
+		return nil, fmt.Errorf("%w: join keys must be int64", ErrBadOperands)
+	}
+	// Build side: right.
+	index := make(map[int64][]int, right.NumRows())
+	for r := 0; r < right.NumRows(); r++ {
+		k := right.Col(ri).Ints[r]
+		index[k] = append(index[k], r)
+	}
+	var fields []arrowlite.Field
+	fields = append(fields, left.Schema.Fields...)
+	var rightCols []int
+	for c, f := range right.Schema.Fields {
+		if c == ri {
+			continue
+		}
+		rightCols = append(rightCols, c)
+		fields = append(fields, f)
+	}
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(fields...))
+	row := make([]any, len(fields))
+	for lr := 0; lr < left.NumRows(); lr++ {
+		matches := index[left.Col(li).Ints[lr]]
+		for _, rr := range matches {
+			pos := 0
+			for c := range left.Schema.Fields {
+				row[pos] = colValue(left, c, lr)
+				pos++
+			}
+			for _, c := range rightCols {
+				row[pos] = colValue(right, c, rr)
+				pos++
+			}
+			if err := b.Append(row...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return TableDatum(b.Build()), nil
+}
+
+func colValue(batch *arrowlite.Batch, col, row int) any {
+	c := batch.Col(col)
+	switch c.Type {
+	case arrowlite.Int64:
+		return c.Ints[row]
+	case arrowlite.Float64:
+		return c.Floats[row]
+	default:
+		return append([]byte(nil), c.BytesAt(row)...)
+	}
+}
+
+// aggState accumulates one group's aggregates.
+type aggState struct {
+	count        int64
+	sums         []float64
+	mins, maxs   []float64
+	seen         bool
+	firstGroupBy any
+}
+
+// aggBatch groups by an optional column and computes the comma-separated
+// aggregate list, e.g. "sum:amount,count:*,avg:price,min:price,max:price".
+func aggBatch(batch *arrowlite.Batch, group, aggs string) (*Datum, error) {
+	type aggSpec struct{ fn, col string }
+	var specs []aggSpec
+	for _, part := range strings.Split(aggs, ",") {
+		fn, col, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, fmt.Errorf("%w: bad agg %q", ErrBadOperands, part)
+		}
+		specs = append(specs, aggSpec{fn, col})
+	}
+	colIdx := make([]int, len(specs))
+	for i, s := range specs {
+		if s.col == "*" {
+			colIdx[i] = -1
+			continue
+		}
+		colIdx[i] = batch.Schema.Index(s.col)
+		if colIdx[i] < 0 {
+			return nil, fmt.Errorf("%w: no column %q", ErrBadOperands, s.col)
+		}
+	}
+	groupIdx := -1
+	if group != "" {
+		groupIdx = batch.Schema.Index(group)
+		if groupIdx < 0 {
+			return nil, fmt.Errorf("%w: no group column %q", ErrBadOperands, group)
+		}
+	}
+
+	groups := make(map[string]*aggState)
+	var order []string
+	keyOf := func(r int) (string, any) {
+		if groupIdx < 0 {
+			return "", nil
+		}
+		c := batch.Col(groupIdx)
+		switch c.Type {
+		case arrowlite.Int64:
+			return strconv.FormatInt(c.Ints[r], 10), c.Ints[r]
+		case arrowlite.Float64:
+			return strconv.FormatFloat(c.Floats[r], 'g', -1, 64), c.Floats[r]
+		default:
+			s := string(c.BytesAt(r))
+			return s, []byte(s)
+		}
+	}
+	for r := 0; r < batch.NumRows(); r++ {
+		key, keyVal := keyOf(r)
+		st, ok := groups[key]
+		if !ok {
+			st = &aggState{
+				sums: make([]float64, len(specs)),
+				mins: make([]float64, len(specs)),
+				maxs: make([]float64, len(specs)),
+			}
+			st.firstGroupBy = keyVal
+			groups[key] = st
+			order = append(order, key)
+		}
+		st.count++
+		for i, ci := range colIdx {
+			if ci < 0 {
+				continue
+			}
+			v := batch.Float64At(ci, r)
+			st.sums[i] += v
+			if !st.seen || v < st.mins[i] {
+				st.mins[i] = v
+			}
+			if !st.seen || v > st.maxs[i] {
+				st.maxs[i] = v
+			}
+		}
+		st.seen = true
+	}
+	// Degenerate case: global aggregate over zero rows still yields one row.
+	if groupIdx < 0 && len(order) == 0 {
+		groups[""] = &aggState{
+			sums: make([]float64, len(specs)),
+			mins: make([]float64, len(specs)),
+			maxs: make([]float64, len(specs)),
+		}
+		order = append(order, "")
+	}
+
+	var fields []arrowlite.Field
+	if groupIdx >= 0 {
+		fields = append(fields, batch.Schema.Fields[groupIdx])
+	}
+	for _, s := range specs {
+		name := s.fn
+		if s.col != "*" {
+			name = s.fn + "_" + s.col
+		}
+		t := arrowlite.Float64
+		if s.fn == "count" {
+			t = arrowlite.Int64
+		}
+		fields = append(fields, arrowlite.Field{Name: name, Type: t})
+	}
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(fields...))
+	sort.Strings(order)
+	for _, key := range order {
+		st := groups[key]
+		var row []any
+		if groupIdx >= 0 {
+			row = append(row, st.firstGroupBy)
+		}
+		for i, s := range specs {
+			switch s.fn {
+			case "count":
+				row = append(row, st.count)
+			case "sum":
+				row = append(row, st.sums[i])
+			case "avg":
+				row = append(row, st.sums[i]/float64(st.count))
+			case "min":
+				row = append(row, st.mins[i])
+			case "max":
+				row = append(row, st.maxs[i])
+			default:
+				return nil, fmt.Errorf("%w: unknown agg fn %q", ErrBadOperands, s.fn)
+			}
+		}
+		if err := b.Append(row...); err != nil {
+			return nil, err
+		}
+	}
+	return TableDatum(b.Build()), nil
+}

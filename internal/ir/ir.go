@@ -1,0 +1,258 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Value is an SSA value: a function parameter or an op result.
+type Value struct {
+	ID   int
+	Kind Kind
+	// Def is the producing op; nil for parameters.
+	Def *Op
+}
+
+// Op is one operation. Ops are pure: same inputs, same outputs.
+type Op struct {
+	// Dialect groups ops by domain: "core", "rel", "tensor".
+	Dialect string
+	// Name is the op name within the dialect.
+	Name string
+	// Operands are the input values.
+	Operands []*Value
+	// Results are the output values.
+	Results []*Value
+	// Attrs carries op parameters as strings (filter predicates, scale
+	// factors, join keys ...).
+	Attrs map[string]string
+	// Const holds the value of core.const ops.
+	Const *Datum
+	// Backend is assigned by lowering: "cpu", "gpu", or "fpga".
+	Backend string
+}
+
+// Key returns the kernel-registry key "dialect.name".
+func (o *Op) Key() string { return o.Dialect + "." + o.Name }
+
+// Attr returns an attribute value ("" if absent).
+func (o *Op) Attr(name string) string { return o.Attrs[name] }
+
+// Func is an IR function: parameters, an op list in execution order, and
+// returned values.
+type Func struct {
+	Name   string
+	Params []*Value
+	Ops    []*Op
+	Rets   []*Value
+	nextID int
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// AddParam appends a parameter of the given kind.
+func (f *Func) AddParam(kind Kind) *Value {
+	v := &Value{ID: f.nextID, Kind: kind}
+	f.nextID++
+	f.Params = append(f.Params, v)
+	return v
+}
+
+// Add appends a single-result op and returns its result value.
+func (f *Func) Add(dialect, name string, kind Kind, attrs map[string]string, operands ...*Value) *Value {
+	op := &Op{Dialect: dialect, Name: name, Operands: operands, Attrs: attrs}
+	res := &Value{ID: f.nextID, Kind: kind, Def: op}
+	f.nextID++
+	op.Results = []*Value{res}
+	f.Ops = append(f.Ops, op)
+	return res
+}
+
+// AddConst appends a core.const op holding d.
+func (f *Func) AddConst(d *Datum) *Value {
+	v := f.Add("core", "const", d.Kind, nil)
+	v.Def.Const = d
+	return v
+}
+
+// Return sets the function's results.
+func (f *Func) Return(values ...*Value) { f.Rets = values }
+
+// Errors returned by Verify.
+var (
+	// ErrUseBeforeDef reports an operand that is not a parameter and not
+	// produced by an earlier op.
+	ErrUseBeforeDef = errors.New("ir: use before definition")
+	// ErrNoReturn reports a function with no return values.
+	ErrNoReturn = errors.New("ir: function returns nothing")
+)
+
+// Verify checks SSA well-formedness: every operand is a parameter or the
+// result of an earlier op, and returns are defined.
+func (f *Func) Verify() error {
+	defined := make(map[int]bool, f.nextID)
+	for _, p := range f.Params {
+		defined[p.ID] = true
+	}
+	for i, op := range f.Ops {
+		for _, in := range op.Operands {
+			if !defined[in.ID] {
+				return fmt.Errorf("%w: op %d (%s) uses v%d", ErrUseBeforeDef, i, op.Key(), in.ID)
+			}
+		}
+		for _, out := range op.Results {
+			defined[out.ID] = true
+		}
+	}
+	if len(f.Rets) == 0 {
+		return fmt.Errorf("%w: %s", ErrNoReturn, f.Name)
+	}
+	for _, ret := range f.Rets {
+		if !defined[ret.ID] {
+			return fmt.Errorf("%w: return v%d", ErrUseBeforeDef, ret.ID)
+		}
+	}
+	return nil
+}
+
+// String renders the function as readable textual IR, e.g.
+//
+//	func q(v0: table) -> v2 {
+//	  v1 = rel.filter(v0) {cmp=gt, col=price, value=10}
+//	  v2 = rel.project(v1) {cols=id} @cpu
+//	}
+func (f *Func) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "v%d: %s", p.ID, p.Kind)
+	}
+	sb.WriteString(") -> ")
+	for i, rv := range f.Rets {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "v%d", rv.ID)
+	}
+	sb.WriteString(" {\n")
+	for _, op := range f.Ops {
+		sb.WriteString("  ")
+		for i, res := range op.Results {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "v%d", res.ID)
+		}
+		fmt.Fprintf(&sb, " = %s(", op.Key())
+		for i, in := range op.Operands {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "v%d", in.ID)
+		}
+		sb.WriteString(")")
+		if len(op.Attrs) > 0 {
+			keys := make([]string, 0, len(op.Attrs))
+			for k := range op.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = k + "=" + op.Attrs[k]
+			}
+			fmt.Fprintf(&sb, " {%s}", strings.Join(parts, ", "))
+		}
+		if op.Backend != "" {
+			fmt.Fprintf(&sb, " @%s", op.Backend)
+		}
+		sb.WriteString("\n")
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Compose inlines g after f: f's returns feed g's parameters, producing a
+// single function computing g(f(...)). The FlowGraph optimizer uses it to
+// fuse linear vertex chains. g must take exactly len(f.Rets) parameters.
+func Compose(f, g *Func) (*Func, error) {
+	if len(g.Params) != len(f.Rets) {
+		return nil, fmt.Errorf("ir: compose: %s returns %d values, %s takes %d",
+			f.Name, len(f.Rets), g.Name, len(g.Params))
+	}
+	out := NewFunc(f.Name + "+" + g.Name)
+	// Map old value IDs (per source function) to new values.
+	fMap := make(map[int]*Value)
+	for _, p := range f.Params {
+		fMap[p.ID] = out.AddParam(p.Kind)
+	}
+	cloneOps := func(src *Func, vmap map[int]*Value) error {
+		for _, op := range src.Ops {
+			operands := make([]*Value, len(op.Operands))
+			for i, in := range op.Operands {
+				nv, ok := vmap[in.ID]
+				if !ok {
+					return fmt.Errorf("ir: compose: v%d undefined in %s", in.ID, src.Name)
+				}
+				operands[i] = nv
+			}
+			var attrs map[string]string
+			if op.Attrs != nil {
+				attrs = make(map[string]string, len(op.Attrs))
+				for k, v := range op.Attrs {
+					attrs[k] = v
+				}
+			}
+			res := out.Add(op.Dialect, op.Name, op.Results[0].Kind, attrs, operands...)
+			res.Def.Const = op.Const
+			res.Def.Backend = op.Backend
+			vmap[op.Results[0].ID] = res
+		}
+		return nil
+	}
+	if err := cloneOps(f, fMap); err != nil {
+		return nil, err
+	}
+	gMap := make(map[int]*Value)
+	for i, p := range g.Params {
+		fv, ok := fMap[f.Rets[i].ID]
+		if !ok {
+			return nil, fmt.Errorf("ir: compose: return v%d undefined", f.Rets[i].ID)
+		}
+		gMap[p.ID] = fv
+	}
+	if err := cloneOps(g, gMap); err != nil {
+		return nil, err
+	}
+	rets := make([]*Value, len(g.Rets))
+	for i, r := range g.Rets {
+		nv, ok := gMap[r.ID]
+		if !ok {
+			return nil, fmt.Errorf("ir: compose: return v%d undefined in %s", r.ID, g.Name)
+		}
+		rets[i] = nv
+	}
+	out.Return(rets...)
+	return out, nil
+}
+
+// uses returns, for each op, how many times each value is consumed by ops
+// or returns.
+func (f *Func) useCounts() map[int]int {
+	uses := make(map[int]int)
+	for _, op := range f.Ops {
+		for _, in := range op.Operands {
+			uses[in.ID]++
+		}
+	}
+	for _, ret := range f.Rets {
+		uses[ret.ID]++
+	}
+	return uses
+}

@@ -1,0 +1,600 @@
+package ir
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"skadi/internal/arrowlite"
+)
+
+func TestDatumRoundTrip(t *testing.T) {
+	tensor := NewTensor(2, 3)
+	for i := range tensor.Data {
+		tensor.Data[i] = float64(i) * 1.5
+	}
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "x", Type: arrowlite.Int64},
+	))
+	_ = b.Append(int64(42))
+	cases := map[string]*Datum{
+		"scalar": ScalarDatum(3.25),
+		"tensor": TensorDatum(tensor),
+		"table":  TableDatum(b.Build()),
+		"bytes":  BytesDatum([]byte("blob")),
+	}
+	for name, d := range cases {
+		t.Run(name, func(t *testing.T) {
+			got, err := DecodeDatum(EncodeDatum(d))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Kind != d.Kind {
+				t.Fatalf("kind = %v", got.Kind)
+			}
+			switch d.Kind {
+			case KScalar:
+				if got.Scalar != d.Scalar {
+					t.Errorf("scalar = %v", got.Scalar)
+				}
+			case KTensor:
+				if !got.Tensor.SameShape(d.Tensor) || got.Tensor.Data[5] != d.Tensor.Data[5] {
+					t.Error("tensor mismatch")
+				}
+			case KTable:
+				if got.Table.NumRows() != 1 || got.Table.Col(0).Ints[0] != 42 {
+					t.Error("table mismatch")
+				}
+			case KBytes:
+				if string(got.Bytes) != "blob" {
+					t.Errorf("bytes = %q", got.Bytes)
+				}
+			}
+		})
+	}
+}
+
+func TestDatumDecodeCorrupt(t *testing.T) {
+	for _, data := range [][]byte{{}, {99}, {byte(KTensor), 0xff}, EncodeDatum(ScalarDatum(1))[:2]} {
+		if _, err := DecodeDatum(data); err == nil {
+			t.Errorf("DecodeDatum(%v) should fail", data)
+		}
+	}
+}
+
+func TestDatumScalarRoundTripProperty(t *testing.T) {
+	f := func(v float64) bool {
+		got, err := DecodeDatum(EncodeDatum(ScalarDatum(v)))
+		return err == nil && (got.Scalar == v || (v != v && got.Scalar != got.Scalar))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFuncBuildVerifyString(t *testing.T) {
+	f := NewFunc("pipeline")
+	x := f.AddParam(KTensor)
+	w := f.AddConst(TensorDatum(NewTensor(2, 2)))
+	y := f.Add("tensor", "matmul", KTensor, nil, x, w)
+	z := f.Add("tensor", "relu", KTensor, nil, y)
+	f.Return(z)
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	s := f.String()
+	for _, want := range []string{"func pipeline", "tensor.matmul", "tensor.relu", "core.const"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestVerifyCatchesUseBeforeDef(t *testing.T) {
+	f := NewFunc("bad")
+	ghost := &Value{ID: 99, Kind: KTensor}
+	y := f.Add("tensor", "relu", KTensor, nil, ghost)
+	f.Return(y)
+	if err := f.Verify(); !errors.Is(err, ErrUseBeforeDef) {
+		t.Errorf("Verify = %v", err)
+	}
+}
+
+func TestVerifyNoReturn(t *testing.T) {
+	f := NewFunc("void")
+	f.AddParam(KTensor)
+	if err := f.Verify(); !errors.Is(err, ErrNoReturn) {
+		t.Errorf("Verify = %v", err)
+	}
+}
+
+func TestEvalTensorPipeline(t *testing.T) {
+	// y = relu(x·w + b), then sum.
+	f := NewFunc("mlp")
+	x := f.AddParam(KTensor)
+	w := f.AddParam(KTensor)
+	b := f.AddParam(KTensor)
+	mm := f.Add("tensor", "matmul", KTensor, nil, x, w)
+	add := f.Add("tensor", "add", KTensor, nil, mm, b)
+	act := f.Add("tensor", "relu", KTensor, nil, add)
+	sum := f.Add("tensor", "sum", KScalar, nil, act)
+	f.Return(sum)
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+
+	xt := &Tensor{Shape: []int{1, 2}, Data: []float64{1, 2}}
+	wt := &Tensor{Shape: []int{2, 2}, Data: []float64{1, 0, 0, -1}}
+	bt := &Tensor{Shape: []int{1, 2}, Data: []float64{0.5, 0.5}}
+	// x·w = [1, -2]; +b = [1.5, -1.5]; relu = [1.5, 0]; sum = 1.5
+	out, err := Eval(f, []*Datum{TensorDatum(xt), TensorDatum(wt), TensorDatum(bt)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Scalar != 1.5 {
+		t.Errorf("result = %v, want 1.5", out[0].Scalar)
+	}
+}
+
+func TestMatmulShapes(t *testing.T) {
+	op := &Op{Dialect: "tensor", Name: "matmul"}
+	a := TensorDatum(&Tensor{Shape: []int{2, 3}, Data: make([]float64, 6)})
+	bad := TensorDatum(&Tensor{Shape: []int{2, 2}, Data: make([]float64, 4)})
+	if _, err := ExecOp(op, []*Datum{a, bad}); err == nil {
+		t.Error("shape mismatch should fail")
+	}
+}
+
+func TestMatmulCorrectness(t *testing.T) {
+	a := &Tensor{Shape: []int{2, 2}, Data: []float64{1, 2, 3, 4}}
+	b := &Tensor{Shape: []int{2, 2}, Data: []float64{5, 6, 7, 8}}
+	out, err := ExecOp(&Op{Dialect: "tensor", Name: "matmul"}, []*Datum{TensorDatum(a), TensorDatum(b)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if out.Tensor.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out.Tensor.Data[i], w)
+		}
+	}
+}
+
+func salesBatch(t testing.TB) *arrowlite.Batch {
+	t.Helper()
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "region", Type: arrowlite.Bytes},
+		arrowlite.Field{Name: "item", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "amount", Type: arrowlite.Float64},
+	))
+	rows := []struct {
+		region string
+		item   int64
+		amount float64
+	}{
+		{"east", 1, 10}, {"east", 2, 30}, {"west", 1, 20},
+		{"west", 3, 5}, {"east", 3, 15}, {"north", 1, 50},
+	}
+	for _, r := range rows {
+		if err := b.Append(r.region, r.item, r.amount); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestRelFilterProjectLimit(t *testing.T) {
+	f := NewFunc("q")
+	in := f.AddParam(KTable)
+	filtered := f.Add("rel", "filter", KTable, map[string]string{"col": "amount", "cmp": "gt", "value": "12"}, in)
+	projected := f.Add("rel", "project", KTable, map[string]string{"cols": "region,amount"}, filtered)
+	limited := f.Add("rel", "limit", KTable, map[string]string{"n": "2"}, projected)
+	f.Return(limited)
+	out, err := Eval(f, []*Datum{TableDatum(salesBatch(t))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out[0].Table
+	if got.NumRows() != 2 || got.NumCols() != 2 {
+		t.Fatalf("result %dx%d", got.NumRows(), got.NumCols())
+	}
+	if string(got.Col(0).BytesAt(0)) != "east" || got.Col(1).Floats[0] != 30 {
+		t.Errorf("row 0 = %s/%v", got.Col(0).BytesAt(0), got.Col(1).Floats[0])
+	}
+}
+
+func TestRelFilterBytesEq(t *testing.T) {
+	op := &Op{Dialect: "rel", Name: "filter", Attrs: map[string]string{"col": "region", "cmp": "eq", "value": "west"}}
+	out, err := ExecOp(op, []*Datum{TableDatum(salesBatch(t))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.NumRows() != 2 {
+		t.Errorf("west rows = %d, want 2", out.Table.NumRows())
+	}
+}
+
+func TestRelOrderBy(t *testing.T) {
+	op := &Op{Dialect: "rel", Name: "orderby", Attrs: map[string]string{"col": "amount", "desc": "true"}}
+	out, err := ExecOp(op, []*Datum{TableDatum(salesBatch(t))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	amounts := out.Table.ColByName("amount").Floats
+	for i := 1; i < len(amounts); i++ {
+		if amounts[i] > amounts[i-1] {
+			t.Fatalf("not descending: %v", amounts)
+		}
+	}
+}
+
+func TestRelAggGrouped(t *testing.T) {
+	op := &Op{Dialect: "rel", Name: "agg", Attrs: map[string]string{
+		"group": "region", "aggs": "sum:amount,count:*,avg:amount",
+	}}
+	out, err := ExecOp(op, []*Datum{TableDatum(salesBatch(t))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Table
+	if got.NumRows() != 3 {
+		t.Fatalf("groups = %d, want 3", got.NumRows())
+	}
+	sums := map[string]float64{}
+	counts := map[string]int64{}
+	for r := 0; r < got.NumRows(); r++ {
+		region := string(got.ColByName("region").BytesAt(r))
+		sums[region] = got.ColByName("sum_amount").Floats[r]
+		counts[region] = got.ColByName("count").Ints[r]
+	}
+	if sums["east"] != 55 || counts["east"] != 3 {
+		t.Errorf("east = %v/%d, want 55/3", sums["east"], counts["east"])
+	}
+	if sums["north"] != 50 || counts["north"] != 1 {
+		t.Errorf("north = %v/%d", sums["north"], counts["north"])
+	}
+}
+
+func TestRelAggGlobalEmptyInput(t *testing.T) {
+	empty := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "x", Type: arrowlite.Float64},
+	)).Build()
+	op := &Op{Dialect: "rel", Name: "agg", Attrs: map[string]string{"aggs": "count:*,sum:x"}}
+	out, err := ExecOp(op, []*Datum{TableDatum(empty)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Table.NumRows() != 1 || out.Table.ColByName("count").Ints[0] != 0 {
+		t.Error("global agg over empty input should give one zero row")
+	}
+}
+
+func TestRelJoin(t *testing.T) {
+	items := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "item_id", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "name", Type: arrowlite.Bytes},
+	))
+	_ = items.Append(int64(1), "widget")
+	_ = items.Append(int64(3), "gadget")
+	op := &Op{Dialect: "rel", Name: "join", Attrs: map[string]string{"leftkey": "item", "rightkey": "item_id"}}
+	out, err := ExecOp(op, []*Datum{TableDatum(salesBatch(t)), TableDatum(items.Build())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.Table
+	// Items 1 (x3) and 3 (x2) match: 5 rows; item 2 drops.
+	if got.NumRows() != 5 {
+		t.Fatalf("joined rows = %d, want 5", got.NumRows())
+	}
+	if got.ColByName("name") == nil {
+		t.Error("joined schema missing right column")
+	}
+}
+
+func TestDCERemovesDeadOps(t *testing.T) {
+	f := NewFunc("dead")
+	x := f.AddParam(KTensor)
+	live := f.Add("tensor", "relu", KTensor, nil, x)
+	dead1 := f.Add("tensor", "neg", KTensor, nil, x)
+	_ = f.Add("tensor", "relu", KTensor, nil, dead1) // dead chain
+	f.Return(live)
+	if removed := DCE(f); removed != 2 {
+		t.Errorf("DCE removed %d, want 2", removed)
+	}
+	if len(f.Ops) != 1 {
+		t.Errorf("ops = %d", len(f.Ops))
+	}
+	if err := f.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantFold(t *testing.T) {
+	f := NewFunc("cf")
+	a := f.AddConst(TensorDatum(&Tensor{Shape: []int{1, 2}, Data: []float64{1, -2}}))
+	r := f.Add("tensor", "relu", KTensor, nil, a)
+	x := f.AddParam(KTensor)
+	y := f.Add("tensor", "add", KTensor, nil, r, x)
+	f.Return(y)
+	if folded := ConstantFold(f); folded != 1 {
+		t.Errorf("folded %d, want 1", folded)
+	}
+	// The relu became a const with value [1, 0].
+	var c *Op
+	for _, op := range f.Ops {
+		if op.Key() == "core.const" && op.Const.Kind == KTensor && op.Const.Tensor.Data[1] == 0 && op.Const.Tensor.Data[0] == 1 {
+			c = op
+		}
+	}
+	if c == nil {
+		t.Error("folded const not found")
+	}
+	out, err := Eval(f, []*Datum{TensorDatum(&Tensor{Shape: []int{1, 2}, Data: []float64{1, 1}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Tensor.Data[0] != 2 || out[0].Tensor.Data[1] != 1 {
+		t.Errorf("result = %v", out[0].Tensor.Data)
+	}
+}
+
+func TestFuseElementwiseChain(t *testing.T) {
+	f := NewFunc("fuse")
+	x := f.AddParam(KTensor)
+	a := f.Add("tensor", "relu", KTensor, nil, x)
+	b := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "2"}, a)
+	c := f.Add("tensor", "addscalar", KTensor, map[string]string{"value": "1"}, b)
+	f.Return(c)
+	fused := FuseElementwise(f)
+	if fused != 2 {
+		t.Errorf("fused %d, want 2", fused)
+	}
+	if len(f.Ops) != 1 || f.Ops[0].Key() != "tensor.fused" {
+		t.Fatalf("ops after fuse: %v", f.String())
+	}
+	if chain := f.Ops[0].Attr("chain"); chain != "relu|scale:2|addscalar:1" {
+		t.Errorf("chain = %q", chain)
+	}
+	out, err := Eval(f, []*Datum{TensorDatum(&Tensor{Shape: []int{1, 3}, Data: []float64{-1, 0.5, 2}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 5} // relu → ×2 → +1
+	for i, w := range want {
+		if out[0].Tensor.Data[i] != w {
+			t.Errorf("out[%d] = %v, want %v", i, out[0].Tensor.Data[i], w)
+		}
+	}
+}
+
+func TestFuseSkipsMultiUseProducers(t *testing.T) {
+	f := NewFunc("diamond")
+	x := f.AddParam(KTensor)
+	a := f.Add("tensor", "relu", KTensor, nil, x)
+	b := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "2"}, a)
+	c := f.Add("tensor", "add", KTensor, nil, a, b) // a used twice
+	f.Return(c)
+	FuseElementwise(f)
+	// relu must survive: it has two consumers.
+	found := false
+	for _, op := range f.Ops {
+		if op.Key() == "tensor.relu" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("multi-use producer was fused away:\n%s", f.String())
+	}
+	if err := f.Verify(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSEDeduplicates(t *testing.T) {
+	f := NewFunc("cse")
+	x := f.AddParam(KTensor)
+	a := f.Add("tensor", "relu", KTensor, nil, x)
+	b := f.Add("tensor", "relu", KTensor, nil, x) // same computation
+	c := f.Add("tensor", "add", KTensor, nil, a, b)
+	f.Return(c)
+	if removed := CSE(f); removed != 1 {
+		t.Errorf("CSE removed %d, want 1", removed)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// add now consumes the same value twice.
+	addOp := f.Rets[0].Def
+	if addOp.Operands[0] != addOp.Operands[1] {
+		t.Error("operands not canonicalized")
+	}
+	out, err := Eval(f, []*Datum{TensorDatum(&Tensor{Shape: []int{1, 2}, Data: []float64{-1, 3}})})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0].Tensor.Data[0] != 0 || out[0].Tensor.Data[1] != 6 {
+		t.Errorf("result = %v", out[0].Tensor.Data)
+	}
+}
+
+func TestCSERespectsAttrs(t *testing.T) {
+	f := NewFunc("attrs")
+	x := f.AddParam(KTensor)
+	a := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "2"}, x)
+	b := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "3"}, x)
+	c := f.Add("tensor", "add", KTensor, nil, a, b)
+	f.Return(c)
+	if removed := CSE(f); removed != 0 {
+		t.Errorf("CSE removed %d ops with differing attrs", removed)
+	}
+}
+
+func TestCSETransitive(t *testing.T) {
+	// Two identical chains: relu→scale twice; CSE should collapse both
+	// levels because operand canonicalization cascades.
+	f := NewFunc("chain")
+	x := f.AddParam(KTensor)
+	a1 := f.Add("tensor", "relu", KTensor, nil, x)
+	s1 := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "2"}, a1)
+	a2 := f.Add("tensor", "relu", KTensor, nil, x)
+	s2 := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "2"}, a2)
+	c := f.Add("tensor", "add", KTensor, nil, s1, s2)
+	f.Return(c)
+	if removed := CSE(f); removed != 2 {
+		t.Errorf("CSE removed %d, want 2", removed)
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: optimization never changes results.
+func TestOptimizePreservesSemanticsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		build := func() *Func {
+			f := NewFunc("p")
+			x := f.AddParam(KTensor)
+			v := x
+			for i := 0; i < 1+rng.Intn(6); i++ {
+				switch rng.Intn(3) {
+				case 0:
+					v = f.Add("tensor", "relu", KTensor, nil, v)
+				case 1:
+					v = f.Add("tensor", "scale", KTensor, map[string]string{"factor": "1.5"}, v)
+				case 2:
+					v = f.Add("tensor", "addscalar", KTensor, map[string]string{"value": "-0.25"}, v)
+				}
+			}
+			f.Return(v)
+			return f
+		}
+		// Build the same program twice with the same RNG sequence.
+		state := rng.Int63()
+		rng = rand.New(rand.NewSource(state))
+		plain := build()
+		rng = rand.New(rand.NewSource(state))
+		optimized := build()
+		Optimize(optimized)
+
+		in := &Tensor{Shape: []int{2, 4}, Data: make([]float64, 8)}
+		for i := range in.Data {
+			in.Data[i] = rng.NormFloat64()
+		}
+		a, err1 := Eval(plain, []*Datum{TensorDatum(in)})
+		b, err2 := Eval(optimized, []*Datum{TensorDatum(in)})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("eval: %v / %v", err1, err2)
+		}
+		for i := range a[0].Tensor.Data {
+			if a[0].Tensor.Data[i] != b[0].Tensor.Data[i] {
+				t.Fatalf("trial %d: optimization changed result at %d", trial, i)
+			}
+		}
+		rng = rand.New(rand.NewSource(state + 1))
+	}
+}
+
+func TestLowerAssignsBackends(t *testing.T) {
+	f := NewFunc("l")
+	x := f.AddParam(KTable)
+	y := f.Add("rel", "filter", KTable, map[string]string{"col": "a", "cmp": "gt", "value": "0"}, x)
+	tIn := f.AddParam(KTensor)
+	z := f.Add("tensor", "relu", KTensor, nil, tIn)
+	f.Return(y, z)
+
+	avail := map[string]bool{BackendCPU: true, BackendGPU: true, BackendFPGA: true}
+	if err := Lower(f, nil, avail); err != nil {
+		t.Fatal(err)
+	}
+	if f.Ops[0].Backend != BackendFPGA {
+		t.Errorf("rel op lowered to %q, want fpga", f.Ops[0].Backend)
+	}
+	if f.Ops[1].Backend != BackendGPU {
+		t.Errorf("tensor op lowered to %q, want gpu", f.Ops[1].Backend)
+	}
+
+	// Without devices everything falls back to CPU.
+	if err := Lower(f, nil, map[string]bool{BackendCPU: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, op := range f.Ops {
+		if op.Backend != BackendCPU {
+			t.Errorf("op %s lowered to %q without devices", op.Key(), op.Backend)
+		}
+	}
+}
+
+func TestLowerUnknownOp(t *testing.T) {
+	f := NewFunc("u")
+	x := f.AddParam(KTensor)
+	y := f.Add("tensor", "no-such-op", KTensor, nil, x)
+	f.Return(y)
+	if err := Lower(f, nil, map[string]bool{BackendCPU: true}); !errors.Is(err, ErrNoKernel) {
+		t.Errorf("Lower = %v", err)
+	}
+}
+
+func TestCostModelShapes(t *testing.T) {
+	mm := &Op{Dialect: "tensor", Name: "matmul"}
+	// Long op: GPU beats CPU despite launch overhead.
+	if Cost(mm, 10_000_000, BackendGPU) >= Cost(mm, 10_000_000, BackendCPU) {
+		t.Error("GPU should win for large matmuls")
+	}
+	// Short op: launch overhead dominates; CPU wins.
+	if Cost(mm, 100, BackendGPU) <= Cost(mm, 100, BackendCPU) {
+		t.Error("CPU should win for tiny ops (launch overhead)")
+	}
+	// Unknown backend falls back to CPU cost.
+	if Cost(mm, 1000, "tpu") != Cost(mm, 1000, BackendCPU) {
+		t.Error("unknown backend should cost as CPU")
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	f := NewFunc("e")
+	x := f.AddParam(KTensor)
+	y := f.Add("tensor", "relu", KTensor, nil, x)
+	f.Return(y)
+	if _, err := Eval(f, nil); err == nil {
+		t.Error("arity mismatch should fail")
+	}
+	if _, err := Eval(f, []*Datum{ScalarDatum(1)}); err == nil {
+		t.Error("kind mismatch should fail")
+	}
+}
+
+func BenchmarkFusedVsUnfused(b *testing.B) {
+	input := NewTensor(512, 512)
+	for i := range input.Data {
+		input.Data[i] = float64(i%97) - 48
+	}
+	build := func() *Func {
+		f := NewFunc("p")
+		x := f.AddParam(KTensor)
+		a := f.Add("tensor", "relu", KTensor, nil, x)
+		s := f.Add("tensor", "scale", KTensor, map[string]string{"factor": "0.5"}, a)
+		c := f.Add("tensor", "addscalar", KTensor, map[string]string{"value": "1"}, s)
+		f.Return(c)
+		return f
+	}
+	b.Run("unfused", func(b *testing.B) {
+		f := build()
+		for i := 0; i < b.N; i++ {
+			if _, err := Eval(f, []*Datum{TensorDatum(input)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fused", func(b *testing.B) {
+		f := build()
+		FuseElementwise(f)
+		for i := 0; i < b.N; i++ {
+			if _, err := Eval(f, []*Datum{TensorDatum(input)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

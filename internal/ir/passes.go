@@ -1,0 +1,246 @@
+package ir
+
+import (
+	"sort"
+	"strings"
+)
+
+// DCE removes ops whose results are never used (all ops are pure). It
+// returns the number of ops removed.
+func DCE(f *Func) int {
+	uses := f.useCounts()
+	removed := 0
+	// Sweep backwards so removing a consumer exposes its producers.
+	for i := len(f.Ops) - 1; i >= 0; i-- {
+		op := f.Ops[i]
+		live := false
+		for _, res := range op.Results {
+			if uses[res.ID] > 0 {
+				live = true
+				break
+			}
+		}
+		if live {
+			continue
+		}
+		for _, in := range op.Operands {
+			uses[in.ID]--
+		}
+		f.Ops = append(f.Ops[:i], f.Ops[i+1:]...)
+		removed++
+	}
+	return removed
+}
+
+// ConstantFold evaluates ops whose operands are all constants, replacing
+// them with core.const ops. It returns the number of ops folded.
+func ConstantFold(f *Func) int {
+	folded := 0
+	consts := make(map[int]*Datum)
+	for _, op := range f.Ops {
+		if op.Key() == "core.const" {
+			consts[op.Results[0].ID] = op.Const
+			continue
+		}
+		args := make([]*Datum, len(op.Operands))
+		all := true
+		for i, in := range op.Operands {
+			d, ok := consts[in.ID]
+			if !ok {
+				all = false
+				break
+			}
+			args[i] = d
+		}
+		if !all || len(op.Operands) == 0 {
+			continue
+		}
+		if _, ok := LookupKernel(op.Key()); !ok {
+			continue
+		}
+		out, err := ExecOp(op, args)
+		if err != nil {
+			continue // fold is best-effort; leave the op for runtime
+		}
+		op.Dialect, op.Name = "core", "const"
+		op.Operands = nil
+		op.Attrs = nil
+		op.Const = out
+		consts[op.Results[0].ID] = out
+		folded++
+	}
+	return folded
+}
+
+// fusableStep returns the fused-chain encoding of an op if it is a
+// fusable elementwise unary op, or "".
+func fusableStep(op *Op) string {
+	if op.Dialect != "tensor" || len(op.Operands) != 1 {
+		return ""
+	}
+	switch op.Name {
+	case "relu", "neg":
+		return op.Name
+	case "scale":
+		return "scale:" + op.Attr("factor")
+	case "addscalar":
+		return "addscalar:" + op.Attr("value")
+	case "fused":
+		return op.Attr("chain")
+	default:
+		return ""
+	}
+}
+
+// FuseElementwise merges chains of elementwise unary tensor ops into
+// single tensor.fused ops, eliminating intermediate tensors — the
+// cross-domain graph-level optimization of §2.2 ("op-fusing"). An op can
+// be fused into its consumer only when the consumer is its sole user.
+// Returns the number of ops eliminated.
+func FuseElementwise(f *Func) int {
+	fusedCount := 0
+	for {
+		uses := f.useCounts()
+		merged := false
+		for i, op := range f.Ops {
+			step := fusableStep(op)
+			if step == "" {
+				continue
+			}
+			producer := op.Operands[0].Def
+			if producer == nil {
+				continue
+			}
+			prodStep := fusableStep(producer)
+			if prodStep == "" {
+				continue
+			}
+			if uses[producer.Results[0].ID] != 1 {
+				continue // producer feeds other consumers; cannot fold in
+			}
+			// Merge producer into op.
+			op.Dialect, op.Name = "tensor", "fused"
+			if op.Attrs == nil {
+				op.Attrs = map[string]string{}
+			}
+			op.Attrs = map[string]string{"chain": prodStep + "|" + step}
+			op.Operands = []*Value{producer.Operands[0]}
+			// Remove the producer.
+			for j, cand := range f.Ops {
+				if cand == producer {
+					f.Ops = append(f.Ops[:j], f.Ops[j+1:]...)
+					if j < i {
+						i--
+					}
+					break
+				}
+			}
+			_ = i
+			fusedCount++
+			merged = true
+			break
+		}
+		if !merged {
+			return fusedCount
+		}
+	}
+}
+
+// CSE eliminates common subexpressions: two pure ops with the same key,
+// attributes, and operands compute the same value, so the later one is
+// replaced by the earlier one's result. core.const ops are skipped (they
+// are cheap and folding handles them). Returns the number of ops removed.
+func CSE(f *Func) int {
+	removed := 0
+	seen := make(map[string]*Value)
+	// replace maps a removed op's result ID to its canonical value.
+	replace := make(map[int]*Value)
+	rewrite := func(vs []*Value) {
+		for i, v := range vs {
+			if canon, ok := replace[v.ID]; ok {
+				vs[i] = canon
+			}
+		}
+	}
+	out := f.Ops[:0]
+	for _, op := range f.Ops {
+		rewrite(op.Operands)
+		if op.Key() == "core.const" || len(op.Results) != 1 {
+			out = append(out, op)
+			continue
+		}
+		key := cseKey(op)
+		if canon, ok := seen[key]; ok {
+			replace[op.Results[0].ID] = canon
+			removed++
+			continue
+		}
+		seen[key] = op.Results[0]
+		out = append(out, op)
+	}
+	f.Ops = out
+	rewrite(f.Rets)
+	return removed
+}
+
+// cseKey builds the structural identity of an op.
+func cseKey(op *Op) string {
+	var sb strings.Builder
+	sb.WriteString(op.Key())
+	for _, in := range op.Operands {
+		sb.WriteByte('(')
+		sb.WriteString(itoa(in.ID))
+	}
+	keys := make([]string, 0, len(op.Attrs))
+	for k := range op.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		sb.WriteByte('|')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(op.Attrs[k])
+	}
+	return sb.String()
+}
+
+// Optimize runs the standard pass pipeline: constant folding, CSE,
+// elementwise fusion, then DCE. It returns a human-readable summary.
+func Optimize(f *Func) string {
+	folded := ConstantFold(f)
+	deduped := CSE(f)
+	fused := FuseElementwise(f)
+	removed := DCE(f)
+	var parts []string
+	if folded > 0 {
+		parts = append(parts, "folded "+itoa(folded))
+	}
+	if deduped > 0 {
+		parts = append(parts, "cse "+itoa(deduped))
+	}
+	if fused > 0 {
+		parts = append(parts, "fused "+itoa(fused))
+	}
+	if removed > 0 {
+		parts = append(parts, "dce "+itoa(removed))
+	}
+	if len(parts) == 0 {
+		return "no changes"
+	}
+	return strings.Join(parts, ", ")
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,210 @@
+// Package metrics provides lightweight instrumentation used throughout the
+// Skadi runtime: counters, gauges, and histograms, grouped into registries.
+//
+// Experiments rely on these counters (bytes moved, messages sent, DPU hops,
+// pull stalls) for results that are independent of wall-clock noise, so the
+// implementation favours determinism and low overhead: counters are atomics,
+// histograms take a short mutex.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Negative deltas are ignored so the
+// counter stays monotone.
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the gauge by delta (may be negative).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram records observations and reports count/min/max/mean/percentiles.
+// It keeps all samples; experiments record at most a few hundred thousand
+// observations so this is simpler and more accurate than bucketing.
+type Histogram struct {
+	mu      sync.Mutex
+	samples []float64
+	sorted  bool
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	h.samples = append(h.samples, v)
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// ObserveDuration records a duration sample in microseconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d) / float64(time.Microsecond))
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.samples)
+}
+
+// Mean returns the arithmetic mean of the samples, or 0 with no samples.
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range h.samples {
+		sum += s
+	}
+	return sum / float64(len(h.samples))
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank, or 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	if !h.sorted {
+		sort.Float64s(h.samples)
+		h.sorted = true
+	}
+	if q <= 0 {
+		return h.samples[0]
+	}
+	if q >= 1 {
+		return h.samples[len(h.samples)-1]
+	}
+	rank := int(math.Ceil(q*float64(len(h.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return h.samples[rank]
+}
+
+// Min returns the smallest sample, or 0 with no samples.
+func (h *Histogram) Min() float64 { return h.Quantile(0) }
+
+// Max returns the largest sample, or 0 with no samples.
+func (h *Histogram) Max() float64 { return h.Quantile(1) }
+
+// Reset discards all samples.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.samples = h.samples[:0]
+	h.sorted = false
+	h.mu.Unlock()
+}
+
+// Registry is a named collection of metrics. The zero value is ready to use.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// Counter returns the counter with the given name, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counters == nil {
+		r.counters = make(map[string]*Counter)
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge with the given name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gauges == nil {
+		r.gauges = make(map[string]*Gauge)
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram with the given name, creating it on first
+// use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.histograms == nil {
+		r.histograms = make(map[string]*Histogram)
+	}
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot returns a stable, human-readable dump of all metrics, sorted by
+// name. Used by the bench harness and in failure diagnostics.
+func (r *Registry) Snapshot() string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var lines []string
+	for name, c := range r.counters {
+		lines = append(lines, fmt.Sprintf("counter %s = %d", name, c.Value()))
+	}
+	for name, g := range r.gauges {
+		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, h := range r.histograms {
+		lines = append(lines, fmt.Sprintf("hist %s: n=%d mean=%.1f p50=%.1f p99=%.1f",
+			name, h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99)))
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("Value() = %d, want 5", got)
+	}
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Errorf("after negative Add, Value() = %d, want 5", got)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8000 {
+		t.Errorf("Value() = %d, want 8000", got)
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Errorf("Value() = %d, want 7", got)
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 10 {
+		t.Fatalf("Count() = %d, want 10", h.Count())
+	}
+	if got := h.Mean(); got != 5.5 {
+		t.Errorf("Mean() = %v, want 5.5", got)
+	}
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min() = %v, want 1", got)
+	}
+	if got := h.Max(); got != 10 {
+		t.Errorf("Max() = %v, want 10", got)
+	}
+	if got := h.Quantile(0.5); got != 5 {
+		t.Errorf("Quantile(0.5) = %v, want 5", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Count() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(1)
+	h.Reset()
+	if h.Count() != 0 {
+		t.Errorf("Count() after Reset = %d, want 0", h.Count())
+	}
+}
+
+func TestHistogramObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Mean(); got != 1500 {
+		t.Errorf("Mean() = %v µs, want 1500", got)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []float64, a, b float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		var h Histogram
+		for _, v := range vals {
+			h.Observe(v)
+		}
+		qa, qb := clamp01(a), clamp01(b)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return h.Quantile(qa) <= h.Quantile(qb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v != v || v < 0 { // NaN or negative
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestHistogramQuantileMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var h Histogram
+	vals := make([]float64, 1001)
+	for i := range vals {
+		vals[i] = rng.Float64() * 100
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	if got, want := h.Quantile(0.5), vals[500]; got != want {
+		t.Errorf("Quantile(0.5) = %v, want %v", got, want)
+	}
+}
+
+func TestRegistryReuse(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("x")
+	c1.Inc()
+	c2 := r.Counter("x")
+	if c2.Value() != 1 {
+		t.Error("Counter(name) should return the same counter")
+	}
+	if r.Gauge("g") != r.Gauge("g") {
+		t.Error("Gauge(name) should return the same gauge")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("Histogram(name) should return the same histogram")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("bytes").Add(100)
+	r.Gauge("depth").Set(3)
+	r.Histogram("lat").Observe(5)
+	snap := r.Snapshot()
+	for _, want := range []string{"counter bytes = 100", "gauge depth = 3", "hist lat"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("Snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}

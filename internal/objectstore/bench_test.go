@@ -1,0 +1,66 @@
+package objectstore
+
+import (
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+func BenchmarkPut64KiB(b *testing.B) {
+	s := New(1<<40, nil)
+	data := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(idgen.Next(), data, "raw"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetHit(b *testing.B) {
+	s := New(1<<30, nil)
+	ids := make([]idgen.ObjectID, 1024)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		if err := s.Put(ids[i], make([]byte, 4096), "raw"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := s.Get(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPutWithEviction(b *testing.B) {
+	// Store sized for 64 objects: every put evicts.
+	s := New(64*4096, nil)
+	data := make([]byte, 4096)
+	b.SetBytes(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Put(idgen.Next(), data, "raw"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPinUnpin(b *testing.B) {
+	s := New(1<<20, nil)
+	id := idgen.Next()
+	if err := s.Put(id, make([]byte, 64), "raw"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Pin(id); err != nil {
+			b.Fatal(err)
+		}
+		if err := s.Unpin(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

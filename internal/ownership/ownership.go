@@ -1,0 +1,312 @@
+// Package ownership implements the distributed-futures ownership table,
+// Skadi's extension of Ray's ownership protocol (§2.3.2): every object has
+// an owner, a state, and a location set; and — the paper's modification —
+// a DeviceID plus a DeviceHandle so objects resident in heterogeneous
+// device memory (GPU HBM behind a DPU) are first-class table entries.
+//
+// The table supports both of the paper's future-resolution protocols:
+//
+//   - Pull: consumers call WaitReady and then fetch from a location
+//     (Ray's vanilla model; creates stalls for short ops).
+//   - Push: consumers Subscribe before the producer finishes; MarkReady
+//     returns the subscriber set so the producer's raylet can push the
+//     value proactively.
+package ownership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"skadi/internal/idgen"
+)
+
+// State is an object's lifecycle state.
+type State int
+
+// Object states.
+const (
+	// Pending means the producing task has not yet committed the value.
+	Pending State = iota
+	// Ready means at least one location holds the value.
+	Ready
+	// Lost means every location failed before the value was consumed;
+	// recovery requires lineage re-execution or a reliable cache.
+	Lost
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Pending:
+		return "pending"
+	case Ready:
+		return "ready"
+	case Lost:
+		return "lost"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Errors returned by the table.
+var (
+	// ErrUnknownObject reports an ID with no table entry.
+	ErrUnknownObject = errors.New("ownership: unknown object")
+	// ErrObjectLost reports a wait on an object whose copies all failed.
+	ErrObjectLost = errors.New("ownership: object lost")
+	// ErrExists reports a duplicate CreatePending.
+	ErrExists = errors.New("ownership: object already registered")
+)
+
+// Record is one ownership-table entry.
+type Record struct {
+	ID    idgen.ObjectID
+	Owner idgen.NodeID
+	State State
+	Size  int64
+	// Task is the producing task, the hook lineage recovery starts from.
+	Task idgen.TaskID
+
+	// Locations holds the nodes with a full copy, sorted.
+	Locations []idgen.NodeID
+
+	// DeviceID and DeviceHandle are the heterogeneity-aware extension:
+	// when the value lives in device memory, DeviceID names the device and
+	// DeviceHandle carries the opaque driver handle needed to reach it.
+	DeviceID     idgen.NodeID
+	DeviceHandle string
+}
+
+type entry struct {
+	rec         Record
+	locations   map[idgen.NodeID]bool
+	waiters     []chan State
+	subscribers map[idgen.NodeID]bool
+}
+
+// Table is the ownership table. It is a passive, concurrency-safe data
+// structure; the runtime hosts one on the head node and exposes it over the
+// transport.
+type Table struct {
+	mu      sync.Mutex
+	entries map[idgen.ObjectID]*entry
+}
+
+// NewTable returns an empty table.
+func NewTable() *Table {
+	return &Table{entries: make(map[idgen.ObjectID]*entry)}
+}
+
+// CreatePending registers a new object in Pending state.
+func (t *Table) CreatePending(id idgen.ObjectID, owner idgen.NodeID, task idgen.TaskID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.entries[id]; ok {
+		return ErrExists
+	}
+	t.entries[id] = &entry{
+		rec:         Record{ID: id, Owner: owner, State: Pending, Task: task},
+		locations:   make(map[idgen.NodeID]bool),
+		subscribers: make(map[idgen.NodeID]bool),
+	}
+	return nil
+}
+
+// MarkReady commits the object at the given location, with optional device
+// placement, and returns the subscribers awaiting a push. Waiters blocked
+// in WaitReady are released.
+func (t *Table) MarkReady(id idgen.ObjectID, size int64, location idgen.NodeID, deviceID idgen.NodeID, deviceHandle string) ([]idgen.NodeID, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	e.rec.State = Ready
+	e.rec.Size = size
+	e.rec.DeviceID = deviceID
+	e.rec.DeviceHandle = deviceHandle
+	e.locations[location] = true
+	e.syncLocations()
+	for _, w := range e.waiters {
+		w <- Ready
+	}
+	e.waiters = nil
+	subs := make([]idgen.NodeID, 0, len(e.subscribers))
+	for node := range e.subscribers {
+		if node != location {
+			subs = append(subs, node)
+		}
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].Less(subs[j]) })
+	e.subscribers = make(map[idgen.NodeID]bool)
+	return subs, nil
+}
+
+// syncLocations refreshes rec.Locations from the location set. Caller
+// holds mu.
+func (e *entry) syncLocations() {
+	e.rec.Locations = e.rec.Locations[:0]
+	for node := range e.locations {
+		e.rec.Locations = append(e.rec.Locations, node)
+	}
+	sort.Slice(e.rec.Locations, func(i, j int) bool {
+		return e.rec.Locations[i].Less(e.rec.Locations[j])
+	})
+}
+
+// AddLocation records an additional full copy (e.g. after a push or a
+// cached read).
+func (t *Table) AddLocation(id idgen.ObjectID, node idgen.NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	e.locations[node] = true
+	e.syncLocations()
+	return nil
+}
+
+// Subscribe registers node for a proactive push of id when it becomes
+// ready. If the object is already Ready it returns (true, record) and the
+// caller pushes immediately; otherwise the subscription is stored.
+func (t *Table) Subscribe(id idgen.ObjectID, node idgen.NodeID) (ready bool, rec Record, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return false, Record{}, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	if e.rec.State == Ready {
+		return true, e.rec, nil
+	}
+	e.subscribers[node] = true
+	return false, e.rec, nil
+}
+
+// Get returns the record for id.
+func (t *Table) Get(id idgen.ObjectID) (Record, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return Record{}, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	return e.rec, nil
+}
+
+// WaitReady blocks until the object is Ready (nil), Lost (ErrObjectLost),
+// or the context is done.
+func (t *Table) WaitReady(ctx context.Context, id idgen.ObjectID) error {
+	t.mu.Lock()
+	e, ok := t.entries[id]
+	if !ok {
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	switch e.rec.State {
+	case Ready:
+		t.mu.Unlock()
+		return nil
+	case Lost:
+		t.mu.Unlock()
+		return fmt.Errorf("%w: %s", ErrObjectLost, id.Short())
+	}
+	ch := make(chan State, 1)
+	e.waiters = append(e.waiters, ch)
+	t.mu.Unlock()
+
+	select {
+	case s := <-ch:
+		if s == Lost {
+			return fmt.Errorf("%w: %s", ErrObjectLost, id.Short())
+		}
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// RemoveNodeLocations drops every location on a failed node and returns the
+// IDs of objects that thereby lost their last copy (now state Lost). The
+// runtime feeds these to lineage recovery.
+func (t *Table) RemoveNodeLocations(node idgen.NodeID) []idgen.ObjectID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var lost []idgen.ObjectID
+	for id, e := range t.entries {
+		if !e.locations[node] {
+			continue
+		}
+		delete(e.locations, node)
+		e.syncLocations()
+		if len(e.locations) == 0 && e.rec.State == Ready {
+			e.rec.State = Lost
+			lost = append(lost, id)
+			for _, w := range e.waiters {
+				w <- Lost
+			}
+			e.waiters = nil
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i].Less(lost[j]) })
+	return lost
+}
+
+// MarkLost forces an object into the Lost state, releasing waiters with an
+// error.
+func (t *Table) MarkLost(id idgen.ObjectID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	e.rec.State = Lost
+	e.locations = make(map[idgen.NodeID]bool)
+	e.syncLocations()
+	for _, w := range e.waiters {
+		w <- Lost
+	}
+	e.waiters = nil
+	return nil
+}
+
+// Reset returns an object to Pending so a lineage re-execution can commit
+// it again. Existing waiters stay blocked until the new MarkReady.
+func (t *Table) Reset(id idgen.ObjectID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	e.rec.State = Pending
+	e.locations = make(map[idgen.NodeID]bool)
+	e.syncLocations()
+	return nil
+}
+
+// Delete removes an object's entry entirely.
+func (t *Table) Delete(id idgen.ObjectID) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.entries[id]; ok {
+		for _, w := range e.waiters {
+			w <- Lost
+		}
+		delete(t.entries, id)
+	}
+}
+
+// Len returns the number of table entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.entries)
+}

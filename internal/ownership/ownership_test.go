@@ -1,0 +1,342 @@
+package ownership
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+)
+
+func TestCreateAndGet(t *testing.T) {
+	tbl := NewTable()
+	id, owner, task := idgen.Next(), idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, owner, task); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tbl.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State != Pending || rec.Owner != owner || rec.Task != task {
+		t.Errorf("rec = %+v", rec)
+	}
+	if err := tbl.CreatePending(id, owner, task); !errors.Is(err, ErrExists) {
+		t.Errorf("duplicate create = %v", err)
+	}
+	if tbl.Len() != 1 {
+		t.Errorf("Len = %d", tbl.Len())
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.Get(idgen.Next()); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("Get = %v", err)
+	}
+}
+
+func TestMarkReadyWithDevicePlacement(t *testing.T) {
+	tbl := NewTable()
+	id, loc, dev := idgen.Next(), idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := tbl.MarkReady(id, 1024, loc, dev, "cuda:0/buf#42")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 0 {
+		t.Errorf("subs = %v", subs)
+	}
+	rec, _ := tbl.Get(id)
+	if rec.State != Ready || rec.Size != 1024 {
+		t.Errorf("rec = %+v", rec)
+	}
+	if rec.DeviceID != dev || rec.DeviceHandle != "cuda:0/buf#42" {
+		t.Error("heterogeneity-aware fields not stored")
+	}
+	if len(rec.Locations) != 1 || rec.Locations[0] != loc {
+		t.Errorf("locations = %v", rec.Locations)
+	}
+}
+
+func TestMarkReadyUnknown(t *testing.T) {
+	tbl := NewTable()
+	if _, err := tbl.MarkReady(idgen.Next(), 1, idgen.Next(), idgen.Nil, ""); !errors.Is(err, ErrUnknownObject) {
+		t.Errorf("MarkReady = %v", err)
+	}
+}
+
+func TestSubscribeBeforeReady(t *testing.T) {
+	tbl := NewTable()
+	id, producer := idgen.Next(), idgen.Next()
+	consumer1, consumer2 := idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []idgen.NodeID{consumer1, consumer2} {
+		ready, _, err := tbl.Subscribe(id, c)
+		if err != nil || ready {
+			t.Fatalf("Subscribe = ready=%v err=%v", ready, err)
+		}
+	}
+	subs, err := tbl.MarkReady(id, 10, producer, idgen.Nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("subs = %v, want both consumers", subs)
+	}
+	// Subscribers are consumed: a second MarkReady-like commit would see none.
+	ready, rec, err := tbl.Subscribe(id, consumer1)
+	if err != nil || !ready {
+		t.Errorf("Subscribe after ready = %v/%v", ready, err)
+	}
+	if rec.State != Ready {
+		t.Error("record should be ready")
+	}
+}
+
+func TestSubscriberColocatedWithProducerSkipped(t *testing.T) {
+	tbl := NewTable()
+	id, node := idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tbl.Subscribe(id, node); err != nil {
+		t.Fatal(err)
+	}
+	subs, err := tbl.MarkReady(id, 10, node, idgen.Nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 0 {
+		t.Errorf("subs = %v; co-located subscriber needs no push", subs)
+	}
+}
+
+func TestWaitReadyBlocksUntilReady(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- tbl.WaitReady(context.Background(), id)
+	}()
+	select {
+	case err := <-done:
+		t.Fatalf("WaitReady returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if _, err := tbl.MarkReady(id, 1, idgen.Next(), idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("WaitReady = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("WaitReady did not wake")
+	}
+}
+
+func TestWaitReadyImmediate(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MarkReady(id, 1, idgen.Next(), idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WaitReady(context.Background(), id); err != nil {
+		t.Errorf("WaitReady on ready object = %v", err)
+	}
+}
+
+func TestWaitReadyContextCancel(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := tbl.WaitReady(ctx, id); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("WaitReady = %v", err)
+	}
+}
+
+func TestWaitReadyOnLost(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.MarkLost(id); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.WaitReady(context.Background(), id); !errors.Is(err, ErrObjectLost) {
+		t.Errorf("WaitReady = %v", err)
+	}
+}
+
+func TestRemoveNodeLocations(t *testing.T) {
+	tbl := NewTable()
+	nodeA, nodeB := idgen.Next(), idgen.Next()
+	// obj1 only on A, obj2 on A and B, obj3 pending.
+	obj1, obj2, obj3 := idgen.Next(), idgen.Next(), idgen.Next()
+	for _, id := range []idgen.ObjectID{obj1, obj2, obj3} {
+		if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := tbl.MarkReady(obj1, 1, nodeA, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MarkReady(obj2, 1, nodeA, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.AddLocation(obj2, nodeB); err != nil {
+		t.Fatal(err)
+	}
+
+	lost := tbl.RemoveNodeLocations(nodeA)
+	if len(lost) != 1 || lost[0] != obj1 {
+		t.Errorf("lost = %v, want [obj1]", lost)
+	}
+	rec1, _ := tbl.Get(obj1)
+	if rec1.State != Lost {
+		t.Errorf("obj1 state = %v", rec1.State)
+	}
+	rec2, _ := tbl.Get(obj2)
+	if rec2.State != Ready || len(rec2.Locations) != 1 || rec2.Locations[0] != nodeB {
+		t.Errorf("obj2 = %+v", rec2)
+	}
+	rec3, _ := tbl.Get(obj3)
+	if rec3.State != Pending {
+		t.Errorf("obj3 state = %v, pending objects unaffected", rec3.State)
+	}
+}
+
+func TestNodeFailureWakesWaitersWithLost(t *testing.T) {
+	tbl := NewTable()
+	id, node := idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MarkReady(id, 1, node, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	// A waiter arrives after ready... it returns immediately. Reset to
+	// pending to create a blocked waiter, then lose the node.
+	if err := tbl.Reset(id); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tbl.WaitReady(context.Background(), id) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := tbl.MarkLost(id); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrObjectLost) {
+			t.Errorf("WaitReady = %v, want ErrObjectLost", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter not woken on loss")
+	}
+}
+
+func TestResetAllowsRecommit(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	nodeA, nodeB := idgen.Next(), idgen.Next()
+	if _, err := tbl.MarkReady(id, 1, nodeA, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.Reset(id); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := tbl.Get(id)
+	if rec.State != Pending || len(rec.Locations) != 0 {
+		t.Errorf("after Reset: %+v", rec)
+	}
+	if _, err := tbl.MarkReady(id, 2, nodeB, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ = tbl.Get(id)
+	if rec.State != Ready || rec.Size != 2 {
+		t.Errorf("after recommit: %+v", rec)
+	}
+}
+
+func TestDeleteWakesWaiters(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- tbl.WaitReady(context.Background(), id) }()
+	time.Sleep(10 * time.Millisecond)
+	tbl.Delete(id)
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrObjectLost) {
+			t.Errorf("WaitReady after Delete = %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter leaked on Delete")
+	}
+	if tbl.Len() != 0 {
+		t.Error("entry not removed")
+	}
+}
+
+func TestConcurrentWaitersAllWake(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	if err := tbl.CreatePending(id, idgen.Next(), idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 32
+	var wg sync.WaitGroup
+	errs := make(chan error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- tbl.WaitReady(context.Background(), id)
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := tbl.MarkReady(id, 1, idgen.Next(), idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("waiter error: %v", err)
+		}
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[State]string{Pending: "pending", Ready: "ready", Lost: "lost"} {
+		if s.String() != want {
+			t.Errorf("String = %q", s.String())
+		}
+	}
+}

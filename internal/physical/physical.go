@@ -1,0 +1,127 @@
+// Package physical lowers a logical FlowGraph to the physical sharded
+// graph (§2.1 lowering steps): it selects hardware backends for IR-based
+// vertices using predefined rules, decides a degree of parallelism per
+// vertex, and materializes keyed edges with hash partitioners. Its
+// Executor then launches the sharded graph on the stateful serverless
+// runtime using the distributed task API — the Fig. 2 pseudo-code path.
+package physical
+
+import (
+	"errors"
+	"fmt"
+
+	"skadi/internal/flowgraph"
+	"skadi/internal/ir"
+)
+
+// Options configures planning.
+type Options struct {
+	// DefaultParallelism applies to vertices that do not request a degree.
+	DefaultParallelism int
+	// Available lists the backends present in the cluster.
+	Available map[string]bool
+	// Rule overrides the lowering rule (nil = ir.DefaultLoweringRule).
+	Rule ir.LoweringRule
+}
+
+// PlannedVertex is one vertex with physical decisions attached.
+type PlannedVertex struct {
+	V           *flowgraph.Vertex
+	Parallelism int
+	// Backend is the kernel backend the vertex's shards require.
+	Backend string
+}
+
+// Plan is the physical sharded graph.
+type Plan struct {
+	Graph    *flowgraph.Graph
+	Order    []*flowgraph.Vertex
+	Vertices map[int]*PlannedVertex
+}
+
+// ErrNoBackends reports planning with no available backends.
+var ErrNoBackends = errors.New("physical: no available backends")
+
+// NewPlan lowers the logical graph. The graph must Validate.
+func NewPlan(g *flowgraph.Graph, opts Options) (*Plan, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if len(opts.Available) == 0 {
+		return nil, ErrNoBackends
+	}
+	if opts.DefaultParallelism < 1 {
+		opts.DefaultParallelism = 1
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Graph: g, Order: order, Vertices: make(map[int]*PlannedVertex)}
+	for _, v := range g.Vertices {
+		pv := &PlannedVertex{V: v, Parallelism: v.Parallelism}
+		if pv.Parallelism < 1 {
+			pv.Parallelism = opts.DefaultParallelism
+		}
+		if v.Handcraft != "" {
+			pv.Backend = v.HandcraftBackend
+			if pv.Backend == "" {
+				pv.Backend = ir.BackendCPU
+			}
+			if !opts.Available[pv.Backend] {
+				return nil, fmt.Errorf("physical: vertex %q requires unavailable backend %q", v.Name, pv.Backend)
+			}
+		} else {
+			if err := ir.Lower(v.IR, opts.Rule, opts.Available); err != nil {
+				return nil, fmt.Errorf("physical: lowering %q: %w", v.Name, err)
+			}
+			pv.Backend = dominantBackend(v.IR)
+		}
+		plan.Vertices[v.ID] = pv
+	}
+	return plan, nil
+}
+
+// dominantBackend picks the vertex's execution backend: the backend of the
+// op with the highest estimated cost weight, so a func mixing a matmul on
+// GPU with glue ops lands on the GPU.
+func dominantBackend(f *ir.Func) string {
+	weights := map[string]int64{}
+	for _, op := range f.Ops {
+		b := op.Backend
+		if b == "" {
+			b = ir.BackendCPU
+		}
+		w := int64(ir.Cost(op, 1000, ir.BackendCPU)) // class weight at fixed size
+		if w == 0 {
+			w = 1
+		}
+		weights[b] += w
+	}
+	best, bestW := ir.BackendCPU, int64(-1)
+	for _, b := range []string{ir.BackendCPU, ir.BackendFPGA, ir.BackendGPU} {
+		if weights[b] > bestW {
+			best, bestW = b, weights[b]
+		}
+	}
+	return best
+}
+
+// String renders the physical plan: vertices with their parallelism
+// subscripts and backends, as in Fig. 2.
+func (p *Plan) String() string {
+	out := "physical plan " + p.Graph.Name + ":\n"
+	for _, v := range p.Order {
+		pv := p.Vertices[v.ID]
+		out += fmt.Sprintf("  %s_%d @%s\n", v.Name, pv.Parallelism, pv.Backend)
+	}
+	for _, e := range p.Graph.Edges {
+		label := e.Kind.String()
+		if e.Kind == flowgraph.Keyed {
+			label += "(" + e.Key + ")"
+		}
+		out += fmt.Sprintf("  %s -> %s [%s]\n",
+			p.Graph.Vertex(e.From).Name, p.Graph.Vertex(e.To).Name, label)
+	}
+	return out
+}

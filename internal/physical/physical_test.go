@@ -1,0 +1,367 @@
+package physical
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"skadi/internal/arrowlite"
+	"skadi/internal/flowgraph"
+	"skadi/internal/ir"
+	"skadi/internal/runtime"
+	"skadi/internal/scheduler"
+)
+
+func testRuntime(t *testing.T) *runtime.Runtime {
+	t.Helper()
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 3, ServerSlots: 4, ServerMemBytes: 64 << 20,
+		GPUs: 2, FPGAs: 1, DeviceSlots: 2, DeviceMemBytes: 32 << 20,
+	}, runtime.Options{Policy: scheduler.DataLocality})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	return rt
+}
+
+func allBackends() map[string]bool {
+	return map[string]bool{"cpu": true, "gpu": true, "fpga": true}
+}
+
+// salesTable builds a small sales fact table.
+func salesTable(t testing.TB, rows int) *arrowlite.Batch {
+	t.Helper()
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "region", Type: arrowlite.Bytes},
+		arrowlite.Field{Name: "amount", Type: arrowlite.Float64},
+	))
+	regions := []string{"east", "west", "north", "south"}
+	for i := 0; i < rows; i++ {
+		if err := b.Append(regions[i%len(regions)], float64(i%100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// filterFunc builds "filter amount > threshold".
+func filterFunc(name, threshold string) *ir.Func {
+	f := ir.NewFunc(name)
+	in := f.AddParam(ir.KTable)
+	out := f.Add("rel", "filter", ir.KTable,
+		map[string]string{"col": "amount", "cmp": "gt", "value": threshold}, in)
+	f.Return(out)
+	return f
+}
+
+// aggFunc builds "group by region: sum(amount), count(*)".
+func aggFunc(name string) *ir.Func {
+	f := ir.NewFunc(name)
+	in := f.AddParam(ir.KTable)
+	out := f.Add("rel", "agg", ir.KTable,
+		map[string]string{"group": "region", "aggs": "sum:amount,count:*"}, in)
+	f.Return(out)
+	return f
+}
+
+func TestPlanAssignsParallelismAndBackend(t *testing.T) {
+	g := flowgraph.New("q")
+	scan := g.AddIR("scan", filterFunc("scan", "10"))
+	scan.Parallelism = 4
+	agg := g.AddIR("agg", aggFunc("agg"))
+	g.ConnectKeyed(scan, agg, "region")
+
+	plan, err := NewPlan(g, Options{DefaultParallelism: 2, Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Vertices[scan.ID].Parallelism != 4 {
+		t.Errorf("scan parallelism = %d", plan.Vertices[scan.ID].Parallelism)
+	}
+	if plan.Vertices[agg.ID].Parallelism != 2 {
+		t.Errorf("agg parallelism = %d (default)", plan.Vertices[agg.ID].Parallelism)
+	}
+	// rel ops prefer FPGA under the default rule.
+	if plan.Vertices[scan.ID].Backend != "fpga" {
+		t.Errorf("scan backend = %q", plan.Vertices[scan.ID].Backend)
+	}
+	s := plan.String()
+	if !strings.Contains(s, "scan_4") || !strings.Contains(s, "keyed(region)") {
+		t.Errorf("plan render:\n%s", s)
+	}
+}
+
+func TestPlanCPUFallback(t *testing.T) {
+	g := flowgraph.New("q")
+	g.AddIR("scan", filterFunc("scan", "1"))
+	plan, err := NewPlan(g, Options{DefaultParallelism: 1, Available: map[string]bool{"cpu": true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pv := range plan.Vertices {
+		if pv.Backend != "cpu" {
+			t.Errorf("backend = %q without devices", pv.Backend)
+		}
+	}
+}
+
+func TestPlanRejectsUnavailableHandcraftBackend(t *testing.T) {
+	g := flowgraph.New("q")
+	g.AddHandcraft("op", "some.fn", "gpu")
+	if _, err := NewPlan(g, Options{Available: map[string]bool{"cpu": true}}); err == nil {
+		t.Error("plan should reject unavailable backend")
+	}
+}
+
+func TestPlanNoBackends(t *testing.T) {
+	g := flowgraph.New("q")
+	g.AddIR("scan", filterFunc("scan", "1"))
+	if _, err := NewPlan(g, Options{}); err != ErrNoBackends {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// referenceAgg computes the expected group sums directly.
+func referenceAgg(batch *arrowlite.Batch, threshold float64) (map[string]float64, map[string]int64) {
+	sums := map[string]float64{}
+	counts := map[string]int64{}
+	region := batch.ColByName("region")
+	amount := batch.ColByName("amount")
+	for r := 0; r < batch.NumRows(); r++ {
+		if amount.Floats[r] > threshold {
+			key := string(region.BytesAt(r))
+			sums[key] += amount.Floats[r]
+			counts[key]++
+		}
+	}
+	return sums, counts
+}
+
+func TestExecuteShardedAggregation(t *testing.T) {
+	rt := testRuntime(t)
+	input := salesTable(t, 400)
+
+	g := flowgraph.New("agg-job")
+	scan := g.AddIR("scan", filterFunc("scan", "50"))
+	scan.Parallelism = 4
+	agg := g.AddIR("agg", aggFunc("agg"))
+	agg.Parallelism = 2
+	g.ConnectKeyed(scan, agg, "region")
+
+	plan, err := NewPlan(g, Options{DefaultParallelism: 2, Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(rt, plan)
+	results, err := ex.Run(context.Background(), map[string][]*ir.Datum{
+		"scan": {ir.TableDatum(input)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := results["agg"].Table
+	wantSums, wantCounts := referenceAgg(input, 50)
+	if out.NumRows() != len(wantSums) {
+		t.Fatalf("groups = %d, want %d\n%v", out.NumRows(), len(wantSums), wantSums)
+	}
+	for r := 0; r < out.NumRows(); r++ {
+		region := string(out.ColByName("region").BytesAt(r))
+		if got := out.ColByName("sum_amount").Floats[r]; got != wantSums[region] {
+			t.Errorf("sum[%s] = %v, want %v", region, got, wantSums[region])
+		}
+		if got := out.ColByName("count").Ints[r]; got != wantCounts[region] {
+			t.Errorf("count[%s] = %d, want %d", region, got, wantCounts[region])
+		}
+	}
+}
+
+func TestExecuteTensorChain(t *testing.T) {
+	rt := testRuntime(t)
+	g := flowgraph.New("tensor-job")
+	f := ir.NewFunc("relu")
+	x := f.AddParam(ir.KTensor)
+	y := f.Add("tensor", "relu", ir.KTensor, nil, x)
+	f.Return(y)
+	v := g.AddIR("act", f)
+	v.Parallelism = 1
+
+	plan, err := NewPlan(g, Options{DefaultParallelism: 1, Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tensor ops land on the GPU under the default rule.
+	if plan.Vertices[v.ID].Backend != "gpu" {
+		t.Errorf("backend = %q", plan.Vertices[v.ID].Backend)
+	}
+	ex := NewExecutor(rt, plan)
+	in := &ir.Tensor{Shape: []int{1, 4}, Data: []float64{-1, 2, -3, 4}}
+	results, err := ex.Run(context.Background(), map[string][]*ir.Datum{
+		"act": {ir.TensorDatum(in)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := results["act"].Tensor.Data
+	want := []float64{0, 2, 0, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("out[%d] = %v", i, got[i])
+		}
+	}
+}
+
+func TestExecutePerShardInputs(t *testing.T) {
+	rt := testRuntime(t)
+	g := flowgraph.New("sharded-in")
+	scan := g.AddIR("scan", filterFunc("scan", "-1")) // pass-through
+	scan.Parallelism = 2
+	plan, err := NewPlan(g, Options{Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(rt, plan)
+	in1, in2 := salesTable(t, 10), salesTable(t, 14)
+	results, err := ex.Run(context.Background(), map[string][]*ir.Datum{
+		"scan": {ir.TableDatum(in1), ir.TableDatum(in2)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["scan"].Table.NumRows(); got != 24 {
+		t.Errorf("rows = %d, want 24", got)
+	}
+}
+
+func TestExecuteMissingInput(t *testing.T) {
+	rt := testRuntime(t)
+	g := flowgraph.New("missing")
+	g.AddIR("scan", filterFunc("scan", "1"))
+	plan, err := NewPlan(g, Options{Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(rt, plan)
+	if _, err := ex.Run(context.Background(), nil); err == nil {
+		t.Error("missing input should fail")
+	}
+}
+
+func TestExecuteBroadcastJoin(t *testing.T) {
+	rt := testRuntime(t)
+
+	// Fact table sharded, dimension table broadcast, joined per shard.
+	fact := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "item", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "qty", Type: arrowlite.Float64},
+	))
+	for i := 0; i < 100; i++ {
+		_ = fact.Append(int64(i%5), float64(1))
+	}
+	dim := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "item_id", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "label", Type: arrowlite.Bytes},
+	))
+	for i := 0; i < 5; i++ {
+		_ = dim.Append(int64(i), "x")
+	}
+
+	joinF := ir.NewFunc("join")
+	l := joinF.AddParam(ir.KTable)
+	r := joinF.AddParam(ir.KTable)
+	j := joinF.Add("rel", "join", ir.KTable, map[string]string{"leftkey": "item", "rightkey": "item_id"}, l, r)
+	joinF.Return(j)
+
+	pass := func(name string) *ir.Func {
+		f := ir.NewFunc(name)
+		in := f.AddParam(ir.KTable)
+		out := f.Add("core", "identity", ir.KTable, nil, in)
+		f.Return(out)
+		return f
+	}
+
+	g := flowgraph.New("bjoin")
+	factV := g.AddIR("fact", pass("fact"))
+	factV.Parallelism = 4
+	dimV := g.AddIR("dim", pass("dim"))
+	dimV.Parallelism = 1
+	joinV := g.AddIR("join", joinF)
+	joinV.Parallelism = 4
+	g.Connect(factV, joinV)
+	g.ConnectBroadcast(dimV, joinV)
+
+	plan, err := NewPlan(g, Options{Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(rt, plan)
+	results, err := ex.Run(context.Background(), map[string][]*ir.Datum{
+		"fact": {ir.TableDatum(fact.Build())},
+		"dim":  {ir.TableDatum(dim.Build())},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := results["join"].Table.NumRows(); got != 100 {
+		t.Errorf("joined rows = %d, want 100", got)
+	}
+}
+
+func TestExecuteGangVertex(t *testing.T) {
+	rt := testRuntime(t)
+	g := flowgraph.New("spmd")
+	f := ir.NewFunc("pass")
+	x := f.AddParam(ir.KTable)
+	y := f.Add("core", "identity", ir.KTable, nil, x)
+	f.Return(y)
+	v := g.AddIR("stage", f)
+	v.Parallelism = 3
+	v.Gang = true
+
+	plan, err := NewPlan(g, Options{Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// identity is a core op → cpu; 3 servers with 4 slots: gang fits.
+	ex := NewExecutor(rt, plan)
+	results, err := ex.Run(context.Background(), map[string][]*ir.Datum{
+		"stage": {ir.TableDatum(salesTable(t, 30))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["stage"].Table.NumRows() != 30 {
+		t.Errorf("rows = %d", results["stage"].Table.NumRows())
+	}
+}
+
+func TestForwardGatherManyToOne(t *testing.T) {
+	rt := testRuntime(t)
+	g := flowgraph.New("gather")
+	pass := func(name string) *ir.Func {
+		f := ir.NewFunc(name)
+		in := f.AddParam(ir.KTable)
+		out := f.Add("core", "identity", ir.KTable, nil, in)
+		f.Return(out)
+		return f
+	}
+	wide := g.AddIR("wide", pass("wide"))
+	wide.Parallelism = 4
+	narrow := g.AddIR("narrow", pass("narrow"))
+	narrow.Parallelism = 1
+	g.Connect(wide, narrow)
+	plan, err := NewPlan(g, Options{Available: allBackends()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(rt, plan)
+	results, err := ex.Run(context.Background(), map[string][]*ir.Datum{
+		"wide": {ir.TableDatum(salesTable(t, 40))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results["narrow"].Table.NumRows() != 40 {
+		t.Errorf("rows = %d, want 40 (no duplication, no loss)", results["narrow"].Table.NumRows())
+	}
+}

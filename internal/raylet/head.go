@@ -1,0 +1,168 @@
+package raylet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"skadi/internal/idgen"
+	"skadi/internal/lineage"
+	"skadi/internal/ownership"
+	"skadi/internal/transport"
+)
+
+// Head is the cluster's control-plane service (the GCS of Fig. 2's
+// centralized scheduler): it hosts the ownership table, the lineage log,
+// and the actor-checkpoint store, and serves the own.*/actor.* RPCs that
+// raylets use for future resolution and stateful-function durability.
+type Head struct {
+	Node    idgen.NodeID
+	Table   *ownership.Table
+	Lineage *lineage.Log
+
+	ckptMu sync.Mutex
+	ckpts  map[idgen.ActorID]*actorCkpt
+}
+
+type actorCkpt struct {
+	seq   uint64
+	state map[string][]byte
+}
+
+// NewHead returns a head service identified by the given node.
+func NewHead(node idgen.NodeID) *Head {
+	return &Head{
+		Node:    node,
+		Table:   ownership.NewTable(),
+		Lineage: lineage.NewLog(),
+		ckpts:   make(map[idgen.ActorID]*actorCkpt),
+	}
+}
+
+// Checkpoint stores an actor snapshot if it is newer than the stored one.
+func (h *Head) Checkpoint(actor idgen.ActorID, seq uint64, state map[string][]byte) {
+	h.ckptMu.Lock()
+	defer h.ckptMu.Unlock()
+	cur, ok := h.ckpts[actor]
+	if ok && cur.seq >= seq {
+		return
+	}
+	cp := make(map[string][]byte, len(state))
+	for k, v := range state {
+		cp[k] = append([]byte(nil), v...)
+	}
+	h.ckpts[actor] = &actorCkpt{seq: seq, state: cp}
+}
+
+// Restore returns an actor's latest snapshot (nil if none).
+func (h *Head) Restore(actor idgen.ActorID) (uint64, map[string][]byte) {
+	h.ckptMu.Lock()
+	defer h.ckptMu.Unlock()
+	ck, ok := h.ckpts[actor]
+	if !ok {
+		return 0, nil
+	}
+	cp := make(map[string][]byte, len(ck.state))
+	for k, v := range ck.state {
+		cp[k] = append([]byte(nil), v...)
+	}
+	return ck.seq, cp
+}
+
+// Start registers the head's RPC handler on the transport.
+func (h *Head) Start(tr transport.Transport) error {
+	return tr.Listen(h.Node, h.handle)
+}
+
+// Handler exposes the RPC handler so a runtime can multiplex the head
+// service with a co-located raylet on one node.
+func (h *Head) Handler() transport.Handler { return h.handle }
+
+// handle dispatches one inbound RPC.
+func (h *Head) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	switch kind {
+	case KindOwnCreate:
+		var req OwnCreateRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		for _, id := range req.IDs {
+			if err := h.Table.CreatePending(id, req.Owner, req.Task); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+
+	case KindOwnReady:
+		var req OwnReadyRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		subs, err := h.Table.MarkReady(req.ID, req.Size, req.Location, req.DeviceID, req.DeviceHandle)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(OwnReadyResponse{Subscribers: subs})
+
+	case KindOwnGet:
+		var req OwnGetRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		rec, err := h.Table.Get(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(OwnGetResponse{Rec: rec})
+
+	case KindOwnWait:
+		var req OwnWaitRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := h.Table.WaitReady(ctx, req.ID); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case KindOwnSubscribe:
+		var req OwnSubscribeRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		ready, rec, err := h.Table.Subscribe(req.ID, req.Node)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(OwnSubscribeResponse{Ready: ready, Rec: rec})
+
+	case KindOwnAddLoc:
+		var req OwnAddLocRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := h.Table.AddLocation(req.ID, req.Node); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case KindActorCkpt:
+		var req ActorCkptRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		h.Checkpoint(req.Actor, req.Seq, req.State)
+		return nil, nil
+
+	case KindActorRestore:
+		var req ActorRestoreRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		seq, state := h.Restore(req.Actor)
+		return transport.Encode(ActorRestoreResponse{Seq: seq, State: state})
+
+	default:
+		return nil, fmt.Errorf("head: unknown RPC kind %q", kind)
+	}
+}

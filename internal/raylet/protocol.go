@@ -1,0 +1,155 @@
+package raylet
+
+import (
+	"skadi/internal/idgen"
+	"skadi/internal/ownership"
+	"skadi/internal/task"
+)
+
+// RPC kinds served by raylets.
+const (
+	// KindExec asks a raylet to execute a task; the response arrives when
+	// the task has committed its results.
+	KindExec = "raylet.exec"
+	// KindGet fetches an object's bytes from a raylet's local store.
+	KindGet = "raylet.get"
+	// KindPush delivers an object proactively (push-based resolution).
+	KindPush = "raylet.push"
+	// KindDelete removes an object from the local store.
+	KindDelete = "raylet.delete"
+	// KindPing checks liveness.
+	KindPing = "raylet.ping"
+)
+
+// RPC kinds served by the head (ownership/GCS) service.
+const (
+	// KindOwnCreate registers pending objects.
+	KindOwnCreate = "own.create"
+	// KindOwnReady commits an object and returns push subscribers.
+	KindOwnReady = "own.ready"
+	// KindOwnGet returns an object's ownership record.
+	KindOwnGet = "own.get"
+	// KindOwnWait blocks until an object is ready or lost.
+	KindOwnWait = "own.wait"
+	// KindOwnSubscribe registers for a push or learns the object is ready.
+	KindOwnSubscribe = "own.subscribe"
+	// KindOwnAddLoc records an extra full copy.
+	KindOwnAddLoc = "own.addloc"
+	// KindActorCkpt persists an actor's state after a task (stateful
+	// serverless durability: function state outlives its node).
+	KindActorCkpt = "actor.ckpt"
+	// KindActorRestore fetches an actor's last checkpoint.
+	KindActorRestore = "actor.restore"
+)
+
+// ExecRequest asks for one task execution.
+type ExecRequest struct {
+	Spec task.Spec
+}
+
+// ExecResponse reports a completed task.
+type ExecResponse struct {
+	// ResultSizes are the committed output sizes, index-aligned with
+	// Spec.Returns.
+	ResultSizes []int64
+	// StallMicros is the time the task spent blocked waiting for its
+	// reference arguments to resolve — the metric of experiment E4.
+	StallMicros int64
+}
+
+// GetRequest fetches object bytes.
+type GetRequest struct {
+	ID idgen.ObjectID
+}
+
+// GetResponse carries object bytes.
+type GetResponse struct {
+	Data   []byte
+	Format string
+}
+
+// PushRequest delivers object bytes proactively.
+type PushRequest struct {
+	ID     idgen.ObjectID
+	Data   []byte
+	Format string
+}
+
+// DeleteRequest removes an object from a local store.
+type DeleteRequest struct {
+	ID idgen.ObjectID
+}
+
+// OwnCreateRequest registers pending objects for a task's returns.
+type OwnCreateRequest struct {
+	IDs   []idgen.ObjectID
+	Owner idgen.NodeID
+	Task  idgen.TaskID
+}
+
+// OwnReadyRequest commits one object.
+type OwnReadyRequest struct {
+	ID           idgen.ObjectID
+	Size         int64
+	Location     idgen.NodeID
+	DeviceID     idgen.NodeID
+	DeviceHandle string
+}
+
+// OwnReadyResponse lists the nodes subscribed for a push of the object.
+type OwnReadyResponse struct {
+	Subscribers []idgen.NodeID
+}
+
+// OwnGetRequest fetches an ownership record.
+type OwnGetRequest struct {
+	ID idgen.ObjectID
+}
+
+// OwnGetResponse carries the record.
+type OwnGetResponse struct {
+	Rec ownership.Record
+}
+
+// OwnWaitRequest blocks until the object is ready.
+type OwnWaitRequest struct {
+	ID idgen.ObjectID
+}
+
+// OwnSubscribeRequest subscribes a node for a push of the object.
+type OwnSubscribeRequest struct {
+	ID   idgen.ObjectID
+	Node idgen.NodeID
+}
+
+// OwnSubscribeResponse reports whether the object was already ready (in
+// which case the subscriber should pull instead) along with the record.
+type OwnSubscribeResponse struct {
+	Ready bool
+	Rec   ownership.Record
+}
+
+// OwnAddLocRequest records an additional location for an object.
+type OwnAddLocRequest struct {
+	ID   idgen.ObjectID
+	Node idgen.NodeID
+}
+
+// ActorCkptRequest persists an actor's state snapshot.
+type ActorCkptRequest struct {
+	Actor idgen.ActorID
+	// Seq orders checkpoints; stale snapshots (lower Seq) are ignored.
+	Seq   uint64
+	State map[string][]byte
+}
+
+// ActorRestoreRequest fetches an actor's latest checkpoint.
+type ActorRestoreRequest struct {
+	Actor idgen.ActorID
+}
+
+// ActorRestoreResponse returns the checkpoint (nil State if none).
+type ActorRestoreResponse struct {
+	Seq   uint64
+	State map[string][]byte
+}

@@ -1,0 +1,589 @@
+// Package raylet implements Skadi's per-node daemon — the component the
+// paper overhauls from Ray (§2.3). A raylet executes tasks from the shared
+// registry, resolves reference arguments with either the pull-based or the
+// push-based future-resolution protocol, commits results to the caching
+// layer, and reports ownership to the head service.
+//
+// The two hardware generations of §2.3.2 are configurations, not forks:
+//
+//   - Gen-1 (CPU-centric): a device's raylet logically runs on the DPU;
+//     every control and data message to or from the device transits the
+//     DPU, charged as explicit DPU hops on the fabric.
+//   - Gen-2 (device-centric): the raylet runs on the device itself
+//     (DPUProxy unset); devices talk to peers and the head directly.
+package raylet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"skadi/internal/caching"
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+	"skadi/internal/metrics"
+	"skadi/internal/objectstore"
+	"skadi/internal/task"
+	"skadi/internal/transport"
+)
+
+// Resolution selects the future-resolution protocol (§2.3.2).
+type Resolution int
+
+// Resolution protocols.
+const (
+	// Pull is Ray's vanilla model: the consumer waits for readiness, then
+	// fetches from the producer on demand.
+	Pull Resolution = iota
+	// Push is Skadi's addition: the producer pushes data to registered
+	// consumers proactively when it commits.
+	Push
+)
+
+// String returns the protocol name.
+func (r Resolution) String() string {
+	if r == Push {
+		return "push"
+	}
+	return "pull"
+}
+
+// ErrNoLocation reports an object that is ready but has no reachable copy.
+var ErrNoLocation = errors.New("raylet: no reachable location for object")
+
+// Config configures a Raylet.
+type Config struct {
+	// Node is this raylet's identity.
+	Node idgen.NodeID
+	// Backend is the kernel backend this node executes ("cpu"/"gpu"/"fpga").
+	Backend string
+	// Slots is the number of concurrently executing tasks.
+	Slots int
+	// Head is the node hosting the ownership service.
+	Head idgen.NodeID
+	// Transport carries RPCs.
+	Transport transport.Transport
+	// Fabric charges explicit DPU hops in Gen-1 mode.
+	Fabric *fabric.Fabric
+	// Layer is the caching layer; it must have a store registered for Node.
+	Layer *caching.Layer
+	// Registry holds the executable functions.
+	Registry *task.Registry
+	// Resolution selects pull or push future resolution.
+	Resolution Resolution
+	// DPUProxy, when set, puts this raylet in Gen-1 mode: every message is
+	// charged an extra hop through the given DPU node.
+	DPUProxy idgen.NodeID
+	// TimeScale scales simulated kernel durations.
+	TimeScale float64
+}
+
+// Stats exposes the counters the experiments read.
+type Stats struct {
+	TasksExecuted int64
+	LocalHits     int64
+	RemoteFetches int64
+	PushesSent    int64
+	PushesRecv    int64
+	DPUHops       int64
+}
+
+// Raylet is one node's daemon. Create with New, then Start.
+type Raylet struct {
+	cfg      Config
+	store    *objectstore.Store
+	slots    chan struct{}
+	pushWait time.Duration
+
+	arrivalsMu sync.Mutex
+	arrivals   map[idgen.ObjectID][]chan struct{}
+
+	actorsMu    sync.Mutex
+	actorStates map[idgen.ActorID]map[string][]byte
+	actorLocks  map[idgen.ActorID]*sync.Mutex
+	actorSeqs   map[idgen.ActorID]uint64
+
+	statsMu sync.Mutex
+	stats   Stats
+	// StallHist records per-task argument-resolution stall in microseconds.
+	StallHist metrics.Histogram
+}
+
+// New returns a raylet for the given configuration.
+func New(cfg Config) (*Raylet, error) {
+	store := cfg.Layer.Store(cfg.Node)
+	if store == nil {
+		return nil, fmt.Errorf("raylet: no store registered for node %s", cfg.Node.Short())
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	r := &Raylet{
+		cfg:         cfg,
+		store:       store,
+		slots:       make(chan struct{}, cfg.Slots),
+		pushWait:    2 * time.Second,
+		arrivals:    make(map[idgen.ObjectID][]chan struct{}),
+		actorStates: make(map[idgen.ActorID]map[string][]byte),
+		actorLocks:  make(map[idgen.ActorID]*sync.Mutex),
+		actorSeqs:   make(map[idgen.ActorID]uint64),
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		r.slots <- struct{}{}
+	}
+	return r, nil
+}
+
+// Node returns the raylet's node ID.
+func (r *Raylet) Node() idgen.NodeID { return r.cfg.Node }
+
+// Start registers the raylet's RPC handler.
+func (r *Raylet) Start() error {
+	return r.cfg.Transport.Listen(r.cfg.Node, r.handle)
+}
+
+// Handler exposes the RPC handler so a runtime can multiplex a raylet with
+// a co-located head service on one node.
+func (r *Raylet) Handler() transport.Handler { return r.handle }
+
+// FetchLocal resolves an object to local bytes using the raylet's
+// configured resolution protocol; drivers use it to read results.
+func (r *Raylet) FetchLocal(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
+	return r.resolveRef(ctx, id)
+}
+
+// Stop unregisters the handler.
+func (r *Raylet) Stop() {
+	r.cfg.Transport.Unlisten(r.cfg.Node)
+}
+
+// Stats returns a snapshot of the raylet's counters.
+func (r *Raylet) Stats() Stats {
+	r.statsMu.Lock()
+	defer r.statsMu.Unlock()
+	return r.stats
+}
+
+// bump applies f to the stats under the lock.
+func (r *Raylet) bump(f func(*Stats)) {
+	r.statsMu.Lock()
+	f(&r.stats)
+	r.statsMu.Unlock()
+}
+
+// proxyHop charges one Gen-1 DPU transit of size bytes, if configured.
+func (r *Raylet) proxyHop(size int) {
+	if r.cfg.DPUProxy.IsNil() {
+		return
+	}
+	r.cfg.Fabric.Send(r.cfg.Node, r.cfg.DPUProxy, size)
+	r.bump(func(s *Stats) { s.DPUHops++ })
+}
+
+// call issues an outbound RPC, adding Gen-1 DPU hops around it.
+func (r *Raylet) call(ctx context.Context, to idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	r.proxyHop(len(payload))
+	resp, err := r.cfg.Transport.Call(ctx, r.cfg.Node, to, kind, payload)
+	r.proxyHop(len(resp))
+	return resp, err
+}
+
+// handle dispatches one inbound RPC.
+func (r *Raylet) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	// Gen-1: the inbound message physically entered through the DPU.
+	r.proxyHop(len(payload))
+	resp, err := r.dispatch(ctx, from, kind, payload)
+	r.proxyHop(len(resp))
+	return resp, err
+}
+
+func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	switch kind {
+	case KindExec:
+		var req ExecRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return r.execTask(ctx, &req.Spec)
+
+	case KindGet:
+		var req GetRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		data, format, err := r.store.Get(req.ID)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(GetResponse{Data: data, Format: format})
+
+	case KindPush:
+		var req PushRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		r.receivePush(req.ID, req.Data, req.Format)
+		return nil, nil
+
+	case KindDelete:
+		var req DeleteRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := r.store.Delete(req.ID); err != nil && !errors.Is(err, objectstore.ErrNotFound) {
+			return nil, err
+		}
+		return nil, nil
+
+	case KindPing:
+		return []byte("pong"), nil
+
+	default:
+		return nil, fmt.Errorf("raylet: unknown RPC kind %q", kind)
+	}
+}
+
+// receivePush stores a pushed object and wakes local waiters.
+func (r *Raylet) receivePush(id idgen.ObjectID, data []byte, format string) {
+	if err := r.store.Put(id, data, format); err != nil && !errors.Is(err, objectstore.ErrExists) {
+		// Store pressure: the object still exists at the producer; pull
+		// resolution will fetch it if the waiter needs it. Drop the push.
+		return
+	}
+	r.cfg.Layer.NoteLocation(r.cfg.Node, id)
+	r.bump(func(s *Stats) { s.PushesRecv++ })
+	r.arrivalsMu.Lock()
+	for _, ch := range r.arrivals[id] {
+		close(ch)
+	}
+	delete(r.arrivals, id)
+	r.arrivalsMu.Unlock()
+}
+
+// waitArrival blocks until the object lands in the local store (via push)
+// or the context ends; on context end the registration is removed.
+func (r *Raylet) waitArrival(ctx context.Context, id idgen.ObjectID) error {
+	r.arrivalsMu.Lock()
+	if r.store.Contains(id) {
+		r.arrivalsMu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	r.arrivals[id] = append(r.arrivals[id], ch)
+	r.arrivalsMu.Unlock()
+	select {
+	case <-ch:
+		return nil
+	case <-ctx.Done():
+		r.arrivalsMu.Lock()
+		chans := r.arrivals[id]
+		for i, c := range chans {
+			if c == ch {
+				r.arrivals[id] = append(chans[:i], chans[i+1:]...)
+				break
+			}
+		}
+		if len(r.arrivals[id]) == 0 {
+			delete(r.arrivals, id)
+		}
+		r.arrivalsMu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// execTask resolves arguments, runs the function, and commits results.
+// Argument resolution happens *before* a worker slot is taken, so tasks
+// waiting on inputs do not hold compute — the "wait mode" of §2.1.
+func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) {
+	args := make([][]byte, len(spec.Args))
+	var stall time.Duration
+	for i, a := range spec.Args {
+		if !a.IsRef {
+			args[i] = a.Value
+			continue
+		}
+		start := time.Now()
+		data, err := r.resolveRef(ctx, a.Ref)
+		if err != nil {
+			return nil, fmt.Errorf("raylet: resolving arg %d of %s: %w", i, spec.Fn, err)
+		}
+		stall += time.Since(start)
+		args[i] = data
+	}
+	r.StallHist.ObserveDuration(stall)
+
+	// Acquire a worker slot for the compute phase only.
+	select {
+	case <-r.slots:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { r.slots <- struct{}{} }()
+
+	fn, err := r.cfg.Registry.Lookup(spec.Fn)
+	if err != nil {
+		return nil, err
+	}
+	tctx := &task.Context{
+		Node:      r.cfg.Node,
+		Backend:   r.cfg.Backend,
+		TimeScale: r.cfg.TimeScale,
+		Spec:      spec,
+	}
+
+	var outs [][]byte
+	if spec.Actor.IsNil() {
+		if spec.Duration > 0 {
+			tctx.Compute(spec.Duration)
+		}
+		outs, err = fn(tctx, args)
+	} else {
+		outs, err = r.execActorTask(tctx, fn, spec, args)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(outs) != len(spec.Returns) {
+		return nil, fmt.Errorf("raylet: %s returned %d values, spec declares %d", spec.Fn, len(outs), len(spec.Returns))
+	}
+
+	resp := ExecResponse{StallMicros: stall.Microseconds()}
+	for i, out := range outs {
+		if err := r.commit(ctx, spec.Returns[i], out); err != nil {
+			return nil, err
+		}
+		resp.ResultSizes = append(resp.ResultSizes, int64(len(out)))
+	}
+	r.bump(func(s *Stats) { s.TasksExecuted++ })
+	return transport.Encode(resp)
+}
+
+// execActorTask runs a task against its actor's private state, serialized
+// per actor. State is checkpointed to the head after every task, and an
+// actor arriving on this node for the first time restores the latest
+// checkpoint — so actor state survives node failures (§1: the caching
+// layer "can store states").
+func (r *Raylet) execActorTask(tctx *task.Context, fn task.Func, spec *task.Spec, args [][]byte) ([][]byte, error) {
+	r.actorsMu.Lock()
+	lock, known := r.actorLocks[spec.Actor]
+	if !known {
+		lock = &sync.Mutex{}
+		r.actorLocks[spec.Actor] = lock
+		r.actorStates[spec.Actor] = make(map[string][]byte)
+	}
+	state := r.actorStates[spec.Actor]
+	r.actorsMu.Unlock()
+
+	lock.Lock()
+	defer lock.Unlock()
+
+	if !known {
+		// First task of this actor on this node: adopt the latest
+		// checkpoint, if any (the actor may have moved here after a
+		// failure).
+		req := transport.MustEncode(ActorRestoreRequest{Actor: spec.Actor})
+		if respB, err := r.call(context.Background(), r.cfg.Head, KindActorRestore, req); err == nil {
+			var resp ActorRestoreResponse
+			if err := transport.Decode(respB, &resp); err == nil && resp.State != nil {
+				for k, v := range resp.State {
+					state[k] = v
+				}
+				r.actorsMu.Lock()
+				r.actorSeqs[spec.Actor] = resp.Seq
+				r.actorsMu.Unlock()
+			}
+		}
+	}
+
+	tctx.ActorState = state
+	if spec.Duration > 0 {
+		tctx.Compute(spec.Duration)
+	}
+	outs, err := fn(tctx, args)
+	if err != nil {
+		return nil, err
+	}
+	// Checkpoint the post-task state (best effort: a missed checkpoint
+	// only widens the failure window, it does not affect correctness of
+	// the healthy path).
+	r.actorsMu.Lock()
+	r.actorSeqs[spec.Actor]++
+	seq := r.actorSeqs[spec.Actor]
+	r.actorsMu.Unlock()
+	ckpt := transport.MustEncode(ActorCkptRequest{Actor: spec.Actor, Seq: seq, State: state})
+	_, _ = r.call(context.Background(), r.cfg.Head, KindActorCkpt, ckpt)
+	return outs, nil
+}
+
+// commit stores one result and publishes it: caching-layer put (local copy,
+// replication/EC per the layer's mode), ownership MarkReady, and pushes to
+// subscribers in push mode.
+func (r *Raylet) commit(ctx context.Context, id idgen.ObjectID, data []byte) error {
+	if err := r.cfg.Layer.Put(r.cfg.Node, id, data, "raw"); err != nil && !errors.Is(err, objectstore.ErrExists) {
+		return err
+	}
+	handle := ""
+	deviceID := idgen.Nil
+	if r.cfg.Backend != "" && r.cfg.Backend != "cpu" {
+		// The heterogeneity-aware ownership extension: record where in
+		// device memory the value lives.
+		deviceID = r.cfg.Node
+		handle = fmt.Sprintf("%s:%s/obj-%s", r.cfg.Backend, r.cfg.Node.Short(), id.Short())
+	}
+	payload := transport.MustEncode(OwnReadyRequest{
+		ID: id, Size: int64(len(data)), Location: r.cfg.Node,
+		DeviceID: deviceID, DeviceHandle: handle,
+	})
+	resp, err := r.call(ctx, r.cfg.Head, KindOwnReady, payload)
+	if err != nil {
+		return fmt.Errorf("raylet: own.ready: %w", err)
+	}
+	var ready OwnReadyResponse
+	if err := transport.Decode(resp, &ready); err != nil {
+		return err
+	}
+	for _, sub := range ready.Subscribers {
+		if err := r.pushTo(ctx, sub, id, data, "raw"); err != nil {
+			// A dead subscriber will pull (or fail) on its own; a push is
+			// an optimization, not a correctness requirement.
+			continue
+		}
+	}
+	return nil
+}
+
+// pushTo sends object bytes to a consumer node proactively.
+func (r *Raylet) pushTo(ctx context.Context, to idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	payload := transport.MustEncode(PushRequest{ID: id, Data: data, Format: format})
+	if _, err := r.call(ctx, to, KindPush, payload); err != nil {
+		return err
+	}
+	r.bump(func(s *Stats) { s.PushesSent++ })
+	// Record the new copy so schedulers and readers can find it.
+	loc := transport.MustEncode(OwnAddLocRequest{ID: id, Node: to})
+	_, err := r.call(ctx, r.cfg.Head, KindOwnAddLoc, loc)
+	return err
+}
+
+// resolveRef returns the bytes of one reference argument, using the
+// configured resolution protocol.
+func (r *Raylet) resolveRef(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
+	if data, _, err := r.store.Get(id); err == nil {
+		r.bump(func(s *Stats) { s.LocalHits++ })
+		return data, nil
+	}
+	if r.cfg.Resolution == Push {
+		return r.resolvePush(ctx, id)
+	}
+	return r.resolvePull(ctx, id)
+}
+
+// resolvePull implements Ray's vanilla protocol: wait for readiness at the
+// owner, look up locations, fetch on demand.
+func (r *Raylet) resolvePull(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
+	wait := transport.MustEncode(OwnWaitRequest{ID: id})
+	if _, err := r.call(ctx, r.cfg.Head, KindOwnWait, wait); err != nil {
+		return nil, err
+	}
+	get := transport.MustEncode(OwnGetRequest{ID: id})
+	resp, err := r.call(ctx, r.cfg.Head, KindOwnGet, get)
+	if err != nil {
+		return nil, err
+	}
+	var rec OwnGetResponse
+	if err := transport.Decode(resp, &rec); err != nil {
+		return nil, err
+	}
+	return r.fetch(ctx, id, rec.Rec.Locations)
+}
+
+// resolvePush subscribes for a proactive push; if the object is already
+// ready it degenerates to a pull fetch.
+func (r *Raylet) resolvePush(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
+	sub := transport.MustEncode(OwnSubscribeRequest{ID: id, Node: r.cfg.Node})
+	resp, err := r.call(ctx, r.cfg.Head, KindOwnSubscribe, sub)
+	if err != nil {
+		return nil, err
+	}
+	var s OwnSubscribeResponse
+	if err := transport.Decode(resp, &s); err != nil {
+		return nil, err
+	}
+	if s.Ready {
+		return r.fetch(ctx, id, s.Rec.Locations)
+	}
+	// A push is an optimization, not a delivery guarantee (it can be
+	// dropped under store pressure or lost to races at scale); bound the
+	// wait and fall back to the pull protocol, which blocks on the owner
+	// until readiness and always finds a copy.
+	arrCtx, cancel := context.WithTimeout(ctx, r.pushWait)
+	err = r.waitArrival(arrCtx, id)
+	cancel()
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return r.resolvePull(ctx, id)
+	}
+	data, _, err := r.store.Get(id)
+	if err != nil {
+		// Evicted between arrival and read; fall back to a pull.
+		return r.resolvePull(ctx, id)
+	}
+	return data, nil
+}
+
+// fetch pulls object bytes from the cheapest reachable location and caches
+// them locally. If every location fails it falls back to the caching
+// layer's recovery paths (replica, DSM, erasure reconstruction).
+func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen.NodeID) ([]byte, error) {
+	// Cheapest location first.
+	locs := append([]idgen.NodeID(nil), locations...)
+	for i := 0; i < len(locs); i++ {
+		for j := i + 1; j < len(locs); j++ {
+			if r.cfg.Fabric.Cost(locs[j], r.cfg.Node, 0) < r.cfg.Fabric.Cost(locs[i], r.cfg.Node, 0) {
+				locs[i], locs[j] = locs[j], locs[i]
+			}
+		}
+	}
+	for _, loc := range locs {
+		if loc == r.cfg.Node {
+			if data, _, err := r.store.Get(id); err == nil {
+				return data, nil
+			}
+			continue
+		}
+		payload := transport.MustEncode(GetRequest{ID: id})
+		resp, err := r.call(ctx, loc, KindGet, payload)
+		if err != nil {
+			continue // location dead or evicted; try the next
+		}
+		var get GetResponse
+		if err := transport.Decode(resp, &get); err != nil {
+			continue
+		}
+		r.bump(func(s *Stats) { s.RemoteFetches++ })
+		r.cacheLocal(ctx, id, get.Data, get.Format)
+		return get.Data, nil
+	}
+	// Last resort: the caching layer's redundancy paths.
+	data, format, err := r.cfg.Layer.Get(r.cfg.Node, id)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrNoLocation, id.Short())
+	}
+	r.cacheLocal(ctx, id, data, format)
+	return data, nil
+}
+
+// cacheLocal keeps a fetched copy in the local store and registers the
+// location, enabling future local hits and locality-aware scheduling.
+func (r *Raylet) cacheLocal(ctx context.Context, id idgen.ObjectID, data []byte, format string) {
+	if err := r.store.Put(id, data, format); err != nil {
+		return
+	}
+	r.cfg.Layer.NoteLocation(r.cfg.Node, id)
+	loc := transport.MustEncode(OwnAddLocRequest{ID: id, Node: r.cfg.Node})
+	_, _ = r.call(ctx, r.cfg.Head, KindOwnAddLoc, loc)
+}

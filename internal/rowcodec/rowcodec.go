@@ -1,0 +1,65 @@
+// Package rowcodec is the costly-marshalling baseline for experiment E7:
+// a row-at-a-time, self-describing codec of the kind systems fall back to
+// when they lack a shared columnar format. Every row re-encodes the field
+// names and types and every value is boxed through gob — exactly the data
+// marshalling cost the paper's shared-format argument eliminates.
+package rowcodec
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"skadi/internal/arrowlite"
+)
+
+// Row is one record as boxed values.
+type Row map[string]any
+
+// Encode marshals a batch row by row.
+func Encode(batch *arrowlite.Batch) ([]byte, error) {
+	rows := make([]Row, batch.NumRows())
+	for r := range rows {
+		row := make(Row, batch.NumCols())
+		for c, f := range batch.Schema.Fields {
+			col := batch.Col(c)
+			switch f.Type {
+			case arrowlite.Int64:
+				row[f.Name] = col.Ints[r]
+			case arrowlite.Float64:
+				row[f.Name] = col.Floats[r]
+			case arrowlite.Bytes:
+				row[f.Name] = append([]byte(nil), col.BytesAt(r)...)
+			}
+		}
+		rows[r] = row
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rows); err != nil {
+		return nil, fmt.Errorf("rowcodec: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode unmarshals rows and rebuilds a batch with the given schema.
+func Decode(data []byte, schema *arrowlite.Schema) (*arrowlite.Batch, error) {
+	var rows []Row
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&rows); err != nil {
+		return nil, fmt.Errorf("rowcodec: %w", err)
+	}
+	b := arrowlite.NewBuilder(schema)
+	for _, row := range rows {
+		values := make([]any, len(schema.Fields))
+		for i, f := range schema.Fields {
+			v, ok := row[f.Name]
+			if !ok {
+				return nil, fmt.Errorf("rowcodec: row missing field %q", f.Name)
+			}
+			values[i] = v
+		}
+		if err := b.Append(values...); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}

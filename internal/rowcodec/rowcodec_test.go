@@ -1,0 +1,106 @@
+package rowcodec
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"skadi/internal/arrowlite"
+)
+
+func sampleBatch(t testing.TB, n int) *arrowlite.Batch {
+	t.Helper()
+	b := arrowlite.NewBuilder(arrowlite.NewSchema(
+		arrowlite.Field{Name: "id", Type: arrowlite.Int64},
+		arrowlite.Field{Name: "v", Type: arrowlite.Float64},
+		arrowlite.Field{Name: "tag", Type: arrowlite.Bytes},
+	))
+	for i := 0; i < n; i++ {
+		if err := b.Append(int64(i), float64(i)/3, fmt.Sprintf("t%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestRoundTrip(t *testing.T) {
+	batch := sampleBatch(t, 50)
+	data, err := Encode(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data, batch.Schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 50 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+	for i := 0; i < 50; i++ {
+		if got.Col(0).Ints[i] != batch.Col(0).Ints[i] ||
+			got.Col(1).Floats[i] != batch.Col(1).Floats[i] ||
+			!bytes.Equal(got.Col(2).BytesAt(i), batch.Col(2).BytesAt(i)) {
+			t.Fatalf("row %d mismatch", i)
+		}
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	if _, err := Decode([]byte{1, 2, 3}, arrowlite.NewSchema()); err == nil {
+		t.Error("garbage should fail")
+	}
+}
+
+func TestDecodeMissingField(t *testing.T) {
+	batch := sampleBatch(t, 2)
+	data, err := Encode(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wider := arrowlite.NewSchema(append(batch.Schema.Fields,
+		arrowlite.Field{Name: "extra", Type: arrowlite.Int64})...)
+	if _, err := Decode(data, wider); err == nil {
+		t.Error("missing field should fail")
+	}
+}
+
+// The E7 premise: row marshalling produces larger payloads and costs far
+// more CPU than the columnar format on the same data.
+func TestRowEncodingLargerThanColumnar(t *testing.T) {
+	batch := sampleBatch(t, 1000)
+	rowData, err := Encode(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colData := arrowlite.Encode(batch)
+	if len(rowData) <= len(colData) {
+		t.Errorf("row encoding %d bytes <= columnar %d bytes; baseline premise broken",
+			len(rowData), len(colData))
+	}
+}
+
+func BenchmarkRowEncode10k(b *testing.B) {
+	batch := sampleBatch(b, 10_000)
+	b.SetBytes(batch.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRowDecode10k(b *testing.B) {
+	batch := sampleBatch(b, 10_000)
+	data, err := Encode(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(data, batch.Schema); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"skadi/internal/cluster"
+	"skadi/internal/idgen"
+	"skadi/internal/scheduler"
+)
+
+// autoscaleState tracks the elastic worker fleet.
+type autoscaleState struct {
+	pending atomic.Int64
+	// cordoned servers are withdrawn from scheduling but still serve
+	// reads of the objects they hold (graceful scale-down).
+	cordoned []idgen.NodeID
+	grown    int
+}
+
+// Pending returns the number of submitted-but-unfinished tasks — the
+// autoscaler's load signal.
+func (rt *Runtime) Pending() int { return int(rt.autoscale.pending.Load()) }
+
+// workerServers returns the schedulable CPU worker nodes.
+func (rt *Runtime) workerServers() []idgen.NodeID {
+	nodes := rt.Cluster.NodesByKind(cluster.Server)
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []idgen.NodeID
+	for _, n := range nodes {
+		if n.ID == rt.driver || !n.Alive() {
+			continue
+		}
+		if _, ok := rt.raylets[n.ID]; ok {
+			out = append(out, n.ID)
+		}
+	}
+	return out
+}
+
+// ScaleUp adds one worker server to the fleet: an un-cordoned standby if
+// available, otherwise a freshly provisioned node with its own raylet —
+// the pay-as-you-go half of the serverless principle.
+func (rt *Runtime) ScaleUp(slots int, memBytes int64) (idgen.NodeID, error) {
+	rt.mu.Lock()
+	if n := len(rt.autoscale.cordoned); n > 0 {
+		node := rt.autoscale.cordoned[n-1]
+		rt.autoscale.cordoned = rt.autoscale.cordoned[:n-1]
+		hasRaylet := rt.raylets[node] != nil // raylet kept running while cordoned
+		rt.mu.Unlock()
+		if hasRaylet {
+			rt.Sched.AddNode(scheduler.NodeInfo{ID: node, Backend: "cpu", Slots: slots})
+			return node, nil
+		}
+		return idgen.Nil, fmt.Errorf("runtime: cordoned node %s has no raylet", node.Short())
+	}
+	rt.autoscale.grown++
+	name := fmt.Sprintf("auto-%d", rt.autoscale.grown)
+	rt.mu.Unlock()
+
+	node := rt.Cluster.AddServer(name, 0, slots, memBytes)
+	if err := rt.addRaylet(node, "cpu", slots, idgen.Nil); err != nil {
+		return idgen.Nil, err
+	}
+	return node.ID, nil
+}
+
+// ScaleDown cordons one idle worker: it stops receiving tasks but keeps
+// serving its resident objects, so no data movement or loss occurs.
+// Returns false if no worker is idle.
+func (rt *Runtime) ScaleDown() (idgen.NodeID, bool) {
+	for _, node := range rt.workerServers() {
+		if rt.Sched.Inflight(node) != 0 {
+			continue
+		}
+		if rt.isCordoned(node) {
+			continue
+		}
+		rt.Sched.RemoveNode(node)
+		rt.mu.Lock()
+		rt.autoscale.cordoned = append(rt.autoscale.cordoned, node)
+		rt.mu.Unlock()
+		return node, true
+	}
+	return idgen.Nil, false
+}
+
+func (rt *Runtime) isCordoned(node idgen.NodeID) bool {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	for _, c := range rt.autoscale.cordoned {
+		if c == node {
+			return true
+		}
+	}
+	return false
+}
+
+// ActiveWorkers returns the number of schedulable worker servers.
+func (rt *Runtime) ActiveWorkers() int {
+	n := 0
+	for _, node := range rt.workerServers() {
+		if !rt.isCordoned(node) {
+			n++
+		}
+	}
+	return n
+}
+
+// EnableAutoscaler runs a scaling loop: every interval it feeds the
+// pending-task count and active fleet size to the policy and applies the
+// decision. Returns a stop function; the loop also stops at Shutdown.
+func (rt *Runtime) EnableAutoscaler(cfg scheduler.AutoscalerConfig, interval time.Duration, slots int, memBytes int64) (stop func()) {
+	auto := scheduler.NewAutoscaler(cfg)
+	done := make(chan struct{})
+	go func() {
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+				switch auto.Observe(rt.Pending(), rt.ActiveWorkers()) {
+				case scheduler.ScaleUp:
+					_, _ = rt.ScaleUp(slots, memBytes)
+				case scheduler.ScaleDown:
+					_, _ = rt.ScaleDown()
+				}
+			}
+		}
+	}()
+	var once atomic.Bool
+	return func() {
+		if once.CompareAndSwap(false, true) {
+			close(done)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/scheduler"
+	"skadi/internal/task"
+)
+
+func autoscaleRuntime(t *testing.T) *Runtime {
+	t.Helper()
+	rt, err := New(ClusterSpec{
+		Servers: 2, ServerSlots: 1, ServerMemBytes: 64 << 20,
+	}, Options{TimeScale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+	rt.Registry.Register("work", func(tctx *task.Context, _ [][]byte) ([][]byte, error) {
+		tctx.Compute(3 * time.Millisecond)
+		return [][]byte{nil}, nil
+	})
+	return rt
+}
+
+func TestScaleUpAddsSchedulableWorker(t *testing.T) {
+	rt := autoscaleRuntime(t)
+	before := rt.ActiveWorkers()
+	node, err := rt.ScaleUp(2, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.ActiveWorkers() != before+1 {
+		t.Errorf("workers = %d, want %d", rt.ActiveWorkers(), before+1)
+	}
+	// The new node actually executes tasks.
+	spec := task.NewSpec(rt.Job(), "work", nil, 1)
+	refs := rt.SubmitTo(node, spec)
+	if _, err := rt.Get(context.Background(), refs[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScaleDownCordonsIdleWorker(t *testing.T) {
+	rt := autoscaleRuntime(t)
+	before := rt.ActiveWorkers()
+	node, ok := rt.ScaleDown()
+	if !ok {
+		t.Fatal("no idle worker found")
+	}
+	if rt.ActiveWorkers() != before-1 {
+		t.Errorf("workers = %d, want %d", rt.ActiveWorkers(), before-1)
+	}
+	// Cordoned nodes stop receiving scheduled tasks but still serve data.
+	id, err := rt.PutAt(node, []byte("resident"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rt.Get(context.Background(), id)
+	if err != nil || string(data) != "resident" {
+		t.Errorf("Get from cordoned node = %q, %v", data, err)
+	}
+	for i := 0; i < 6; i++ {
+		spec := task.NewSpec(rt.Job(), "work", nil, 1)
+		refs := rt.Submit(spec)
+		if _, err := rt.Get(context.Background(), refs[0]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := rt.Raylet(node).Stats().TasksExecuted; got != 0 {
+		t.Errorf("cordoned node executed %d tasks", got)
+	}
+}
+
+func TestScaleUpReusesCordonedNode(t *testing.T) {
+	rt := autoscaleRuntime(t)
+	node, ok := rt.ScaleDown()
+	if !ok {
+		t.Fatal("no idle worker")
+	}
+	reused, err := rt.ScaleUp(1, 64<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused != node {
+		t.Errorf("ScaleUp provisioned a new node instead of un-cordoning %s", node.Short())
+	}
+}
+
+func TestScaleDownSkipsBusyWorkers(t *testing.T) {
+	rt := autoscaleRuntime(t)
+	// Occupy both workers with slow tasks.
+	var refs []idgen.ObjectID
+	for _, rl := range rt.Raylets() {
+		spec := task.NewSpec(rt.Job(), "work", nil, 1)
+		spec.Duration = 50 * time.Millisecond
+		refs = append(refs, rt.SubmitTo(rl.Node(), spec)[0])
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, ok := rt.ScaleDown(); ok {
+		t.Error("ScaleDown cordoned a busy worker")
+	}
+	ctx := context.Background()
+	for _, r := range refs {
+		if _, err := rt.Get(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAutoscalerLoopGrowsAndShrinks(t *testing.T) {
+	rt := autoscaleRuntime(t)
+	stop := rt.EnableAutoscaler(scheduler.AutoscalerConfig{
+		MinNodes: 2, MaxNodes: 6,
+		UpThreshold: 2, DownThreshold: 0.5, CooldownTicks: 2,
+	}, 2*time.Millisecond, 1, 64<<20)
+	defer stop()
+
+	// Burst: 40 × 3 ms tasks over 2 × 1-slot workers ⇒ deep queue. Sample
+	// the fleet size during the burst: by the time the last Get returns,
+	// scale-down may already have started.
+	peak := 2
+	peakDone := make(chan struct{})
+	go func() {
+		defer close(peakDone)
+		sawLoad := false
+		deadline := time.Now().Add(5 * time.Second)
+		for time.Now().Before(deadline) {
+			pending := rt.Pending()
+			if pending > 0 {
+				sawLoad = true
+			}
+			if n := rt.ActiveWorkers(); n > peak {
+				peak = n
+			}
+			if sawLoad && pending == 0 {
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	var refs []idgen.ObjectID
+	for i := 0; i < 40; i++ {
+		refs = append(refs, rt.Submit(task.NewSpec(rt.Job(), "work", nil, 1))[0])
+	}
+	ctx := context.Background()
+	for _, r := range refs {
+		if _, err := rt.Get(ctx, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-peakDone
+	if peak <= 2 {
+		t.Errorf("fleet did not grow under load: peak %d workers", peak)
+	}
+	// Idle: the fleet must shrink back toward MinNodes.
+	deadline := time.Now().Add(2 * time.Second)
+	for rt.ActiveWorkers() > 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := rt.ActiveWorkers(); got > 2 {
+		t.Errorf("fleet did not shrink when idle: %d workers", got)
+	}
+	rt.Drain()
+}
+
+func TestPendingCounter(t *testing.T) {
+	rt := autoscaleRuntime(t)
+	if rt.Pending() != 0 {
+		t.Fatalf("Pending = %d at start", rt.Pending())
+	}
+	spec := task.NewSpec(rt.Job(), "work", nil, 1)
+	spec.Duration = 30 * time.Millisecond
+	refs := rt.Submit(spec)
+	time.Sleep(5 * time.Millisecond)
+	if rt.Pending() != 1 {
+		t.Errorf("Pending = %d mid-task", rt.Pending())
+	}
+	if _, err := rt.Get(context.Background(), refs[0]); err != nil {
+		t.Fatal(err)
+	}
+	rt.Drain()
+	if rt.Pending() != 0 {
+		t.Errorf("Pending = %d after drain", rt.Pending())
+	}
+}

@@ -1,0 +1,82 @@
+package runtime
+
+import (
+	"context"
+	"testing"
+
+	"skadi/internal/idgen"
+	"skadi/internal/raylet"
+	"skadi/internal/task"
+)
+
+func benchRuntime(b *testing.B, opts Options) *Runtime {
+	b.Helper()
+	rt, err := New(ClusterSpec{
+		Servers: 4, ServerSlots: 8, ServerMemBytes: 1 << 30,
+	}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(rt.Shutdown)
+	rt.Registry.Register("noop", func(_ *task.Context, _ [][]byte) ([][]byte, error) {
+		return [][]byte{nil}, nil
+	})
+	rt.Registry.Register("pass", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		return [][]byte{args[0]}, nil
+	})
+	return rt
+}
+
+// BenchmarkTaskThroughput measures end-to-end submit→execute→get for
+// trivial tasks: the control-plane overhead floor.
+func BenchmarkTaskThroughput(b *testing.B) {
+	rt := benchRuntime(b, Options{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs := rt.Submit(task.NewSpec(rt.Job(), "noop", nil, 1))
+		if _, err := rt.Get(ctx, refs[0]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFutureChain measures a dependent chain: each link adds one
+// resolution (ownership round trips + fetch) on top of execution.
+func BenchmarkFutureChain(b *testing.B) {
+	for _, res := range []raylet.Resolution{raylet.Pull, raylet.Push} {
+		b.Run(res.String(), func(b *testing.B) {
+			rt := benchRuntime(b, Options{Resolution: res})
+			ctx := context.Background()
+			prev, err := rt.Put(make([]byte, 1024), "raw")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				spec := task.NewSpec(rt.Job(), "pass", []task.Arg{task.RefArg(prev)}, 1)
+				prev = rt.Submit(spec)[0]
+			}
+			if _, err := rt.Get(ctx, prev); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkFanout measures parallel independent submissions drained in
+// batches of 64 — scheduler + worker-pool contention.
+func BenchmarkFanout64(b *testing.B) {
+	rt := benchRuntime(b, Options{})
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refs := make([]idgen.ObjectID, 64)
+		for j := range refs {
+			refs[j] = rt.Submit(task.NewSpec(rt.Job(), "noop", nil, 1))[0]
+		}
+		if _, err := rt.Wait(ctx, refs, len(refs)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

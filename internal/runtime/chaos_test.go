@@ -1,0 +1,136 @@
+package runtime
+
+import (
+	"context"
+	"strconv"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/task"
+)
+
+// TestChaosKillsDuringFanOutFanIn runs a two-level DAG (24 leaf tasks
+// feeding 4 aggregators) while worker nodes are killed mid-flight, and
+// asserts that lineage recovery still produces every correct result —
+// exercising retry-on-unreachable dispatch, transitive recovery plans,
+// and Get-level replay together.
+func TestChaosKillsDuringFanOutFanIn(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 6, ServerSlots: 2, ServerMemBytes: 128 << 20,
+	}, Options{Recovery: RecoverLineage, TimeScale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	rt.Registry.Register("leaf", func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		tctx.Compute(2 * time.Millisecond)
+		n, err := strconv.Atoi(string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{[]byte(strconv.Itoa(n * n))}, nil
+	})
+	rt.Registry.Register("agg", func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		tctx.Compute(2 * time.Millisecond)
+		total := 0
+		for _, a := range args {
+			n, err := strconv.Atoi(string(a))
+			if err != nil {
+				return nil, err
+			}
+			total += n
+		}
+		return [][]byte{[]byte(strconv.Itoa(total))}, nil
+	})
+
+	const leaves = 24
+	const aggs = 4
+	want := make([]int, aggs)
+	leafRefs := make([]idgen.ObjectID, leaves)
+	for i := 0; i < leaves; i++ {
+		spec := task.NewSpec(rt.Job(), "leaf", []task.Arg{task.ValueArg([]byte(strconv.Itoa(i)))}, 1)
+		leafRefs[i] = rt.Submit(spec)[0]
+		want[i%aggs] += i * i
+	}
+	aggRefs := make([]idgen.ObjectID, aggs)
+	for a := 0; a < aggs; a++ {
+		var args []task.Arg
+		for i := a; i < leaves; i += aggs {
+			args = append(args, task.RefArg(leafRefs[i]))
+		}
+		aggRefs[a] = rt.Submit(task.NewSpec(rt.Job(), "agg", args, 1))[0]
+	}
+
+	// Chaos: kill two workers while the DAG is in flight, restart one.
+	time.Sleep(3 * time.Millisecond)
+	workers := rt.workerServers()
+	rt.KillNode(workers[0])
+	time.Sleep(2 * time.Millisecond)
+	rt.KillNode(workers[1])
+	rt.RestartNode(workers[0])
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for a, ref := range aggRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			t.Fatalf("agg %d after chaos: %v", a, err)
+		}
+		got, err := strconv.Atoi(string(data))
+		if err != nil || got != want[a] {
+			t.Errorf("agg %d = %q, want %d", a, data, want[a])
+		}
+	}
+	rt.Drain()
+}
+
+// TestChaosRepeatedKillsSequential kills a different node between every
+// read of a long chain, forcing repeated lineage replays.
+func TestChaosRepeatedKillsSequential(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 4, ServerSlots: 2, ServerMemBytes: 128 << 20,
+	}, Options{Recovery: RecoverLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	rt.Registry.Register("inc", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		n, err := strconv.Atoi(string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{[]byte(strconv.Itoa(n + 1))}, nil
+	})
+
+	ctx := context.Background()
+	prev, err := rt.Put([]byte("0"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refs []idgen.ObjectID
+	for i := 0; i < 6; i++ {
+		spec := task.NewSpec(rt.Job(), "inc", []task.Arg{task.RefArg(prev)}, 1)
+		prev = rt.Submit(spec)[0]
+		refs = append(refs, prev)
+		if _, err := rt.Get(ctx, prev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Drain()
+
+	workers := rt.workerServers()
+	for round := 0; round < 3; round++ {
+		victim := workers[round%len(workers)]
+		rt.KillNode(victim)
+		data, err := rt.Get(ctx, refs[len(refs)-1])
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if string(data) != "6" {
+			t.Fatalf("round %d: result = %q, want 6", round, data)
+		}
+		rt.RestartNode(victim)
+	}
+}

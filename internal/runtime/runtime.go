@@ -1,0 +1,759 @@
+// Package runtime composes the substrates into Skadi's stateful serverless
+// runtime (§2.3): a simulated disaggregated cluster with a head service
+// (ownership + lineage), a raylet per executable node, the caching layer
+// spanning every memory tier, and the centralized scheduler. It exposes the
+// distributed task API — Put/Submit/Get/Wait, actors, gang submission — and
+// failure handling by lineage re-execution or reliable caching.
+package runtime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"skadi/internal/caching"
+	"skadi/internal/cluster"
+	"skadi/internal/dsm"
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+	"skadi/internal/objectstore"
+	"skadi/internal/ownership"
+	"skadi/internal/raylet"
+	"skadi/internal/scheduler"
+	"skadi/internal/task"
+	"skadi/internal/transport"
+)
+
+// DeviceMode selects the hardware generation of §2.3.2.
+type DeviceMode int
+
+// Device wiring modes.
+const (
+	// Gen1 is the CPU-centric model: device raylets run on DPUs and every
+	// device message transits the DPU.
+	Gen1 DeviceMode = iota
+	// Gen2 is the device-centric model: each device runs its own raylet
+	// and talks to peers directly.
+	Gen2
+)
+
+// String returns the mode name.
+func (m DeviceMode) String() string {
+	if m == Gen2 {
+		return "gen2"
+	}
+	return "gen1"
+}
+
+// RecoveryMode selects the failure-handling strategy (§2.1).
+type RecoveryMode int
+
+// Recovery strategies.
+const (
+	// RecoverNone surfaces lost objects as errors.
+	RecoverNone RecoveryMode = iota
+	// RecoverLineage re-executes producing tasks.
+	RecoverLineage
+	// RecoverCache relies on the caching layer's replicas or EC shards.
+	RecoverCache
+)
+
+// ClusterSpec sizes the simulated data center.
+type ClusterSpec struct {
+	// Servers is the number of worker servers (plus one implicit head).
+	Servers int
+	// ServerSlots is the per-server worker count.
+	ServerSlots int
+	// ServerMemBytes is the per-server object-store capacity.
+	ServerMemBytes int64
+	// GPUs and FPGAs are disaggregated device counts.
+	GPUs, FPGAs int
+	// DeviceSlots and DeviceMemBytes size each device.
+	DeviceSlots    int
+	DeviceMemBytes int64
+	// MemBladeBytes, if positive, adds a disaggregated memory blade.
+	MemBladeBytes int64
+	// Racks spreads servers across this many racks (default 1).
+	Racks int
+}
+
+// DefaultClusterSpec returns a small mixed cluster: 4 servers, 2 GPUs,
+// 2 FPGAs, and a 1 GiB memory blade.
+func DefaultClusterSpec() ClusterSpec {
+	return ClusterSpec{
+		Servers: 4, ServerSlots: 4, ServerMemBytes: 256 << 20,
+		GPUs: 2, FPGAs: 2, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
+		MemBladeBytes: 1 << 30, Racks: 2,
+	}
+}
+
+// Options configures runtime behaviour.
+type Options struct {
+	// TimeScale scales simulated fabric and kernel delays (0 = accounting
+	// only, the test default).
+	TimeScale float64
+	// Resolution selects pull or push future resolution.
+	Resolution raylet.Resolution
+	// Policy selects the scheduling policy.
+	Policy scheduler.Policy
+	// Caching configures the caching layer (reliability mode etc.).
+	Caching caching.Config
+	// DeviceMode selects Gen-1 or Gen-2 device wiring.
+	DeviceMode DeviceMode
+	// Recovery selects the failure-handling strategy.
+	Recovery RecoveryMode
+}
+
+// Runtime is a running Skadi instance.
+type Runtime struct {
+	Cluster  *cluster.Cluster
+	Layer    *caching.Layer
+	Head     *raylet.Head
+	Sched    *scheduler.Scheduler
+	Registry *task.Registry
+
+	opts      Options
+	driver    idgen.NodeID
+	raylets   map[idgen.NodeID]*raylet.Raylet
+	rayletCfg map[idgen.NodeID]raylet.Config
+	drv       *raylet.Raylet
+	pool      *dsm.Pool
+	job       idgen.JobID
+
+	mu         sync.Mutex
+	recoveryMu sync.Mutex
+	errs       map[idgen.ObjectID]error
+	actorLoc   map[idgen.ActorID]actorPlacement
+	inflight   sync.WaitGroup
+	autoscale  autoscaleState
+}
+
+// actorPlacement records where an actor lives and what backend it needs,
+// so a failed actor can be re-placed on a compatible node.
+type actorPlacement struct {
+	node    idgen.NodeID
+	backend string
+}
+
+// locator adapts the caching layer + ownership table to the scheduler's
+// ObjectLocator.
+type locator struct {
+	layer *caching.Layer
+	table *ownership.Table
+}
+
+func (l *locator) Locations(id idgen.ObjectID) []idgen.NodeID { return l.layer.Locations(id) }
+
+func (l *locator) Size(id idgen.ObjectID) int64 {
+	rec, err := l.table.Get(id)
+	if err != nil {
+		return 0
+	}
+	return rec.Size
+}
+
+// New builds a cluster from spec and boots a runtime on it.
+func New(spec ClusterSpec, opts Options) (*Runtime, error) {
+	if spec.Racks < 1 {
+		spec.Racks = 1
+	}
+	c := cluster.New(cluster.Config{TimeScale: opts.TimeScale})
+	rt := &Runtime{
+		Cluster:   c,
+		Registry:  task.NewRegistry(),
+		opts:      opts,
+		raylets:   make(map[idgen.NodeID]*raylet.Raylet),
+		rayletCfg: make(map[idgen.NodeID]raylet.Config),
+		errs:      make(map[idgen.ObjectID]error),
+		actorLoc:  make(map[idgen.ActorID]actorPlacement),
+		job:       idgen.Next(),
+	}
+
+	layer, err := caching.NewLayer(c.Fabric, opts.Caching)
+	if err != nil {
+		return nil, err
+	}
+	rt.Layer = layer
+
+	// Head node: hosts the ownership service, the driver, and a driver-side
+	// raylet for result fetching. It is not a scheduling target.
+	headNode := c.AddServer("head", 0, 2, 1<<30)
+	rt.driver = headNode.ID
+	rt.Head = raylet.NewHead(headNode.ID)
+	layer.AddStore(headNode.ID, caching.HostDRAM, objectstore.New(1<<30, nil))
+
+	rt.Sched = scheduler.New(opts.Policy, &locator{layer: layer, table: rt.Head.Table})
+
+	// Memory blade first so stores can spill to it.
+	if spec.MemBladeBytes > 0 {
+		_, blade := c.AddMemBlade("mem", 0, spec.MemBladeBytes)
+		rt.pool = dsm.New(c.Fabric, blade.ID, spec.MemBladeBytes)
+		layer.SetDSM(rt.pool)
+	}
+
+	// Worker servers.
+	for i := 0; i < spec.Servers; i++ {
+		node := c.AddServer(fmt.Sprintf("server-%d", i), i%spec.Racks, spec.ServerSlots, spec.ServerMemBytes)
+		if err := rt.addRaylet(node, "cpu", spec.ServerSlots, idgen.Nil); err != nil {
+			return nil, err
+		}
+	}
+
+	// Disaggregated devices.
+	addDevices := func(n int, kind cluster.NodeKind, name string) error {
+		if n <= 0 {
+			return nil
+		}
+		switch opts.DeviceMode {
+		case Gen2:
+			devices := c.AddDirectDevices(name, 0, 1, n, kind, spec.DeviceSlots, spec.DeviceMemBytes)
+			for _, d := range devices {
+				if err := rt.addRaylet(d, kind.Backend(), spec.DeviceSlots, idgen.Nil); err != nil {
+					return err
+				}
+			}
+		default: // Gen1
+			dpu, devices := c.AddDeviceGroup(name, 0, -1, n, kind, spec.DeviceSlots, spec.DeviceMemBytes)
+			for _, d := range devices {
+				if err := rt.addRaylet(d, kind.Backend(), spec.DeviceSlots, dpu.ID); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := addDevices(spec.GPUs, cluster.GPUDevice, "gpu"); err != nil {
+		return nil, err
+	}
+	if err := addDevices(spec.FPGAs, cluster.FPGADevice, "fpga"); err != nil {
+		return nil, err
+	}
+
+	// Driver-side raylet on the head node, multiplexed with the head
+	// service on one transport endpoint. Not a scheduling target.
+	drv, err := raylet.New(raylet.Config{
+		Node: headNode.ID, Backend: "cpu", Slots: 2,
+		Head: headNode.ID, Transport: c.Transport, Fabric: c.Fabric,
+		Layer: layer, Registry: rt.Registry, Resolution: opts.Resolution,
+		TimeScale: opts.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.drv = drv
+	headHandler := rt.Head.Handler()
+	drvHandler := drv.Handler()
+	err = c.Transport.Listen(headNode.ID, func(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+		if strings.HasPrefix(kind, "own.") || strings.HasPrefix(kind, "actor.") {
+			return headHandler(ctx, from, kind, payload)
+		}
+		return drvHandler(ctx, from, kind, payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rt, nil
+}
+
+// addRaylet creates, starts, and registers a raylet for a node.
+func (rt *Runtime) addRaylet(node *cluster.Node, backend string, slots int, dpuProxy idgen.NodeID) error {
+	rt.Layer.AddStore(node.ID, tierFor(node.Kind), objectstore.New(node.Res.MemBytes, nil))
+	cfg := raylet.Config{
+		Node: node.ID, Backend: backend, Slots: slots,
+		Head: rt.driver, Transport: rt.Cluster.Transport, Fabric: rt.Cluster.Fabric,
+		Layer: rt.Layer, Registry: rt.Registry, Resolution: rt.opts.Resolution,
+		DPUProxy: dpuProxy, TimeScale: rt.opts.TimeScale,
+	}
+	rl, err := raylet.New(cfg)
+	if err != nil {
+		return err
+	}
+	if err := rl.Start(); err != nil {
+		return err
+	}
+	rt.mu.Lock()
+	rt.raylets[node.ID] = rl
+	rt.rayletCfg[node.ID] = cfg
+	rt.mu.Unlock()
+	rt.Sched.AddNode(scheduler.NodeInfo{ID: node.ID, Backend: backend, Slots: slots})
+	return nil
+}
+
+func tierFor(kind cluster.NodeKind) caching.Tier {
+	switch kind {
+	case cluster.GPUDevice, cluster.FPGADevice:
+		return caching.DeviceHBM
+	case cluster.MemBlade:
+		return caching.DisaggMem
+	default:
+		return caching.HostDRAM
+	}
+}
+
+// Driver returns the driver/head node ID.
+func (rt *Runtime) Driver() idgen.NodeID { return rt.driver }
+
+// Job returns the runtime's default job ID.
+func (rt *Runtime) Job() idgen.JobID { return rt.job }
+
+// Raylet returns the raylet running on a node, or nil.
+func (rt *Runtime) Raylet(node idgen.NodeID) *raylet.Raylet {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.raylets[node]
+}
+
+// Raylets returns every worker raylet, in cluster insertion order.
+func (rt *Runtime) Raylets() []*raylet.Raylet {
+	nodes := rt.Cluster.Nodes()
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	out := make([]*raylet.Raylet, 0, len(rt.raylets))
+	for _, n := range nodes {
+		if rl, ok := rt.raylets[n.ID]; ok {
+			out = append(out, rl)
+		}
+	}
+	return out
+}
+
+// Put stores driver-provided input data and returns its reference.
+func (rt *Runtime) Put(data []byte, format string) (idgen.ObjectID, error) {
+	return rt.PutAt(rt.driver, data, format)
+}
+
+// PutAt stores input data onto a specific node — experiments use it to
+// control initial shard placement. Data placed off-driver is charged to
+// the fabric.
+func (rt *Runtime) PutAt(node idgen.NodeID, data []byte, format string) (idgen.ObjectID, error) {
+	id := idgen.Next()
+	if node != rt.driver {
+		rt.Cluster.Fabric.Send(rt.driver, node, len(data))
+	}
+	if err := rt.Layer.Put(node, id, data, format); err != nil {
+		return idgen.Nil, err
+	}
+	if err := rt.Head.Table.CreatePending(id, rt.driver, idgen.Nil); err != nil {
+		return idgen.Nil, err
+	}
+	if _, err := rt.Head.Table.MarkReady(id, int64(len(data)), node, idgen.Nil, ""); err != nil {
+		return idgen.Nil, err
+	}
+	return id, nil
+}
+
+// Submit schedules a task asynchronously and returns its result references
+// immediately (futures). Errors surface through Get on the returns.
+func (rt *Runtime) Submit(spec *task.Spec) []idgen.ObjectID {
+	rt.prepare(spec)
+	rt.inflight.Add(1)
+	rt.autoscale.pending.Add(1)
+	go func() {
+		defer rt.inflight.Done()
+		defer rt.autoscale.pending.Add(-1)
+		rt.dispatch(context.Background(), spec, idgen.Nil)
+	}()
+	return spec.Returns
+}
+
+// SubmitTo schedules a task on an explicit node, bypassing the scheduler —
+// the physical graph planner uses it to realize its placements.
+func (rt *Runtime) SubmitTo(node idgen.NodeID, spec *task.Spec) []idgen.ObjectID {
+	rt.prepare(spec)
+	rt.inflight.Add(1)
+	rt.autoscale.pending.Add(1)
+	go func() {
+		defer rt.inflight.Done()
+		defer rt.autoscale.pending.Add(-1)
+		rt.dispatch(context.Background(), spec, node)
+	}()
+	return spec.Returns
+}
+
+// SubmitGang atomically places a gang of tasks (SPMD subgraph) and runs
+// them; it retries placement until capacity frees up or ctx expires.
+func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idgen.ObjectID, error) {
+	for _, s := range specs {
+		rt.prepare(s)
+	}
+	var placements []idgen.NodeID
+	for {
+		var err error
+		placements, err = rt.Sched.PickGang(specs)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, scheduler.ErrNoCapacity) {
+			return nil, err
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Millisecond):
+		}
+	}
+	refs := make([][]idgen.ObjectID, len(specs))
+	for i, s := range specs {
+		refs[i] = s.Returns
+		rt.inflight.Add(1)
+		go func(i int, s *task.Spec) {
+			defer rt.inflight.Done()
+			err := rt.execOn(context.Background(), placements[i], s)
+			rt.Sched.Finished(placements[i])
+			if err != nil {
+				rt.failTask(s, err)
+			}
+		}(i, s)
+	}
+	return refs, nil
+}
+
+// prepare registers a spec's returns and lineage before dispatch.
+func (rt *Runtime) prepare(spec *task.Spec) {
+	if spec.Job.IsNil() {
+		spec.Job = rt.job
+	}
+	spec.Owner = rt.driver
+	for _, ret := range spec.Returns {
+		// Ignore ErrExists: recovery re-dispatches recorded specs.
+		_ = rt.Head.Table.CreatePending(ret, rt.driver, spec.ID)
+	}
+	rt.Head.Lineage.Record(spec)
+}
+
+// dispatch picks a node (unless pinned) and executes the task, retrying on
+// dead nodes.
+func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.NodeID) {
+	const maxAttempts = 3
+	var lastErr error
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		node := pinned
+		if node.IsNil() {
+			if !spec.Actor.IsNil() {
+				rt.mu.Lock()
+				node = rt.actorLoc[spec.Actor].node
+				rt.mu.Unlock()
+			}
+			if node.IsNil() {
+				var err error
+				node, err = rt.Sched.Pick(spec)
+				if err != nil {
+					rt.failTask(spec, err)
+					return
+				}
+			} else {
+				rt.Sched.Started(node)
+			}
+		} else {
+			rt.Sched.Started(node)
+		}
+		err := rt.execOn(ctx, node, spec)
+		rt.Sched.Finished(node)
+		if err == nil {
+			return
+		}
+		lastErr = err
+		if errors.Is(err, transport.ErrUnreachable) && pinned.IsNil() && spec.Actor.IsNil() {
+			// The node died; mark it and re-place.
+			rt.Sched.SetAlive(node, false)
+			continue
+		}
+		break
+	}
+	rt.failTask(spec, lastErr)
+}
+
+// execOn performs the exec RPC against one raylet.
+func (rt *Runtime) execOn(ctx context.Context, node idgen.NodeID, spec *task.Spec) error {
+	payload := transport.MustEncode(raylet.ExecRequest{Spec: *spec})
+	_, err := rt.Cluster.Transport.Call(ctx, rt.driver, node, raylet.KindExec, payload)
+	return err
+}
+
+// failTask marks every return of a failed task lost and records the error.
+func (rt *Runtime) failTask(spec *task.Spec, err error) {
+	rt.mu.Lock()
+	for _, ret := range spec.Returns {
+		rt.errs[ret] = fmt.Errorf("task %s (%s): %w", spec.ID.Short(), spec.Fn, err)
+	}
+	rt.mu.Unlock()
+	for _, ret := range spec.Returns {
+		_ = rt.Head.Table.MarkLost(ret)
+	}
+}
+
+// taskErr returns the recorded failure for a reference, if any.
+func (rt *Runtime) taskErr(id idgen.ObjectID) error {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.errs[id]
+}
+
+// Get blocks until the referenced object is ready and returns its bytes at
+// the driver. Under lineage recovery, an object lost after its waiters
+// were already in flight (e.g. a chaos kill mid-DAG) is re-derived once by
+// replaying its producing tasks before Get reports failure.
+func (rt *Runtime) Get(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
+	if err := rt.Head.Table.WaitReady(ctx, id); err != nil {
+		if rt.opts.Recovery == RecoverLineage && errors.Is(err, ownership.ErrObjectLost) {
+			rerr := rt.recoverByLineage([]idgen.ObjectID{id})
+			if rerr == nil {
+				rt.mu.Lock()
+				delete(rt.errs, id)
+				rt.mu.Unlock()
+				if werr := rt.Head.Table.WaitReady(ctx, id); werr == nil {
+					return rt.drv.FetchLocal(ctx, id)
+				}
+			} else {
+				err = fmt.Errorf("%w (lineage recovery also failed: %v)", err, rerr)
+			}
+		}
+		if terr := rt.taskErr(id); terr != nil {
+			return nil, fmt.Errorf("%v (wait: %w)", terr, err)
+		}
+		return nil, err
+	}
+	return rt.drv.FetchLocal(ctx, id)
+}
+
+// Wait blocks until at least n of the references are ready (or failed) and
+// returns the ready ones.
+func (rt *Runtime) Wait(ctx context.Context, ids []idgen.ObjectID, n int) ([]idgen.ObjectID, error) {
+	if n > len(ids) {
+		n = len(ids)
+	}
+	type result struct {
+		id  idgen.ObjectID
+		err error
+	}
+	ch := make(chan result, len(ids))
+	for _, id := range ids {
+		go func(id idgen.ObjectID) {
+			ch <- result{id, rt.Head.Table.WaitReady(ctx, id)}
+		}(id)
+	}
+	var ready []idgen.ObjectID
+	for i := 0; i < len(ids) && len(ready) < n; i++ {
+		select {
+		case res := <-ch:
+			if res.err == nil {
+				ready = append(ready, res.id)
+			}
+		case <-ctx.Done():
+			return ready, ctx.Err()
+		}
+	}
+	if len(ready) < n {
+		return ready, fmt.Errorf("runtime: only %d of %d objects became ready", len(ready), n)
+	}
+	return ready, nil
+}
+
+// Drain blocks until every submitted task has finished dispatching.
+func (rt *Runtime) Drain() { rt.inflight.Wait() }
+
+// CreateActor places a stateful actor on a node matching the backend and
+// returns its ID. All tasks with this actor ID run serially on that node
+// against persistent state.
+func (rt *Runtime) CreateActor(backend string) (idgen.ActorID, error) {
+	probe := task.NewSpec(rt.job, "", nil, 0)
+	probe.Backend = backend
+	node, err := rt.Sched.Pick(probe)
+	if err != nil {
+		return idgen.Nil, err
+	}
+	rt.Sched.Finished(node)
+	actor := idgen.Next()
+	rt.mu.Lock()
+	rt.actorLoc[actor] = actorPlacement{node: node, backend: backend}
+	rt.mu.Unlock()
+	return actor, nil
+}
+
+// replaceActors re-pins actors from a dead node onto healthy nodes. Their
+// next task restores the last checkpoint from the head, so state survives
+// up to the failure window of one task.
+func (rt *Runtime) replaceActors(dead idgen.NodeID) {
+	rt.mu.Lock()
+	var orphans []idgen.ActorID
+	for actor, p := range rt.actorLoc {
+		if p.node == dead {
+			orphans = append(orphans, actor)
+		}
+	}
+	rt.mu.Unlock()
+	for _, actor := range orphans {
+		rt.mu.Lock()
+		backend := rt.actorLoc[actor].backend
+		rt.mu.Unlock()
+		probe := task.NewSpec(rt.job, "", nil, 0)
+		probe.Backend = backend
+		node, err := rt.Sched.Pick(probe)
+		if err != nil {
+			continue // no compatible node; the actor stays orphaned
+		}
+		rt.Sched.Finished(node)
+		rt.mu.Lock()
+		rt.actorLoc[actor] = actorPlacement{node: node, backend: backend}
+		rt.mu.Unlock()
+	}
+}
+
+// ActorNode returns the node an actor is pinned to.
+func (rt *Runtime) ActorNode(actor idgen.ActorID) (idgen.NodeID, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	p, ok := rt.actorLoc[actor]
+	return p.node, ok
+}
+
+// KillNode simulates a node failure: the node drops off the transport, its
+// store contents are lost, and recovery runs per the configured mode.
+// It returns the object IDs that lost their last copy.
+func (rt *Runtime) KillNode(node idgen.NodeID) []idgen.ObjectID {
+	rt.Cluster.Kill(node)
+	rt.Sched.SetAlive(node, false)
+	if store := rt.Layer.Store(node); store != nil {
+		store.Clear()
+	}
+	rt.Layer.DropNode(node)
+	rt.replaceActors(node)
+	lost := rt.Head.Table.RemoveNodeLocations(node)
+
+	var stillLost []idgen.ObjectID
+	for _, id := range lost {
+		if rt.opts.Recovery == RecoverCache && rt.Layer.Contains(id) {
+			// The caching layer can still serve it (replica/EC/DSM);
+			// repair the ownership record by re-reading through the layer.
+			if rt.recoverFromCache(id) {
+				continue
+			}
+		}
+		stillLost = append(stillLost, id)
+	}
+	if rt.opts.Recovery == RecoverLineage && len(stillLost) > 0 {
+		if err := rt.recoverByLineage(stillLost); err == nil {
+			return nil
+		}
+	}
+	return stillLost
+}
+
+// recoverFromCache re-materializes a lost object onto the driver using the
+// caching layer's redundancy and repairs its ownership record.
+func (rt *Runtime) recoverFromCache(id idgen.ObjectID) bool {
+	data, format, err := rt.Layer.Get(rt.driver, id)
+	if err != nil {
+		return false
+	}
+	if store := rt.Layer.Store(rt.driver); store != nil {
+		_ = store.Put(id, data, format)
+	}
+	if err := rt.Head.Table.Reset(id); err != nil {
+		return false
+	}
+	if _, err := rt.Head.Table.MarkReady(id, int64(len(data)), rt.driver, idgen.Nil, ""); err != nil {
+		return false
+	}
+	return true
+}
+
+// recoverByLineage re-executes the producing tasks of the lost objects in
+// dependency order. Recoveries are serialized: concurrent losses share one
+// replay rather than racing to re-execute the same producers.
+func (rt *Runtime) recoverByLineage(lost []idgen.ObjectID) error {
+	rt.recoveryMu.Lock()
+	defer rt.recoveryMu.Unlock()
+	// available must verify a copy is actually fetchable, not just that the
+	// record claims Ready: under concurrent failures a record can carry a
+	// location whose store died after the last RemoveNodeLocations pass.
+	available := func(id idgen.ObjectID) bool {
+		rec, err := rt.Head.Table.Get(id)
+		if err == nil && rec.State == ownership.Ready {
+			for _, loc := range rec.Locations {
+				n := rt.Cluster.Node(loc)
+				if n == nil || !n.Alive() {
+					continue
+				}
+				if st := rt.Layer.Store(loc); st != nil && st.Contains(id) {
+					return true
+				}
+			}
+		}
+		return rt.Layer.Contains(id)
+	}
+	plan, err := rt.Head.Lineage.RecoveryPlan(lost, available)
+	if err != nil {
+		return err
+	}
+	for _, spec := range plan {
+		for _, ret := range spec.Returns {
+			_ = rt.Head.Table.Reset(ret)
+		}
+		node, err := rt.Sched.Pick(spec)
+		if err != nil {
+			return err
+		}
+		err = rt.execOn(context.Background(), node, spec)
+		rt.Sched.Finished(node)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestartNode brings a killed node back with empty state: the raylet
+// daemon is rebuilt against a fresh (empty) object store registered with
+// the caching layer, and the node becomes schedulable again.
+func (rt *Runtime) RestartNode(node idgen.NodeID) {
+	rt.Cluster.Restart(node)
+	n := rt.Cluster.Node(node)
+	if n == nil {
+		return
+	}
+	rt.mu.Lock()
+	old, hadRaylet := rt.raylets[node]
+	cfg, hadCfg := rt.rayletCfg[node]
+	rt.mu.Unlock()
+	if hadRaylet && hadCfg {
+		old.Stop()
+		rt.Layer.AddStore(node, tierFor(n.Kind), objectstore.New(n.Res.MemBytes, nil))
+		if rl, err := raylet.New(cfg); err == nil {
+			if err := rl.Start(); err == nil {
+				rt.mu.Lock()
+				rt.raylets[node] = rl
+				rt.mu.Unlock()
+			}
+		}
+	}
+	rt.Sched.SetAlive(node, true)
+}
+
+// Free releases objects cluster-wide: every cached copy, replica, EC
+// shard, and DSM entry is reclaimed, the ownership entries are deleted
+// (pending waiters are released with a loss error), and lineage is
+// forgotten. Freed objects cannot be recovered; free only consumed
+// results and dead intermediates.
+func (rt *Runtime) Free(ids ...idgen.ObjectID) {
+	for _, id := range ids {
+		rt.Head.Table.Delete(id)
+		rt.Layer.Delete(id)
+		rt.Head.Lineage.Forget(id)
+		rt.mu.Lock()
+		delete(rt.errs, id)
+		rt.mu.Unlock()
+	}
+}
+
+// FabricStats returns total fabric accounting, for experiment reporting.
+func (rt *Runtime) FabricStats() fabric.Stats { return rt.Cluster.Fabric.TotalStats() }
+
+// Shutdown drains in-flight tasks and tears down the transport.
+func (rt *Runtime) Shutdown() {
+	rt.Drain()
+	_ = rt.Cluster.Transport.Close()
+}

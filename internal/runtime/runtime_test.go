@@ -1,0 +1,366 @@
+package runtime
+
+import (
+	"bytes"
+	"context"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"skadi/internal/caching"
+	"skadi/internal/idgen"
+	"skadi/internal/raylet"
+	"skadi/internal/scheduler"
+	"skadi/internal/task"
+)
+
+// newRuntime boots a small runtime and registers arithmetic test functions.
+func newRuntime(t *testing.T, opts Options) *Runtime {
+	t.Helper()
+	spec := ClusterSpec{
+		Servers: 3, ServerSlots: 4, ServerMemBytes: 64 << 20,
+		GPUs: 2, DeviceSlots: 2, DeviceMemBytes: 16 << 20,
+		MemBladeBytes: 128 << 20,
+	}
+	rt, err := New(spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rt.Shutdown)
+
+	rt.Registry.Register("add", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		sum := 0
+		for _, a := range args {
+			n, err := strconv.Atoi(string(a))
+			if err != nil {
+				return nil, err
+			}
+			sum += n
+		}
+		return [][]byte{[]byte(strconv.Itoa(sum))}, nil
+	})
+	rt.Registry.Register("echo", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		return [][]byte{args[0]}, nil
+	})
+	rt.Registry.Register("upper", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		return [][]byte{[]byte(strings.ToUpper(string(args[0])))}, nil
+	})
+	rt.Registry.Register("whoami", func(ctx *task.Context, _ [][]byte) ([][]byte, error) {
+		return [][]byte{[]byte(ctx.Backend)}, nil
+	})
+	return rt
+}
+
+func TestPutGet(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	id, err := rt.Put([]byte("input"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rt.Get(context.Background(), id)
+	if err != nil || !bytes.Equal(data, []byte("input")) {
+		t.Errorf("Get = %q, %v", data, err)
+	}
+}
+
+func TestSubmitAndGet(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	spec := task.NewSpec(rt.Job(), "add", []task.Arg{
+		task.ValueArg([]byte("2")), task.ValueArg([]byte("3")),
+	}, 1)
+	refs := rt.Submit(spec)
+	data, err := rt.Get(context.Background(), refs[0])
+	if err != nil || string(data) != "5" {
+		t.Errorf("Get = %q, %v", data, err)
+	}
+}
+
+func TestTaskChainThroughFutures(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	in, err := rt.Put([]byte("skadi"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := task.NewSpec(rt.Job(), "upper", []task.Arg{task.RefArg(in)}, 1)
+	refs1 := rt.Submit(s1)
+	s2 := task.NewSpec(rt.Job(), "echo", []task.Arg{task.RefArg(refs1[0])}, 1)
+	refs2 := rt.Submit(s2)
+	data, err := rt.Get(context.Background(), refs2[0])
+	if err != nil || string(data) != "SKADI" {
+		t.Errorf("Get = %q, %v", data, err)
+	}
+}
+
+func TestFanoutFanin(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	var refs []idgen.ObjectID
+	for i := 1; i <= 8; i++ {
+		s := task.NewSpec(rt.Job(), "add", []task.Arg{task.ValueArg([]byte(strconv.Itoa(i)))}, 1)
+		refs = append(refs, rt.Submit(s)[0])
+	}
+	var args []task.Arg
+	for _, r := range refs {
+		args = append(args, task.RefArg(r))
+	}
+	final := task.NewSpec(rt.Job(), "add", args, 1)
+	out := rt.Submit(final)
+	data, err := rt.Get(context.Background(), out[0])
+	if err != nil || string(data) != "36" {
+		t.Errorf("fan-in = %q, %v", data, err)
+	}
+}
+
+func TestSubmitToGPUBackend(t *testing.T) {
+	for _, mode := range []DeviceMode{Gen1, Gen2} {
+		t.Run(mode.String(), func(t *testing.T) {
+			rt := newRuntime(t, Options{DeviceMode: mode})
+			spec := task.NewSpec(rt.Job(), "whoami", nil, 1)
+			spec.Backend = "gpu"
+			refs := rt.Submit(spec)
+			data, err := rt.Get(context.Background(), refs[0])
+			if err != nil || string(data) != "gpu" {
+				t.Errorf("Get = %q, %v", data, err)
+			}
+		})
+	}
+}
+
+func TestGen1ChargesDPUHops(t *testing.T) {
+	run := func(mode DeviceMode) int64 {
+		rt := newRuntime(t, Options{DeviceMode: mode})
+		spec := task.NewSpec(rt.Job(), "whoami", nil, 1)
+		spec.Backend = "gpu"
+		refs := rt.Submit(spec)
+		if _, err := rt.Get(context.Background(), refs[0]); err != nil {
+			t.Fatal(err)
+		}
+		var hops int64
+		for _, rl := range rt.Raylets() {
+			hops += rl.Stats().DPUHops
+		}
+		return hops
+	}
+	gen1, gen2 := run(Gen1), run(Gen2)
+	if gen1 == 0 {
+		t.Error("Gen-1 should charge DPU hops")
+	}
+	if gen2 != 0 {
+		t.Errorf("Gen-2 charged %d DPU hops, want 0", gen2)
+	}
+}
+
+func TestTaskErrorSurfacesViaGet(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	rt.Registry.Register("boom", func(*task.Context, [][]byte) ([][]byte, error) {
+		return nil, context.DeadlineExceeded // arbitrary error
+	})
+	spec := task.NewSpec(rt.Job(), "boom", nil, 1)
+	refs := rt.Submit(spec)
+	_, err := rt.Get(context.Background(), refs[0])
+	if err == nil || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("Get = %v, want task failure naming fn", err)
+	}
+}
+
+func TestWait(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	var refs []idgen.ObjectID
+	for i := 0; i < 4; i++ {
+		s := task.NewSpec(rt.Job(), "echo", []task.Arg{task.ValueArg([]byte("x"))}, 1)
+		refs = append(refs, rt.Submit(s)[0])
+	}
+	ready, err := rt.Wait(context.Background(), refs, 4)
+	if err != nil || len(ready) != 4 {
+		t.Errorf("Wait = %d ready, %v", len(ready), err)
+	}
+}
+
+func TestActorLifecycle(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	rt.Registry.Register("append", func(ctx *task.Context, args [][]byte) ([][]byte, error) {
+		state := append(ctx.ActorState["log"], args[0]...)
+		ctx.ActorState["log"] = state
+		return [][]byte{state}, nil
+	})
+	actor, err := rt.CreateActor("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, ok := rt.ActorNode(actor)
+	if !ok || node.IsNil() {
+		t.Fatal("actor has no node")
+	}
+	var last idgen.ObjectID
+	for _, s := range []string{"a", "b", "c"} {
+		spec := task.NewSpec(rt.Job(), "append", []task.Arg{task.ValueArg([]byte(s))}, 1)
+		spec.Actor = actor
+		last = rt.Submit(spec)[0]
+		// Serialize: wait for each so state accumulates in order.
+		if _, err := rt.Get(context.Background(), last); err != nil {
+			t.Fatal(err)
+		}
+	}
+	data, err := rt.Get(context.Background(), last)
+	if err != nil || string(data) != "abc" {
+		t.Errorf("actor state = %q, %v", data, err)
+	}
+}
+
+func TestSubmitGang(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	specs := make([]*task.Spec, 4)
+	for i := range specs {
+		specs[i] = task.NewSpec(rt.Job(), "echo", []task.Arg{task.ValueArg([]byte(strconv.Itoa(i)))}, 1)
+		specs[i].Gang = "stage-0"
+	}
+	refs, err := rt.SubmitGang(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range refs {
+		data, err := rt.Get(context.Background(), r[0])
+		if err != nil || string(data) != strconv.Itoa(i) {
+			t.Errorf("gang[%d] = %q, %v", i, data, err)
+		}
+	}
+}
+
+func TestKillNodeLineageRecovery(t *testing.T) {
+	rt := newRuntime(t, Options{Recovery: RecoverLineage})
+	in, err := rt.Put([]byte("7"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := task.NewSpec(rt.Job(), "add", []task.Arg{task.RefArg(in), task.ValueArg([]byte("1"))}, 1)
+	refs1 := rt.Submit(s1)
+	if _, err := rt.Get(context.Background(), refs1[0]); err != nil {
+		t.Fatal(err)
+	}
+	rt.Drain()
+
+	// Find and kill the node holding the result.
+	rec, err := rt.Head.Table.Get(refs1[0])
+	if err != nil || len(rec.Locations) == 0 {
+		t.Fatal("no location for result")
+	}
+	victim := rec.Locations[0]
+	if victim == rt.Driver() {
+		// Result cached at driver too; pick the worker copy if any.
+		for _, l := range rec.Locations {
+			if l != rt.Driver() {
+				victim = l
+			}
+		}
+	}
+	stillLost := rt.KillNode(victim)
+	if len(stillLost) != 0 {
+		t.Errorf("lineage recovery left %d objects lost", len(stillLost))
+	}
+	data, err := rt.Get(context.Background(), refs1[0])
+	if err != nil || string(data) != "8" {
+		t.Errorf("Get after recovery = %q, %v", data, err)
+	}
+}
+
+func TestKillNodeCacheRecovery(t *testing.T) {
+	rt := newRuntime(t, Options{
+		Recovery: RecoverCache,
+		Caching:  caching.Config{Mode: caching.ModeReplicate, Replicas: 2},
+	})
+	spec := task.NewSpec(rt.Job(), "echo", []task.Arg{task.ValueArg([]byte("replicated"))}, 1)
+	refs := rt.Submit(spec)
+	if _, err := rt.Get(context.Background(), refs[0]); err != nil {
+		t.Fatal(err)
+	}
+	rt.Drain()
+	rec, err := rt.Head.Table.Get(refs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var victim idgen.NodeID
+	for _, l := range rec.Locations {
+		if l != rt.Driver() {
+			victim = l
+			break
+		}
+	}
+	if victim.IsNil() {
+		t.Skip("result only at driver; nothing to kill")
+	}
+	stillLost := rt.KillNode(victim)
+	if len(stillLost) != 0 {
+		t.Errorf("cache recovery left %d objects lost", len(stillLost))
+	}
+	data, err := rt.Get(context.Background(), refs[0])
+	if err != nil || string(data) != "replicated" {
+		t.Errorf("Get after recovery = %q, %v", data, err)
+	}
+}
+
+func TestKillNodeNoRecoveryLosesObjects(t *testing.T) {
+	rt := newRuntime(t, Options{Recovery: RecoverNone})
+	// Place an object on a worker explicitly, then kill it.
+	workers := rt.Raylets()
+	var worker idgen.NodeID
+	for _, rl := range workers {
+		if rl.Node() != rt.Driver() {
+			worker = rl.Node()
+			break
+		}
+	}
+	id, err := rt.PutAt(worker, []byte("doomed"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := rt.KillNode(worker)
+	if len(lost) != 1 || lost[0] != id {
+		t.Errorf("lost = %v, want [%s]", lost, id.Short())
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := rt.Get(ctx, id); err == nil {
+		t.Error("Get of lost object should fail")
+	}
+}
+
+func TestDispatchRetriesOnDeadNode(t *testing.T) {
+	rt := newRuntime(t, Options{})
+	// Kill one worker; round-robin would have hit it eventually.
+	victim := rt.Raylets()[1].Node()
+	if victim == rt.Driver() {
+		victim = rt.Raylets()[2].Node()
+	}
+	rt.Cluster.Kill(victim) // kill behind the scheduler's back
+	for i := 0; i < 8; i++ {
+		s := task.NewSpec(rt.Job(), "echo", []task.Arg{task.ValueArg([]byte("ok"))}, 1)
+		refs := rt.Submit(s)
+		data, err := rt.Get(context.Background(), refs[0])
+		if err != nil || string(data) != "ok" {
+			t.Fatalf("task %d: %q, %v", i, data, err)
+		}
+	}
+}
+
+func TestSchedulerPolicyOptionHonored(t *testing.T) {
+	rt := newRuntime(t, Options{Policy: scheduler.DataLocality})
+	if rt.Sched.Policy() != scheduler.DataLocality {
+		t.Error("policy not applied")
+	}
+}
+
+func TestPushResolutionEndToEnd(t *testing.T) {
+	rt := newRuntime(t, Options{Resolution: raylet.Push})
+	in, err := rt.Put([]byte("pipe"), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := task.NewSpec(rt.Job(), "upper", []task.Arg{task.RefArg(in)}, 1)
+	r1 := rt.Submit(s1)
+	s2 := task.NewSpec(rt.Job(), "echo", []task.Arg{task.RefArg(r1[0])}, 1)
+	r2 := rt.Submit(s2)
+	data, err := rt.Get(context.Background(), r2[0])
+	if err != nil || string(data) != "PIPE" {
+		t.Errorf("Get = %q, %v", data, err)
+	}
+}

@@ -1,0 +1,108 @@
+package scheduler
+
+import "sync"
+
+// Action is an autoscaler decision.
+type Action int
+
+// Autoscaler decisions.
+const (
+	// Hold keeps the current fleet.
+	Hold Action = iota
+	// ScaleUp requests one more node.
+	ScaleUp
+	// ScaleDown requests removal of one idle node.
+	ScaleDown
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case ScaleUp:
+		return "scale-up"
+	case ScaleDown:
+		return "scale-down"
+	default:
+		return "hold"
+	}
+}
+
+// AutoscalerConfig tunes the autoscaler.
+type AutoscalerConfig struct {
+	// MinNodes and MaxNodes bound the fleet size.
+	MinNodes, MaxNodes int
+	// UpThreshold: scale up when pending tasks per node exceed this.
+	UpThreshold float64
+	// DownThreshold: scale down when pending tasks per node fall below
+	// this for CooldownTicks consecutive observations.
+	DownThreshold float64
+	// CooldownTicks is the hysteresis window for scale-down.
+	CooldownTicks int
+}
+
+// DefaultAutoscalerConfig returns sensible defaults (2 pending per node up,
+// 0.25 down, 3-tick cooldown).
+func DefaultAutoscalerConfig(minNodes, maxNodes int) AutoscalerConfig {
+	return AutoscalerConfig{
+		MinNodes:      minNodes,
+		MaxNodes:      maxNodes,
+		UpThreshold:   2.0,
+		DownThreshold: 0.25,
+		CooldownTicks: 3,
+	}
+}
+
+// Autoscaler turns load observations into scale decisions. It is the
+// pay-as-you-go half of the serverless principle: the fleet follows the
+// queue.
+type Autoscaler struct {
+	mu        sync.Mutex
+	cfg       AutoscalerConfig
+	lowTicks  int
+	decisions []Action
+}
+
+// NewAutoscaler returns an autoscaler with the given configuration.
+func NewAutoscaler(cfg AutoscalerConfig) *Autoscaler {
+	if cfg.MinNodes < 1 {
+		cfg.MinNodes = 1
+	}
+	if cfg.MaxNodes < cfg.MinNodes {
+		cfg.MaxNodes = cfg.MinNodes
+	}
+	return &Autoscaler{cfg: cfg}
+}
+
+// Observe records one load sample (pending tasks, current node count) and
+// returns the scaling decision.
+func (a *Autoscaler) Observe(pending, nodes int) Action {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if nodes < 1 {
+		nodes = 1
+	}
+	perNode := float64(pending) / float64(nodes)
+	action := Hold
+	switch {
+	case perNode > a.cfg.UpThreshold && nodes < a.cfg.MaxNodes:
+		a.lowTicks = 0
+		action = ScaleUp
+	case perNode < a.cfg.DownThreshold && nodes > a.cfg.MinNodes:
+		a.lowTicks++
+		if a.lowTicks >= a.cfg.CooldownTicks {
+			a.lowTicks = 0
+			action = ScaleDown
+		}
+	default:
+		a.lowTicks = 0
+	}
+	a.decisions = append(a.decisions, action)
+	return action
+}
+
+// History returns the decision trace.
+func (a *Autoscaler) History() []Action {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]Action(nil), a.decisions...)
+}

@@ -1,0 +1,331 @@
+// Package scheduler implements the control plane of the stateful
+// serverless runtime (§2.3): task placement over heterogeneous nodes with
+// pluggable policies — including the data-centric (locality-aware)
+// scheduling the paper adopts from Whiz — plus gang scheduling for SPMD
+// subgraphs and a queue-driven autoscaler.
+package scheduler
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"skadi/internal/idgen"
+	"skadi/internal/task"
+)
+
+// Policy selects the placement strategy.
+type Policy int
+
+// Placement policies.
+const (
+	// RoundRobin spreads tasks evenly over matching nodes.
+	RoundRobin Policy = iota
+	// Random places tasks uniformly at random.
+	Random
+	// CPUCentric models the conventional serverless model: place on the
+	// first available node, ignoring data locations entirely (data is
+	// always pulled to compute).
+	CPUCentric
+	// DataLocality places each task where the most input bytes already
+	// reside, migrating compute to data (§1 data-plane benefit 1).
+	DataLocality
+)
+
+// String returns the policy name.
+func (p Policy) String() string {
+	switch p {
+	case RoundRobin:
+		return "round-robin"
+	case Random:
+		return "random"
+	case CPUCentric:
+		return "cpu-centric"
+	case DataLocality:
+		return "data-locality"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Errors returned by the scheduler.
+var (
+	// ErrNoNodes reports that no live node matches the task's backend.
+	ErrNoNodes = errors.New("scheduler: no matching nodes")
+	// ErrNoCapacity reports that a gang cannot be placed atomically now.
+	ErrNoCapacity = errors.New("scheduler: insufficient capacity for gang")
+)
+
+// NodeInfo describes a schedulable node.
+type NodeInfo struct {
+	ID      idgen.NodeID
+	Backend string
+	Slots   int
+}
+
+type nodeState struct {
+	info     NodeInfo
+	inflight int
+	alive    bool
+}
+
+// ObjectLocator supplies data-placement information for locality-aware
+// policies.
+type ObjectLocator interface {
+	// Locations returns the nodes holding a full copy of the object.
+	Locations(id idgen.ObjectID) []idgen.NodeID
+	// Size returns the object's size in bytes (0 if unknown).
+	Size(id idgen.ObjectID) int64
+}
+
+// Scheduler places tasks on nodes. It is safe for concurrent use.
+type Scheduler struct {
+	mu      sync.Mutex
+	policy  Policy
+	nodes   []*nodeState
+	byID    map[idgen.NodeID]*nodeState
+	locator ObjectLocator
+	rr      int
+	rng     uint64
+}
+
+// New returns a scheduler with the given policy. locator may be nil for
+// policies that ignore data placement.
+func New(policy Policy, locator ObjectLocator) *Scheduler {
+	return &Scheduler{
+		policy:  policy,
+		byID:    make(map[idgen.NodeID]*nodeState),
+		locator: locator,
+		rng:     0x9e3779b97f4a7c15, // fixed seed: placement is reproducible
+	}
+}
+
+// SetPolicy switches the placement policy at runtime.
+func (s *Scheduler) SetPolicy(p Policy) {
+	s.mu.Lock()
+	s.policy = p
+	s.mu.Unlock()
+}
+
+// Policy returns the active policy.
+func (s *Scheduler) Policy() Policy {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.policy
+}
+
+// AddNode registers a schedulable node.
+func (s *Scheduler) AddNode(info NodeInfo) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[info.ID]; ok {
+		return
+	}
+	ns := &nodeState{info: info, alive: true}
+	s.nodes = append(s.nodes, ns)
+	s.byID[info.ID] = ns
+}
+
+// RemoveNode unregisters a node.
+func (s *Scheduler) RemoveNode(id idgen.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.byID[id]; !ok {
+		return
+	}
+	delete(s.byID, id)
+	for i, ns := range s.nodes {
+		if ns.info.ID == id {
+			s.nodes = append(s.nodes[:i], s.nodes[i+1:]...)
+			break
+		}
+	}
+}
+
+// SetAlive marks a node up or down without unregistering it.
+func (s *Scheduler) SetAlive(id idgen.NodeID, alive bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ns, ok := s.byID[id]; ok {
+		ns.alive = alive
+	}
+}
+
+// NodeCount returns the number of live registered nodes.
+func (s *Scheduler) NodeCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, ns := range s.nodes {
+		if ns.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// nextRand is a xorshift64* step; deterministic given the fixed seed.
+func (s *Scheduler) nextRand() uint64 {
+	s.rng ^= s.rng >> 12
+	s.rng ^= s.rng << 25
+	s.rng ^= s.rng >> 27
+	return s.rng * 0x2545f4914f6cdd1d
+}
+
+// candidatesLocked returns live nodes matching the spec's backend.
+func (s *Scheduler) candidatesLocked(backend string) []*nodeState {
+	var out []*nodeState
+	for _, ns := range s.nodes {
+		if ns.alive && ns.info.Backend == backend {
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+// Pick chooses a node for the task and accounts one in-flight task on it.
+// The caller must call Finished when the task completes.
+func (s *Scheduler) Pick(spec *task.Spec) (idgen.NodeID, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cands := s.candidatesLocked(spec.Backend)
+	if len(cands) == 0 {
+		return idgen.Nil, fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend)
+	}
+	var chosen *nodeState
+	switch s.policy {
+	case RoundRobin:
+		chosen = cands[s.rr%len(cands)]
+		s.rr++
+	case Random:
+		chosen = cands[int(s.nextRand()%uint64(len(cands)))]
+	case CPUCentric:
+		// Least-loaded first node: compute-centric, data-oblivious.
+		chosen = cands[0]
+		for _, ns := range cands {
+			if ns.inflight < chosen.inflight {
+				chosen = ns
+			}
+		}
+	case DataLocality:
+		chosen = s.pickByLocalityLocked(spec, cands)
+	default:
+		chosen = cands[0]
+	}
+	chosen.inflight++
+	return chosen.info.ID, nil
+}
+
+// pickByLocalityLocked scores candidates by local input bytes and picks
+// the best, breaking ties toward the least-loaded node.
+func (s *Scheduler) pickByLocalityLocked(spec *task.Spec, cands []*nodeState) *nodeState {
+	if s.locator == nil {
+		return cands[0]
+	}
+	local := make(map[idgen.NodeID]int64)
+	for _, ref := range spec.RefArgs() {
+		size := s.locator.Size(ref)
+		if size == 0 {
+			size = 1 // unknown sizes still count as presence
+		}
+		for _, node := range s.locator.Locations(ref) {
+			local[node] += size
+		}
+	}
+	best := cands[0]
+	for _, ns := range cands[1:] {
+		bi, ni := local[best.info.ID], local[ns.info.ID]
+		if ni > bi || (ni == bi && ns.inflight < best.inflight) {
+			best = ns
+		}
+	}
+	return best
+}
+
+// Started accounts one in-flight task on a node placed outside Pick (e.g.
+// explicit SubmitTo placements), so gang and least-loaded decisions see
+// the true load.
+func (s *Scheduler) Started(id idgen.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ns, ok := s.byID[id]; ok {
+		ns.inflight++
+	}
+}
+
+// Finished releases one in-flight task from a node.
+func (s *Scheduler) Finished(id idgen.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ns, ok := s.byID[id]; ok && ns.inflight > 0 {
+		ns.inflight--
+	}
+}
+
+// Inflight returns a node's current in-flight count.
+func (s *Scheduler) Inflight(id idgen.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ns, ok := s.byID[id]; ok {
+		return ns.inflight
+	}
+	return 0
+}
+
+// PickGang atomically places a gang of tasks (an SPMD subgraph, §2.3):
+// either every task gets a node with a free slot — on distinct nodes when
+// enough exist — or nothing is reserved and ErrNoCapacity is returned.
+func (s *Scheduler) PickGang(specs []*task.Spec) ([]idgen.NodeID, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cands := s.candidatesLocked(specs[0].Backend)
+	for _, spec := range specs[1:] {
+		if spec.Backend != specs[0].Backend {
+			return nil, fmt.Errorf("scheduler: gang mixes backends %q and %q", specs[0].Backend, spec.Backend)
+		}
+	}
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("%w: backend %q", ErrNoNodes, specs[0].Backend)
+	}
+	// Count free slots.
+	free := 0
+	for _, ns := range cands {
+		if f := ns.info.Slots - ns.inflight; f > 0 {
+			free += f
+		}
+	}
+	if free < len(specs) {
+		return nil, fmt.Errorf("%w: need %d slots, %d free", ErrNoCapacity, len(specs), free)
+	}
+	// Spread over distinct nodes first (one slot each), then wrap.
+	placements := make([]idgen.NodeID, 0, len(specs))
+	reserved := make(map[*nodeState]int)
+	idx := 0
+	for len(placements) < len(specs) {
+		progressed := false
+		for _, ns := range cands {
+			if len(placements) == len(specs) {
+				break
+			}
+			if ns.info.Slots-ns.inflight-reserved[ns] > 0 {
+				reserved[ns]++
+				placements = append(placements, ns.info.ID)
+				progressed = true
+			}
+		}
+		if !progressed {
+			return nil, fmt.Errorf("%w: need %d slots", ErrNoCapacity, len(specs))
+		}
+		idx++
+		if idx > len(specs) {
+			break
+		}
+	}
+	for ns, n := range reserved {
+		ns.inflight += n
+	}
+	return placements, nil
+}

@@ -1,0 +1,328 @@
+package scheduler
+
+import (
+	"errors"
+	"testing"
+
+	"skadi/internal/idgen"
+	"skadi/internal/task"
+)
+
+// mapLocator is a test ObjectLocator backed by maps.
+type mapLocator struct {
+	locs  map[idgen.ObjectID][]idgen.NodeID
+	sizes map[idgen.ObjectID]int64
+}
+
+func (m *mapLocator) Locations(id idgen.ObjectID) []idgen.NodeID { return m.locs[id] }
+func (m *mapLocator) Size(id idgen.ObjectID) int64               { return m.sizes[id] }
+
+func addNodes(s *Scheduler, n int, backend string, slots int) []idgen.NodeID {
+	ids := make([]idgen.NodeID, n)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		s.AddNode(NodeInfo{ID: ids[i], Backend: backend, Slots: slots})
+	}
+	return ids
+}
+
+func cpuSpec() *task.Spec { return task.NewSpec(idgen.Next(), "f", nil, 1) }
+
+func TestPickNoNodes(t *testing.T) {
+	s := New(RoundRobin, nil)
+	if _, err := s.Pick(cpuSpec()); !errors.Is(err, ErrNoNodes) {
+		t.Errorf("Pick = %v, want ErrNoNodes", err)
+	}
+}
+
+func TestPickBackendFiltering(t *testing.T) {
+	s := New(RoundRobin, nil)
+	addNodes(s, 2, "cpu", 4)
+	gpus := addNodes(s, 1, "gpu", 4)
+	spec := cpuSpec()
+	spec.Backend = "gpu"
+	node, err := s.Pick(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != gpus[0] {
+		t.Errorf("gpu task placed on %s", node.Short())
+	}
+}
+
+func TestRoundRobinSpreads(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 3, "cpu", 10)
+	counts := map[idgen.NodeID]int{}
+	for i := 0; i < 9; i++ {
+		node, err := s.Pick(cpuSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[node]++
+	}
+	for _, id := range nodes {
+		if counts[id] != 3 {
+			t.Errorf("node %s got %d tasks, want 3", id.Short(), counts[id])
+		}
+	}
+}
+
+func TestRandomCoversAllNodes(t *testing.T) {
+	s := New(Random, nil)
+	nodes := addNodes(s, 4, "cpu", 1000)
+	counts := map[idgen.NodeID]int{}
+	for i := 0; i < 400; i++ {
+		node, err := s.Pick(cpuSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[node]++
+	}
+	for _, id := range nodes {
+		if counts[id] == 0 {
+			t.Errorf("node %s never chosen by Random", id.Short())
+		}
+	}
+}
+
+func TestDataLocalityFollowsBytes(t *testing.T) {
+	loc := &mapLocator{
+		locs:  map[idgen.ObjectID][]idgen.NodeID{},
+		sizes: map[idgen.ObjectID]int64{},
+	}
+	s := New(DataLocality, loc)
+	nodes := addNodes(s, 3, "cpu", 10)
+
+	big, small := idgen.Next(), idgen.Next()
+	loc.locs[big] = []idgen.NodeID{nodes[2]}
+	loc.sizes[big] = 1 << 20
+	loc.locs[small] = []idgen.NodeID{nodes[0]}
+	loc.sizes[small] = 64
+
+	spec := task.NewSpec(idgen.Next(), "f", []task.Arg{task.RefArg(big), task.RefArg(small)}, 1)
+	node, err := s.Pick(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != nodes[2] {
+		t.Errorf("locality picked %s, want the node holding the big input", node.Short())
+	}
+}
+
+func TestDataLocalityTieBreaksOnLoad(t *testing.T) {
+	s := New(DataLocality, &mapLocator{})
+	nodes := addNodes(s, 2, "cpu", 10)
+	// Load node 0 with 3 tasks.
+	for i := 0; i < 3; i++ {
+		s.byID[nodes[0]].inflight++
+	}
+	node, err := s.Pick(cpuSpec()) // no inputs: all scores zero
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node != nodes[1] {
+		t.Error("tie should break toward least-loaded node")
+	}
+}
+
+func TestDeadNodesSkipped(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 2, "cpu", 4)
+	s.SetAlive(nodes[0], false)
+	for i := 0; i < 4; i++ {
+		node, err := s.Pick(cpuSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node == nodes[0] {
+			t.Fatal("dead node chosen")
+		}
+	}
+	if s.NodeCount() != 1 {
+		t.Errorf("NodeCount = %d", s.NodeCount())
+	}
+	s.SetAlive(nodes[0], true)
+	if s.NodeCount() != 2 {
+		t.Error("revived node not counted")
+	}
+}
+
+func TestInflightAccounting(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 1, "cpu", 4)
+	if _, err := s.Pick(cpuSpec()); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Inflight(nodes[0]); got != 1 {
+		t.Errorf("Inflight = %d", got)
+	}
+	s.Finished(nodes[0])
+	if got := s.Inflight(nodes[0]); got != 0 {
+		t.Errorf("Inflight after Finished = %d", got)
+	}
+	s.Finished(nodes[0]) // below zero is clamped
+	if got := s.Inflight(nodes[0]); got != 0 {
+		t.Errorf("Inflight = %d", got)
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 2, "cpu", 4)
+	s.RemoveNode(nodes[0])
+	for i := 0; i < 3; i++ {
+		node, err := s.Pick(cpuSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node == nodes[0] {
+			t.Fatal("removed node chosen")
+		}
+	}
+}
+
+func TestPickGangDistinctNodes(t *testing.T) {
+	s := New(RoundRobin, nil)
+	addNodes(s, 4, "gpu", 2)
+	specs := make([]*task.Spec, 4)
+	for i := range specs {
+		specs[i] = task.NewSpec(idgen.Next(), "f", nil, 1)
+		specs[i].Backend = "gpu"
+		specs[i].Gang = "spmd-0"
+	}
+	placements, err := s.PickGang(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[idgen.NodeID]bool{}
+	for _, p := range placements {
+		if seen[p] {
+			t.Error("gang of 4 on 4 nodes should use distinct nodes")
+		}
+		seen[p] = true
+	}
+}
+
+func TestPickGangInsufficientCapacity(t *testing.T) {
+	s := New(RoundRobin, nil)
+	addNodes(s, 2, "gpu", 1)
+	specs := make([]*task.Spec, 3)
+	for i := range specs {
+		specs[i] = task.NewSpec(idgen.Next(), "f", nil, 1)
+		specs[i].Backend = "gpu"
+	}
+	if _, err := s.PickGang(specs); !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("PickGang = %v, want ErrNoCapacity", err)
+	}
+	// Nothing reserved on failure.
+	for _, ns := range s.nodes {
+		if ns.inflight != 0 {
+			t.Error("failed gang left reservations")
+		}
+	}
+}
+
+func TestPickGangWrapsWhenFewNodes(t *testing.T) {
+	s := New(RoundRobin, nil)
+	addNodes(s, 2, "gpu", 4)
+	specs := make([]*task.Spec, 6)
+	for i := range specs {
+		specs[i] = task.NewSpec(idgen.Next(), "f", nil, 1)
+		specs[i].Backend = "gpu"
+	}
+	placements, err := s.PickGang(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != 6 {
+		t.Fatalf("placements = %d", len(placements))
+	}
+}
+
+func TestPickGangMixedBackendsRejected(t *testing.T) {
+	s := New(RoundRobin, nil)
+	addNodes(s, 2, "gpu", 4)
+	a := task.NewSpec(idgen.Next(), "f", nil, 1)
+	a.Backend = "gpu"
+	b := task.NewSpec(idgen.Next(), "f", nil, 1)
+	b.Backend = "fpga"
+	if _, err := s.PickGang([]*task.Spec{a, b}); err == nil {
+		t.Error("mixed-backend gang should be rejected")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	for p, want := range map[Policy]string{
+		RoundRobin: "round-robin", Random: "random",
+		CPUCentric: "cpu-centric", DataLocality: "data-locality",
+	} {
+		if p.String() != want {
+			t.Errorf("String = %q, want %q", p.String(), want)
+		}
+	}
+}
+
+func TestAutoscalerScaleUp(t *testing.T) {
+	a := NewAutoscaler(DefaultAutoscalerConfig(1, 10))
+	if got := a.Observe(50, 4); got != ScaleUp {
+		t.Errorf("Observe(50,4) = %v, want ScaleUp", got)
+	}
+}
+
+func TestAutoscalerRespectsMax(t *testing.T) {
+	a := NewAutoscaler(DefaultAutoscalerConfig(1, 4))
+	if got := a.Observe(100, 4); got != Hold {
+		t.Errorf("Observe at max = %v, want Hold", got)
+	}
+}
+
+func TestAutoscalerScaleDownNeedsCooldown(t *testing.T) {
+	a := NewAutoscaler(DefaultAutoscalerConfig(1, 10))
+	if got := a.Observe(0, 4); got != Hold {
+		t.Errorf("first low tick = %v, want Hold", got)
+	}
+	if got := a.Observe(0, 4); got != Hold {
+		t.Errorf("second low tick = %v, want Hold", got)
+	}
+	if got := a.Observe(0, 4); got != ScaleDown {
+		t.Errorf("third low tick = %v, want ScaleDown", got)
+	}
+}
+
+func TestAutoscalerCooldownResetOnLoad(t *testing.T) {
+	a := NewAutoscaler(DefaultAutoscalerConfig(1, 10))
+	a.Observe(0, 4)
+	a.Observe(0, 4)
+	a.Observe(4, 4) // load returns: resets the cooldown
+	if got := a.Observe(0, 4); got != Hold {
+		t.Errorf("low tick after reset = %v, want Hold", got)
+	}
+}
+
+func TestAutoscalerRespectsMin(t *testing.T) {
+	a := NewAutoscaler(DefaultAutoscalerConfig(2, 10))
+	for i := 0; i < 10; i++ {
+		if got := a.Observe(0, 2); got == ScaleDown {
+			t.Fatal("scaled below MinNodes")
+		}
+	}
+}
+
+func TestAutoscalerHistory(t *testing.T) {
+	a := NewAutoscaler(DefaultAutoscalerConfig(1, 10))
+	a.Observe(50, 1)
+	a.Observe(1, 2)
+	h := a.History()
+	if len(h) != 2 || h[0] != ScaleUp {
+		t.Errorf("History = %v", h)
+	}
+}
+
+func TestActionString(t *testing.T) {
+	for a, want := range map[Action]string{Hold: "hold", ScaleUp: "scale-up", ScaleDown: "scale-down"} {
+		if a.String() != want {
+			t.Errorf("String = %q", a.String())
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package task
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+)
+
+func TestArgs(t *testing.T) {
+	v := ValueArg([]byte("x"))
+	if v.IsRef || string(v.Value) != "x" {
+		t.Errorf("ValueArg = %+v", v)
+	}
+	id := idgen.Next()
+	r := RefArg(id)
+	if !r.IsRef || r.Ref != id {
+		t.Errorf("RefArg = %+v", r)
+	}
+}
+
+func TestNewSpec(t *testing.T) {
+	job := idgen.Next()
+	s := NewSpec(job, "fn", []Arg{ValueArg(nil)}, 3)
+	if s.ID.IsNil() || s.Job != job || s.Fn != "fn" {
+		t.Errorf("spec = %+v", s)
+	}
+	if len(s.Returns) != 3 {
+		t.Fatalf("returns = %d", len(s.Returns))
+	}
+	seen := map[idgen.ObjectID]bool{}
+	for _, r := range s.Returns {
+		if r.IsNil() || seen[r] {
+			t.Error("return IDs must be fresh and distinct")
+		}
+		seen[r] = true
+	}
+	if s.Backend != "cpu" {
+		t.Errorf("default backend = %q", s.Backend)
+	}
+}
+
+func TestRefArgs(t *testing.T) {
+	a, b := idgen.Next(), idgen.Next()
+	s := &Spec{Args: []Arg{ValueArg([]byte("v")), RefArg(a), RefArg(b)}}
+	refs := s.RefArgs()
+	if len(refs) != 2 || refs[0] != a || refs[1] != b {
+		t.Errorf("RefArgs = %v", refs)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Register("double", func(_ *Context, args [][]byte) ([][]byte, error) {
+		out := append(args[0], args[0]...)
+		return [][]byte{out}, nil
+	})
+	fn, err := r.Lookup("double")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fn(&Context{}, [][]byte{[]byte("ab")})
+	if err != nil || string(got[0]) != "abab" {
+		t.Errorf("fn = %q, %v", got, err)
+	}
+	if _, err := r.Lookup("nope"); !errors.Is(err, ErrUnknownFn) {
+		t.Errorf("Lookup = %v", err)
+	}
+	if names := r.Names(); len(names) != 1 || names[0] != "double" {
+		t.Errorf("Names = %v", names)
+	}
+}
+
+func TestRegistryReplace(t *testing.T) {
+	r := NewRegistry()
+	r.Register("f", func(*Context, [][]byte) ([][]byte, error) { return [][]byte{[]byte("v1")}, nil })
+	r.Register("f", func(*Context, [][]byte) ([][]byte, error) { return [][]byte{[]byte("v2")}, nil })
+	fn, err := r.Lookup("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := fn(nil, nil)
+	if string(got[0]) != "v2" {
+		t.Error("latest registration should win")
+	}
+}
+
+func TestComputeScaled(t *testing.T) {
+	ctx := &Context{TimeScale: 1.0}
+	start := time.Now()
+	ctx.Compute(1 * time.Millisecond)
+	if elapsed := time.Since(start); elapsed < 800*time.Microsecond {
+		t.Errorf("Compute(1ms) returned after %v", elapsed)
+	}
+}
+
+func TestComputeZeroScaleInstant(t *testing.T) {
+	ctx := &Context{TimeScale: 0}
+	start := time.Now()
+	ctx.Compute(10 * time.Second)
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Errorf("Compute with zero scale took %v", elapsed)
+	}
+}

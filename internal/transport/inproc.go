@@ -1,0 +1,106 @@
+package transport
+
+import (
+	"context"
+	"sync"
+
+	"skadi/internal/fabric"
+	"skadi/internal/idgen"
+)
+
+// messageOverhead approximates per-message header bytes (IDs, kind, frame)
+// charged to the fabric in addition to the payload.
+const messageOverhead = 64
+
+// InProc is the in-process transport. Every Call charges the fabric for the
+// request and response, so simulated network accounting matches what the
+// TCP transport would move, while the handler executes directly.
+type InProc struct {
+	fabric *fabric.Fabric
+
+	mu       sync.RWMutex
+	handlers map[idgen.NodeID]Handler
+	down     map[idgen.NodeID]bool
+	closed   bool
+}
+
+// NewInProc returns an in-process transport over the given fabric.
+func NewInProc(f *fabric.Fabric) *InProc {
+	return &InProc{
+		fabric:   f,
+		handlers: make(map[idgen.NodeID]Handler),
+		down:     make(map[idgen.NodeID]bool),
+	}
+}
+
+// Listen implements Transport.
+func (t *InProc) Listen(node idgen.NodeID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.handlers[node]; ok {
+		return ErrAlreadyListening
+	}
+	t.handlers[node] = h
+	delete(t.down, node)
+	return nil
+}
+
+// Unlisten implements Transport.
+func (t *InProc) Unlisten(node idgen.NodeID) {
+	t.mu.Lock()
+	delete(t.handlers, node)
+	t.mu.Unlock()
+}
+
+// SetDown marks a node unreachable without removing its handler; used by
+// failure-injection tests to simulate crashes and partitions.
+func (t *InProc) SetDown(node idgen.NodeID, down bool) {
+	t.mu.Lock()
+	if down {
+		t.down[node] = true
+	} else {
+		delete(t.down, node)
+	}
+	t.mu.Unlock()
+}
+
+// Call implements Transport.
+func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	t.mu.RLock()
+	h, ok := t.handlers[to]
+	isDown := t.down[to] || t.down[from]
+	closed := t.closed
+	t.mu.RUnlock()
+	if closed {
+		return nil, ErrClosed
+	}
+	if !ok || isDown {
+		return nil, ErrUnreachable
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Charge the request path.
+	t.fabric.Send(from, to, len(payload)+messageOverhead)
+	resp, err := h(ctx, from, kind, payload)
+	if err != nil {
+		// Errors still travel back over the network.
+		t.fabric.Send(to, from, messageOverhead+len(err.Error()))
+		return nil, &RemoteError{Msg: err.Error()}
+	}
+	// Charge the response path.
+	t.fabric.Send(to, from, len(resp)+messageOverhead)
+	return resp, nil
+}
+
+// Close implements Transport.
+func (t *InProc) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	t.handlers = make(map[idgen.NodeID]Handler)
+	t.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,357 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"skadi/internal/idgen"
+	"skadi/internal/wire"
+)
+
+// ErrAlreadyListening reports a duplicate Listen for one node.
+var ErrAlreadyListening = errors.New("transport: node already listening")
+
+// Frame type tags on the TCP wire.
+const (
+	frameRequest  = 0
+	frameResponse = 1
+)
+
+// Response status codes.
+const (
+	statusOK     = 0
+	statusRemote = 1
+)
+
+// TCP is the socket-backed transport. Each listening node binds its own
+// 127.0.0.1 port; the transport keeps a directory of node → address and one
+// pooled client connection per destination.
+type TCP struct {
+	mu        sync.Mutex
+	listeners map[idgen.NodeID]*tcpServer
+	dir       map[idgen.NodeID]string
+	conns     map[idgen.NodeID]*tcpClient
+	closed    bool
+}
+
+// NewTCP returns an empty TCP transport.
+func NewTCP() *TCP {
+	return &TCP{
+		listeners: make(map[idgen.NodeID]*tcpServer),
+		dir:       make(map[idgen.NodeID]string),
+		conns:     make(map[idgen.NodeID]*tcpClient),
+	}
+}
+
+// Addr returns the listen address of a node, for wiring directories across
+// processes.
+func (t *TCP) Addr(node idgen.NodeID) (string, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	addr, ok := t.dir[node]
+	return addr, ok
+}
+
+// Connect adds a remote node's address to the directory, allowing this
+// process to call nodes listening in other processes.
+func (t *TCP) Connect(node idgen.NodeID, addr string) {
+	t.mu.Lock()
+	t.dir[node] = addr
+	t.mu.Unlock()
+}
+
+// Listen implements Transport.
+func (t *TCP) Listen(node idgen.NodeID, h Handler) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return ErrClosed
+	}
+	if _, ok := t.listeners[node]; ok {
+		return ErrAlreadyListening
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return fmt.Errorf("transport: listen: %w", err)
+	}
+	srv := &tcpServer{ln: ln, handler: h, node: node}
+	t.listeners[node] = srv
+	t.dir[node] = ln.Addr().String()
+	go srv.acceptLoop()
+	return nil
+}
+
+// Unlisten implements Transport.
+func (t *TCP) Unlisten(node idgen.NodeID) {
+	t.mu.Lock()
+	srv := t.listeners[node]
+	delete(t.listeners, node)
+	delete(t.dir, node)
+	t.mu.Unlock()
+	if srv != nil {
+		srv.close()
+	}
+}
+
+// Call implements Transport.
+func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, ErrClosed
+	}
+	client, ok := t.conns[to]
+	if ok && client.dead() {
+		delete(t.conns, to)
+		ok = false
+	}
+	if !ok {
+		addr, found := t.dir[to]
+		if !found {
+			t.mu.Unlock()
+			return nil, ErrUnreachable
+		}
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			t.mu.Unlock()
+			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		}
+		client = newTCPClient(conn)
+		t.conns[to] = client
+	}
+	t.mu.Unlock()
+	return client.call(ctx, from, kind, payload)
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	t.closed = true
+	listeners := t.listeners
+	conns := t.conns
+	t.listeners = make(map[idgen.NodeID]*tcpServer)
+	t.conns = make(map[idgen.NodeID]*tcpClient)
+	t.mu.Unlock()
+	for _, srv := range listeners {
+		srv.close()
+	}
+	for _, c := range conns {
+		c.close()
+	}
+	return nil
+}
+
+// tcpServer accepts connections for one listening node.
+type tcpServer struct {
+	ln      net.Listener
+	handler Handler
+	node    idgen.NodeID
+
+	mu     sync.Mutex
+	conns  []net.Conn
+	closed bool
+}
+
+func (s *tcpServer) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns = append(s.conns, conn)
+		s.mu.Unlock()
+		go s.serveConn(conn)
+	}
+}
+
+func (s *tcpServer) serveConn(conn net.Conn) {
+	defer conn.Close()
+	var writeMu sync.Mutex
+	for {
+		frame, err := wire.ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		r := wire.NewReader(frame)
+		if tag := r.Byte(); tag != frameRequest {
+			return // protocol violation
+		}
+		reqID := r.Uint64()
+		from := idgen.ID(r.Bytes16())
+		kind := r.String()
+		payload := r.LenBytes()
+		if r.Err() != nil {
+			return
+		}
+		// Copy the payload: it aliases the frame buffer, which is reused
+		// conceptually once the handler runs concurrently.
+		p := make([]byte, len(payload))
+		copy(p, payload)
+		go func() {
+			resp, herr := s.handler(context.Background(), from, kind, p)
+			var buf wire.Buffer
+			buf.Byte(frameResponse)
+			buf.Uint64(reqID)
+			if herr != nil {
+				buf.Byte(statusRemote)
+				buf.String(herr.Error())
+			} else {
+				buf.Byte(statusOK)
+				buf.LenBytes(resp)
+			}
+			writeMu.Lock()
+			defer writeMu.Unlock()
+			_ = wire.WriteFrame(conn, buf.Bytes())
+		}()
+	}
+}
+
+func (s *tcpServer) close() {
+	s.mu.Lock()
+	s.closed = true
+	conns := s.conns
+	s.conns = nil
+	s.mu.Unlock()
+	s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+}
+
+// tcpClient is one pooled client connection with response demultiplexing.
+type tcpClient struct {
+	conn net.Conn
+
+	writeMu sync.Mutex
+	mu      sync.Mutex
+	nextID  uint64
+	pending map[uint64]chan response
+	err     error
+}
+
+type response struct {
+	payload []byte
+	remote  string
+	ok      bool
+}
+
+func newTCPClient(conn net.Conn) *tcpClient {
+	c := &tcpClient{conn: conn, pending: make(map[uint64]chan response)}
+	go c.readLoop()
+	return c
+}
+
+func (c *tcpClient) readLoop() {
+	for {
+		frame, err := wire.ReadFrame(c.conn)
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
+			return
+		}
+		r := wire.NewReader(frame)
+		if tag := r.Byte(); tag != frameResponse {
+			c.fail(ErrUnreachable)
+			return
+		}
+		reqID := r.Uint64()
+		status := r.Byte()
+		var resp response
+		if status == statusOK {
+			body := r.LenBytes()
+			resp.payload = make([]byte, len(body))
+			copy(resp.payload, body)
+			resp.ok = true
+		} else {
+			resp.remote = r.String()
+		}
+		if r.Err() != nil {
+			c.fail(ErrUnreachable)
+			return
+		}
+		c.mu.Lock()
+		ch, ok := c.pending[reqID]
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+}
+
+func (c *tcpClient) fail(err error) {
+	c.mu.Lock()
+	if c.err == nil {
+		c.err = err
+	}
+	pending := c.pending
+	c.pending = make(map[uint64]chan response)
+	c.mu.Unlock()
+	for _, ch := range pending {
+		close(ch)
+	}
+	c.conn.Close()
+}
+
+func (c *tcpClient) dead() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err != nil
+}
+
+func (c *tcpClient) close() { c.fail(ErrClosed) }
+
+func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	c.mu.Lock()
+	if c.err != nil {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	reqID := c.nextID
+	ch := make(chan response, 1)
+	c.pending[reqID] = ch
+	c.mu.Unlock()
+
+	var buf wire.Buffer
+	buf.Byte(frameRequest)
+	buf.Uint64(reqID)
+	buf.Bytes16(from)
+	buf.String(kind)
+	buf.LenBytes(payload)
+
+	c.writeMu.Lock()
+	err := wire.WriteFrame(c.conn, buf.Bytes())
+	c.writeMu.Unlock()
+	if err != nil {
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			return nil, ErrUnreachable
+		}
+		if !resp.ok {
+			return nil, &RemoteError{Msg: resp.remote}
+		}
+		return resp.payload, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, reqID)
+		c.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}

@@ -1,0 +1,93 @@
+// Package transport carries the runtime's control and data messages between
+// nodes. Two implementations share one interface:
+//
+//   - InProc: nodes live in one process; calls execute the remote handler
+//     directly while the fabric charges simulated network cost. This is the
+//     path the experiments run on.
+//   - TCP: nodes are separate processes connected by real sockets, proving
+//     the runtime is not simulation-bound.
+//
+// All payloads are bytes; Encode/Decode provide the gob-based encoding used
+// for control messages, while bulk data moves as raw bytes.
+package transport
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"errors"
+	"fmt"
+
+	"skadi/internal/idgen"
+)
+
+// Errors returned by transports.
+var (
+	// ErrUnreachable reports that the destination node is not listening or
+	// has been marked down.
+	ErrUnreachable = errors.New("transport: node unreachable")
+	// ErrClosed reports that the transport has been shut down.
+	ErrClosed = errors.New("transport: closed")
+)
+
+// RemoteError wraps an error returned by a remote handler, preserving the
+// distinction between transport failures (retryable, node may be dead) and
+// application errors (the call was delivered and the handler failed).
+type RemoteError struct {
+	Msg string
+}
+
+// Error implements the error interface.
+func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+
+// IsRemote reports whether err is an application-level error from the
+// remote handler (as opposed to a transport failure).
+func IsRemote(err error) bool {
+	var re *RemoteError
+	return errors.As(err, &re)
+}
+
+// Handler processes one inbound message on a node. kind identifies the RPC
+// method; the returned bytes are the response payload.
+type Handler func(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error)
+
+// Transport moves messages between nodes.
+type Transport interface {
+	// Listen registers the handler for a node. A node may listen only once.
+	Listen(node idgen.NodeID, h Handler) error
+	// Unlisten removes a node's handler; subsequent calls to it fail with
+	// ErrUnreachable.
+	Unlisten(node idgen.NodeID)
+	// Call sends a request and waits for the response.
+	Call(ctx context.Context, from, to idgen.NodeID, kind string, payload []byte) ([]byte, error)
+	// Close shuts the transport down.
+	Close() error
+}
+
+// Encode gob-encodes v for use as a message payload.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a payload produced by Encode into v (a pointer).
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}
+
+// MustEncode is Encode for values that cannot fail (fixed struct types);
+// it panics on error. Control-plane message structs are all gob-safe, so
+// failures indicate a programming error, not an input error.
+func MustEncode(v any) []byte {
+	b, err := Encode(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

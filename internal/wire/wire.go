@@ -1,0 +1,248 @@
+// Package wire provides the low-level binary encoding helpers shared by the
+// transport layer and the data formats: unsigned/signed varints, length-
+// prefixed byte strings, and framed messages over an io stream.
+//
+// The encoding is deliberately simple and self-describing enough for the
+// runtime's needs; it is not a general-purpose serialization framework.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// ErrShortBuffer is returned when a decode runs past the end of its input.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// MaxFrameSize bounds a single framed message (64 MiB). Larger payloads must
+// be chunked by the caller; the bound protects against corrupted length
+// prefixes allocating unbounded memory.
+const MaxFrameSize = 64 << 20
+
+// Buffer is an append-only encoder. The zero value is ready to use.
+type Buffer struct {
+	b []byte
+}
+
+// NewBuffer returns a Buffer with the given initial capacity.
+func NewBuffer(capacity int) *Buffer {
+	return &Buffer{b: make([]byte, 0, capacity)}
+}
+
+// Bytes returns the encoded bytes. The slice aliases the buffer's storage.
+func (e *Buffer) Bytes() []byte { return e.b }
+
+// Len returns the number of encoded bytes.
+func (e *Buffer) Len() int { return len(e.b) }
+
+// Reset truncates the buffer for reuse.
+func (e *Buffer) Reset() { e.b = e.b[:0] }
+
+// Uvarint appends an unsigned varint.
+func (e *Buffer) Uvarint(v uint64) { e.b = binary.AppendUvarint(e.b, v) }
+
+// Varint appends a signed varint (zig-zag).
+func (e *Buffer) Varint(v int64) { e.b = binary.AppendVarint(e.b, v) }
+
+// Uint32 appends a fixed-width big-endian uint32.
+func (e *Buffer) Uint32(v uint32) { e.b = binary.BigEndian.AppendUint32(e.b, v) }
+
+// Uint64 appends a fixed-width big-endian uint64.
+func (e *Buffer) Uint64(v uint64) { e.b = binary.BigEndian.AppendUint64(e.b, v) }
+
+// Float64 appends a float64 as its IEEE-754 bits.
+func (e *Buffer) Float64(v float64) { e.Uint64(math.Float64bits(v)) }
+
+// Byte appends a single byte.
+func (e *Buffer) Byte(v byte) { e.b = append(e.b, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Buffer) Bool(v bool) {
+	if v {
+		e.Byte(1)
+	} else {
+		e.Byte(0)
+	}
+}
+
+// Bytes16 appends a fixed 16-byte value (e.g. an idgen.ID).
+func (e *Buffer) Bytes16(v [16]byte) { e.b = append(e.b, v[:]...) }
+
+// LenBytes appends a length-prefixed byte string.
+func (e *Buffer) LenBytes(v []byte) {
+	e.Uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// String appends a length-prefixed string.
+func (e *Buffer) String(v string) {
+	e.Uvarint(uint64(len(v)))
+	e.b = append(e.b, v...)
+}
+
+// Raw appends bytes with no prefix.
+func (e *Buffer) Raw(v []byte) { e.b = append(e.b, v...) }
+
+// Reader decodes values written by Buffer, in the same order.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a Reader over b. The Reader does not copy b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the first decode error encountered, or nil.
+func (r *Reader) Err() error { return r.err }
+
+// Remaining returns the number of undecoded bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) fail() {
+	if r.err == nil {
+		r.err = ErrShortBuffer
+	}
+}
+
+// Uvarint decodes an unsigned varint.
+func (r *Reader) Uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Varint decodes a signed varint.
+func (r *Reader) Varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		r.fail()
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+// Uint32 decodes a fixed-width big-endian uint32.
+func (r *Reader) Uint32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+// Uint64 decodes a fixed-width big-endian uint64.
+func (r *Reader) Uint64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+// Float64 decodes a float64.
+func (r *Reader) Float64() float64 { return math.Float64frombits(r.Uint64()) }
+
+// Byte decodes a single byte.
+func (r *Reader) Byte() byte {
+	if r.err != nil || r.off >= len(r.b) {
+		r.fail()
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+// Bool decodes a boolean.
+func (r *Reader) Bool() bool { return r.Byte() != 0 }
+
+// Bytes16 decodes a fixed 16-byte value.
+func (r *Reader) Bytes16() (v [16]byte) {
+	if r.err != nil || r.off+16 > len(r.b) {
+		r.fail()
+		return
+	}
+	copy(v[:], r.b[r.off:])
+	r.off += 16
+	return
+}
+
+// LenBytes decodes a length-prefixed byte string. The returned slice aliases
+// the Reader's input.
+func (r *Reader) LenBytes() []byte {
+	n := r.Uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.b)-r.off) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v
+}
+
+// String decodes a length-prefixed string.
+func (r *Reader) String() string { return string(r.LenBytes()) }
+
+// Raw returns the next n undecoded bytes without copying.
+func (r *Reader) Raw(n int) []byte {
+	if r.err != nil || n < 0 || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	v := r.b[r.off : r.off+n]
+	r.off += n
+	return v
+}
+
+// WriteFrame writes a length-prefixed frame to w.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame from r.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,176 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAllTypes(t *testing.T) {
+	var buf Buffer
+	buf.Uvarint(300)
+	buf.Varint(-42)
+	buf.Uint32(0xdeadbeef)
+	buf.Uint64(1 << 50)
+	buf.Float64(3.14159)
+	buf.Byte(7)
+	buf.Bool(true)
+	buf.Bool(false)
+	buf.Bytes16([16]byte{1, 2, 3})
+	buf.LenBytes([]byte("hello"))
+	buf.String("world")
+
+	r := NewReader(buf.Bytes())
+	if got := r.Uvarint(); got != 300 {
+		t.Errorf("Uvarint = %d", got)
+	}
+	if got := r.Varint(); got != -42 {
+		t.Errorf("Varint = %d", got)
+	}
+	if got := r.Uint32(); got != 0xdeadbeef {
+		t.Errorf("Uint32 = %x", got)
+	}
+	if got := r.Uint64(); got != 1<<50 {
+		t.Errorf("Uint64 = %d", got)
+	}
+	if got := r.Float64(); got != 3.14159 {
+		t.Errorf("Float64 = %v", got)
+	}
+	if got := r.Byte(); got != 7 {
+		t.Errorf("Byte = %d", got)
+	}
+	if got := r.Bool(); got != true {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := r.Bool(); got != false {
+		t.Errorf("Bool = %v", got)
+	}
+	if got := r.Bytes16(); got != [16]byte{1, 2, 3} {
+		t.Errorf("Bytes16 = %v", got)
+	}
+	if got := r.LenBytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Errorf("LenBytes = %q", got)
+	}
+	if got := r.String(); got != "world" {
+		t.Errorf("String = %q", got)
+	}
+	if r.Err() != nil {
+		t.Errorf("Err = %v", r.Err())
+	}
+	if r.Remaining() != 0 {
+		t.Errorf("Remaining = %d", r.Remaining())
+	}
+}
+
+func TestShortBufferErrors(t *testing.T) {
+	r := NewReader([]byte{0x01})
+	r.Uint64()
+	if r.Err() != ErrShortBuffer {
+		t.Errorf("Err = %v, want ErrShortBuffer", r.Err())
+	}
+	// Subsequent reads keep failing without panicking.
+	r.Uvarint()
+	_ = r.String()
+	if r.Err() != ErrShortBuffer {
+		t.Errorf("Err changed to %v", r.Err())
+	}
+}
+
+func TestLenBytesTruncatedLength(t *testing.T) {
+	var buf Buffer
+	buf.Uvarint(1000) // claims 1000 bytes, provides none
+	r := NewReader(buf.Bytes())
+	if got := r.LenBytes(); got != nil {
+		t.Errorf("LenBytes = %v, want nil", got)
+	}
+	if r.Err() == nil {
+		t.Error("expected error for truncated LenBytes")
+	}
+}
+
+func TestRawBounds(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if got := r.Raw(2); !bytes.Equal(got, []byte{1, 2}) {
+		t.Errorf("Raw(2) = %v", got)
+	}
+	if got := r.Raw(5); got != nil {
+		t.Errorf("Raw(5) past end = %v, want nil", got)
+	}
+	if r.Err() == nil {
+		t.Error("expected error reading past end")
+	}
+	if r2 := NewReader([]byte{1}); r2.Raw(-1) != nil || r2.Err() == nil {
+		t.Error("negative Raw should error")
+	}
+}
+
+func TestVarintRoundTripProperty(t *testing.T) {
+	f := func(u uint64, i int64) bool {
+		var buf Buffer
+		buf.Uvarint(u)
+		buf.Varint(i)
+		r := NewReader(buf.Bytes())
+		return r.Uvarint() == u && r.Varint() == i && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBytesRoundTripProperty(t *testing.T) {
+	f := func(a, b []byte, s string) bool {
+		var buf Buffer
+		buf.LenBytes(a)
+		buf.String(s)
+		buf.LenBytes(b)
+		r := NewReader(buf.Bytes())
+		ga := r.LenBytes()
+		gs := r.String()
+		gb := r.LenBytes()
+		return bytes.Equal(ga, a) && gs == s && bytes.Equal(gb, b) && r.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var stream bytes.Buffer
+	payloads := [][]byte{[]byte("first"), {}, []byte("third frame")}
+	for _, p := range payloads {
+		if err := WriteFrame(&stream, p); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	for i, want := range payloads {
+		got, err := ReadFrame(&stream)
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("frame %d = %q, want %q", i, got, want)
+		}
+	}
+}
+
+func TestFrameTooLarge(t *testing.T) {
+	var stream bytes.Buffer
+	if err := WriteFrame(&stream, make([]byte, MaxFrameSize+1)); err == nil {
+		t.Error("WriteFrame should reject oversize payloads")
+	}
+	// A corrupted header claiming a huge frame must be rejected, not allocated.
+	stream.Reset()
+	stream.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, err := ReadFrame(&stream); err == nil {
+		t.Error("ReadFrame should reject oversize headers")
+	}
+}
+
+func TestBufferReset(t *testing.T) {
+	buf := NewBuffer(16)
+	buf.String("data")
+	buf.Reset()
+	if buf.Len() != 0 {
+		t.Errorf("Len after Reset = %d", buf.Len())
+	}
+}
