@@ -31,6 +31,7 @@ func main() {
 		gpus    = flag.Int("gpus", 2, "disaggregated GPUs")
 		fpgas   = flag.Int("fpgas", 2, "disaggregated FPGAs")
 		gen2    = flag.Bool("gen2", false, "device-centric (Gen-2) wiring instead of Gen-1")
+		showTr  = flag.Bool("trace", false, "dump the last task's span timeline and critical path")
 	)
 	flag.Parse()
 
@@ -146,4 +147,13 @@ func main() {
 		hops += st.DPUHops
 	}
 	fmt.Printf("raylets: %d tasks executed, %d DPU hops\n", tasks, hops)
+
+	if *showTr {
+		tr := s.Runtime().Tracer()
+		traces := tr.Traces()
+		fmt.Printf("\n== trace (%d task traces recorded) ==\n", len(traces))
+		if len(traces) > 0 {
+			fmt.Print(tr.Dump(traces[len(traces)-1]))
+		}
+	}
 }

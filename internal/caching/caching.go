@@ -9,6 +9,7 @@
 package caching
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -19,6 +20,7 @@ import (
 	"skadi/internal/fabric"
 	"skadi/internal/idgen"
 	"skadi/internal/objectstore"
+	"skadi/internal/trace"
 )
 
 // Tier classifies a store's position in the memory hierarchy.
@@ -234,28 +236,50 @@ func (l *Layer) recordLocationLocked(id idgen.ObjectID, node idgen.NodeID) {
 // lands in the node's own store (falling back to disaggregated memory on
 // OOM); replication/EC modes add redundancy on other nodes.
 func (l *Layer) Put(from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	return l.PutCtx(context.Background(), from, id, data, format)
+}
+
+// PutCtx is Put with trace annotation: the write is recorded as a
+// cache-put span carrying the tier the primary copy landed on.
+func (l *Layer) PutCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	ctx, sp := trace.Start(ctx, trace.KindCachePut, from)
+	tier, err := l.putCtx(ctx, from, id, data, format)
+	if sp != nil {
+		sp.SetAttr("tier", tier)
+		if err != nil && !errors.Is(err, objectstore.ErrExists) {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return err
+}
+
+// putCtx performs the put and reports the tier that took the primary copy.
+func (l *Layer) putCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) (string, error) {
 	l.mu.Lock()
 	si, ok := l.stores[from]
 	pool := l.pool
 	l.mu.Unlock()
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrNoStore, from.Short())
+		return "", fmt.Errorf("%w: %s", ErrNoStore, from.Short())
 	}
 
 	// Primary copy: local store, falling back to the DSM tier on pressure.
 	primaryLocal := true
+	tier := si.tier.String()
 	err := si.store.Put(id, data, format)
 	switch {
 	case err == nil:
 	case errors.Is(err, objectstore.ErrExists):
-		return err
+		return tier, err
 	case pool != nil:
 		if derr := pool.Write(from, id, data); derr != nil {
-			return fmt.Errorf("caching: primary put failed: %v; dsm: %w", err, derr)
+			return tier, fmt.Errorf("caching: primary put failed: %v; dsm: %w", err, derr)
 		}
 		primaryLocal = false
+		tier = DisaggMem.String()
 	default:
-		return err
+		return tier, err
 	}
 
 	l.mu.Lock()
@@ -269,18 +293,18 @@ func (l *Layer) Put(from idgen.NodeID, id idgen.ObjectID, data []byte, format st
 
 	switch l.cfg.Mode {
 	case ModeReplicate:
-		return l.replicate(from, id, data, format)
+		return tier, l.replicate(ctx, from, id, data, format)
 	case ModeEC:
-		return l.encodeShards(from, id, data, format)
+		return tier, l.encodeShards(ctx, from, id, data, format)
 	}
-	return nil
+	return tier, nil
 }
 
 // replicate writes Replicas-1 extra copies on other nodes.
-func (l *Layer) replicate(from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+func (l *Layer) replicate(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
 	targets := l.pickNodes(from, l.cfg.Replicas-1)
 	for _, node := range targets {
-		l.fabric.Send(from, node, len(data))
+		l.fabric.SendCtx(ctx, from, node, len(data))
 		l.mu.Lock()
 		si := l.stores[node]
 		l.mu.Unlock()
@@ -297,7 +321,7 @@ func (l *Layer) replicate(from idgen.NodeID, id idgen.ObjectID, data []byte, for
 }
 
 // encodeShards writes k+m erasure shards across other nodes.
-func (l *Layer) encodeShards(from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+func (l *Layer) encodeShards(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
 	shards := l.coder.Split(data)
 	if err := l.coder.Encode(shards); err != nil {
 		return err
@@ -311,7 +335,7 @@ func (l *Layer) encodeShards(from idgen.NodeID, id idgen.ObjectID, data []byte, 
 	for i, shard := range shards {
 		node := targets[i%len(targets)]
 		shardID := idgen.Next()
-		l.fabric.Send(from, node, len(shard))
+		l.fabric.SendCtx(ctx, from, node, len(shard))
 		l.mu.Lock()
 		si := l.stores[node]
 		l.mu.Unlock()
@@ -353,6 +377,32 @@ func (l *Layer) pickNodes(exclude idgen.NodeID, n int) []idgen.NodeID {
 // Get returns the value for id, reading from the nearest tier: local store,
 // a remote replica, disaggregated memory, then EC reconstruction.
 func (l *Layer) Get(to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) {
+	return l.GetCtx(context.Background(), to, id)
+}
+
+// GetCtx is Get with trace annotation: the read is recorded as a
+// cache-get span carrying the tier that served it (dram/hbm/disagg) and
+// the source path (local, remote, dsm, or ec reconstruction).
+func (l *Layer) GetCtx(ctx context.Context, to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) {
+	ctx, sp := trace.Start(ctx, trace.KindCacheGet, to)
+	data, format, tier, src, err := l.getCtx(ctx, to, id)
+	if sp != nil {
+		if tier != "" {
+			sp.SetAttr("tier", tier)
+		}
+		if src != "" {
+			sp.SetAttr("src", src)
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return data, format, err
+}
+
+// getCtx performs the read and reports the serving tier and source path.
+func (l *Layer) getCtx(ctx context.Context, to idgen.NodeID, id idgen.ObjectID) ([]byte, string, string, string, error) {
 	l.mu.Lock()
 	si, hasStore := l.stores[to]
 	locs := l.locations[id]
@@ -369,7 +419,7 @@ func (l *Layer) Get(to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) 
 			l.mu.Lock()
 			l.stats.LocalHits++
 			l.mu.Unlock()
-			return data, f, nil
+			return data, f, si.tier.String(), "local", nil
 		}
 	}
 
@@ -390,13 +440,13 @@ func (l *Layer) Get(to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) 
 		l.mu.Unlock()
 		if remote != nil {
 			if data, f, err := remote.store.Get(id); err == nil {
-				l.fabric.Send(best, to, len(data))
+				l.fabric.SendCtx(ctx, best, to, len(data))
 				l.mu.Lock()
 				l.stats.RemoteHits++
 				l.stats.BytesTransferred += int64(len(data))
 				l.mu.Unlock()
 				l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, f)
-				return data, f, nil
+				return data, f, remote.tier.String(), "remote", nil
 			}
 		}
 	}
@@ -409,26 +459,26 @@ func (l *Layer) Get(to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) 
 			l.stats.BytesTransferred += int64(len(data))
 			l.mu.Unlock()
 			l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, format)
-			return data, format, nil
+			return data, format, DisaggMem.String(), "dsm", nil
 		}
 	}
 
 	// 4. EC reconstruction.
 	if info != nil {
-		data, err := l.reconstruct(to, info)
+		data, err := l.reconstruct(ctx, to, info)
 		if err == nil {
 			l.mu.Lock()
 			l.stats.Reconstructions++
 			l.mu.Unlock()
 			l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, info.format)
-			return data, info.format, nil
+			return data, info.format, "", "ec", nil
 		}
 	}
 
 	l.mu.Lock()
 	l.stats.Misses++
 	l.mu.Unlock()
-	return nil, "", fmt.Errorf("%w: %s", ErrNotFound, id.Short())
+	return nil, "", "", "", fmt.Errorf("%w: %s", ErrNotFound, id.Short())
 }
 
 func (l *Layer) maybeCacheLocal(enabled, hasStore bool, si *storeInfo, to idgen.NodeID, id idgen.ObjectID, data []byte, format string) {
@@ -444,7 +494,7 @@ func (l *Layer) maybeCacheLocal(enabled, hasStore bool, si *storeInfo, to idgen.
 
 // reconstruct rebuilds a value from its surviving EC shards, paying the
 // fabric cost of fetching k shards.
-func (l *Layer) reconstruct(to idgen.NodeID, info *ecInfo) ([]byte, error) {
+func (l *Layer) reconstruct(ctx context.Context, to idgen.NodeID, info *ecInfo) ([]byte, error) {
 	k := l.coder.DataShards()
 	total := k + l.coder.ParityShards()
 	shards := make([][]byte, total)
@@ -463,7 +513,7 @@ func (l *Layer) reconstruct(to idgen.NodeID, info *ecInfo) ([]byte, error) {
 		if err != nil {
 			continue
 		}
-		l.fabric.Send(info.nodes[i], to, len(data))
+		l.fabric.SendCtx(ctx, info.nodes[i], to, len(data))
 		l.mu.Lock()
 		l.stats.BytesTransferred += int64(len(data))
 		l.mu.Unlock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"skadi/internal/idgen"
 	"skadi/internal/raylet"
 	"skadi/internal/runtime"
 	"skadi/internal/task"
@@ -25,7 +26,7 @@ func E3Gen1VsGen2() (*Table, error) {
 	}
 	for _, chainLen := range []int{4, 16, 64} {
 		for _, mode := range []runtime.DeviceMode{runtime.Gen1, runtime.Gen2} {
-			hops, msgs, simNanos, err := runDeviceChain(mode, chainLen)
+			hops, msgs, simNanos, path, err := runDeviceChain(mode, chainLen)
 			if err != nil {
 				return nil, err
 			}
@@ -34,6 +35,7 @@ func E3Gen1VsGen2() (*Table, error) {
 				fmt.Sprint(hops), fmt.Sprint(msgs),
 				msec(simNanos), usec(simNanos / int64(chainLen)),
 			})
+			t.Trace = append(t.Trace, fmt.Sprintf("chain %d %s: %s", chainLen, mode, path))
 		}
 	}
 	t.Notes = "Expected shape: Gen-1 charges DPU hops on every control/data message, so per-op " +
@@ -43,14 +45,15 @@ func E3Gen1VsGen2() (*Table, error) {
 }
 
 // runDeviceChain executes a chain of chainLen short GPU ops alternating
-// between two devices and returns (dpu hops, fabric messages, sim nanos).
-func runDeviceChain(mode runtime.DeviceMode, chainLen int) (int64, int64, int64, error) {
+// between two devices and returns (dpu hops, fabric messages, sim nanos,
+// final task's critical-path breakdown).
+func runDeviceChain(mode runtime.DeviceMode, chainLen int) (int64, int64, int64, string, error) {
 	rt, err := runtime.New(runtime.ClusterSpec{
 		Servers: 1, ServerSlots: 2, ServerMemBytes: 64 << 20,
 		GPUs: 2, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
 	}, runtime.Options{DeviceMode: mode, Resolution: raylet.Push})
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, "", err
 	}
 	defer rt.Shutdown()
 
@@ -66,29 +69,32 @@ func runDeviceChain(mode runtime.DeviceMode, chainLen int) (int64, int64, int64,
 		}
 	}
 	if len(devices) < 2 {
-		return 0, 0, 0, fmt.Errorf("e3: need 2 gpu devices")
+		return 0, 0, 0, "", fmt.Errorf("e3: need 2 gpu devices")
 	}
 
 	input, err := rt.Put(make([]byte, 4096), "raw")
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, "", err
 	}
 	rt.Cluster.Fabric.ResetStats()
 	prev := input
+	var lastTask idgen.ID
 	for i := 0; i < chainLen; i++ {
 		spec := task.NewSpec(rt.Job(), "e3/shortop", []task.Arg{task.RefArg(prev)}, 1)
 		spec.Backend = "gpu"
 		prev = rt.SubmitTo(devices[i%2].Node(), spec)[0]
+		lastTask = spec.ID
 	}
 	if _, err := rt.Get(context.Background(), prev); err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, "", err
 	}
 	rt.Drain()
+	path := rt.Tracer().Breakdown(lastTask).String()
 
 	var hops int64
 	for _, rl := range rt.Raylets() {
 		hops += rl.Stats().DPUHops
 	}
 	total := rt.Cluster.Fabric.TotalStats()
-	return hops, total.Messages, int64(total.SimTime), nil
+	return hops, total.Messages, int64(total.SimTime), path, nil
 }

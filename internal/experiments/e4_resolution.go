@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"skadi/internal/idgen"
 	"skadi/internal/raylet"
 	"skadi/internal/runtime"
 	"skadi/internal/task"
@@ -25,7 +26,7 @@ func E4PullVsPush() (*Table, error) {
 	}
 	for _, opDur := range []time.Duration{100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond} {
 		for _, res := range []raylet.Resolution{raylet.Pull, raylet.Push} {
-			mean, p99, pushes, pulls, err := runResolutionPairs(res, opDur, 16)
+			mean, p99, pushes, pulls, path, err := runResolutionPairs(res, opDur, 16)
 			if err != nil {
 				return nil, err
 			}
@@ -34,6 +35,7 @@ func E4PullVsPush() (*Table, error) {
 				fmt.Sprintf("%.1f µs", mean), fmt.Sprintf("%.1f µs", p99),
 				fmt.Sprint(pushes), fmt.Sprint(pulls),
 			})
+			t.Trace = append(t.Trace, fmt.Sprintf("op %v %s consumer: %s", opDur, res, path))
 		}
 	}
 	t.Notes = "Expected shape: consumer stall ≈ producer duration + protocol overhead; push removes " +
@@ -43,13 +45,14 @@ func E4PullVsPush() (*Table, error) {
 
 // runResolutionPairs runs producer/consumer pairs where the consumer is
 // submitted while the producer runs, and returns (mean stall µs, p99 stall
-// µs, pushes received, remote pulls) across consumers.
-func runResolutionPairs(res raylet.Resolution, opDur time.Duration, pairs int) (float64, float64, int64, int64, error) {
+// µs, pushes received, remote pulls, last consumer's critical-path
+// breakdown) across consumers.
+func runResolutionPairs(res raylet.Resolution, opDur time.Duration, pairs int) (float64, float64, int64, int64, string, error) {
 	rt, err := runtime.New(runtime.ClusterSpec{
 		Servers: 2, ServerSlots: 8, ServerMemBytes: 128 << 20,
 	}, runtime.Options{Resolution: res, TimeScale: 1.0})
 	if err != nil {
-		return 0, 0, 0, 0, err
+		return 0, 0, 0, 0, "", err
 	}
 	defer rt.Shutdown()
 
@@ -70,6 +73,7 @@ func runResolutionPairs(res raylet.Resolution, opDur time.Duration, pairs int) (
 		}
 	}
 	ctx := context.Background()
+	var lastCons idgen.ID
 	for i := 0; i < pairs; i++ {
 		prod := task.NewSpec(rt.Job(), "e4/produce", nil, 1)
 		cons := task.NewSpec(rt.Job(), "e4/consume", []task.Arg{task.RefArg(prod.Returns[0])}, 1)
@@ -78,10 +82,12 @@ func runResolutionPairs(res raylet.Resolution, opDur time.Duration, pairs int) (
 		rt.SubmitTo(nodes[0].Node(), prod)
 		rt.SubmitTo(nodes[1].Node(), cons)
 		if _, err := rt.Get(ctx, cons.Returns[0]); err != nil {
-			return 0, 0, 0, 0, err
+			return 0, 0, 0, 0, "", err
 		}
+		lastCons = cons.ID
 	}
 	rt.Drain()
+	path := rt.Tracer().Breakdown(lastCons).String()
 
 	var mean, p99 float64
 	var pushes, pulls int64
@@ -94,5 +100,5 @@ func runResolutionPairs(res raylet.Resolution, opDur time.Duration, pairs int) (
 			p99 = rl.StallHist.Quantile(0.99)
 		}
 	}
-	return mean, p99, pushes, pulls, nil
+	return mean, p99, pushes, pulls, path, nil
 }

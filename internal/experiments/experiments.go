@@ -25,6 +25,9 @@ type Table struct {
 	// Header and Rows hold the tabular results.
 	Header []string
 	Rows   [][]string
+	// Trace holds span-level critical-path attributions (one line per
+	// configuration) for experiments wired into the tracer.
+	Trace []string
 	// Notes interprets the result (the "shape" statement).
 	Notes string
 }
@@ -56,6 +59,12 @@ func (t *Table) Render() string {
 	line(t.Header)
 	for _, row := range t.Rows {
 		line(row)
+	}
+	if len(t.Trace) > 0 {
+		sb.WriteString("-- critical path (per task, by span kind) --\n")
+		for _, l := range t.Trace {
+			fmt.Fprintf(&sb, "   %s\n", l)
+		}
 	}
 	if t.Notes != "" {
 		fmt.Fprintf(&sb, "-- %s\n", t.Notes)

@@ -11,6 +11,7 @@
 package fabric
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"skadi/internal/idgen"
+	"skadi/internal/trace"
 )
 
 // LinkClass identifies a class of interconnect with a shared cost profile.
@@ -215,6 +217,22 @@ func (f *Fabric) Send(from, to idgen.NodeID, size int) time.Duration {
 	return f.account(f.ClassBetween(from, to), size)
 }
 
+// SendCtx is Send with trace annotation: when ctx carries an active trace,
+// the transfer is recorded as a span whose kind names the link class
+// (dpu-hop, durable-bounce, or xfer with a link attribute) and whose Sim
+// field carries the deterministic cost-model duration.
+func (f *Fabric) SendCtx(ctx context.Context, from, to idgen.NodeID, size int) time.Duration {
+	class := f.ClassBetween(from, to)
+	_, sp := trace.Start(ctx, spanKindFor(class), from)
+	d := f.account(class, size)
+	if sp != nil {
+		sp.SetSim(d)
+		sp.SetAttr("link", class.String())
+		sp.End()
+	}
+	return d
+}
+
 // TransferClass charges an explicit link class; used for paths that are not
 // endpoint-to-endpoint (e.g. durable-storage puts).
 func (f *Fabric) TransferClass(class LinkClass, size int) time.Duration {
@@ -222,6 +240,35 @@ func (f *Fabric) TransferClass(class LinkClass, size int) time.Duration {
 		class = Core
 	}
 	return f.account(class, size)
+}
+
+// TransferClassCtx is TransferClass with trace annotation (see SendCtx).
+func (f *Fabric) TransferClassCtx(ctx context.Context, class LinkClass, size int) time.Duration {
+	if class < 0 || class >= numClasses {
+		class = Core
+	}
+	_, sp := trace.Start(ctx, spanKindFor(class), idgen.Nil)
+	d := f.account(class, size)
+	if sp != nil {
+		sp.SetSim(d)
+		sp.SetAttr("link", class.String())
+		sp.End()
+	}
+	return d
+}
+
+// spanKindFor maps a link class to its trace span kind. DPU hops and
+// durable bounces get first-class kinds because the paper's arguments
+// (Gen-1 overhead, durable-store bouncing) hinge on exactly those paths.
+func spanKindFor(class LinkClass) string {
+	switch class {
+	case DPUHop:
+		return trace.KindDPUHop
+	case Durable:
+		return trace.KindDurable
+	default:
+		return trace.KindXfer
+	}
 }
 
 // Cost returns the simulated duration of a transfer without performing it.

@@ -96,6 +96,13 @@ func (s *Store) Put(id idgen.ObjectID, data []byte, format string) error {
 	if err := s.makeRoomLocked(size); err != nil {
 		return err
 	}
+	// makeRoomLocked may drop the lock while spilling, so a concurrent Put
+	// of the same ID can land in the meantime. Inserting again would
+	// overwrite the map entry, leave the first entry's element stranded in
+	// the LRU list, and double-count used bytes.
+	if _, ok := s.entries[id]; ok {
+		return ErrExists
+	}
 	e := &entry{id: id, data: data, format: format}
 	e.elem = s.lru.PushBack(e)
 	s.entries[id] = e

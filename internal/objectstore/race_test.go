@@ -1,0 +1,78 @@
+package objectstore
+
+import (
+	"errors"
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+// TestConcurrentSameIDPutDuringSpill exercises the window where
+// makeRoomLocked drops the store lock to run the spill callback. Two
+// concurrent Puts of the same object ID both enter that window; exactly
+// one may insert. Before the re-check after makeRoomLocked, both
+// inserted: the map entry was overwritten, the first entry's element was
+// stranded in the LRU list, and used bytes were double-counted.
+func TestConcurrentSameIDPutDuringSpill(t *testing.T) {
+	entered := make(chan struct{}, 8)
+	proceed := make(chan struct{})
+	spill := func(idgen.ObjectID, []byte, string) error {
+		entered <- struct{}{}
+		<-proceed
+		return nil
+	}
+	s := New(1024, spill)
+
+	a, b, c := idgen.Next(), idgen.Next(), idgen.Next()
+	fill := make([]byte, 512)
+	if err := s.Put(a, fill, "raw"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(b, fill, "raw"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both Puts need room, so both start a spill and park inside the
+	// callback with the store lock released — the racy window.
+	errs := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() { errs <- s.Put(c, make([]byte, 512), "raw") }()
+	}
+	<-entered
+	<-entered
+	close(proceed)
+
+	var okCount, existsCount int
+	for i := 0; i < 2; i++ {
+		switch err := <-errs; {
+		case err == nil:
+			okCount++
+		case errors.Is(err, ErrExists):
+			existsCount++
+		default:
+			t.Fatalf("unexpected Put error: %v", err)
+		}
+	}
+	if okCount != 1 || existsCount != 1 {
+		t.Errorf("got %d successful and %d ErrExists Puts, want 1 and 1", okCount, existsCount)
+	}
+	if !s.Contains(c) {
+		t.Error("object missing after concurrent Put")
+	}
+
+	// Accounting invariant: used bytes equal the sum of resident sizes.
+	var total int64
+	for _, id := range s.List() {
+		size, err := s.Size(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += size
+	}
+	if got := s.Used(); got != total {
+		t.Errorf("Used() = %d, but resident objects total %d bytes", got, total)
+	}
+	if got := s.Used(); got > s.Capacity() {
+		t.Errorf("Used() = %d exceeds capacity %d", got, s.Capacity())
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"skadi/internal/metrics"
 	"skadi/internal/objectstore"
 	"skadi/internal/task"
+	"skadi/internal/trace"
 	"skadi/internal/transport"
 )
 
@@ -174,28 +175,30 @@ func (r *Raylet) bump(f func(*Stats)) {
 }
 
 // proxyHop charges one Gen-1 DPU transit of size bytes, if configured.
-func (r *Raylet) proxyHop(size int) {
+// When ctx carries a trace the hop is recorded as a dpu-hop span, so
+// critical-path analysis can attribute exactly which hops bounded a task.
+func (r *Raylet) proxyHop(ctx context.Context, size int) {
 	if r.cfg.DPUProxy.IsNil() {
 		return
 	}
-	r.cfg.Fabric.Send(r.cfg.Node, r.cfg.DPUProxy, size)
+	r.cfg.Fabric.SendCtx(ctx, r.cfg.Node, r.cfg.DPUProxy, size)
 	r.bump(func(s *Stats) { s.DPUHops++ })
 }
 
 // call issues an outbound RPC, adding Gen-1 DPU hops around it.
 func (r *Raylet) call(ctx context.Context, to idgen.NodeID, kind string, payload []byte) ([]byte, error) {
-	r.proxyHop(len(payload))
+	r.proxyHop(ctx, len(payload))
 	resp, err := r.cfg.Transport.Call(ctx, r.cfg.Node, to, kind, payload)
-	r.proxyHop(len(resp))
+	r.proxyHop(ctx, len(resp))
 	return resp, err
 }
 
 // handle dispatches one inbound RPC.
 func (r *Raylet) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
 	// Gen-1: the inbound message physically entered through the DPU.
-	r.proxyHop(len(payload))
+	r.proxyHop(ctx, len(payload))
 	resp, err := r.dispatch(ctx, from, kind, payload)
-	r.proxyHop(len(resp))
+	r.proxyHop(ctx, len(resp))
 	return resp, err
 }
 
@@ -305,7 +308,10 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 			continue
 		}
 		start := time.Now()
-		data, err := r.resolveRef(ctx, a.Ref)
+		actx, stallSp := trace.Start(ctx, trace.KindPullStall, r.cfg.Node)
+		stallSp.SetAttr("obj", a.Ref.Short())
+		data, err := r.resolveRef(actx, a.Ref)
+		stallSp.End()
 		if err != nil {
 			return nil, fmt.Errorf("raylet: resolving arg %d of %s: %w", i, spec.Fn, err)
 		}
@@ -315,11 +321,14 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 	r.StallHist.ObserveDuration(stall)
 
 	// Acquire a worker slot for the compute phase only.
+	_, slotSp := trace.Start(ctx, trace.KindSlotWait, r.cfg.Node)
 	select {
 	case <-r.slots:
 	case <-ctx.Done():
+		slotSp.End()
 		return nil, ctx.Err()
 	}
+	slotSp.End()
 	defer func() { r.slots <- struct{}{} }()
 
 	fn, err := r.cfg.Registry.Lookup(spec.Fn)
@@ -333,6 +342,8 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 		Spec:      spec,
 	}
 
+	_, execSp := trace.Start(ctx, trace.KindExec, r.cfg.Node)
+	execSp.SetAttr("fn", spec.Fn).SetAttr("backend", r.cfg.Backend)
 	var outs [][]byte
 	if spec.Actor.IsNil() {
 		if spec.Duration > 0 {
@@ -342,6 +353,7 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 	} else {
 		outs, err = r.execActorTask(tctx, fn, spec, args)
 	}
+	execSp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -351,7 +363,11 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 
 	resp := ExecResponse{StallMicros: stall.Microseconds()}
 	for i, out := range outs {
-		if err := r.commit(ctx, spec.Returns[i], out); err != nil {
+		cctx, commitSp := trace.Start(ctx, trace.KindCommit, r.cfg.Node)
+		commitSp.SetAttr("obj", spec.Returns[i].Short())
+		err := r.commit(cctx, spec.Returns[i], out)
+		commitSp.End()
+		if err != nil {
 			return nil, err
 		}
 		resp.ResultSizes = append(resp.ResultSizes, int64(len(out)))
@@ -421,7 +437,7 @@ func (r *Raylet) execActorTask(tctx *task.Context, fn task.Func, spec *task.Spec
 // replication/EC per the layer's mode), ownership MarkReady, and pushes to
 // subscribers in push mode.
 func (r *Raylet) commit(ctx context.Context, id idgen.ObjectID, data []byte) error {
-	if err := r.cfg.Layer.Put(r.cfg.Node, id, data, "raw"); err != nil && !errors.Is(err, objectstore.ErrExists) {
+	if err := r.cfg.Layer.PutCtx(ctx, r.cfg.Node, id, data, "raw"); err != nil && !errors.Is(err, objectstore.ErrExists) {
 		return err
 	}
 	handle := ""
@@ -456,6 +472,9 @@ func (r *Raylet) commit(ctx context.Context, id idgen.ObjectID, data []byte) err
 
 // pushTo sends object bytes to a consumer node proactively.
 func (r *Raylet) pushTo(ctx context.Context, to idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	ctx, sp := trace.Start(ctx, trace.KindPush, r.cfg.Node)
+	sp.SetAttr("to", to.Short()).SetAttr("obj", id.Short())
+	defer sp.End()
 	payload := transport.MustEncode(PushRequest{ID: id, Data: data, Format: format})
 	if _, err := r.call(ctx, to, KindPush, payload); err != nil {
 		return err
@@ -539,6 +558,9 @@ func (r *Raylet) resolvePush(ctx context.Context, id idgen.ObjectID) ([]byte, er
 // them locally. If every location fails it falls back to the caching
 // layer's recovery paths (replica, DSM, erasure reconstruction).
 func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen.NodeID) ([]byte, error) {
+	ctx, sp := trace.Start(ctx, trace.KindFetch, r.cfg.Node)
+	sp.SetAttr("obj", id.Short())
+	defer sp.End()
 	// Cheapest location first.
 	locs := append([]idgen.NodeID(nil), locations...)
 	for i := 0; i < len(locs); i++ {
@@ -564,12 +586,13 @@ func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen
 		if err := transport.Decode(resp, &get); err != nil {
 			continue
 		}
+		sp.SetAttr("from", loc.Short())
 		r.bump(func(s *Stats) { s.RemoteFetches++ })
 		r.cacheLocal(ctx, id, get.Data, get.Format)
 		return get.Data, nil
 	}
 	// Last resort: the caching layer's redundancy paths.
-	data, format, err := r.cfg.Layer.Get(r.cfg.Node, id)
+	data, format, err := r.cfg.Layer.GetCtx(ctx, r.cfg.Node, id)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %s", ErrNoLocation, id.Short())
 	}

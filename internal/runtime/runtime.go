@@ -24,6 +24,7 @@ import (
 	"skadi/internal/raylet"
 	"skadi/internal/scheduler"
 	"skadi/internal/task"
+	"skadi/internal/trace"
 	"skadi/internal/transport"
 )
 
@@ -114,6 +115,7 @@ type Runtime struct {
 	Head     *raylet.Head
 	Sched    *scheduler.Scheduler
 	Registry *task.Registry
+	tracer   *trace.Tracer
 
 	opts      Options
 	driver    idgen.NodeID
@@ -164,6 +166,7 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	rt := &Runtime{
 		Cluster:   c,
 		Registry:  task.NewRegistry(),
+		tracer:    trace.New(),
 		opts:      opts,
 		raylets:   make(map[idgen.NodeID]*raylet.Raylet),
 		rayletCfg: make(map[idgen.NodeID]raylet.Config),
@@ -296,6 +299,18 @@ func tierFor(kind cluster.NodeKind) caching.Tier {
 // Driver returns the driver/head node ID.
 func (rt *Runtime) Driver() idgen.NodeID { return rt.driver }
 
+// Tracer returns the runtime's span store. Every submitted task records a
+// trace under its task ID: submit → sched-pick → exec/pull-stall/fetch →
+// cache puts and fabric transfers, ready for critical-path analysis.
+func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
+
+// traceCtx opens the root span of a task's trace, keyed by the task ID.
+func (rt *Runtime) traceCtx(spec *task.Spec) (context.Context, *trace.Span) {
+	ctx, root := rt.tracer.StartRoot(context.Background(), spec.ID, trace.KindSubmit, rt.driver)
+	root.SetAttr("fn", spec.Fn)
+	return ctx, root
+}
+
 // Job returns the runtime's default job ID.
 func (rt *Runtime) Job() idgen.JobID { return rt.job }
 
@@ -351,10 +366,12 @@ func (rt *Runtime) Submit(spec *task.Spec) []idgen.ObjectID {
 	rt.prepare(spec)
 	rt.inflight.Add(1)
 	rt.autoscale.pending.Add(1)
+	ctx, root := rt.traceCtx(spec)
 	go func() {
 		defer rt.inflight.Done()
 		defer rt.autoscale.pending.Add(-1)
-		rt.dispatch(context.Background(), spec, idgen.Nil)
+		defer root.End()
+		rt.dispatch(ctx, spec, idgen.Nil)
 	}()
 	return spec.Returns
 }
@@ -365,10 +382,12 @@ func (rt *Runtime) SubmitTo(node idgen.NodeID, spec *task.Spec) []idgen.ObjectID
 	rt.prepare(spec)
 	rt.inflight.Add(1)
 	rt.autoscale.pending.Add(1)
+	ctx, root := rt.traceCtx(spec)
 	go func() {
 		defer rt.inflight.Done()
 		defer rt.autoscale.pending.Add(-1)
-		rt.dispatch(context.Background(), spec, node)
+		defer root.End()
+		rt.dispatch(ctx, spec, node)
 	}()
 	return spec.Returns
 }
@@ -379,6 +398,9 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 	for _, s := range specs {
 		rt.prepare(s)
 	}
+	// Gang members count toward the autoscaler's pending-task signal just
+	// like Submit/SubmitTo tasks, so SPMD bursts trigger scale-up.
+	rt.autoscale.pending.Add(int64(len(specs)))
 	var placements []idgen.NodeID
 	for {
 		var err error
@@ -387,10 +409,12 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 			break
 		}
 		if !errors.Is(err, scheduler.ErrNoCapacity) {
+			rt.autoscale.pending.Add(-int64(len(specs)))
 			return nil, err
 		}
 		select {
 		case <-ctx.Done():
+			rt.autoscale.pending.Add(-int64(len(specs)))
 			return nil, ctx.Err()
 		case <-time.After(time.Millisecond):
 		}
@@ -399,14 +423,18 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 	for i, s := range specs {
 		refs[i] = s.Returns
 		rt.inflight.Add(1)
-		go func(i int, s *task.Spec) {
+		tctx, root := rt.traceCtx(s)
+		root.SetAttr("gang", s.Gang)
+		go func(i int, s *task.Spec, tctx context.Context, root *trace.Span) {
 			defer rt.inflight.Done()
-			err := rt.execOn(context.Background(), placements[i], s)
+			defer rt.autoscale.pending.Add(-1)
+			defer root.End()
+			err := rt.execOn(tctx, placements[i], s)
 			rt.Sched.Finished(placements[i])
 			if err != nil {
 				rt.failTask(s, err)
 			}
-		}(i, s)
+		}(i, s, tctx, root)
 	}
 	return refs, nil
 }
@@ -439,7 +467,7 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 			}
 			if node.IsNil() {
 				var err error
-				node, err = rt.Sched.Pick(spec)
+				node, err = rt.Sched.PickCtx(ctx, spec)
 				if err != nil {
 					rt.failTask(spec, err)
 					return
@@ -456,9 +484,15 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 			return
 		}
 		lastErr = err
-		if errors.Is(err, transport.ErrUnreachable) && pinned.IsNil() && spec.Actor.IsNil() {
-			// The node died; mark it and re-place.
+		if errors.Is(err, transport.ErrUnreachable) && pinned.IsNil() {
+			// The node died; mark it and re-place. Actor tasks retry too:
+			// replaceActors re-pins the actor onto a healthy node (it may
+			// already have run via KillNode — then it is a no-op) and the
+			// next attempt re-resolves the actor's location.
 			rt.Sched.SetAlive(node, false)
+			if !spec.Actor.IsNil() {
+				rt.replaceActors(node)
+			}
 			continue
 		}
 		break
@@ -525,6 +559,10 @@ func (rt *Runtime) Wait(ctx context.Context, ids []idgen.ObjectID, n int) ([]idg
 	if n > len(ids) {
 		n = len(ids)
 	}
+	// Waiters run under a context canceled when Wait returns, so waiters
+	// for not-yet-ready objects do not outlive the call (goroutine leak).
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	type result struct {
 		id  idgen.ObjectID
 		err error
@@ -532,7 +570,7 @@ func (rt *Runtime) Wait(ctx context.Context, ids []idgen.ObjectID, n int) ([]idg
 	ch := make(chan result, len(ids))
 	for _, id := range ids {
 		go func(id idgen.ObjectID) {
-			ch <- result{id, rt.Head.Table.WaitReady(ctx, id)}
+			ch <- result{id, rt.Head.Table.WaitReady(wctx, id)}
 		}(id)
 	}
 	var ready []idgen.ObjectID

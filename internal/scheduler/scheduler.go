@@ -6,12 +6,14 @@
 package scheduler
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
 
 	"skadi/internal/idgen"
 	"skadi/internal/task"
+	"skadi/internal/trace"
 )
 
 // Policy selects the placement strategy.
@@ -214,6 +216,27 @@ func (s *Scheduler) Pick(spec *task.Spec) (idgen.NodeID, error) {
 	}
 	chosen.inflight++
 	return chosen.info.ID, nil
+}
+
+// PickCtx is Pick with trace annotation: placement is recorded as a
+// sched-pick span on the task's trace, carrying the policy, backend, and
+// chosen node.
+func (s *Scheduler) PickCtx(ctx context.Context, spec *task.Spec) (idgen.NodeID, error) {
+	_, sp := trace.Start(ctx, trace.KindSchedPick, idgen.Nil)
+	node, err := s.Pick(spec)
+	if sp != nil {
+		sp.SetAttr("policy", s.Policy().String())
+		if spec.Backend != "" {
+			sp.SetAttr("backend", spec.Backend)
+		}
+		if err == nil {
+			sp.SetAttr("node", node.Short())
+		} else {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return node, err
 }
 
 // pickByLocalityLocked scores candidates by local input bytes and picks

@@ -1,0 +1,235 @@
+// Critical-path analysis and rendering over recorded traces.
+//
+// A task's spans form a tree (parent links). The critical path of a span
+// is computed by walking backwards from its end time: among its children,
+// the one finishing last (at or before the current frontier) is on the
+// path, then the frontier moves to that child's start, and so on. Time a
+// span spends outside its on-path children is its self time, attributed
+// to the span's kind — so a task's end-to-end latency decomposes into
+// "X µs of dpu-hop, Y µs of pull-stall, Z µs of exec…".
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"skadi/internal/idgen"
+)
+
+// KindStat aggregates critical-path time attributed to one span kind.
+type KindStat struct {
+	// Count is the number of on-path spans of this kind.
+	Count int
+	// Wall is the self time (wall clock) attributed to the kind.
+	Wall time.Duration
+	// Sim is the simulated fabric time of on-path spans of the kind.
+	Sim time.Duration
+}
+
+// Breakdown maps span kind → critical-path attribution.
+type Breakdown map[string]KindStat
+
+// String renders the breakdown compactly, largest wall share first.
+func (b Breakdown) String() string {
+	kinds := make([]string, 0, len(b))
+	for k := range b {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		bi, bj := b[kinds[i]], b[kinds[j]]
+		if bi.Wall != bj.Wall {
+			return bi.Wall > bj.Wall
+		}
+		return kinds[i] < kinds[j]
+	})
+	var sb strings.Builder
+	for i, k := range kinds {
+		if i > 0 {
+			sb.WriteString(" | ")
+		}
+		st := b[k]
+		fmt.Fprintf(&sb, "%s×%d %s", k, st.Count, fmtDur(st.Wall))
+		if st.Sim > 0 {
+			fmt.Fprintf(&sb, " (sim %s)", fmtDur(st.Sim))
+		}
+	}
+	return sb.String()
+}
+
+// CriticalPath returns the spans on the critical path of a trace, in
+// start order. Roots are spans whose parent is absent from the trace
+// (normally the single submit span).
+func (t *Tracer) CriticalPath(traceID idgen.ID) []Data {
+	return CriticalPath(t.Spans(traceID))
+}
+
+// CriticalPath computes the critical path over an explicit span set.
+func CriticalPath(spans []Data) []Data {
+	byID := make(map[idgen.ID]*Data, len(spans))
+	children := make(map[idgen.ID][]*Data)
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var roots []*Data
+	for i := range spans {
+		d := &spans[i]
+		if _, ok := byID[d.Parent]; ok {
+			children[d.Parent] = append(children[d.Parent], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	onPath := make(map[idgen.ID]bool)
+	var walk func(d *Data)
+	walk = func(d *Data) {
+		onPath[d.ID] = true
+		kids := append([]*Data(nil), children[d.ID]...)
+		sort.Slice(kids, func(i, j int) bool { return kids[i].End.After(kids[j].End) })
+		frontier := d.End
+		for _, c := range kids {
+			// A child is on the path if it finishes at or before the
+			// current frontier (non-strict: zero-duration spans under a
+			// disabled TimeScale still count).
+			if c.End.After(frontier) {
+				continue
+			}
+			walk(c)
+			if c.Start.Before(frontier) {
+				frontier = c.Start
+			}
+		}
+	}
+	for _, r := range roots {
+		walk(r)
+	}
+	var path []Data
+	for i := range spans {
+		if onPath[spans[i].ID] {
+			path = append(path, spans[i])
+		}
+	}
+	sort.Slice(path, func(i, j int) bool { return path[i].Start.Before(path[j].Start) })
+	return path
+}
+
+// Breakdown attributes a trace's critical-path time per span kind.
+func (t *Tracer) Breakdown(traceID idgen.ID) Breakdown {
+	return PathBreakdown(t.Spans(traceID))
+}
+
+// PathBreakdown computes the per-kind attribution over an explicit span
+// set: each on-path span contributes its self time (duration minus its
+// on-path children) to its kind.
+func PathBreakdown(spans []Data) Breakdown {
+	path := CriticalPath(spans)
+	onPath := make(map[idgen.ID]*Data, len(path))
+	for i := range path {
+		onPath[path[i].ID] = &path[i]
+	}
+	childDur := make(map[idgen.ID]time.Duration)
+	for i := range path {
+		d := &path[i]
+		if _, ok := onPath[d.Parent]; ok {
+			childDur[d.Parent] += d.Dur()
+		}
+	}
+	b := make(Breakdown)
+	for i := range path {
+		d := &path[i]
+		self := d.Dur() - childDur[d.ID]
+		if self < 0 {
+			self = 0
+		}
+		st := b[d.Kind]
+		st.Count++
+		st.Wall += self
+		st.Sim += d.Sim
+		b[d.Kind] = st
+	}
+	return b
+}
+
+// Dump renders a trace as an indented flame-style tree. On-path spans are
+// marked with '*'; each line shows kind, node, wall duration, simulated
+// fabric time, and attributes.
+func (t *Tracer) Dump(traceID idgen.ID) string {
+	spans := t.Spans(traceID)
+	if len(spans) == 0 {
+		return fmt.Sprintf("trace %s: no spans\n", traceID.Short())
+	}
+	path := CriticalPath(spans)
+	onPath := make(map[idgen.ID]bool, len(path))
+	for _, d := range path {
+		onPath[d.ID] = true
+	}
+	byID := make(map[idgen.ID]*Data, len(spans))
+	children := make(map[idgen.ID][]*Data)
+	for i := range spans {
+		byID[spans[i].ID] = &spans[i]
+	}
+	var roots []*Data
+	for i := range spans {
+		d := &spans[i]
+		if _, ok := byID[d.Parent]; ok {
+			children[d.Parent] = append(children[d.Parent], d)
+		} else {
+			roots = append(roots, d)
+		}
+	}
+	for _, kids := range children {
+		sort.Slice(kids, func(i, j int) bool { return kids[i].Start.Before(kids[j].Start) })
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].Start.Before(roots[j].Start) })
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "trace %s: %d spans, critical path %s\n",
+		traceID.Short(), len(spans), PathBreakdown(spans))
+	var dump func(d *Data, depth int)
+	dump = func(d *Data, depth int) {
+		mark := " "
+		if onPath[d.ID] {
+			mark = "*"
+		}
+		fmt.Fprintf(&sb, "%s %s%-12s %s", mark, strings.Repeat("  ", depth), d.Kind, fmtDur(d.Dur()))
+		if d.Sim > 0 {
+			fmt.Fprintf(&sb, " (sim %s)", fmtDur(d.Sim))
+		}
+		if !d.Node.IsNil() {
+			fmt.Fprintf(&sb, " @%s", d.Node.Short())
+		}
+		if len(d.Attrs) > 0 {
+			keys := make([]string, 0, len(d.Attrs))
+			for k := range d.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&sb, " %s=%s", k, d.Attrs[k])
+			}
+		}
+		sb.WriteString("\n")
+		for _, c := range children[d.ID] {
+			dump(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		dump(r, 0)
+	}
+	return sb.String()
+}
+
+// fmtDur renders a duration with µs precision below 1ms and ms above.
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "0"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

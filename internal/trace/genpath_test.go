@@ -1,0 +1,86 @@
+package trace_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/raylet"
+	"skadi/internal/runtime"
+	"skadi/internal/task"
+	"skadi/internal/trace"
+)
+
+// chainDPUHops runs a chain of short ops alternating between two
+// disaggregated devices under the given device mode and returns the number
+// of dpu-hop spans on the critical paths of the chain's task traces.
+func chainDPUHops(t *testing.T, mode runtime.DeviceMode) int {
+	t.Helper()
+	rt, err := runtime.New(runtime.ClusterSpec{
+		Servers: 1, ServerSlots: 2, ServerMemBytes: 64 << 20,
+		GPUs: 2, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
+	}, runtime.Options{DeviceMode: mode, Resolution: raylet.Push})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	rt.Registry.Register("shortop", func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		tctx.Compute(10 * time.Microsecond)
+		return [][]byte{args[0]}, nil
+	})
+	var devices []*raylet.Raylet
+	for _, rl := range rt.Raylets() {
+		if n := rt.Cluster.Node(rl.Node()); n != nil && n.Kind.Backend() == "gpu" {
+			devices = append(devices, rl)
+		}
+	}
+	if len(devices) < 2 {
+		t.Fatalf("need 2 gpu devices, have %d", len(devices))
+	}
+
+	prev, err := rt.Put(make([]byte, 1024), "raw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var taskIDs []idgen.ID
+	const chainLen = 8
+	for i := 0; i < chainLen; i++ {
+		spec := task.NewSpec(rt.Job(), "shortop", []task.Arg{task.RefArg(prev)}, 1)
+		spec.Backend = "gpu"
+		prev = rt.SubmitTo(devices[i%2].Node(), spec)[0]
+		taskIDs = append(taskIDs, spec.ID)
+	}
+	if _, err := rt.Get(context.Background(), prev); err != nil {
+		t.Fatal(err)
+	}
+	rt.Drain()
+
+	hops := 0
+	for _, id := range taskIDs {
+		if len(rt.Tracer().Spans(id)) == 0 {
+			t.Fatalf("%s: no spans recorded for chain task %s", mode, id.Short())
+		}
+		for _, d := range rt.Tracer().CriticalPath(id) {
+			if d.Kind == trace.KindDPUHop {
+				hops++
+			}
+		}
+	}
+	return hops
+}
+
+// TestGen1CriticalPathHasMoreDPUHops runs the same chained-op workload
+// under Gen-1 (every device message proxied through the DPU) and Gen-2
+// (device raylets talk directly) and asserts the Gen-1 critical paths
+// carry strictly more dpu-hop spans — the span-level form of the paper's
+// Fig. 3 argument for device-centric raylets.
+func TestGen1CriticalPathHasMoreDPUHops(t *testing.T) {
+	gen1 := chainDPUHops(t, runtime.Gen1)
+	gen2 := chainDPUHops(t, runtime.Gen2)
+	if gen1 <= gen2 {
+		t.Fatalf("gen1 critical-path dpu-hop spans = %d, gen2 = %d; want gen1 > gen2", gen1, gen2)
+	}
+	t.Logf("critical-path dpu-hop spans: gen1=%d gen2=%d", gen1, gen2)
+}

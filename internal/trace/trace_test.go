@@ -1,0 +1,173 @@
+package trace
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+)
+
+func TestStartRootAndChildren(t *testing.T) {
+	tr := New()
+	taskID := idgen.Next()
+	node := idgen.Next()
+
+	ctx, root := tr.StartRoot(context.Background(), taskID, KindSubmit, node)
+	if root == nil {
+		t.Fatal("StartRoot returned nil span")
+	}
+	cctx, child := Start(ctx, KindExec, node)
+	if child == nil {
+		t.Fatal("Start under root returned nil span")
+	}
+	_, grand := Start(cctx, KindFetch, node)
+	grand.SetAttr("from", "x").End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans(taskID)
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	if spans[0].Kind != KindSubmit || !spans[0].Parent.IsNil() {
+		t.Errorf("root span = %+v", spans[0])
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("exec span parent = %s, want root %s", spans[1].Parent.Short(), spans[0].ID.Short())
+	}
+	if spans[2].Parent != spans[1].ID || spans[2].Attrs["from"] != "x" {
+		t.Errorf("fetch span = %+v", spans[2])
+	}
+	for i, d := range spans {
+		if d.End.IsZero() || d.End.Before(d.Start) {
+			t.Errorf("span %d has bad bounds: %+v", i, d)
+		}
+	}
+}
+
+func TestStartIsNoopWithoutTracerOrTrace(t *testing.T) {
+	ctx, sp := Start(context.Background(), KindExec, idgen.Nil)
+	if sp != nil {
+		t.Fatal("Start without tracer should return nil span")
+	}
+	// All Span methods must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.SetSim(time.Second)
+	sp.End()
+	if sc := sp.Context(); sc.IsValid() {
+		t.Error("nil span has valid context")
+	}
+	// Tracer present but no current span: still a no-op.
+	ctx = WithTracer(ctx, New())
+	if _, sp := Start(ctx, KindExec, idgen.Nil); sp != nil {
+		t.Error("Start without span context should return nil span")
+	}
+}
+
+func TestTraceEvictionAndSpanCap(t *testing.T) {
+	tr := NewWithLimits(2, 2)
+	var ids []idgen.ID
+	for i := 0; i < 3; i++ {
+		id := idgen.Next()
+		ids = append(ids, id)
+		ctx, root := tr.StartRoot(context.Background(), id, KindSubmit, idgen.Nil)
+		for j := 0; j < 3; j++ {
+			_, sp := Start(ctx, KindExec, idgen.Nil)
+			sp.End()
+		}
+		root.End()
+	}
+	if got := tr.Traces(); len(got) != 2 || got[0] != ids[1] || got[1] != ids[2] {
+		t.Fatalf("Traces() = %v, want the two newest", got)
+	}
+	if n := len(tr.Spans(ids[0])); n != 0 {
+		t.Errorf("evicted trace still has %d spans", n)
+	}
+	if n := len(tr.Spans(ids[2])); n != 2 {
+		t.Errorf("capped trace has %d spans, want 2", n)
+	}
+	if tr.Dropped() == 0 {
+		t.Error("span drops not counted")
+	}
+	tr.Reset()
+	if len(tr.Traces()) != 0 {
+		t.Error("Reset left traces behind")
+	}
+}
+
+// mkSpan builds a Data with explicit times for deterministic path tests.
+func mkSpan(trace, parent idgen.ID, kind string, start, end int64) Data {
+	base := time.Unix(0, 0)
+	return Data{
+		Trace:  trace,
+		ID:     idgen.Next(),
+		Parent: parent,
+		Kind:   kind,
+		Start:  base.Add(time.Duration(start) * time.Microsecond),
+		End:    base.Add(time.Duration(end) * time.Microsecond),
+	}
+}
+
+func TestCriticalPathPicksBoundingChildren(t *testing.T) {
+	trID := idgen.Next()
+	root := mkSpan(trID, idgen.Nil, KindSubmit, 0, 100)
+	// Two concurrent children: slow one [0,90] bounds the parent; fast
+	// one [0,10] does not.
+	slow := mkSpan(trID, root.ID, KindExec, 0, 90)
+	fast := mkSpan(trID, root.ID, KindFetch, 0, 10)
+	// Child of the slow span: a stall [10,80].
+	stall := mkSpan(trID, slow.ID, KindPullStall, 10, 80)
+	spans := []Data{root, slow, fast, stall}
+
+	path := CriticalPath(spans)
+	got := make(map[string]bool)
+	for _, d := range path {
+		got[d.Kind] = true
+	}
+	if !got[KindSubmit] || !got[KindExec] || !got[KindPullStall] {
+		t.Fatalf("critical path missing expected spans: %v", got)
+	}
+	if got[KindFetch] {
+		t.Fatal("fast concurrent child must not be on the critical path")
+	}
+
+	b := PathBreakdown(spans)
+	if b[KindPullStall].Wall != 70*time.Microsecond {
+		t.Errorf("pull-stall self time = %v, want 70µs", b[KindPullStall].Wall)
+	}
+	if b[KindExec].Wall != 20*time.Microsecond { // 90 - 70 on-path child
+		t.Errorf("exec self time = %v, want 20µs", b[KindExec].Wall)
+	}
+	if b[KindSubmit].Wall != 10*time.Microsecond { // 100 - 90
+		t.Errorf("submit self time = %v, want 10µs", b[KindSubmit].Wall)
+	}
+}
+
+func TestBreakdownStringAndDump(t *testing.T) {
+	tr := New()
+	taskID := idgen.Next()
+	ctx, root := tr.StartRoot(context.Background(), taskID, KindSubmit, idgen.Nil)
+	_, hop := Start(ctx, KindDPUHop, idgen.Nil)
+	hop.SetSim(5 * time.Microsecond)
+	hop.SetAttr("link", "dpu-hop")
+	hop.End()
+	root.End()
+
+	bd := tr.Breakdown(taskID)
+	if bd[KindDPUHop].Count != 1 || bd[KindDPUHop].Sim != 5*time.Microsecond {
+		t.Fatalf("breakdown = %+v", bd)
+	}
+	s := bd.String()
+	if !strings.Contains(s, "dpu-hop×1") || !strings.Contains(s, "submit×1") {
+		t.Errorf("Breakdown.String() = %q", s)
+	}
+
+	dump := tr.Dump(taskID)
+	for _, want := range []string{"submit", "dpu-hop", "link=dpu-hop", "critical path"} {
+		if !strings.Contains(dump, want) {
+			t.Errorf("Dump missing %q:\n%s", want, dump)
+		}
+	}
+}

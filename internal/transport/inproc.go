@@ -83,16 +83,19 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	// Charge the request path.
-	t.fabric.Send(from, to, len(payload)+messageOverhead)
+	// Charge the request path. SendCtx records the transfer as a span when
+	// the caller's context carries a trace; the handler then runs under the
+	// same context, so remote-side spans attach to the caller's trace —
+	// in-process propagation of the TraceID/SpanID pair.
+	t.fabric.SendCtx(ctx, from, to, len(payload)+messageOverhead)
 	resp, err := h(ctx, from, kind, payload)
 	if err != nil {
 		// Errors still travel back over the network.
-		t.fabric.Send(to, from, messageOverhead+len(err.Error()))
+		t.fabric.SendCtx(ctx, to, from, messageOverhead+len(err.Error()))
 		return nil, &RemoteError{Msg: err.Error()}
 	}
 	// Charge the response path.
-	t.fabric.Send(to, from, len(resp)+messageOverhead)
+	t.fabric.SendCtx(ctx, to, from, len(resp)+messageOverhead)
 	return resp, nil
 }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"skadi/internal/idgen"
+	"skadi/internal/trace"
 	"skadi/internal/wire"
 )
 
@@ -34,6 +35,7 @@ type TCP struct {
 	listeners map[idgen.NodeID]*tcpServer
 	dir       map[idgen.NodeID]string
 	conns     map[idgen.NodeID]*tcpClient
+	tracer    *trace.Tracer
 	closed    bool
 }
 
@@ -44,6 +46,15 @@ func NewTCP() *TCP {
 		dir:       make(map[idgen.NodeID]string),
 		conns:     make(map[idgen.NodeID]*tcpClient),
 	}
+}
+
+// SetTracer attaches a tracer: inbound calls carrying a trace context on
+// the wire have their handler context re-anchored under the caller's span,
+// so spans recorded on this side join the caller's trace.
+func (t *TCP) SetTracer(tr *trace.Tracer) {
+	t.mu.Lock()
+	t.tracer = tr
+	t.mu.Unlock()
 }
 
 // Addr returns the listen address of a node, for wiring directories across
@@ -77,7 +88,7 @@ func (t *TCP) Listen(node idgen.NodeID, h Handler) error {
 	if err != nil {
 		return fmt.Errorf("transport: listen: %w", err)
 	}
-	srv := &tcpServer{ln: ln, handler: h, node: node}
+	srv := &tcpServer{ln: ln, handler: h, node: node, tracer: t.tracer}
 	t.listeners[node] = srv
 	t.dir[node] = ln.Addr().String()
 	go srv.acceptLoop()
@@ -123,7 +134,10 @@ func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payl
 		t.conns[to] = client
 	}
 	t.mu.Unlock()
-	return client.call(ctx, from, kind, payload)
+	// Propagate the trace position explicitly: the remote process cannot
+	// see this context, so the TraceID/SpanID pair rides the frame.
+	sc, _ := trace.FromContext(ctx)
+	return client.call(ctx, from, sc, kind, payload)
 }
 
 // Close implements Transport.
@@ -149,6 +163,7 @@ type tcpServer struct {
 	ln      net.Listener
 	handler Handler
 	node    idgen.NodeID
+	tracer  *trace.Tracer
 
 	mu     sync.Mutex
 	conns  []net.Conn
@@ -187,6 +202,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		}
 		reqID := r.Uint64()
 		from := idgen.ID(r.Bytes16())
+		sc := trace.SpanContext{Trace: idgen.ID(r.Bytes16()), Span: idgen.ID(r.Bytes16())}
 		kind := r.String()
 		payload := r.LenBytes()
 		if r.Err() != nil {
@@ -197,7 +213,11 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		p := make([]byte, len(payload))
 		copy(p, payload)
 		go func() {
-			resp, herr := s.handler(context.Background(), from, kind, p)
+			hctx := context.Background()
+			if s.tracer != nil && sc.IsValid() {
+				hctx = trace.ContextWith(trace.WithTracer(hctx, s.tracer), sc)
+			}
+			resp, herr := s.handler(hctx, from, kind, p)
 			var buf wire.Buffer
 			buf.Byte(frameResponse)
 			buf.Uint64(reqID)
@@ -309,7 +329,7 @@ func (c *tcpClient) dead() bool {
 
 func (c *tcpClient) close() { c.fail(ErrClosed) }
 
-func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, sc trace.SpanContext, kind string, payload []byte) ([]byte, error) {
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
@@ -326,6 +346,8 @@ func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, kind string, pa
 	buf.Byte(frameRequest)
 	buf.Uint64(reqID)
 	buf.Bytes16(from)
+	buf.Bytes16(sc.Trace)
+	buf.Bytes16(sc.Span)
 	buf.String(kind)
 	buf.LenBytes(payload)
 
