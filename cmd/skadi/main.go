@@ -155,5 +155,14 @@ func main() {
 		if len(traces) > 0 {
 			fmt.Print(tr.Dump(traces[len(traces)-1]))
 		}
+
+		// Per-node load gauges — the same families the rebalancer reads.
+		s.Runtime().SampleNodeGauges()
+		fmt.Println("\n== per-node gauges ==")
+		for _, line := range strings.Split(s.Runtime().Metrics.Snapshot(), "\n") {
+			if strings.Contains(line, "node_") {
+				fmt.Println(line)
+			}
+		}
 	}
 }

@@ -211,6 +211,20 @@ func (l *Layer) NoteLocation(node idgen.NodeID, id idgen.ObjectID) {
 	l.recordLocationLocked(id, node)
 }
 
+// ForgetLocation removes the record that node holds a full copy of id,
+// leaving other copies untouched. Live migration uses it when the source
+// drops its copy after transferring it to the destination.
+func (l *Layer) ForgetLocation(node idgen.NodeID, id idgen.ObjectID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if set, ok := l.locations[id]; ok {
+		delete(set, node)
+		if len(set) == 0 {
+			delete(l.locations, id)
+		}
+	}
+}
+
 // Store returns the raw object store registered for a node, or nil. Raylets
 // use it for spill wiring.
 func (l *Layer) Store(node idgen.NodeID) *objectstore.Store {

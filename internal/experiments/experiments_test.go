@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 13 {
-		t.Fatalf("registered experiments = %d, want 13: %v", len(ids), ids)
+	if len(ids) != 14 {
+		t.Fatalf("registered experiments = %d, want 14: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)

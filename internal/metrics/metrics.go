@@ -132,11 +132,63 @@ func (h *Histogram) Reset() {
 	h.mu.Unlock()
 }
 
+// GaugeVec is a family of gauges keyed by a label (e.g. one gauge per
+// node). The rebalancer reads per-node resident-bytes / queue-depth /
+// actor-count families to pick migration candidates.
+type GaugeVec struct {
+	name   string
+	mu     sync.Mutex
+	gauges map[string]*Gauge
+}
+
+// With returns the gauge for the given label, creating it on first use.
+func (v *GaugeVec) With(label string) *Gauge {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	g, ok := v.gauges[label]
+	if !ok {
+		g = &Gauge{}
+		v.gauges[label] = g
+	}
+	return g
+}
+
+// Delete removes a label's gauge (e.g. when its node is decommissioned).
+func (v *GaugeVec) Delete(label string) {
+	v.mu.Lock()
+	delete(v.gauges, label)
+	v.mu.Unlock()
+}
+
+// Labels returns the registered labels, sorted.
+func (v *GaugeVec) Labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.gauges))
+	for l := range v.gauges {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Values returns a label → value snapshot.
+func (v *GaugeVec) Values() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.gauges))
+	for l, g := range v.gauges {
+		out[l] = g.Value()
+	}
+	return out
+}
+
 // Registry is a named collection of metrics. The zero value is ready to use.
 type Registry struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
+	gaugeVecs  map[string]*GaugeVec
 	histograms map[string]*Histogram
 }
 
@@ -173,6 +225,22 @@ func (r *Registry) Gauge(name string) *Gauge {
 	return g
 }
 
+// GaugeVec returns the labelled gauge family with the given name, creating
+// it on first use.
+func (r *Registry) GaugeVec(name string) *GaugeVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.gaugeVecs == nil {
+		r.gaugeVecs = make(map[string]*GaugeVec)
+	}
+	v, ok := r.gaugeVecs[name]
+	if !ok {
+		v = &GaugeVec{name: name, gauges: make(map[string]*Gauge)}
+		r.gaugeVecs[name] = v
+	}
+	return v
+}
+
 // Histogram returns the histogram with the given name, creating it on first
 // use.
 func (r *Registry) Histogram(name string) *Histogram {
@@ -200,6 +268,11 @@ func (r *Registry) Snapshot() string {
 	}
 	for name, g := range r.gauges {
 		lines = append(lines, fmt.Sprintf("gauge %s = %d", name, g.Value()))
+	}
+	for name, v := range r.gaugeVecs {
+		for label, val := range v.Values() {
+			lines = append(lines, fmt.Sprintf("gauge %s{%s} = %d", name, label, val))
+		}
 	}
 	for name, h := range r.histograms {
 		lines = append(lines, fmt.Sprintf("hist %s: n=%d mean=%.1f p50=%.1f p99=%.1f",

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"strings"
@@ -153,6 +154,72 @@ func TestRegistryReuse(t *testing.T) {
 	}
 	if r.Histogram("h") != r.Histogram("h") {
 		t.Error("Histogram(name) should return the same histogram")
+	}
+}
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("node_resident_bytes")
+	v.With("n1").Set(100)
+	v.With("n2").Set(200)
+	v.With("n1").Add(11)
+	if got := v.Values(); got["n1"] != 111 || got["n2"] != 200 {
+		t.Errorf("Values = %v", got)
+	}
+	if got := v.Labels(); len(got) != 2 || got[0] != "n1" || got[1] != "n2" {
+		t.Errorf("Labels = %v", got)
+	}
+	if r.GaugeVec("node_resident_bytes") != v {
+		t.Error("GaugeVec not reused by name")
+	}
+	v.Delete("n1")
+	if got := v.Labels(); len(got) != 1 || got[0] != "n2" {
+		t.Errorf("Labels after Delete = %v", got)
+	}
+	if _, ok := v.Values()["n1"]; ok {
+		t.Error("deleted label still has a value")
+	}
+	// Delete of an unknown label is a no-op, and With re-creates from zero.
+	v.Delete("ghost")
+	if got := v.With("n1").Value(); got != 0 {
+		t.Errorf("re-created gauge = %d, want 0", got)
+	}
+}
+
+func TestGaugeVecConcurrent(t *testing.T) {
+	v := NewRegistry().GaugeVec("g")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			label := fmt.Sprintf("n%d", i%2)
+			for j := 0; j < 100; j++ {
+				v.With(label).Add(1)
+				v.Values()
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := int64(0)
+	for _, n := range v.Values() {
+		total += n
+	}
+	if total != 800 {
+		t.Errorf("total = %d, want 800", total)
+	}
+}
+
+func TestSnapshotRendersGaugeVecLabels(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("node_queue_depth")
+	v.With("a1").Set(3)
+	v.With("b2").Set(7)
+	snap := r.Snapshot()
+	for _, want := range []string{"gauge node_queue_depth{a1} = 3", "gauge node_queue_depth{b2} = 7"} {
+		if !strings.Contains(snap, want) {
+			t.Errorf("Snapshot missing %q:\n%s", want, snap)
+		}
 	}
 }
 

@@ -85,6 +85,10 @@ type entry struct {
 	locations   map[idgen.NodeID]bool
 	waiters     []chan State
 	subscribers map[idgen.NodeID]bool
+	// forwards maps a node that used to hold the object to the node its
+	// copy migrated to — the tombstone-forward entries in-flight pulls
+	// chase when they race a live migration.
+	forwards map[idgen.NodeID]idgen.NodeID
 }
 
 // Table is the ownership table. It is a passive, concurrency-safe data
@@ -147,9 +151,11 @@ func (t *Table) MarkReady(id idgen.ObjectID, size int64, location idgen.NodeID, 
 }
 
 // syncLocations refreshes rec.Locations from the location set. Caller
-// holds mu.
+// holds mu. A fresh slice is built every time: Get hands out rec by value,
+// so the old backing array may still be read lock-free by a caller — it
+// must stay an immutable (if stale) snapshot, never be rewritten in place.
 func (e *entry) syncLocations() {
-	e.rec.Locations = e.rec.Locations[:0]
+	e.rec.Locations = make([]idgen.NodeID, 0, len(e.locations))
 	for node := range e.locations {
 		e.rec.Locations = append(e.rec.Locations, node)
 	}
@@ -170,6 +176,57 @@ func (t *Table) AddLocation(id idgen.ObjectID, node idgen.NodeID) error {
 	e.locations[node] = true
 	e.syncLocations()
 	return nil
+}
+
+// MoveLocation atomically retargets a copy from one node to another: the
+// destination is added to the location set, the source is removed, and a
+// forwarding entry source → destination is recorded so readers holding a
+// stale location list can chase the move (live migration's cutover step).
+// The object must be Ready with a copy at from (or already moved, which is
+// a no-op if the forward matches).
+func (t *Table) MoveLocation(id idgen.ObjectID, from, to idgen.NodeID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+	}
+	e.locations[to] = true
+	delete(e.locations, from)
+	if e.forwards == nil {
+		e.forwards = make(map[idgen.NodeID]idgen.NodeID)
+	}
+	e.forwards[from] = to
+	// A forward pointing back at from (ping-pong migration) would loop;
+	// drop the destination's own stale forward, if any.
+	delete(e.forwards, to)
+	e.syncLocations()
+	return nil
+}
+
+// ResolveForward chases the forwarding chain from a stale location and
+// returns the current holder, or false if the node never forwarded the
+// object. Chains are bounded by the number of entries, so ping-pong
+// migrations cannot loop.
+func (t *Table) ResolveForward(id idgen.ObjectID, stale idgen.NodeID) (idgen.NodeID, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	e, ok := t.entries[id]
+	if !ok || e.forwards == nil {
+		return idgen.Nil, false
+	}
+	cur, ok := e.forwards[stale]
+	if !ok {
+		return idgen.Nil, false
+	}
+	for i := 0; i < len(e.forwards); i++ {
+		next, more := e.forwards[cur]
+		if !more || next == cur {
+			break
+		}
+		cur = next
+	}
+	return cur, true
 }
 
 // Subscribe registers node for a proactive push of id when it becomes
@@ -288,6 +345,7 @@ func (t *Table) Reset(id idgen.ObjectID) error {
 	}
 	e.rec.State = Pending
 	e.locations = make(map[idgen.NodeID]bool)
+	e.forwards = nil // re-execution commits fresh copies; old forwards are moot
 	e.syncLocations()
 	return nil
 }

@@ -340,3 +340,106 @@ func TestStateString(t *testing.T) {
 		}
 	}
 }
+
+func TestMoveLocationRecordsForward(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	a, b := idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, a, idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MarkReady(id, 8, a, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.MoveLocation(id, a, b); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := tbl.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Locations) != 1 || rec.Locations[0] != b {
+		t.Errorf("Locations = %v, want [%v]", rec.Locations, b)
+	}
+	to, found := tbl.ResolveForward(id, a)
+	if !found || to != b {
+		t.Errorf("ResolveForward(a) = %v,%v, want %v,true", to, found, b)
+	}
+	if _, found := tbl.ResolveForward(id, b); found {
+		t.Error("ResolveForward(current holder) should report no forward")
+	}
+}
+
+func TestResolveForwardChainsAndPingPong(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	a, b, c := idgen.Next(), idgen.Next(), idgen.Next()
+	if err := tbl.CreatePending(id, a, idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MarkReady(id, 8, a, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	// a → b → c: a reader holding the original location must resolve to c.
+	if err := tbl.MoveLocation(id, a, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tbl.MoveLocation(id, b, c); err != nil {
+		t.Fatal(err)
+	}
+	if to, found := tbl.ResolveForward(id, a); !found || to != c {
+		t.Errorf("chained ResolveForward(a) = %v,%v, want %v,true", to, found, c)
+	}
+	// Ping-pong back to a: the chase must terminate at a, not loop.
+	if err := tbl.MoveLocation(id, c, a); err != nil {
+		t.Fatal(err)
+	}
+	if to, found := tbl.ResolveForward(id, b); !found || to != a {
+		t.Errorf("ping-pong ResolveForward(b) = %v,%v, want %v,true", to, found, a)
+	}
+	if _, found := tbl.ResolveForward(id, a); found {
+		t.Error("current holder must not have a forward after ping-pong")
+	}
+}
+
+func TestMoveLocationConcurrentReaders(t *testing.T) {
+	tbl := NewTable()
+	id := idgen.Next()
+	nodes := []idgen.NodeID{idgen.Next(), idgen.Next(), idgen.Next(), idgen.Next()}
+	if err := tbl.CreatePending(id, nodes[0], idgen.Next()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.MarkReady(id, 8, nodes[0], idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec, err := tbl.Get(id)
+				if err != nil || len(rec.Locations) != 1 {
+					t.Errorf("mid-migration record: %v %v", rec.Locations, err)
+					return
+				}
+				tbl.ResolveForward(id, nodes[0])
+			}
+		}()
+	}
+	for hop := 0; hop < 64; hop++ {
+		from := nodes[hop%len(nodes)]
+		to := nodes[(hop+1)%len(nodes)]
+		if err := tbl.MoveLocation(id, from, to); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

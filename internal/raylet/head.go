@@ -146,6 +146,24 @@ func (h *Head) handle(ctx context.Context, from idgen.NodeID, kind string, paylo
 		}
 		return nil, nil
 
+	case KindOwnMoveLoc:
+		var req OwnMoveLocRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if err := h.Table.MoveLocation(req.ID, req.From, req.To); err != nil {
+			return nil, err
+		}
+		return nil, nil
+
+	case KindOwnForward:
+		var req OwnForwardRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		to, found := h.Table.ResolveForward(req.ID, req.Stale)
+		return transport.Encode(OwnForwardResponse{To: to, Found: found})
+
 	case KindActorCkpt:
 		var req ActorCkptRequest
 		if err := transport.Decode(payload, &req); err != nil {

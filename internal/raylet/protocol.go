@@ -21,6 +21,29 @@ const (
 	KindPing = "raylet.ping"
 )
 
+// RPC kinds of the live-migration subsystem (internal/migrate). A drain
+// is freeze → transfer → resume against the source raylet; transfer moves
+// state directly source → destination via migrate.install, so the bytes
+// cross the fabric once.
+const (
+	// KindMigrateFreeze pauses an actor on its current raylet: the running
+	// task finishes, queued tasks park, and the response reports the
+	// checkpoint sequence the transfer will ship.
+	KindMigrateFreeze = "migrate.freeze"
+	// KindMigrateTransfer asks the source raylet to copy an actor's state
+	// or a resident object directly to the destination raylet
+	// (migrate.install / raylet.push), installing a tombstone-forward for
+	// stale readers and dropping the local copy.
+	KindMigrateTransfer = "migrate.transfer"
+	// KindMigrateInstall delivers migrated actor state to the destination
+	// raylet (the receiving half of a transfer).
+	KindMigrateInstall = "migrate.install"
+	// KindMigrateResume finishes a migration on the source: commit points
+	// parked tasks at the destination (they bounce back to the caller with
+	// ActorMovedTo); rollback resumes local execution.
+	KindMigrateResume = "migrate.resume"
+)
+
 // RPC kinds served by the head (ownership/GCS) service.
 const (
 	// KindOwnCreate registers pending objects.
@@ -40,6 +63,12 @@ const (
 	KindActorCkpt = "actor.ckpt"
 	// KindActorRestore fetches an actor's last checkpoint.
 	KindActorRestore = "actor.restore"
+	// KindOwnMoveLoc atomically retargets a copy from one node to another,
+	// recording a tombstone-forward entry (live migration cutover).
+	KindOwnMoveLoc = "own.moveloc"
+	// KindOwnForward resolves a stale location to the node its copy
+	// migrated to, so in-flight pulls can chase the move.
+	KindOwnForward = "own.forward"
 )
 
 // ExecRequest asks for one task execution.
@@ -55,6 +84,10 @@ type ExecResponse struct {
 	// StallMicros is the time the task spent blocked waiting for its
 	// reference arguments to resolve — the metric of experiment E4.
 	StallMicros int64
+	// ActorMovedTo, when set, reports that the task was not executed
+	// because its actor live-migrated away; the caller re-dispatches to
+	// the named node. No submission is lost across a migration.
+	ActorMovedTo idgen.NodeID
 }
 
 // GetRequest fetches object bytes.
@@ -62,10 +95,13 @@ type GetRequest struct {
 	ID idgen.ObjectID
 }
 
-// GetResponse carries object bytes.
+// GetResponse carries object bytes. When the object migrated away from
+// this node, Data is nil and MovedTo names the node now holding the copy —
+// the tombstone-forward path stale readers resolve through.
 type GetResponse struct {
-	Data   []byte
-	Format string
+	Data    []byte
+	Format  string
+	MovedTo idgen.NodeID
 }
 
 // PushRequest delivers object bytes proactively.
@@ -152,4 +188,66 @@ type ActorRestoreRequest struct {
 type ActorRestoreResponse struct {
 	Seq   uint64
 	State map[string][]byte
+}
+
+// OwnMoveLocRequest retargets one copy (live migration cutover).
+type OwnMoveLocRequest struct {
+	ID       idgen.ObjectID
+	From, To idgen.NodeID
+}
+
+// OwnForwardRequest resolves a stale location after a migration.
+type OwnForwardRequest struct {
+	ID    idgen.ObjectID
+	Stale idgen.NodeID
+}
+
+// OwnForwardResponse carries the forward target, if one exists.
+type OwnForwardResponse struct {
+	To    idgen.NodeID
+	Found bool
+}
+
+// MigrateFreezeRequest pauses an actor on the source raylet.
+type MigrateFreezeRequest struct {
+	Actor idgen.ActorID
+}
+
+// MigrateFreezeResponse reports the frozen actor's checkpoint sequence and
+// whether this raylet actually hosts state for it.
+type MigrateFreezeResponse struct {
+	Seq   uint64
+	Known bool
+}
+
+// MigrateTransferRequest asks the source raylet to ship an actor's state
+// (Actor set) or a resident object (Object set) to Dest.
+type MigrateTransferRequest struct {
+	Actor  idgen.ActorID
+	Object idgen.ObjectID
+	Dest   idgen.NodeID
+}
+
+// MigrateTransferResponse reports the bytes that crossed the fabric.
+type MigrateTransferResponse struct {
+	Bytes int64
+	// Found is false when the source holds no copy/state to ship (e.g. the
+	// object lives only in DSM, or the actor never ran here).
+	Found bool
+}
+
+// MigrateInstallRequest delivers actor state to the destination raylet.
+type MigrateInstallRequest struct {
+	Actor idgen.ActorID
+	Seq   uint64
+	State map[string][]byte
+}
+
+// MigrateResumeRequest finishes a migration on the source raylet.
+type MigrateResumeRequest struct {
+	Actor idgen.ActorID
+	Dest  idgen.NodeID
+	// Commit true cuts over (parked tasks bounce to Dest); false rolls the
+	// freeze back and resumes local execution.
+	Commit bool
 }

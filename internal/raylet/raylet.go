@@ -54,6 +54,20 @@ func (r Resolution) String() string {
 // ErrNoLocation reports an object that is ready but has no reachable copy.
 var ErrNoLocation = errors.New("raylet: no reachable location for object")
 
+// ActorMigratedError reports that a task reached a raylet after its actor
+// live-migrated away; the submitter re-dispatches the task to To. It
+// travels as a clean ExecResponse (ActorMovedTo), not a wire error, so no
+// submission is lost across a migration.
+type ActorMigratedError struct {
+	Actor idgen.ActorID
+	To    idgen.NodeID
+}
+
+// Error implements the error interface.
+func (e *ActorMigratedError) Error() string {
+	return fmt.Sprintf("raylet: actor %s migrated to %s", e.Actor.Short(), e.To.Short())
+}
+
 // Config configures a Raylet.
 type Config struct {
 	// Node is this raylet's identity.
@@ -89,6 +103,13 @@ type Stats struct {
 	PushesSent    int64
 	PushesRecv    int64
 	DPUHops       int64
+	// Migration counters (live-drain subsystem, experiment E14).
+	ActorsMigratedIn   int64
+	ActorsMigratedOut  int64
+	ObjectsMigratedOut int64
+	// ForwardFollows counts reads that chased a tombstone-forward after
+	// racing a migration.
+	ForwardFollows int64
 }
 
 // Raylet is one node's daemon. Create with New, then Start.
@@ -105,6 +126,18 @@ type Raylet struct {
 	actorStates map[idgen.ActorID]map[string][]byte
 	actorLocks  map[idgen.ActorID]*sync.Mutex
 	actorSeqs   map[idgen.ActorID]uint64
+	// frozenActors gates task admission during a live migration: queued
+	// tasks park on the channel (without holding the actor lock, so the
+	// freeze can drain) until resume closes it. movedActors are cutover
+	// tombstones: tasks arriving after commit bounce back with
+	// ExecResponse.ActorMovedTo instead of executing against dropped state.
+	frozenActors map[idgen.ActorID]chan struct{}
+	movedActors  map[idgen.ActorID]idgen.NodeID
+
+	// migMu guards movedObjects, the tombstone-forward map stale readers
+	// resolve through after an object migrates away (GetResponse.MovedTo).
+	migMu        sync.Mutex
+	movedObjects map[idgen.ObjectID]idgen.NodeID
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -130,6 +163,10 @@ func New(cfg Config) (*Raylet, error) {
 		actorStates: make(map[idgen.ActorID]map[string][]byte),
 		actorLocks:  make(map[idgen.ActorID]*sync.Mutex),
 		actorSeqs:   make(map[idgen.ActorID]uint64),
+
+		frozenActors: make(map[idgen.ActorID]chan struct{}),
+		movedActors:  make(map[idgen.ActorID]idgen.NodeID),
+		movedObjects: make(map[idgen.ObjectID]idgen.NodeID),
 	}
 	for i := 0; i < cfg.Slots; i++ {
 		r.slots <- struct{}{}
@@ -218,6 +255,15 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 		}
 		data, format, err := r.store.Get(req.ID)
 		if err != nil {
+			// Tombstone-forward: the copy migrated away; tell the reader
+			// where instead of erroring, so in-flight pulls racing a live
+			// migration resolve without a retry loop.
+			r.migMu.Lock()
+			to, moved := r.movedObjects[req.ID]
+			r.migMu.Unlock()
+			if moved {
+				return transport.Encode(GetResponse{MovedTo: to})
+			}
 			return nil, err
 		}
 		return transport.Encode(GetResponse{Data: data, Format: format})
@@ -243,9 +289,163 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 	case KindPing:
 		return []byte("pong"), nil
 
+	case KindMigrateFreeze:
+		var req MigrateFreezeRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		return r.migrateFreeze(&req)
+
+	case KindMigrateTransfer:
+		var req MigrateTransferRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		if !req.Actor.IsNil() {
+			return r.migrateTransferActor(ctx, &req)
+		}
+		return r.migrateTransferObject(ctx, &req)
+
+	case KindMigrateInstall:
+		var req MigrateInstallRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		r.migrateInstall(&req)
+		return nil, nil
+
+	case KindMigrateResume:
+		var req MigrateResumeRequest
+		if err := transport.Decode(payload, &req); err != nil {
+			return nil, err
+		}
+		r.migrateResume(&req)
+		return nil, nil
+
 	default:
 		return nil, fmt.Errorf("raylet: unknown RPC kind %q", kind)
 	}
+}
+
+// migrateFreeze pauses an actor: admission is gated on a freeze channel,
+// then the handler acquires (and releases) the per-actor lock so the
+// currently running task, if any, completes before the response. Queued
+// tasks park on the channel — not the lock — so the freeze cannot deadlock
+// behind them.
+func (r *Raylet) migrateFreeze(req *MigrateFreezeRequest) ([]byte, error) {
+	r.actorsMu.Lock()
+	lock, known := r.actorLocks[req.Actor]
+	if !known {
+		// Never ran here; still install the gate so nothing starts while
+		// the migration is in flight.
+		lock = &sync.Mutex{}
+		r.actorLocks[req.Actor] = lock
+		r.actorStates[req.Actor] = make(map[string][]byte)
+	}
+	if _, frozen := r.frozenActors[req.Actor]; !frozen {
+		r.frozenActors[req.Actor] = make(chan struct{})
+	}
+	r.actorsMu.Unlock()
+
+	// Wait out the running task; with the gate up nothing new gets in.
+	lock.Lock()
+	r.actorsMu.Lock()
+	seq := r.actorSeqs[req.Actor]
+	r.actorsMu.Unlock()
+	lock.Unlock()
+	return transport.Encode(MigrateFreezeResponse{Seq: seq, Known: known})
+}
+
+// migrateTransferActor ships a frozen actor's state directly to the
+// destination raylet (migrate.install), so the bytes cross the fabric once:
+// source → destination, not source → coordinator → destination.
+func (r *Raylet) migrateTransferActor(ctx context.Context, req *MigrateTransferRequest) ([]byte, error) {
+	r.actorsMu.Lock()
+	lock, known := r.actorLocks[req.Actor]
+	r.actorsMu.Unlock()
+	if !known {
+		return transport.Encode(MigrateTransferResponse{Found: false})
+	}
+	// The actor should be frozen; take the lock anyway so a rolled-back or
+	// unfrozen transfer still snapshots a quiescent state.
+	lock.Lock()
+	r.actorsMu.Lock()
+	var bytes int64
+	state := make(map[string][]byte, len(r.actorStates[req.Actor]))
+	for k, v := range r.actorStates[req.Actor] {
+		state[k] = append([]byte(nil), v...)
+		bytes += int64(len(k) + len(v))
+	}
+	seq := r.actorSeqs[req.Actor]
+	r.actorsMu.Unlock()
+	lock.Unlock()
+
+	install := transport.MustEncode(MigrateInstallRequest{Actor: req.Actor, Seq: seq, State: state})
+	if _, err := r.call(ctx, req.Dest, KindMigrateInstall, install); err != nil {
+		return nil, fmt.Errorf("raylet: migrate.install at %s: %w", req.Dest.Short(), err)
+	}
+	r.bump(func(s *Stats) { s.ActorsMigratedOut++ })
+	return transport.Encode(MigrateTransferResponse{Bytes: bytes, Found: true})
+}
+
+// migrateInstall adopts migrated actor state (the receiving half of an
+// actor transfer). Any cutover tombstone from an earlier migration away is
+// cleared: the actor lives here again.
+func (r *Raylet) migrateInstall(req *MigrateInstallRequest) {
+	r.actorsMu.Lock()
+	if _, ok := r.actorLocks[req.Actor]; !ok {
+		r.actorLocks[req.Actor] = &sync.Mutex{}
+	}
+	state := make(map[string][]byte, len(req.State))
+	for k, v := range req.State {
+		state[k] = v
+	}
+	r.actorStates[req.Actor] = state
+	r.actorSeqs[req.Actor] = req.Seq
+	delete(r.movedActors, req.Actor)
+	r.actorsMu.Unlock()
+	r.bump(func(s *Stats) { s.ActorsMigratedIn++ })
+}
+
+// migrateResume finishes a migration on the source. Commit installs the
+// cutover tombstone and drops the shipped state; rollback just lifts the
+// gate. Either way parked tasks wake: after commit they bounce to the
+// destination, after rollback they run locally.
+func (r *Raylet) migrateResume(req *MigrateResumeRequest) {
+	r.actorsMu.Lock()
+	if req.Commit {
+		r.movedActors[req.Actor] = req.Dest
+		delete(r.actorStates, req.Actor)
+		delete(r.actorSeqs, req.Actor)
+	}
+	if gate, frozen := r.frozenActors[req.Actor]; frozen {
+		close(gate)
+		delete(r.frozenActors, req.Actor)
+	}
+	r.actorsMu.Unlock()
+}
+
+// migrateTransferObject copies one resident object to the destination
+// raylet (raylet.push), installs a tombstone-forward for stale readers,
+// and drops the local copy. Ownership-table updates (MoveLocation) are the
+// migrator's job; this handler only moves bytes.
+func (r *Raylet) migrateTransferObject(ctx context.Context, req *MigrateTransferRequest) ([]byte, error) {
+	data, format, err := r.store.Get(req.Object)
+	if err != nil {
+		// No local copy (DSM-only or already evicted): nothing to move.
+		return transport.Encode(MigrateTransferResponse{Found: false})
+	}
+	push := transport.MustEncode(PushRequest{ID: req.Object, Data: data, Format: format})
+	if _, err := r.call(ctx, req.Dest, KindPush, push); err != nil {
+		return nil, fmt.Errorf("raylet: migrate push to %s: %w", req.Dest.Short(), err)
+	}
+	r.migMu.Lock()
+	r.movedObjects[req.Object] = req.Dest
+	r.migMu.Unlock()
+	r.cfg.Layer.ForgetLocation(r.cfg.Node, req.Object)
+	_ = r.store.Delete(req.Object)
+	r.bump(func(s *Stats) { s.ObjectsMigratedOut++ })
+	return transport.Encode(MigrateTransferResponse{Bytes: int64(len(data)), Found: true})
 }
 
 // receivePush stores a pushed object and wakes local waiters.
@@ -256,6 +456,11 @@ func (r *Raylet) receivePush(id idgen.ObjectID, data []byte, format string) {
 		return
 	}
 	r.cfg.Layer.NoteLocation(r.cfg.Node, id)
+	// The copy is back; a tombstone from an earlier migration away would
+	// misdirect readers, so clear it.
+	r.migMu.Lock()
+	delete(r.movedObjects, id)
+	r.migMu.Unlock()
 	r.bump(func(s *Stats) { s.PushesRecv++ })
 	r.arrivalsMu.Lock()
 	for _, ch := range r.arrivals[id] {
@@ -351,10 +556,17 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 		}
 		outs, err = fn(tctx, args)
 	} else {
-		outs, err = r.execActorTask(tctx, fn, spec, args)
+		outs, err = r.execActorTask(ctx, tctx, fn, spec, args)
 	}
 	execSp.End()
 	if err != nil {
+		var moved *ActorMigratedError
+		if errors.As(err, &moved) {
+			// Not a failure: the actor cut over mid-queue. Bounce the task
+			// back with the forward address; the submitter re-dispatches.
+			execSp.SetAttr("actor-moved-to", moved.To.Short())
+			return transport.Encode(ExecResponse{ActorMovedTo: moved.To})
+		}
 		return nil, err
 	}
 	if len(outs) != len(spec.Returns) {
@@ -381,18 +593,57 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 // actor arriving on this node for the first time restores the latest
 // checkpoint — so actor state survives node failures (§1: the caching
 // layer "can store states").
-func (r *Raylet) execActorTask(tctx *task.Context, fn task.Func, spec *task.Spec, args [][]byte) ([][]byte, error) {
-	r.actorsMu.Lock()
-	lock, known := r.actorLocks[spec.Actor]
-	if !known {
-		lock = &sync.Mutex{}
-		r.actorLocks[spec.Actor] = lock
-		r.actorStates[spec.Actor] = make(map[string][]byte)
-	}
-	state := r.actorStates[spec.Actor]
-	r.actorsMu.Unlock()
+func (r *Raylet) execActorTask(ctx context.Context, tctx *task.Context, fn task.Func, spec *task.Spec, args [][]byte) ([][]byte, error) {
+	var lock *sync.Mutex
+	var state map[string][]byte
+	var known bool
+	// Admission loop: a frozen actor (live migration in flight) parks the
+	// task on the freeze channel *without* holding the actor lock, so the
+	// freeze can drain the running task. After the gate lifts, re-check
+	// under the lock: a committed cutover bounces the task to the new node.
+	for {
+		r.actorsMu.Lock()
+		if to, moved := r.movedActors[spec.Actor]; moved {
+			r.actorsMu.Unlock()
+			return nil, &ActorMigratedError{Actor: spec.Actor, To: to}
+		}
+		if gate, frozen := r.frozenActors[spec.Actor]; frozen {
+			r.actorsMu.Unlock()
+			select {
+			case <-gate:
+				continue
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		lock, known = r.actorLocks[spec.Actor]
+		if !known {
+			lock = &sync.Mutex{}
+			r.actorLocks[spec.Actor] = lock
+			r.actorStates[spec.Actor] = make(map[string][]byte)
+		}
+		state = r.actorStates[spec.Actor]
+		r.actorsMu.Unlock()
 
-	lock.Lock()
+		lock.Lock()
+		// The freeze/cutover may have slipped in between dropping actorsMu
+		// and acquiring the actor lock; re-validate before running.
+		r.actorsMu.Lock()
+		if to, moved := r.movedActors[spec.Actor]; moved {
+			r.actorsMu.Unlock()
+			lock.Unlock()
+			return nil, &ActorMigratedError{Actor: spec.Actor, To: to}
+		}
+		_, frozen := r.frozenActors[spec.Actor]
+		// State may have been replaced by a migrate.install while we waited.
+		state = r.actorStates[spec.Actor]
+		r.actorsMu.Unlock()
+		if frozen {
+			lock.Unlock()
+			continue
+		}
+		break
+	}
 	defer lock.Unlock()
 
 	if !known {
@@ -577,19 +828,38 @@ func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen
 			}
 			continue
 		}
-		payload := transport.MustEncode(GetRequest{ID: id})
-		resp, err := r.call(ctx, loc, KindGet, payload)
-		if err != nil {
-			continue // location dead or evicted; try the next
+		// A location may be stale mid-migration: chase raylet tombstones
+		// (GetResponse.MovedTo) and, when the source is already gone,
+		// ownership forwarding entries (own.forward). Hop bound covers
+		// chained migrations without risking a ping-pong loop.
+		const maxHops = 4
+		target := loc
+		for hop := 0; hop < maxHops && !target.IsNil(); hop++ {
+			if hop > 0 {
+				r.bump(func(s *Stats) { s.ForwardFollows++ })
+				sp.SetAttr("forwarded-from", loc.Short())
+			}
+			payload := transport.MustEncode(GetRequest{ID: id})
+			resp, err := r.call(ctx, target, KindGet, payload)
+			if err != nil {
+				// Source unreachable (e.g. decommissioned after the drain):
+				// ask the ownership table where its copy went.
+				target = r.queryForward(ctx, id, target)
+				continue
+			}
+			var get GetResponse
+			if err := transport.Decode(resp, &get); err != nil {
+				break
+			}
+			if !get.MovedTo.IsNil() {
+				target = get.MovedTo
+				continue
+			}
+			sp.SetAttr("from", target.Short())
+			r.bump(func(s *Stats) { s.RemoteFetches++ })
+			r.cacheLocal(ctx, id, get.Data, get.Format)
+			return get.Data, nil
 		}
-		var get GetResponse
-		if err := transport.Decode(resp, &get); err != nil {
-			continue
-		}
-		sp.SetAttr("from", loc.Short())
-		r.bump(func(s *Stats) { s.RemoteFetches++ })
-		r.cacheLocal(ctx, id, get.Data, get.Format)
-		return get.Data, nil
 	}
 	// Last resort: the caching layer's redundancy paths.
 	data, format, err := r.cfg.Layer.GetCtx(ctx, r.cfg.Node, id)
@@ -598,6 +868,23 @@ func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen
 	}
 	r.cacheLocal(ctx, id, data, format)
 	return data, nil
+}
+
+// queryForward asks the head's ownership table where a stale location's
+// copy migrated (own.forward), returning Nil when no forward exists. This
+// is the fallback for readers whose source raylet already shut down, so
+// its tombstone map is unreachable.
+func (r *Raylet) queryForward(ctx context.Context, id idgen.ObjectID, stale idgen.NodeID) idgen.NodeID {
+	req := transport.MustEncode(OwnForwardRequest{ID: id, Stale: stale})
+	respB, err := r.call(ctx, r.cfg.Head, KindOwnForward, req)
+	if err != nil {
+		return idgen.Nil
+	}
+	var resp OwnForwardResponse
+	if err := transport.Decode(respB, &resp); err != nil || !resp.Found {
+		return idgen.Nil
+	}
+	return resp.To
 }
 
 // cacheLocal keeps a fetched copy in the local store and registers the

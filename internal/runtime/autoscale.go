@@ -10,13 +10,27 @@ import (
 	"skadi/internal/scheduler"
 )
 
+// cordonRecord remembers why and how a node was cordoned, so later policy
+// (ScaleUp reuse, Decommission) can act on it without re-deriving state.
+type cordonRecord struct {
+	// slots is the worker count to restore on un-cordon.
+	slots int
+	// drainEligible marks the node safe to fully decommission: it was idle
+	// when cordoned, so only resident data (no running work) holds it.
+	drainEligible bool
+}
+
 // autoscaleState tracks the elastic worker fleet.
 type autoscaleState struct {
 	pending atomic.Int64
 	// cordoned servers are withdrawn from scheduling but still serve
-	// reads of the objects they hold (graceful scale-down).
-	cordoned []idgen.NodeID
-	grown    int
+	// reads of the objects they hold (graceful scale-down). The map gives
+	// O(1) membership checks (isCordoned sits on the scheduling hot path
+	// via ActiveWorkers); cordonOrder preserves LIFO reuse so ScaleUp
+	// brings back the most recently parked node first.
+	cordoned    map[idgen.NodeID]*cordonRecord
+	cordonOrder []idgen.NodeID
+	grown       int
 }
 
 // Pending returns the number of submitted-but-unfinished tasks — the
@@ -45,9 +59,10 @@ func (rt *Runtime) workerServers() []idgen.NodeID {
 // the pay-as-you-go half of the serverless principle.
 func (rt *Runtime) ScaleUp(slots int, memBytes int64) (idgen.NodeID, error) {
 	rt.mu.Lock()
-	if n := len(rt.autoscale.cordoned); n > 0 {
-		node := rt.autoscale.cordoned[n-1]
-		rt.autoscale.cordoned = rt.autoscale.cordoned[:n-1]
+	if n := len(rt.autoscale.cordonOrder); n > 0 {
+		node := rt.autoscale.cordonOrder[n-1]
+		rt.autoscale.cordonOrder = rt.autoscale.cordonOrder[:n-1]
+		delete(rt.autoscale.cordoned, node)
 		hasRaylet := rt.raylets[node] != nil // raylet kept running while cordoned
 		rt.mu.Unlock()
 		if hasRaylet {
@@ -80,7 +95,14 @@ func (rt *Runtime) ScaleDown() (idgen.NodeID, bool) {
 		}
 		rt.Sched.RemoveNode(node)
 		rt.mu.Lock()
-		rt.autoscale.cordoned = append(rt.autoscale.cordoned, node)
+		if rt.autoscale.cordoned == nil {
+			rt.autoscale.cordoned = make(map[idgen.NodeID]*cordonRecord)
+		}
+		// The node was verified idle above, so it is immediately eligible
+		// for a full decommission (drain + stop) should policy want the
+		// capacity gone rather than parked.
+		rt.autoscale.cordoned[node] = &cordonRecord{slots: rt.rayletCfg[node].Slots, drainEligible: true}
+		rt.autoscale.cordonOrder = append(rt.autoscale.cordonOrder, node)
 		rt.mu.Unlock()
 		return node, true
 	}
@@ -90,12 +112,39 @@ func (rt *Runtime) ScaleDown() (idgen.NodeID, bool) {
 func (rt *Runtime) isCordoned(node idgen.NodeID) bool {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	for _, c := range rt.autoscale.cordoned {
-		if c == node {
-			return true
+	_, ok := rt.autoscale.cordoned[node]
+	return ok
+}
+
+// DrainCandidates returns the cordoned nodes eligible for a full
+// decommission, in cordon order.
+func (rt *Runtime) DrainCandidates() []idgen.NodeID {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []idgen.NodeID
+	for _, node := range rt.autoscale.cordonOrder {
+		if rec, ok := rt.autoscale.cordoned[node]; ok && rec.drainEligible {
+			out = append(out, node)
 		}
 	}
-	return false
+	return out
+}
+
+// uncordon removes a node from the cordon set (used by Decommission once
+// the node is gone for good).
+func (rt *Runtime) uncordon(node idgen.NodeID) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if _, ok := rt.autoscale.cordoned[node]; !ok {
+		return
+	}
+	delete(rt.autoscale.cordoned, node)
+	for i, n := range rt.autoscale.cordonOrder {
+		if n == node {
+			rt.autoscale.cordonOrder = append(rt.autoscale.cordonOrder[:i], rt.autoscale.cordonOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // ActiveWorkers returns the number of schedulable worker servers.

@@ -134,3 +134,99 @@ func TestChaosRepeatedKillsSequential(t *testing.T) {
 		rt.RestartNode(victim)
 	}
 }
+
+// TestChaosDecommissionDuringFanOutFanIn runs the same two-level DAG while
+// a worker is gracefully decommissioned (not killed) mid-flight. Unlike the
+// kill test, recovery here must be invisible: the drain waits out in-flight
+// tasks, live-migrates resident data, and zero tasks fail or replay.
+func TestChaosDecommissionDuringFanOutFanIn(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 6, ServerSlots: 2, ServerMemBytes: 128 << 20,
+	}, Options{Recovery: RecoverLineage, TimeScale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	rt.Registry.Register("leaf", func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		tctx.Compute(2 * time.Millisecond)
+		n, err := strconv.Atoi(string(args[0]))
+		if err != nil {
+			return nil, err
+		}
+		return [][]byte{[]byte(strconv.Itoa(n * n))}, nil
+	})
+	rt.Registry.Register("agg", func(tctx *task.Context, args [][]byte) ([][]byte, error) {
+		tctx.Compute(2 * time.Millisecond)
+		total := 0
+		for _, a := range args {
+			n, err := strconv.Atoi(string(a))
+			if err != nil {
+				return nil, err
+			}
+			total += n
+		}
+		return [][]byte{[]byte(strconv.Itoa(total))}, nil
+	})
+
+	const leaves = 24
+	const aggs = 4
+	want := make([]int, aggs)
+	leafRefs := make([]idgen.ObjectID, leaves)
+	for i := 0; i < leaves; i++ {
+		spec := task.NewSpec(rt.Job(), "leaf", []task.Arg{task.ValueArg([]byte(strconv.Itoa(i)))}, 1)
+		leafRefs[i] = rt.Submit(spec)[0]
+		want[i%aggs] += i * i
+	}
+	aggRefs := make([]idgen.ObjectID, aggs)
+	for a := 0; a < aggs; a++ {
+		var args []task.Arg
+		for i := a; i < leaves; i += aggs {
+			args = append(args, task.RefArg(leafRefs[i]))
+		}
+		aggRefs[a] = rt.Submit(task.NewSpec(rt.Job(), "agg", args, 1))[0]
+	}
+
+	// Chaos: shrink the pool by two workers while the DAG is in flight.
+	time.Sleep(3 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	workers := rt.workerServers()
+	for _, victim := range workers[:2] {
+		if _, err := rt.Decommission(ctx, victim); err != nil {
+			t.Fatalf("decommission %s: %v", victim.Short(), err)
+		}
+	}
+
+	failed := 0
+	for a, ref := range aggRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			failed++
+			t.Errorf("agg %d after decommission: %v", a, err)
+			continue
+		}
+		got, err := strconv.Atoi(string(data))
+		if err != nil || got != want[a] {
+			t.Errorf("agg %d = %q, want %d", a, data, want[a])
+		}
+	}
+	if failed != 0 {
+		t.Fatalf("%d tasks failed during graceful decommission, want 0", failed)
+	}
+	// Every leaf intermediate is also still readable: the drain moved them
+	// rather than dropping them on the floor.
+	for i, ref := range leafRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			t.Fatalf("leaf %d after decommission: %v", i, err)
+		}
+		if got, _ := strconv.Atoi(string(data)); got != i*i {
+			t.Errorf("leaf %d = %q, want %d", i, data, i*i)
+		}
+	}
+	if got := len(rt.workerServers()); got != len(workers)-2 {
+		t.Errorf("worker count after shrink = %d, want %d", got, len(workers)-2)
+	}
+	rt.Drain()
+}

@@ -19,6 +19,8 @@ import (
 	"skadi/internal/dsm"
 	"skadi/internal/fabric"
 	"skadi/internal/idgen"
+	"skadi/internal/metrics"
+	"skadi/internal/migrate"
 	"skadi/internal/objectstore"
 	"skadi/internal/ownership"
 	"skadi/internal/raylet"
@@ -115,7 +117,11 @@ type Runtime struct {
 	Head     *raylet.Head
 	Sched    *scheduler.Scheduler
 	Registry *task.Registry
-	tracer   *trace.Tracer
+	// Metrics holds runtime-level gauges: per-node resident bytes, actor
+	// counts, and queue depths (GaugeVec families keyed by node), refreshed
+	// by SampleNodeGauges and read by the rebalancer and `skadi -trace`.
+	Metrics *metrics.Registry
+	tracer  *trace.Tracer
 
 	opts      Options
 	driver    idgen.NodeID
@@ -124,13 +130,17 @@ type Runtime struct {
 	drv       *raylet.Raylet
 	pool      *dsm.Pool
 	job       idgen.JobID
+	migrator  *migrate.Migrator
 
 	mu         sync.Mutex
 	recoveryMu sync.Mutex
 	errs       map[idgen.ObjectID]error
 	actorLoc   map[idgen.ActorID]actorPlacement
-	inflight   sync.WaitGroup
-	autoscale  autoscaleState
+	// actorGate pauses task dispatch for an actor mid-migration: submissions
+	// park on the channel until the cutover lands, so none are lost.
+	actorGate map[idgen.ActorID]chan struct{}
+	inflight  sync.WaitGroup
+	autoscale autoscaleState
 }
 
 // actorPlacement records where an actor lives and what backend it needs,
@@ -166,12 +176,14 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	rt := &Runtime{
 		Cluster:   c,
 		Registry:  task.NewRegistry(),
+		Metrics:   metrics.NewRegistry(),
 		tracer:    trace.New(),
 		opts:      opts,
 		raylets:   make(map[idgen.NodeID]*raylet.Raylet),
 		rayletCfg: make(map[idgen.NodeID]raylet.Config),
 		errs:      make(map[idgen.ObjectID]error),
 		actorLoc:  make(map[idgen.ActorID]actorPlacement),
+		actorGate: make(map[idgen.ActorID]chan struct{}),
 		job:       idgen.Next(),
 	}
 
@@ -258,6 +270,9 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	if err != nil {
 		return nil, err
 	}
+	rt.migrator = migrate.New(migrate.Config{
+		Self: headNode.ID, Head: headNode.ID, Transport: c.Transport,
+	})
 	return rt, nil
 }
 
@@ -456,11 +471,17 @@ func (rt *Runtime) prepare(spec *task.Spec) {
 // dead nodes.
 func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.NodeID) {
 	const maxAttempts = 3
+	// Migration redirects are bounded separately from failure attempts: a
+	// bounced task is not a failure, but a pathological migration storm
+	// must not loop forever.
+	const maxRedirects = 16
+	redirects := 0
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		node := pinned
 		if node.IsNil() {
 			if !spec.Actor.IsNil() {
+				rt.waitActorGate(ctx, spec.Actor)
 				rt.mu.Lock()
 				node = rt.actorLoc[spec.Actor].node
 				rt.mu.Unlock()
@@ -484,6 +505,21 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 			return
 		}
 		lastErr = err
+		var moved *raylet.ActorMigratedError
+		if errors.As(err, &moved) && pinned.IsNil() {
+			// The actor live-migrated while this task was queued; follow
+			// the forward and re-dispatch. Does not consume an attempt.
+			rt.mu.Lock()
+			p := rt.actorLoc[spec.Actor]
+			p.node = moved.To
+			rt.actorLoc[spec.Actor] = p
+			rt.mu.Unlock()
+			redirects++
+			if redirects <= maxRedirects {
+				attempt--
+				continue
+			}
+		}
 		if errors.Is(err, transport.ErrUnreachable) && pinned.IsNil() {
 			// The node died; mark it and re-place. Actor tasks retry too:
 			// replaceActors re-pins the actor onto a healthy node (it may
@@ -503,8 +539,35 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 // execOn performs the exec RPC against one raylet.
 func (rt *Runtime) execOn(ctx context.Context, node idgen.NodeID, spec *task.Spec) error {
 	payload := transport.MustEncode(raylet.ExecRequest{Spec: *spec})
-	_, err := rt.Cluster.Transport.Call(ctx, rt.driver, node, raylet.KindExec, payload)
-	return err
+	respB, err := rt.Cluster.Transport.Call(ctx, rt.driver, node, raylet.KindExec, payload)
+	if err != nil {
+		return err
+	}
+	if !spec.Actor.IsNil() && len(respB) > 0 {
+		var resp raylet.ExecResponse
+		if derr := transport.Decode(respB, &resp); derr == nil && !resp.ActorMovedTo.IsNil() {
+			return &raylet.ActorMigratedError{Actor: spec.Actor, To: resp.ActorMovedTo}
+		}
+	}
+	return nil
+}
+
+// waitActorGate blocks while the actor has a migration gate up, so no
+// submission races a cutover.
+func (rt *Runtime) waitActorGate(ctx context.Context, actor idgen.ActorID) {
+	for {
+		rt.mu.Lock()
+		gate := rt.actorGate[actor]
+		rt.mu.Unlock()
+		if gate == nil {
+			return
+		}
+		select {
+		case <-gate:
+		case <-ctx.Done():
+			return
+		}
+	}
 }
 
 // failTask marks every return of a failed task lost and records the error.

@@ -1,0 +1,163 @@
+package scheduler
+
+import (
+	"fmt"
+	"sort"
+
+	"skadi/internal/idgen"
+)
+
+// NodeLoad is one node's load sample, fed to the rebalance planner from
+// the runtime's per-node gauges (resident bytes, queue depth, actors).
+type NodeLoad struct {
+	ID      idgen.NodeID
+	Backend string
+	// ResidentBytes is the node's local object-store usage.
+	ResidentBytes int64
+	// QueueDepth is the node's in-flight task count.
+	QueueDepth int
+	// Actors is the number of actors currently placed on the node.
+	Actors int
+	// DPUProxied marks a Gen-1 node (raylet behind a DPU); the planner
+	// prefers offloading its data to a direct-attached Gen-2 peer of the
+	// same backend, removing per-message DPU hops.
+	DPUProxied bool
+}
+
+// RebalanceConfig tunes the planner.
+type RebalanceConfig struct {
+	// HotFactor marks a node hot when its resident bytes exceed HotFactor ×
+	// the mean across nodes (default 2.0).
+	HotFactor float64
+	// MinBytes suppresses moves smaller than this (migration has fixed
+	// coordination cost; default 1).
+	MinBytes int64
+	// OffloadGen1, when set, also plans Gen-1 → Gen-2 moves: data resident
+	// behind a DPU proxy is shifted to a same-backend direct node even if
+	// the source is not hot.
+	OffloadGen1 bool
+}
+
+// Move reasons.
+const (
+	// ReasonHotSpill drains a node whose resident bytes exceed the hot
+	// threshold toward the coldest peer.
+	ReasonHotSpill = "hot-spill"
+	// ReasonGen1Offload moves data from a DPU-proxied (Gen-1) node to a
+	// direct-attached (Gen-2) node of the same backend.
+	ReasonGen1Offload = "gen1-offload"
+)
+
+// Move is one planned migration: shift Bytes of resident data (and, by
+// policy, the actors pinning it) From → To.
+type Move struct {
+	From, To idgen.NodeID
+	// Bytes is the target volume to move; executors stop once they have
+	// moved at least this much.
+	Bytes  int64
+	Reason string
+}
+
+// String renders the move for logs and traces.
+func (m Move) String() string {
+	return fmt.Sprintf("%s: %s -> %s (%d bytes)", m.Reason, m.From.Short(), m.To.Short(), m.Bytes)
+}
+
+// PlanRebalance computes a deterministic move list from a load sample.
+// Policies, in order:
+//
+//   - gen1-offload (if enabled): every DPU-proxied node with resident data
+//     moves it to the least-loaded direct node with the same backend.
+//   - hot-spill: every node with ResidentBytes > HotFactor × mean moves
+//     its excess over the mean to the coldest node (skipping sources and
+//     Gen-1 nodes, which should not accrete data).
+//
+// The plan is advisory: executors (Runtime.Rebalance) realize each move
+// with live migrations and may stop early. Inputs are sorted internally,
+// so the plan is independent of sample order.
+func PlanRebalance(loads []NodeLoad, cfg RebalanceConfig) []Move {
+	if cfg.HotFactor <= 0 {
+		cfg.HotFactor = 2.0
+	}
+	if cfg.MinBytes <= 0 {
+		cfg.MinBytes = 1
+	}
+	nodes := append([]NodeLoad(nil), loads...)
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID.Less(nodes[j].ID) })
+
+	var moves []Move
+	offloaded := make(map[idgen.NodeID]bool)
+
+	if cfg.OffloadGen1 {
+		for _, src := range nodes {
+			if !src.DPUProxied || src.ResidentBytes < cfg.MinBytes {
+				continue
+			}
+			// Least-loaded direct node on the same backend.
+			best := -1
+			for i, dst := range nodes {
+				if dst.DPUProxied || dst.ID == src.ID || dst.Backend != src.Backend {
+					continue
+				}
+				if best < 0 || dst.ResidentBytes < nodes[best].ResidentBytes ||
+					(dst.ResidentBytes == nodes[best].ResidentBytes && dst.ID.Less(nodes[best].ID)) {
+					best = i
+				}
+			}
+			if best < 0 {
+				continue // no Gen-2 peer of this backend
+			}
+			moves = append(moves, Move{
+				From: src.ID, To: nodes[best].ID,
+				Bytes: src.ResidentBytes, Reason: ReasonGen1Offload,
+			})
+			offloaded[src.ID] = true
+		}
+	}
+
+	// Hot-spill over the remaining population.
+	var sum int64
+	n := 0
+	for _, nd := range nodes {
+		if offloaded[nd.ID] {
+			continue
+		}
+		sum += nd.ResidentBytes
+		n++
+	}
+	if n < 2 {
+		return moves
+	}
+	mean := float64(sum) / float64(n)
+	hot := func(nd NodeLoad) bool {
+		return float64(nd.ResidentBytes) > cfg.HotFactor*mean && nd.ResidentBytes >= cfg.MinBytes
+	}
+	for _, src := range nodes {
+		if offloaded[src.ID] || !hot(src) {
+			continue
+		}
+		excess := src.ResidentBytes - int64(mean)
+		if excess < cfg.MinBytes {
+			continue
+		}
+		// Coldest eligible destination: not hot, not Gen-1, not the source.
+		best := -1
+		for i, dst := range nodes {
+			if dst.ID == src.ID || dst.DPUProxied || offloaded[dst.ID] || hot(dst) {
+				continue
+			}
+			if best < 0 || dst.ResidentBytes < nodes[best].ResidentBytes ||
+				(dst.ResidentBytes == nodes[best].ResidentBytes && dst.ID.Less(nodes[best].ID)) {
+				best = i
+			}
+		}
+		if best < 0 {
+			continue
+		}
+		moves = append(moves, Move{
+			From: src.ID, To: nodes[best].ID,
+			Bytes: excess, Reason: ReasonHotSpill,
+		})
+	}
+	return moves
+}

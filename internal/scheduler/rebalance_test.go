@@ -1,0 +1,149 @@
+package scheduler
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+// loadSet builds n nodes with ascending IDs so tests can reason about
+// tie-breaks deterministically.
+func loadSet(n int) []NodeLoad {
+	out := make([]NodeLoad, n)
+	for i := range out {
+		out[i] = NodeLoad{ID: idgen.Next(), Backend: "cpu"}
+	}
+	return out
+}
+
+func TestPlanRebalanceHotSpill(t *testing.T) {
+	nodes := loadSet(4)
+	nodes[0].ResidentBytes = 1000
+	nodes[1].ResidentBytes = 100
+	nodes[2].ResidentBytes = 50
+	nodes[3].ResidentBytes = 50
+	// mean = 300; node 0 is hot at HotFactor 2 (1000 > 600).
+	moves := PlanRebalance(nodes, RebalanceConfig{})
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want 1", moves)
+	}
+	mv := moves[0]
+	if mv.From != nodes[0].ID || mv.Reason != ReasonHotSpill {
+		t.Errorf("move = %+v, want hot-spill from node 0", mv)
+	}
+	if mv.Bytes != 1000-300 {
+		t.Errorf("Bytes = %d, want excess over mean 700", mv.Bytes)
+	}
+	// Coldest destination wins; the 50/50 tie breaks to the lower ID.
+	wantTo := nodes[2].ID
+	if nodes[3].ID.Less(nodes[2].ID) {
+		wantTo = nodes[3].ID
+	}
+	if mv.To != wantTo {
+		t.Errorf("To = %s, want coldest (lowest-ID on tie) %s", mv.To.Short(), wantTo.Short())
+	}
+}
+
+func TestPlanRebalanceNoHotNodes(t *testing.T) {
+	nodes := loadSet(3)
+	for i := range nodes {
+		nodes[i].ResidentBytes = 100
+	}
+	if moves := PlanRebalance(nodes, RebalanceConfig{}); len(moves) != 0 {
+		t.Errorf("balanced cluster planned moves: %v", moves)
+	}
+	// A single node has no peer to spill to.
+	if moves := PlanRebalance(nodes[:1], RebalanceConfig{}); len(moves) != 0 {
+		t.Errorf("single node planned moves: %v", moves)
+	}
+	if moves := PlanRebalance(nil, RebalanceConfig{}); len(moves) != 0 {
+		t.Errorf("empty sample planned moves: %v", moves)
+	}
+}
+
+func TestPlanRebalanceMinBytes(t *testing.T) {
+	nodes := loadSet(2)
+	nodes[0].ResidentBytes = 10
+	nodes[1].ResidentBytes = 0
+	// Node 0 is hot (10 > 2×5) but the excess (5) is below MinBytes.
+	if moves := PlanRebalance(nodes, RebalanceConfig{MinBytes: 64}); len(moves) != 0 {
+		t.Errorf("sub-threshold excess planned moves: %v", moves)
+	}
+}
+
+func TestPlanRebalanceGen1Offload(t *testing.T) {
+	nodes := loadSet(4)
+	nodes[0].DPUProxied = true
+	nodes[0].ResidentBytes = 500
+	nodes[1].ResidentBytes = 450
+	nodes[2].ResidentBytes = 400
+	nodes[3].Backend = "gpu"
+
+	// Off by default: the Gen-1 node is not hot, so no moves.
+	if moves := PlanRebalance(nodes, RebalanceConfig{}); len(moves) != 0 {
+		t.Errorf("offload planned without OffloadGen1: %v", moves)
+	}
+
+	moves := PlanRebalance(nodes, RebalanceConfig{OffloadGen1: true})
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want 1", moves)
+	}
+	mv := moves[0]
+	if mv.Reason != ReasonGen1Offload || mv.From != nodes[0].ID {
+		t.Errorf("move = %+v, want gen1-offload from node 0", mv)
+	}
+	if mv.To != nodes[2].ID {
+		t.Errorf("To = %s, want least-loaded same-backend direct node %s", mv.To.Short(), nodes[2].ID.Short())
+	}
+	if mv.Bytes != 500 {
+		t.Errorf("Bytes = %d, want the full resident set 500", mv.Bytes)
+	}
+}
+
+func TestPlanRebalanceGen1NoPeer(t *testing.T) {
+	nodes := loadSet(2)
+	nodes[0].DPUProxied = true
+	nodes[0].ResidentBytes = 500
+	nodes[1].Backend = "gpu"
+	// Only a GPU direct node exists; the cpu Gen-1 node has no target.
+	if moves := PlanRebalance(nodes, RebalanceConfig{OffloadGen1: true}); len(moves) != 0 {
+		t.Errorf("offload with no same-backend peer planned moves: %v", moves)
+	}
+}
+
+func TestPlanRebalanceHotSpillSkipsGen1Dest(t *testing.T) {
+	nodes := loadSet(3)
+	nodes[0].ResidentBytes = 1000
+	nodes[1].ResidentBytes = 0
+	nodes[1].DPUProxied = true
+	nodes[2].ResidentBytes = 100
+	moves := PlanRebalance(nodes, RebalanceConfig{})
+	if len(moves) != 1 || moves[0].To != nodes[2].ID {
+		t.Fatalf("moves = %v, want single spill to the direct node %s", moves, nodes[2].ID.Short())
+	}
+}
+
+func TestPlanRebalanceOrderIndependent(t *testing.T) {
+	nodes := loadSet(6)
+	for i := range nodes {
+		nodes[i].ResidentBytes = int64(i * 100)
+	}
+	nodes[5].ResidentBytes = 5000
+	nodes[1].DPUProxied = true
+	nodes[1].ResidentBytes = 300
+	cfg := RebalanceConfig{OffloadGen1: true}
+	want := PlanRebalance(nodes, cfg)
+	if len(want) == 0 {
+		t.Fatal("expected a non-empty plan")
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		shuffled := append([]NodeLoad(nil), nodes...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := PlanRebalance(shuffled, cfg); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: plan depends on input order:\n got %v\nwant %v", trial, got, want)
+		}
+	}
+}

@@ -54,6 +54,18 @@ const (
 	KindDPUHop = "dpu-hop"
 	// KindDurable is a fabric transfer bouncing through durable storage.
 	KindDurable = "durable-bounce"
+	// KindMigrateActor covers one live actor migration: freeze → transfer
+	// → install → resume cutover.
+	KindMigrateActor = "migrate-actor"
+	// KindMigrateObject covers one resident-object migration: copy via the
+	// fabric, ownership location move, tombstone-forward on the source.
+	KindMigrateObject = "migrate-object"
+	// KindDecommission is the root span of a node drain: actor and object
+	// migrations appear as its children, so a drain's cost decomposes on
+	// the critical path like any task.
+	KindDecommission = "decommission"
+	// KindRebalance is the root span of a scheduler-driven rebalance pass.
+	KindRebalance = "rebalance"
 )
 
 // SpanContext identifies the current position in a trace; it is what
