@@ -114,25 +114,31 @@ func (m *Migrator) MigrateActor(ctx context.Context, actor idgen.ActorID, from, 
 	}
 	rep.Seq = froze.Seq
 
-	// 2. Transfer: state flows source → destination directly.
-	xferB, err := m.call(ctx, from, raylet.KindMigrateTransfer,
-		raylet.MigrateTransferRequest{Actor: actor, Dest: to})
-	if err != nil {
-		m.rollback(ctx, actor, from)
-		return rep, fmt.Errorf("migrate: transfer %s: %w", actor.Short(), err)
+	// 2. Transfer: state flows source → destination directly. An actor the
+	// source never executed (froze.Known false, e.g. re-pinned after a node
+	// failure but not yet run) has no state worth shipping: the destination
+	// instead gets a *stateless* install, which clears stale migration
+	// leftovers there without marking the actor known — so the actor's
+	// first task at the destination restores the latest head checkpoint
+	// (first-arrival restore) rather than starting from empty state.
+	shipped := false
+	if froze.Known {
+		xferB, err := m.call(ctx, from, raylet.KindMigrateTransfer,
+			raylet.MigrateTransferRequest{Actor: actor, Dest: to})
+		if err != nil {
+			m.rollback(ctx, actor, from)
+			return rep, fmt.Errorf("migrate: transfer %s: %w", actor.Short(), err)
+		}
+		var xfer raylet.MigrateTransferResponse
+		if err := transport.Decode(xferB, &xfer); err != nil {
+			m.rollback(ctx, actor, from)
+			return rep, err
+		}
+		rep.Bytes = xfer.Bytes
+		shipped = xfer.Found
 	}
-	var xfer raylet.MigrateTransferResponse
-	if err := transport.Decode(xferB, &xfer); err != nil {
-		m.rollback(ctx, actor, from)
-		return rep, err
-	}
-	rep.Bytes = xfer.Bytes
-	if !xfer.Found {
-		// The source has no state (actor never ran there). Install an empty
-		// state at the destination so the actor exists there, then cut over:
-		// first-arrival checkpoint restore at the destination covers the
-		// rest.
-		install := raylet.MigrateInstallRequest{Actor: actor, Seq: froze.Seq}
+	if !shipped {
+		install := raylet.MigrateInstallRequest{Actor: actor, Stateless: true}
 		if _, err := m.call(ctx, to, raylet.KindMigrateInstall, install); err != nil {
 			m.rollback(ctx, actor, from)
 			return rep, fmt.Errorf("migrate: install %s at %s: %w", actor.Short(), to.Short(), err)

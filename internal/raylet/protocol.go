@@ -237,10 +237,15 @@ type MigrateTransferResponse struct {
 }
 
 // MigrateInstallRequest delivers actor state to the destination raylet.
+// Stateless marks a migration of an actor the source never executed: the
+// destination clears stale migration leftovers (tombstone, old lock/state
+// entries) but does NOT mark the actor known, so the actor's first task
+// there still restores the latest head checkpoint (first-arrival restore).
 type MigrateInstallRequest struct {
-	Actor idgen.ActorID
-	Seq   uint64
-	State map[string][]byte
+	Actor     idgen.ActorID
+	Seq       uint64
+	State     map[string][]byte
+	Stateless bool
 }
 
 // MigrateResumeRequest finishes a migration on the source raylet.

@@ -132,12 +132,12 @@ type Raylet struct {
 	// tombstones: tasks arriving after commit bounce back with
 	// ExecResponse.ActorMovedTo instead of executing against dropped state.
 	frozenActors map[idgen.ActorID]chan struct{}
-	movedActors  map[idgen.ActorID]idgen.NodeID
+	movedActors  map[idgen.ActorID]forwardEntry
 
 	// migMu guards movedObjects, the tombstone-forward map stale readers
 	// resolve through after an object migrates away (GetResponse.MovedTo).
 	migMu        sync.Mutex
-	movedObjects map[idgen.ObjectID]idgen.NodeID
+	movedObjects map[idgen.ObjectID]forwardEntry
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -165,8 +165,8 @@ func New(cfg Config) (*Raylet, error) {
 		actorSeqs:   make(map[idgen.ActorID]uint64),
 
 		frozenActors: make(map[idgen.ActorID]chan struct{}),
-		movedActors:  make(map[idgen.ActorID]idgen.NodeID),
-		movedObjects: make(map[idgen.ObjectID]idgen.NodeID),
+		movedActors:  make(map[idgen.ActorID]forwardEntry),
+		movedObjects: make(map[idgen.ObjectID]forwardEntry),
 	}
 	for i := 0; i < cfg.Slots; i++ {
 		r.slots <- struct{}{}
@@ -257,12 +257,18 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 		if err != nil {
 			// Tombstone-forward: the copy migrated away; tell the reader
 			// where instead of erroring, so in-flight pulls racing a live
-			// migration resolve without a retry loop.
+			// migration resolve without a retry loop. An expired tombstone
+			// errors instead; the reader then falls back to the ownership
+			// table's forwarding entry (queryForward).
 			r.migMu.Lock()
-			to, moved := r.movedObjects[req.ID]
+			fwd, moved := r.movedObjects[req.ID]
+			if moved && time.Now().After(fwd.expires) {
+				delete(r.movedObjects, req.ID)
+				moved = false
+			}
 			r.migMu.Unlock()
 			if moved {
-				return transport.Encode(GetResponse{MovedTo: to})
+				return transport.Encode(GetResponse{MovedTo: fwd.to})
 			}
 			return nil, err
 		}
@@ -327,6 +333,34 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 	}
 }
 
+// forwardEntry is one cutover tombstone: where the actor/object went, and
+// when the entry may be dropped. Tombstones only serve requests that were
+// already in flight at cutover (everything dispatched afterwards targets
+// the new location), so they expire after tombstoneTTL — far longer than
+// any RPC stays in flight — instead of accumulating one entry per
+// migration for the raylet's lifetime. Expired object reads fall back to
+// the ownership table's forwarding entries (queryForward).
+type forwardEntry struct {
+	to      idgen.NodeID
+	expires time.Time
+}
+
+const tombstoneTTL = time.Minute
+
+// movedActorTo returns the live cutover tombstone for an actor, dropping
+// it if expired. Caller holds actorsMu.
+func (r *Raylet) movedActorTo(a idgen.ActorID) (idgen.NodeID, bool) {
+	fwd, ok := r.movedActors[a]
+	if !ok {
+		return idgen.Nil, false
+	}
+	if time.Now().After(fwd.expires) {
+		delete(r.movedActors, a)
+		return idgen.Nil, false
+	}
+	return fwd.to, true
+}
+
 // migrateFreeze pauses an actor: admission is gated on a freeze channel,
 // then the handler acquires (and releases) the per-actor lock so the
 // currently running task, if any, completes before the response. Queued
@@ -335,17 +369,19 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 func (r *Raylet) migrateFreeze(req *MigrateFreezeRequest) ([]byte, error) {
 	r.actorsMu.Lock()
 	lock, known := r.actorLocks[req.Actor]
-	if !known {
-		// Never ran here; still install the gate so nothing starts while
-		// the migration is in flight.
-		lock = &sync.Mutex{}
-		r.actorLocks[req.Actor] = lock
-		r.actorStates[req.Actor] = make(map[string][]byte)
-	}
 	if _, frozen := r.frozenActors[req.Actor]; !frozen {
 		r.frozenActors[req.Actor] = make(chan struct{})
 	}
 	r.actorsMu.Unlock()
+	if !known {
+		// Never ran here (e.g. re-pinned after a node failure but not yet
+		// executed): only the admission gate goes up. Deliberately no lock
+		// or state entry — pre-registering the actor would make the
+		// transfer ship empty state as if it were real, and the install at
+		// the destination would then suppress the first-arrival checkpoint
+		// restore there, losing the actor's durable state.
+		return transport.Encode(MigrateFreezeResponse{Known: false})
+	}
 
 	// Wait out the running task; with the gate up nothing new gets in.
 	lock.Lock()
@@ -353,7 +389,7 @@ func (r *Raylet) migrateFreeze(req *MigrateFreezeRequest) ([]byte, error) {
 	seq := r.actorSeqs[req.Actor]
 	r.actorsMu.Unlock()
 	lock.Unlock()
-	return transport.Encode(MigrateFreezeResponse{Seq: seq, Known: known})
+	return transport.Encode(MigrateFreezeResponse{Seq: seq, Known: true})
 }
 
 // migrateTransferActor ships a frozen actor's state directly to the
@@ -393,6 +429,19 @@ func (r *Raylet) migrateTransferActor(ctx context.Context, req *MigrateTransferR
 // cleared: the actor lives here again.
 func (r *Raylet) migrateInstall(req *MigrateInstallRequest) {
 	r.actorsMu.Lock()
+	if req.Stateless {
+		// The source never executed the actor, so there is no state to
+		// adopt. Drop leftovers from an earlier residence (lock/state/seq
+		// entries and the tombstone) WITHOUT marking the actor known, so
+		// its next task here takes the first-arrival checkpoint-restore
+		// path instead of starting from empty state.
+		delete(r.actorLocks, req.Actor)
+		delete(r.actorStates, req.Actor)
+		delete(r.actorSeqs, req.Actor)
+		delete(r.movedActors, req.Actor)
+		r.actorsMu.Unlock()
+		return
+	}
 	if _, ok := r.actorLocks[req.Actor]; !ok {
 		r.actorLocks[req.Actor] = &sync.Mutex{}
 	}
@@ -408,15 +457,24 @@ func (r *Raylet) migrateInstall(req *MigrateInstallRequest) {
 }
 
 // migrateResume finishes a migration on the source. Commit installs the
-// cutover tombstone and drops the shipped state; rollback just lifts the
-// gate. Either way parked tasks wake: after commit they bounce to the
-// destination, after rollback they run locally.
+// cutover tombstone and drops the shipped state — including the lock
+// entry, so the actor is fully forgotten here (a later migration back
+// re-creates it, and until then first-arrival restore would apply);
+// rollback just lifts the gate. Either way parked tasks wake: after
+// commit they bounce to the destination, after rollback they run locally.
 func (r *Raylet) migrateResume(req *MigrateResumeRequest) {
 	r.actorsMu.Lock()
 	if req.Commit {
-		r.movedActors[req.Actor] = req.Dest
+		now := time.Now()
+		for a, fwd := range r.movedActors {
+			if now.After(fwd.expires) {
+				delete(r.movedActors, a)
+			}
+		}
+		r.movedActors[req.Actor] = forwardEntry{to: req.Dest, expires: now.Add(tombstoneTTL)}
 		delete(r.actorStates, req.Actor)
 		delete(r.actorSeqs, req.Actor)
+		delete(r.actorLocks, req.Actor)
 	}
 	if gate, frozen := r.frozenActors[req.Actor]; frozen {
 		close(gate)
@@ -440,7 +498,13 @@ func (r *Raylet) migrateTransferObject(ctx context.Context, req *MigrateTransfer
 		return nil, fmt.Errorf("raylet: migrate push to %s: %w", req.Dest.Short(), err)
 	}
 	r.migMu.Lock()
-	r.movedObjects[req.Object] = req.Dest
+	now := time.Now()
+	for id, fwd := range r.movedObjects {
+		if now.After(fwd.expires) {
+			delete(r.movedObjects, id)
+		}
+	}
+	r.movedObjects[req.Object] = forwardEntry{to: req.Dest, expires: now.Add(tombstoneTTL)}
 	r.migMu.Unlock()
 	r.cfg.Layer.ForgetLocation(r.cfg.Node, req.Object)
 	_ = r.store.Delete(req.Object)
@@ -603,7 +667,7 @@ func (r *Raylet) execActorTask(ctx context.Context, tctx *task.Context, fn task.
 	// under the lock: a committed cutover bounces the task to the new node.
 	for {
 		r.actorsMu.Lock()
-		if to, moved := r.movedActors[spec.Actor]; moved {
+		if to, moved := r.movedActorTo(spec.Actor); moved {
 			r.actorsMu.Unlock()
 			return nil, &ActorMigratedError{Actor: spec.Actor, To: to}
 		}
@@ -629,7 +693,7 @@ func (r *Raylet) execActorTask(ctx context.Context, tctx *task.Context, fn task.
 		// The freeze/cutover may have slipped in between dropping actorsMu
 		// and acquiring the actor lock; re-validate before running.
 		r.actorsMu.Lock()
-		if to, moved := r.movedActors[spec.Actor]; moved {
+		if to, moved := r.movedActorTo(spec.Actor); moved {
 			r.actorsMu.Unlock()
 			lock.Unlock()
 			return nil, &ActorMigratedError{Actor: spec.Actor, To: to}

@@ -27,16 +27,20 @@ const (
 // MigrateActor live-migrates an actor to an explicit destination node,
 // pausing dispatch for it (no submission is lost) and updating its pin.
 func (rt *Runtime) MigrateActor(ctx context.Context, actor idgen.ActorID, to idgen.NodeID) (migrate.ActorReport, error) {
+	// The placement read, the gate check, and the gate install must share
+	// one critical section: a concurrent MigrateActor completing in between
+	// would leave the placement stale, and the freeze would then target a
+	// raylet the actor no longer lives on (phantom state, bogus tombstone).
 	rt.mu.Lock()
 	p, known := rt.actorLoc[actor]
-	rt.mu.Unlock()
 	if !known {
+		rt.mu.Unlock()
 		return migrate.ActorReport{}, fmt.Errorf("runtime: unknown actor %s", actor.Short())
 	}
 	if p.node == to {
+		rt.mu.Unlock()
 		return migrate.ActorReport{Actor: actor, From: p.node, To: to}, nil
 	}
-	rt.mu.Lock()
 	if _, ok := rt.raylets[to]; !ok {
 		rt.mu.Unlock()
 		return migrate.ActorReport{}, fmt.Errorf("runtime: no raylet on destination %s", to.Short())
@@ -106,7 +110,10 @@ type DecommissionReport struct {
 //
 // EC shards and DSM-spilled data are not migrated: shards are redundant by
 // construction and DSM survives the node. On any error the node is left
-// cordoned-but-alive (scheduling disabled), never half-dead.
+// cordoned-but-alive: withdrawn from scheduling, raylet still serving its
+// remaining data, never half-dead. It is not returned to service — new
+// work must not land on a node being evacuated; retry Decommission to
+// finish the drain (already-moved actors/objects are not moved twice).
 func (rt *Runtime) Decommission(ctx context.Context, node idgen.NodeID) (DecommissionReport, error) {
 	start := time.Now()
 	rep := DecommissionReport{Node: node}
@@ -148,13 +155,11 @@ func (rt *Runtime) Decommission(ctx context.Context, node idgen.NodeID) (Decommi
 		probe.Backend = backend
 		dest, err := rt.Sched.Pick(probe)
 		if err != nil {
-			rt.Sched.SetAlive(node, true)
 			return rep, fmt.Errorf("runtime: no destination for actor %s (%s): %w", actor.Short(), backend, err)
 		}
 		rt.Sched.Finished(dest)
 		arep, err := rt.MigrateActor(ctx, actor, dest)
 		if err != nil {
-			rt.Sched.SetAlive(node, true)
 			return rep, fmt.Errorf("runtime: draining actor %s: %w", actor.Short(), err)
 		}
 		rep.ActorsMoved++
@@ -166,7 +171,6 @@ func (rt *Runtime) Decommission(ctx context.Context, node idgen.NodeID) (Decommi
 	for rt.Sched.Inflight(node) != 0 {
 		select {
 		case <-ctx.Done():
-			rt.Sched.SetAlive(node, true)
 			return rep, ctx.Err()
 		case <-time.After(time.Millisecond):
 		}
@@ -185,7 +189,6 @@ func (rt *Runtime) Decommission(ctx context.Context, node idgen.NodeID) (Decommi
 			orep, err := rt.migrator.MigrateObject(ctx, id, node, targets[i%len(targets)])
 			i++
 			if err != nil {
-				rt.Sched.SetAlive(node, true)
 				return rep, fmt.Errorf("runtime: draining object %s: %w", id.Short(), err)
 			}
 			if orep.Moved {

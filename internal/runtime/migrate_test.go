@@ -246,6 +246,67 @@ func TestDecommissionStopsNodeAndPreservesData(t *testing.T) {
 	}
 }
 
+// TestMigrateNeverRanActorPreservesCheckpoint covers the failover/drain
+// interleaving: an actor runs (and checkpoints) at A, A dies and the actor
+// is re-pinned to B, and B is migrated away from before the actor's next
+// task runs there. The actor never executed at B, so the migration must
+// not ship B's nonexistent state as if it were real — the actor's first
+// task at the final destination has to restore the head checkpoint, not
+// start over from empty state.
+func TestMigrateNeverRanActorPreservesCheckpoint(t *testing.T) {
+	rt := newMigrateRuntime(t, 4)
+	registerCounter(rt)
+
+	workers := rt.workerServers()
+	src := workers[0]
+	actor, err := rt.CreateActorOn(src, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if got := count(t, rt, actor); got != i {
+			t.Fatalf("pre-failure count %d = %d", i, got)
+		}
+	}
+
+	// Node failure re-pins the actor onto a healthy node; no task runs
+	// there before the drain below.
+	rt.KillNode(src)
+	mid, ok := rt.ActorNode(actor)
+	if !ok || mid == src {
+		t.Fatalf("actor not re-placed after kill: %v on %s", ok, mid.Short())
+	}
+
+	var dst idgen.NodeID
+	for _, w := range rt.workerServers() {
+		if w != mid && w != src {
+			dst = w
+			break
+		}
+	}
+	if dst.IsNil() {
+		t.Fatal("no destination worker available")
+	}
+	rep, err := rt.MigrateActor(context.Background(), actor, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != 0 {
+		t.Errorf("never-ran actor shipped %d bytes of phantom state", rep.Bytes)
+	}
+	if node, _ := rt.ActorNode(actor); node != dst {
+		t.Fatalf("actor pinned to %s, want %s", node.Short(), dst.Short())
+	}
+
+	// First task at the destination: checkpoint restore must still fire.
+	if got := count(t, rt, actor); got != 4 {
+		t.Errorf("count after migrating never-ran actor = %d, want 4 (checkpoint lost)", got)
+	}
+	if got := count(t, rt, actor); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+}
+
 // TestMigrateActorRollback fails the transfer (dead destination) and checks
 // the actor resumes at the source instead of wedging behind the freeze.
 func TestMigrateActorRollback(t *testing.T) {
