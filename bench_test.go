@@ -48,6 +48,7 @@ func BenchmarkE11_GangScheduling(b *testing.B)    { runExperimentBench(b, "e11")
 func BenchmarkE12_PipelineOverlap(b *testing.B)   { runExperimentBench(b, "e12") }
 func BenchmarkE13_Autoscaling(b *testing.B)       { runExperimentBench(b, "e13") }
 func BenchmarkE14_Migration(b *testing.B)         { runExperimentBench(b, "e14") }
+func BenchmarkE15_DataPlane(b *testing.B)         { runExperimentBench(b, "e15") }
 
 // TestE10_CapabilityMatrix asserts Table 1's Skadi row: every capability
 // probe must pass (E10 is a pass/fail matrix, not a timing experiment).

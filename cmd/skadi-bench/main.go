@@ -1,4 +1,4 @@
-// Command skadi-bench runs the reproduction experiments (E1–E14 in
+// Command skadi-bench runs the reproduction experiments (E1–E15 in
 // DESIGN.md's per-experiment index) and prints their tables. Each
 // experiment regenerates one figure or claim of the Skadi paper.
 //
@@ -21,7 +21,7 @@ import (
 
 func main() {
 	var (
-		exps = flag.String("e", "all", "comma-separated experiment ids (e1..e14) or 'all'")
+		exps = flag.String("e", "all", "comma-separated experiment ids (e1..e15) or 'all'")
 		list = flag.Bool("list", false, "list available experiments and exit")
 	)
 	flag.Parse()

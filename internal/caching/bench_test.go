@@ -103,3 +103,79 @@ func BenchmarkECReconstruct(b *testing.B) {
 		})
 	}
 }
+
+func BenchmarkParallelGet(b *testing.B) {
+	b.Run("localSharded", func(b *testing.B) {
+		// Distinct keys from many goroutines: exercises the sharded
+		// directory and RWMutex read path.
+		layer, nodes := benchLayer(b, Config{}, 4)
+		const keys = 1024
+		ids := make([]idgen.ObjectID, keys)
+		for i := range ids {
+			ids[i] = idgen.Next()
+			if err := layer.Put(nodes[0], ids[i], make([]byte, 4<<10), "raw"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.SetBytes(4 << 10)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				if _, _, err := layer.Get(nodes[0], ids[i%keys]); err != nil {
+					b.Fatal(err)
+				}
+				i++
+			}
+		})
+	})
+	b.Run("remoteHotKey", func(b *testing.B) {
+		// One remote key hammered from many goroutines: exercises the
+		// singleflight path (every miss window coalesces).
+		layer, nodes := benchLayer(b, Config{}, 4)
+		id := idgen.Next()
+		if err := layer.Put(nodes[0], id, make([]byte, 64<<10), "raw"); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(64 << 10)
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := layer.Get(nodes[1], id); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+}
+
+func BenchmarkParallelPutReplicate3(b *testing.B) {
+	layer, nodes := benchLayer(b, Config{Mode: ModeReplicate, Replicas: 3}, 8)
+	data := make([]byte, 64<<10)
+	b.SetBytes(64 << 10)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if err := layer.Put(nodes[0], idgen.Next(), data, "raw"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkChunkedRemoteGet4MiB(b *testing.B) {
+	// A 4 MiB remote hit streams over fabric.TransferChunked (16 chunks at
+	// the default 256 KiB chunk size).
+	layer, nodes := benchLayer(b, Config{}, 2)
+	id := idgen.Next()
+	if err := layer.Put(nodes[0], id, make([]byte, 4<<20), "raw"); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(4 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := layer.Get(nodes[1], id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -6,6 +6,12 @@
 // modes: none (lineage handles failures), replication, and Reed–Solomon
 // erasure coding; the lineage-vs-reliable-cache trade-off of §2.1 is
 // exercised by experiment E6.
+//
+// The data plane is parallel end to end (E15): redundancy writes fan out
+// concurrently over a bounded worker pool, remote hits stream over the
+// fabric in pipelined chunks, concurrent fetches of one hot key coalesce
+// into a single transfer, and the directory is hash-sharded so local hits
+// never contend on a global lock.
 package caching
 
 import (
@@ -14,6 +20,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"skadi/internal/dsm"
 	"skadi/internal/erasure"
@@ -72,6 +79,15 @@ var (
 	ErrNoStore = errors.New("caching: node has no registered store")
 )
 
+// defaultFanOut bounds the worker pool for parallel redundancy writes and
+// shard fetches when Config.FanOut is zero.
+const defaultFanOut = 8
+
+// numShards is the directory shard count. 32 shards keep per-shard lock
+// contention negligible for any realistic core count while the fixed array
+// stays small.
+const numShards = 32
+
 // Config configures a Layer.
 type Config struct {
 	Mode Mode
@@ -82,6 +98,10 @@ type Config struct {
 	// CacheOnRead keeps a local copy after a remote Get, so subsequent
 	// reads (and tasks migrated here) hit locally.
 	CacheOnRead bool
+	// FanOut bounds the worker pool that issues replica/shard transfers
+	// concurrently. 0 means defaultFanOut; 1 serializes the writes (the
+	// pre-parallel behaviour, kept measurable for E15).
+	FanOut int
 }
 
 // Stats counts layer activity.
@@ -94,11 +114,34 @@ type Stats struct {
 	Reconstructions  int64
 	ReplicaWrites    int64
 	ShardWrites      int64
+	// CoalescedHits counts Gets that joined another in-flight fetch of the
+	// same key to the same node instead of crossing the fabric themselves.
+	CoalescedHits int64
+	// DegradedPlacements counts redundancy writes that could not spread
+	// over as many distinct nodes as requested (cluster too small, or a
+	// target dropped mid-write with no substitute) — the k+m or R-copy
+	// guarantee is weakened until the data is re-written.
+	DegradedPlacements int64
+}
+
+// counters is the layer's live stats; all fields are atomics so the hot
+// paths never take a lock to count.
+type counters struct {
+	localHits          atomic.Int64
+	remoteHits         atomic.Int64
+	dsmHits            atomic.Int64
+	misses             atomic.Int64
+	bytesTransferred   atomic.Int64
+	reconstructions    atomic.Int64
+	replicaWrites      atomic.Int64
+	shardWrites        atomic.Int64
+	coalescedHits      atomic.Int64
+	degradedPlacements atomic.Int64
 }
 
 type ecInfo struct {
 	shardIDs []idgen.ObjectID
-	nodes    []idgen.NodeID // node of each shard
+	nodes    []idgen.NodeID // node of each shard; Nil marks a failed slot
 	origLen  int
 	format   string
 }
@@ -108,34 +151,72 @@ type storeInfo struct {
 	tier  Tier
 }
 
+// dirShard is one hash shard of the object directory. Each shard has its
+// own lock so directory lookups scale with cores instead of serializing on
+// a layer-global mutex.
+type dirShard struct {
+	mu        sync.RWMutex
+	locations map[idgen.ObjectID]map[idgen.NodeID]bool
+	formats   map[idgen.ObjectID]string
+	inDSM     map[idgen.ObjectID]bool
+	ec        map[idgen.ObjectID]*ecInfo
+}
+
+// flightKey identifies one in-flight non-local fetch: hot-key coalescing is
+// per destination node, since distinct readers' nodes each genuinely need
+// the bytes moved to them.
+type flightKey struct {
+	node idgen.NodeID
+	id   idgen.ObjectID
+}
+
+// flight is one in-flight fetch that concurrent readers share.
+type flight struct {
+	done   chan struct{}
+	data   []byte
+	format string
+	tier   string
+	src    string
+	err    error
+}
+
 // Layer is the cluster-wide caching layer. It is safe for concurrent use.
 type Layer struct {
 	fabric *fabric.Fabric
 	cfg    Config
 	coder  *erasure.Coder
 
-	mu        sync.Mutex
-	stores    map[idgen.NodeID]*storeInfo
-	order     []idgen.NodeID // registration order for deterministic placement
-	pool      *dsm.Pool
-	locations map[idgen.ObjectID]map[idgen.NodeID]bool
-	formats   map[idgen.ObjectID]string
-	inDSM     map[idgen.ObjectID]bool
-	ec        map[idgen.ObjectID]*ecInfo
-	rr        int // round-robin cursor for shard/replica placement
-	stats     Stats
+	// storeMu guards the store table and placement cursor. It is an
+	// RWMutex so the data plane's store lookups never contend with each
+	// other — only AddStore/DropNode take it exclusively.
+	storeMu sync.RWMutex
+	stores  map[idgen.NodeID]*storeInfo
+	order   []idgen.NodeID // registration order for deterministic placement
+	pool    *dsm.Pool
+	rr      int // round-robin cursor for shard/replica placement
+
+	shards [numShards]dirShard
+
+	flightMu sync.Mutex
+	flights  map[flightKey]*flight
+
+	stats counters
 }
 
 // NewLayer returns a caching layer over the given fabric.
 func NewLayer(f *fabric.Fabric, cfg Config) (*Layer, error) {
 	l := &Layer{
-		fabric:    f,
-		cfg:       cfg,
-		stores:    make(map[idgen.NodeID]*storeInfo),
-		locations: make(map[idgen.ObjectID]map[idgen.NodeID]bool),
-		formats:   make(map[idgen.ObjectID]string),
-		inDSM:     make(map[idgen.ObjectID]bool),
-		ec:        make(map[idgen.ObjectID]*ecInfo),
+		fabric:  f,
+		cfg:     cfg,
+		stores:  make(map[idgen.NodeID]*storeInfo),
+		flights: make(map[flightKey]*flight),
+	}
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.locations = make(map[idgen.ObjectID]map[idgen.NodeID]bool)
+		sh.formats = make(map[idgen.ObjectID]string)
+		sh.inDSM = make(map[idgen.ObjectID]bool)
+		sh.ec = make(map[idgen.ObjectID]*ecInfo)
 	}
 	if cfg.Mode == ModeReplicate && cfg.Replicas < 2 {
 		return nil, fmt.Errorf("caching: ModeReplicate needs Replicas >= 2, got %d", cfg.Replicas)
@@ -150,6 +231,35 @@ func NewLayer(f *fabric.Fabric, cfg Config) (*Layer, error) {
 	return l, nil
 }
 
+// shardFor returns the directory shard owning id.
+func (l *Layer) shardFor(id idgen.ObjectID) *dirShard {
+	return &l.shards[id.Seq()%numShards]
+}
+
+// fanOut returns the bounded worker-pool width for parallel writes.
+func (l *Layer) fanOut() int {
+	if l.cfg.FanOut > 0 {
+		return l.cfg.FanOut
+	}
+	return defaultFanOut
+}
+
+// store returns the registered store info for a node, or nil.
+func (l *Layer) store(node idgen.NodeID) *storeInfo {
+	l.storeMu.RLock()
+	si := l.stores[node]
+	l.storeMu.RUnlock()
+	return si
+}
+
+// dsmPool returns the attached DSM pool, or nil.
+func (l *Layer) dsmPool() *dsm.Pool {
+	l.storeMu.RLock()
+	p := l.pool
+	l.storeMu.RUnlock()
+	return p
+}
+
 // AddStore registers a node's object store at the given tier and wires its
 // eviction path into the layer: evicted objects spill to disaggregated
 // memory when a pool is attached, or are dropped (with their location
@@ -158,8 +268,8 @@ func (l *Layer) AddStore(node idgen.NodeID, tier Tier, store *objectstore.Store)
 	store.SetSpill(func(id idgen.ObjectID, data []byte, format string) error {
 		return l.onEvict(node, id, data)
 	})
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.storeMu.Lock()
+	defer l.storeMu.Unlock()
 	if _, ok := l.stores[node]; !ok {
 		l.order = append(l.order, node)
 	}
@@ -170,13 +280,14 @@ func (l *Layer) AddStore(node idgen.NodeID, tier Tier, store *objectstore.Store)
 // and, if this was the last full copy and a DSM pool exists, demote the
 // bytes to disaggregated memory instead of losing them.
 func (l *Layer) onEvict(node idgen.NodeID, id idgen.ObjectID, data []byte) error {
-	l.mu.Lock()
-	if set, ok := l.locations[id]; ok {
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	if set, ok := sh.locations[id]; ok {
 		delete(set, node)
 	}
-	lastCopy := len(l.locations[id]) == 0 && !l.inDSM[id]
-	pool := l.pool
-	l.mu.Unlock()
+	lastCopy := len(sh.locations[id]) == 0 && !sh.inDSM[id]
+	sh.mu.Unlock()
+	pool := l.dsmPool()
 	if !lastCopy || pool == nil {
 		return nil // another copy survives, or nothing to demote to
 	}
@@ -186,41 +297,40 @@ func (l *Layer) onEvict(node idgen.NodeID, id idgen.ObjectID, data []byte) error
 		}
 		return err
 	}
-	l.mu.Lock()
-	l.inDSM[id] = true
-	l.mu.Unlock()
+	sh.mu.Lock()
+	sh.inDSM[id] = true
+	sh.mu.Unlock()
 	return nil
 }
 
 // SetDSM attaches the disaggregated-memory pool as the coldest tier.
 func (l *Layer) SetDSM(pool *dsm.Pool) {
-	l.mu.Lock()
+	l.storeMu.Lock()
 	l.pool = pool
-	l.mu.Unlock()
+	l.storeMu.Unlock()
 }
 
 // NoteLocation records that node's store holds a full copy of id (used by
 // raylets after caching a fetched or pushed object locally), so the layer's
 // directory stays complete and Delete can reclaim every copy.
 func (l *Layer) NoteLocation(node idgen.NodeID, id idgen.ObjectID) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if _, ok := l.stores[node]; !ok {
+	if l.store(node) == nil {
 		return
 	}
-	l.recordLocationLocked(id, node)
+	l.recordLocation(id, node)
 }
 
 // ForgetLocation removes the record that node holds a full copy of id,
 // leaving other copies untouched. Live migration uses it when the source
 // drops its copy after transferring it to the destination.
 func (l *Layer) ForgetLocation(node idgen.NodeID, id idgen.ObjectID) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if set, ok := l.locations[id]; ok {
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if set, ok := sh.locations[id]; ok {
 		delete(set, node)
 		if len(set) == 0 {
-			delete(l.locations, id)
+			delete(sh.locations, id)
 		}
 	}
 }
@@ -228,22 +338,35 @@ func (l *Layer) ForgetLocation(node idgen.NodeID, id idgen.ObjectID) {
 // Store returns the raw object store registered for a node, or nil. Raylets
 // use it for spill wiring.
 func (l *Layer) Store(node idgen.NodeID) *objectstore.Store {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if si, ok := l.stores[node]; ok {
+	if si := l.store(node); si != nil {
 		return si.store
 	}
 	return nil
 }
 
-// recordLocation notes that node holds id. Caller holds mu.
-func (l *Layer) recordLocationLocked(id idgen.ObjectID, node idgen.NodeID) {
-	set, ok := l.locations[id]
+// recordLocation notes that node holds a full copy of id.
+func (l *Layer) recordLocation(id idgen.ObjectID, node idgen.NodeID) {
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	set, ok := sh.locations[id]
 	if !ok {
 		set = make(map[idgen.NodeID]bool)
-		l.locations[id] = set
+		sh.locations[id] = set
 	}
 	set[node] = true
+	sh.mu.Unlock()
+}
+
+// holders returns a snapshot of the nodes recorded as holding id.
+func (l *Layer) holders(id idgen.ObjectID) map[idgen.NodeID]bool {
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	out := make(map[idgen.NodeID]bool, len(sh.locations[id]))
+	for node := range sh.locations[id] {
+		out[node] = true
+	}
+	return out
 }
 
 // Put stores a value under key id from the given node. The primary copy
@@ -270,11 +393,9 @@ func (l *Layer) PutCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID
 
 // putCtx performs the put and reports the tier that took the primary copy.
 func (l *Layer) putCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) (string, error) {
-	l.mu.Lock()
-	si, ok := l.stores[from]
-	pool := l.pool
-	l.mu.Unlock()
-	if !ok {
+	si := l.store(from)
+	pool := l.dsmPool()
+	if si == nil {
 		return "", fmt.Errorf("%w: %s", ErrNoStore, from.Short())
 	}
 
@@ -296,14 +417,17 @@ func (l *Layer) putCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID
 		return tier, err
 	}
 
-	l.mu.Lock()
-	l.formats[id] = format
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	sh.formats[id] = format
+	sh.mu.Unlock()
 	if primaryLocal {
-		l.recordLocationLocked(id, from)
+		l.recordLocation(id, from)
 	} else {
-		l.inDSM[id] = true
+		sh.mu.Lock()
+		sh.inDSM[id] = true
+		sh.mu.Unlock()
 	}
-	l.mu.Unlock()
 
 	switch l.cfg.Mode {
 	case ModeReplicate:
@@ -314,27 +438,109 @@ func (l *Layer) putCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID
 	return tier, nil
 }
 
-// replicate writes Replicas-1 extra copies on other nodes.
-func (l *Layer) replicate(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
-	targets := l.pickNodes(from, l.cfg.Replicas-1)
-	for _, node := range targets {
-		l.fabric.SendCtx(ctx, from, node, len(data))
-		l.mu.Lock()
-		si := l.stores[node]
-		l.mu.Unlock()
-		if err := si.store.Put(id, data, format); err != nil {
-			return fmt.Errorf("caching: replica on %s: %w", node.Short(), err)
-		}
-		l.mu.Lock()
-		l.recordLocationLocked(id, node)
-		l.stats.ReplicaWrites++
-		l.stats.BytesTransferred += int64(len(data))
-		l.mu.Unlock()
+// forEachParallel runs fn(i) for i in [0, n) on a worker pool bounded by
+// FanOut, returning the first error (the remaining work still runs; its
+// successful effects are kept — first-error-wins, successes recorded).
+func (l *Layer) forEachParallel(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
 	}
+	if n == 1 || l.fanOut() == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		return firstErr
+	}
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	sem := make(chan struct{}, l.fanOut())
+	for i := 0; i < n; i++ {
+		sem <- struct{}{} // bound the pool; blocks the spawner, not a worker
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(i); err != nil {
+				errOnce.Do(func() { firstErr = err })
+			}
+		}(i)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// replicate writes Replicas-1 extra copies on other nodes, fanning the
+// transfers out concurrently. With fabric delays on, the put pays
+// ~max(replica cost) instead of the sum (E15).
+func (l *Layer) replicate(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	want := l.cfg.Replicas - 1
+	targets := l.pickNodes(from, want)
+	if len(targets) < want {
+		l.stats.degradedPlacements.Add(1)
+	}
+	return l.forEachParallel(len(targets), func(i int) error {
+		return l.writeReplica(ctx, from, targets[i], id, data, format)
+	})
+}
+
+// writeReplica moves one replica to node and records it. A target dropped
+// since placement (concurrent DropNode) is re-picked rather than
+// dereferenced — the regression the serial path crashed on.
+func (l *Layer) writeReplica(ctx context.Context, from, node idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
+	si := l.store(node)
+	if si == nil {
+		var ok bool
+		node, si, ok = l.repick(from, id)
+		if !ok {
+			l.stats.degradedPlacements.Add(1)
+			return nil // degrade: fewer copies, counted, not a crash
+		}
+	}
+	l.fabric.SendCtx(ctx, from, node, len(data))
+	if err := si.store.Put(id, data, format); err != nil && !errors.Is(err, objectstore.ErrExists) {
+		return fmt.Errorf("caching: replica on %s: %w", node.Short(), err)
+	}
+	l.recordLocation(id, node)
+	if l.store(node) == nil {
+		// The node was dropped while the replica was in flight: DropNode
+		// already scrubbed its locations, so take this one back out rather
+		// than leaving a stale entry pointing at a dead store.
+		l.ForgetLocation(node, id)
+		l.stats.degradedPlacements.Add(1)
+		return nil
+	}
+	l.stats.replicaWrites.Add(1)
+	l.stats.bytesTransferred.Add(int64(len(data)))
 	return nil
 }
 
-// encodeShards writes k+m erasure shards across other nodes.
+// repick finds a substitute replica target: any registered node that is
+// neither the writer nor already recorded as holding id.
+func (l *Layer) repick(exclude idgen.NodeID, id idgen.ObjectID) (idgen.NodeID, *storeInfo, bool) {
+	holders := l.holders(id)
+	l.storeMu.RLock()
+	defer l.storeMu.RUnlock()
+	for _, node := range l.order {
+		if node == exclude || holders[node] {
+			continue
+		}
+		if si := l.stores[node]; si != nil {
+			return node, si, true
+		}
+	}
+	return idgen.Nil, nil, false
+}
+
+// encodeShards writes k+m erasure shards across other nodes, fanning the
+// shard transfers out concurrently. Placement is node-disjoint whenever the
+// cluster has enough nodes; a shortfall (shards forced to share nodes,
+// weakening the k+m guarantee) is surfaced via DegradedPlacements.
 func (l *Layer) encodeShards(ctx context.Context, from idgen.NodeID, id idgen.ObjectID, data []byte, format string) error {
 	shards := l.coder.Split(data)
 	if err := l.coder.Encode(shards); err != nil {
@@ -345,35 +551,57 @@ func (l *Layer) encodeShards(ctx context.Context, from idgen.NodeID, id idgen.Ob
 	if len(targets) == 0 {
 		return fmt.Errorf("caching: no nodes available for EC shards")
 	}
-	info := &ecInfo{origLen: len(data), format: format}
-	for i, shard := range shards {
+	if len(targets) < n {
+		l.stats.degradedPlacements.Add(1)
+	}
+	info := &ecInfo{
+		origLen:  len(data),
+		format:   format,
+		shardIDs: make([]idgen.ObjectID, n),
+		nodes:    make([]idgen.NodeID, n),
+	}
+	err := l.forEachParallel(n, func(i int) error {
 		node := targets[i%len(targets)]
+		si := l.store(node)
+		if si == nil {
+			// Target dropped since placement: substitute any node not yet
+			// holding a shard of this object, or skip the slot (Nil node;
+			// reconstruct tolerates missing shards up to parity).
+			var ok bool
+			node, si, ok = l.repick(from, id)
+			if !ok {
+				l.stats.degradedPlacements.Add(1)
+				return nil
+			}
+		}
 		shardID := idgen.Next()
-		l.fabric.SendCtx(ctx, from, node, len(shard))
-		l.mu.Lock()
-		si := l.stores[node]
-		l.mu.Unlock()
-		if err := si.store.Put(shardID, shard, "ec-shard"); err != nil {
+		l.fabric.SendCtx(ctx, from, node, len(shards[i]))
+		if err := si.store.Put(shardID, shards[i], "ec-shard"); err != nil {
 			return fmt.Errorf("caching: shard %d on %s: %w", i, node.Short(), err)
 		}
-		info.shardIDs = append(info.shardIDs, shardID)
-		info.nodes = append(info.nodes, node)
-		l.mu.Lock()
-		l.stats.ShardWrites++
-		l.stats.BytesTransferred += int64(len(shard))
-		l.mu.Unlock()
+		info.shardIDs[i] = shardID // distinct slot per worker: no lock needed
+		info.nodes[i] = node
+		l.stats.shardWrites.Add(1)
+		l.stats.bytesTransferred.Add(int64(len(shards[i])))
+		return nil
+	})
+	if err != nil {
+		return err
 	}
-	l.mu.Lock()
-	l.ec[id] = info
-	l.mu.Unlock()
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	sh.ec[id] = info
+	sh.mu.Unlock()
 	return nil
 }
 
-// pickNodes returns up to n nodes other than exclude, round-robin over the
-// registration order for deterministic yet spread placement.
+// pickNodes returns up to n distinct nodes other than exclude, round-robin
+// over the registration order for deterministic yet spread placement. Fewer
+// than n are returned when the cluster is too small; callers surface that
+// via the DegradedPlacements counter.
 func (l *Layer) pickNodes(exclude idgen.NodeID, n int) []idgen.NodeID {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.storeMu.Lock()
+	defer l.storeMu.Unlock()
 	var out []idgen.NodeID
 	if len(l.order) == 0 {
 		return out
@@ -396,7 +624,7 @@ func (l *Layer) Get(to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) 
 
 // GetCtx is Get with trace annotation: the read is recorded as a
 // cache-get span carrying the tier that served it (dram/hbm/disagg) and
-// the source path (local, remote, dsm, or ec reconstruction).
+// the source path (local, remote, dsm, ec reconstruction, or coalesced).
 func (l *Layer) GetCtx(ctx context.Context, to idgen.NodeID, id idgen.ObjectID) ([]byte, string, error) {
 	ctx, sp := trace.Start(ctx, trace.KindCacheGet, to)
 	data, format, tier, src, err := l.getCtx(ctx, to, id)
@@ -416,64 +644,103 @@ func (l *Layer) GetCtx(ctx context.Context, to idgen.NodeID, id idgen.ObjectID) 
 }
 
 // getCtx performs the read and reports the serving tier and source path.
+// Local hits are served lock-free of the directory; non-local fetches of
+// the same key to the same node coalesce into one fabric transfer.
 func (l *Layer) getCtx(ctx context.Context, to idgen.NodeID, id idgen.ObjectID) ([]byte, string, string, string, error) {
-	l.mu.Lock()
-	si, hasStore := l.stores[to]
-	locs := l.locations[id]
-	format := l.formats[id]
-	pool := l.pool
-	inDSM := l.inDSM[id]
-	info := l.ec[id]
-	cacheOnRead := l.cfg.CacheOnRead
-	l.mu.Unlock()
+	si := l.store(to)
 
 	// 1. Local store.
-	if hasStore {
+	if si != nil {
 		if data, f, err := si.store.Get(id); err == nil {
-			l.mu.Lock()
-			l.stats.LocalHits++
-			l.mu.Unlock()
+			l.stats.localHits.Add(1)
 			return data, f, si.tier.String(), "local", nil
 		}
 	}
 
-	// 2. Remote replica: pick the cheapest location by fabric cost.
-	var best idgen.NodeID
-	bestSet := false
-	for node := range locs {
-		if node == to {
-			continue // stale: local store said no
+	// Non-local: singleflight. The first reader becomes the leader and
+	// performs the fetch (and the CacheOnRead local fill); concurrent
+	// readers on the same node share its result — one fabric transfer for
+	// a hot key, not N.
+	key := flightKey{node: to, id: id}
+	l.flightMu.Lock()
+	if fl, inFlight := l.flights[key]; inFlight {
+		l.flightMu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return nil, "", "", "", ctx.Err()
 		}
-		if !bestSet || l.fabric.Cost(node, to, 0) < l.fabric.Cost(best, to, 0) {
-			best, bestSet = node, true
+		if fl.err != nil {
+			return nil, "", "", "", fl.err
+		}
+		l.stats.coalescedHits.Add(1)
+		return fl.data, fl.format, fl.tier, "coalesced", nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	l.flights[key] = fl
+	l.flightMu.Unlock()
+
+	fl.data, fl.format, fl.tier, fl.src, fl.err = l.fetchMiss(ctx, to, id, si)
+
+	l.flightMu.Lock()
+	delete(l.flights, key)
+	l.flightMu.Unlock()
+	close(fl.done)
+	return fl.data, fl.format, fl.tier, fl.src, fl.err
+}
+
+// fetchMiss resolves a local miss: remote replica (cheapest first, streamed
+// in pipelined chunks), disaggregated memory, then EC reconstruction.
+func (l *Layer) fetchMiss(ctx context.Context, to idgen.NodeID, id idgen.ObjectID, si *storeInfo) ([]byte, string, string, string, error) {
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	locs := make([]idgen.NodeID, 0, len(sh.locations[id]))
+	for node := range sh.locations[id] {
+		if node != to { // stale: local store said no
+			locs = append(locs, node)
 		}
 	}
-	if bestSet {
-		l.mu.Lock()
-		remote := l.stores[best]
-		l.mu.Unlock()
-		if remote != nil {
-			if data, f, err := remote.store.Get(id); err == nil {
-				l.fabric.SendCtx(ctx, best, to, len(data))
-				l.mu.Lock()
-				l.stats.RemoteHits++
-				l.stats.BytesTransferred += int64(len(data))
-				l.mu.Unlock()
-				l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, f)
-				return data, f, remote.tier.String(), "remote", nil
-			}
+	format := sh.formats[id]
+	inDSM := sh.inDSM[id]
+	info := sh.ec[id]
+	sh.mu.RUnlock()
+	cacheOnRead := l.cfg.CacheOnRead
+	hasStore := si != nil
+
+	// 2. Remote replica: cheapest location by fabric cost first, falling
+	// through to the next on a stale entry.
+	sort.Slice(locs, func(i, j int) bool {
+		ci, cj := l.fabric.Cost(locs[i], to, 0), l.fabric.Cost(locs[j], to, 0)
+		if ci != cj {
+			return ci < cj
 		}
+		return locs[i].Less(locs[j])
+	})
+	for _, node := range locs {
+		remote := l.store(node)
+		if remote == nil {
+			continue
+		}
+		data, f, err := remote.store.Get(id)
+		if err != nil {
+			continue
+		}
+		l.fabric.TransferChunkedCtx(ctx, node, to, len(data))
+		l.stats.remoteHits.Add(1)
+		l.stats.bytesTransferred.Add(int64(len(data)))
+		l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, f)
+		return data, f, remote.tier.String(), "remote", nil
 	}
 
 	// 3. Disaggregated memory.
-	if inDSM && pool != nil {
-		if data, err := pool.Read(to, id); err == nil {
-			l.mu.Lock()
-			l.stats.DSMHits++
-			l.stats.BytesTransferred += int64(len(data))
-			l.mu.Unlock()
-			l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, format)
-			return data, format, DisaggMem.String(), "dsm", nil
+	if inDSM {
+		if pool := l.dsmPool(); pool != nil {
+			if data, err := pool.Read(to, id); err == nil {
+				l.stats.dsmHits.Add(1)
+				l.stats.bytesTransferred.Add(int64(len(data)))
+				l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, format)
+				return data, format, DisaggMem.String(), "dsm", nil
+			}
 		}
 	}
 
@@ -481,17 +748,13 @@ func (l *Layer) getCtx(ctx context.Context, to idgen.NodeID, id idgen.ObjectID) 
 	if info != nil {
 		data, err := l.reconstruct(ctx, to, info)
 		if err == nil {
-			l.mu.Lock()
-			l.stats.Reconstructions++
-			l.mu.Unlock()
+			l.stats.reconstructions.Add(1)
 			l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, info.format)
 			return data, info.format, "", "ec", nil
 		}
 	}
 
-	l.mu.Lock()
-	l.stats.Misses++
-	l.mu.Unlock()
+	l.stats.misses.Add(1)
 	return nil, "", "", "", fmt.Errorf("%w: %s", ErrNotFound, id.Short())
 }
 
@@ -500,39 +763,47 @@ func (l *Layer) maybeCacheLocal(enabled, hasStore bool, si *storeInfo, to idgen.
 		return
 	}
 	if err := si.store.Put(id, data, format); err == nil {
-		l.mu.Lock()
-		l.recordLocationLocked(id, to)
-		l.mu.Unlock()
+		l.recordLocation(id, to)
 	}
 }
 
-// reconstruct rebuilds a value from its surviving EC shards, paying the
-// fabric cost of fetching k shards.
+// reconstruct rebuilds a value from its surviving EC shards, fetching the
+// k needed shards over the fabric in parallel.
 func (l *Layer) reconstruct(ctx context.Context, to idgen.NodeID, info *ecInfo) ([]byte, error) {
 	k := l.coder.DataShards()
 	total := k + l.coder.ParityShards()
 	shards := make([][]byte, total)
-	got := 0
-	for i, shardID := range info.shardIDs {
-		if got >= k && i >= k {
-			break // have enough data+early shards
+
+	// Select the first k surviving shards (control path: store reads are
+	// local to their node), then pay the k fabric moves concurrently.
+	type fetch struct {
+		idx  int
+		node idgen.NodeID
+		data []byte
+	}
+	var fetches []fetch
+	for i := 0; i < len(info.shardIDs) && len(fetches) < k; i++ {
+		if info.nodes[i].IsNil() {
+			continue // slot skipped at write time (degraded placement)
 		}
-		l.mu.Lock()
-		si := l.stores[info.nodes[i]]
-		l.mu.Unlock()
+		si := l.store(info.nodes[i])
 		if si == nil {
 			continue
 		}
-		data, _, err := si.store.Get(shardID)
+		data, _, err := si.store.Get(info.shardIDs[i])
 		if err != nil {
 			continue
 		}
-		l.fabric.SendCtx(ctx, info.nodes[i], to, len(data))
-		l.mu.Lock()
-		l.stats.BytesTransferred += int64(len(data))
-		l.mu.Unlock()
-		shards[i] = data
-		got++
+		fetches = append(fetches, fetch{idx: i, node: info.nodes[i], data: data})
+	}
+	if err := l.forEachParallel(len(fetches), func(i int) error {
+		f := fetches[i]
+		l.fabric.SendCtx(ctx, f.node, to, len(f.data))
+		l.stats.bytesTransferred.Add(int64(len(f.data)))
+		shards[f.idx] = f.data
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	if err := l.coder.Reconstruct(shards); err != nil {
 		return nil, err
@@ -542,59 +813,70 @@ func (l *Layer) reconstruct(ctx context.Context, to idgen.NodeID, info *ecInfo) 
 
 // Contains reports whether id is readable by some path, without moving data.
 func (l *Layer) Contains(id idgen.ObjectID) bool {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if set, ok := l.locations[id]; ok && len(set) > 0 {
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if set, ok := sh.locations[id]; ok && len(set) > 0 {
 		return true
 	}
-	if l.inDSM[id] {
+	if sh.inDSM[id] {
 		return true
 	}
-	_, ok := l.ec[id]
+	_, ok := sh.ec[id]
 	return ok
 }
 
 // Locations returns the nodes currently recorded as holding a full copy,
 // sorted for determinism.
 func (l *Layer) Locations(id idgen.ObjectID) []idgen.NodeID {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	out := make([]idgen.NodeID, 0, len(l.locations[id]))
-	for node := range l.locations[id] {
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	out := make([]idgen.NodeID, 0, len(sh.locations[id]))
+	for node := range sh.locations[id] {
 		out = append(out, node)
 	}
+	sh.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
 	return out
 }
 
-// Delete removes every copy, shard, and DSM entry for id.
+// Delete removes every copy, shard, and DSM entry for id. The stores to
+// touch are snapshotted under the locks, so a concurrent AddStore/DropNode
+// does not race the map iteration.
 func (l *Layer) Delete(id idgen.ObjectID) {
-	l.mu.Lock()
-	locs := l.locations[id]
-	info := l.ec[id]
-	pool := l.pool
-	inDSM := l.inDSM[id]
-	delete(l.locations, id)
-	delete(l.formats, id)
-	delete(l.inDSM, id)
-	delete(l.ec, id)
-	stores := l.stores
-	l.mu.Unlock()
+	sh := l.shardFor(id)
+	sh.mu.Lock()
+	locs := make([]idgen.NodeID, 0, len(sh.locations[id]))
+	for node := range sh.locations[id] {
+		locs = append(locs, node)
+	}
+	info := sh.ec[id]
+	inDSM := sh.inDSM[id]
+	delete(sh.locations, id)
+	delete(sh.formats, id)
+	delete(sh.inDSM, id)
+	delete(sh.ec, id)
+	sh.mu.Unlock()
 
-	for node := range locs {
-		if si, ok := stores[node]; ok {
+	for _, node := range locs {
+		if si := l.store(node); si != nil {
 			_ = si.store.Delete(id)
 		}
 	}
 	if info != nil {
 		for i, shardID := range info.shardIDs {
-			if si, ok := stores[info.nodes[i]]; ok {
+			if info.nodes[i].IsNil() {
+				continue
+			}
+			if si := l.store(info.nodes[i]); si != nil {
 				_ = si.store.Delete(shardID)
 			}
 		}
 	}
-	if inDSM && pool != nil {
-		_ = pool.Free(id)
+	if inDSM {
+		if pool := l.dsmPool(); pool != nil {
+			_ = pool.Free(id)
+		}
 	}
 }
 
@@ -602,8 +884,7 @@ func (l *Layer) Delete(id idgen.ObjectID) {
 // Keys whose only copy lived there become reconstructable (EC), readable
 // from a replica, or lost (lineage's job).
 func (l *Layer) DropNode(node idgen.NodeID) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
+	l.storeMu.Lock()
 	delete(l.stores, node)
 	for i, id := range l.order {
 		if id == node {
@@ -611,30 +892,50 @@ func (l *Layer) DropNode(node idgen.NodeID) {
 			break
 		}
 	}
-	for _, set := range l.locations {
-		delete(set, node)
+	l.storeMu.Unlock()
+	for i := range l.shards {
+		sh := &l.shards[i]
+		sh.mu.Lock()
+		for _, set := range sh.locations {
+			delete(set, node)
+		}
+		sh.mu.Unlock()
 	}
 }
 
 // Stats returns a snapshot of activity counters.
 func (l *Layer) Stats() Stats {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.stats
+	return Stats{
+		LocalHits:          l.stats.localHits.Load(),
+		RemoteHits:         l.stats.remoteHits.Load(),
+		DSMHits:            l.stats.dsmHits.Load(),
+		Misses:             l.stats.misses.Load(),
+		BytesTransferred:   l.stats.bytesTransferred.Load(),
+		Reconstructions:    l.stats.reconstructions.Load(),
+		ReplicaWrites:      l.stats.replicaWrites.Load(),
+		ShardWrites:        l.stats.shardWrites.Load(),
+		CoalescedHits:      l.stats.coalescedHits.Load(),
+		DegradedPlacements: l.stats.degradedPlacements.Load(),
+	}
 }
 
 // StorageBytes returns the total bytes resident across all registered
 // stores plus the DSM pool — the denominator of the E6 storage-overhead
 // comparison.
 func (l *Layer) StorageBytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var total int64
+	l.storeMu.RLock()
+	stores := make([]*storeInfo, 0, len(l.stores))
 	for _, si := range l.stores {
+		stores = append(stores, si)
+	}
+	pool := l.pool
+	l.storeMu.RUnlock()
+	var total int64
+	for _, si := range stores {
 		total += si.store.Used()
 	}
-	if l.pool != nil {
-		total += l.pool.Used()
+	if pool != nil {
+		total += pool.Used()
 	}
 	return total
 }

@@ -71,8 +71,10 @@ func (p *Pool) Write(from idgen.NodeID, id idgen.ObjectID, data []byte) error {
 	p.used += int64(len(cp))
 	p.writes++
 	p.mu.Unlock()
-	// Charge the transfer outside the lock: it may sleep.
-	p.fabric.Send(from, p.blade, len(data))
+	// Charge the transfer outside the lock: it may sleep. Demotions stream
+	// in pipelined chunks so a large spill pays one latency, not a
+	// whole-object stall per message.
+	p.fabric.TransferChunked(from, p.blade, len(data))
 	return nil
 }
 
@@ -88,7 +90,8 @@ func (p *Pool) Read(to idgen.NodeID, id idgen.ObjectID) ([]byte, error) {
 	if !ok {
 		return nil, ErrNotFound
 	}
-	p.fabric.Send(p.blade, to, len(data))
+	// Promotions stream back in pipelined chunks (see Write).
+	p.fabric.TransferChunked(p.blade, to, len(data))
 	return data, nil
 }
 

@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 14 {
-		t.Fatalf("registered experiments = %d, want 14: %v", len(ids), ids)
+	if len(ids) != 15 {
+		t.Fatalf("registered experiments = %d, want 15: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)
@@ -253,5 +253,38 @@ func TestE12Runs(t *testing.T) {
 		if float64(futures) > float64(barrier)*1.15 {
 			t.Errorf("depth %s: futures %v slower than barrier %v", row[0], futures, barrier)
 		}
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e15 measures real put wall times")
+	}
+	tbl := runExperiment(t, "e15", 7)
+	ms := func(cell string) float64 {
+		f, err := strconv.ParseFloat(strings.TrimSuffix(cell, " ms"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return f
+	}
+	// Fan-out puts: parallel must beat serial (real-time; allow 10% noise).
+	for _, i := range []int{0, 1} {
+		serial, parallel := ms(tbl.Rows[i][1]), ms(tbl.Rows[i][2])
+		if parallel > serial*0.9 {
+			t.Errorf("%s: parallel %v ms not faster than serial %v ms",
+				tbl.Rows[i][0], parallel, serial)
+		}
+	}
+	// Singleflight: bytes moved are flat in the reader count.
+	oneReader := tbl.Rows[2][2]
+	for _, row := range tbl.Rows[3:6] {
+		if row[2] != oneReader {
+			t.Errorf("%s moved %s, want %s (flat)", row[0], row[2], oneReader)
+		}
+	}
+	// Chunked pipelining: deterministic sim cost, strictly cheaper.
+	if serial, pipelined := ms(tbl.Rows[6][1]), ms(tbl.Rows[6][2]); pipelined >= serial {
+		t.Errorf("chunked move %v ms not cheaper than serial chunks %v ms", pipelined, serial)
 	}
 }

@@ -1,6 +1,7 @@
 package fabric
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 	"time"
@@ -203,6 +204,95 @@ func TestLinkClassString(t *testing.T) {
 	}
 	if LinkClass(42).String() != "link(42)" {
 		t.Errorf("unknown class String = %q", LinkClass(42).String())
+	}
+}
+
+func TestTransferChunkedAccounting(t *testing.T) {
+	f := New(Config{ChunkBytes: 1 << 10})
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 0, Island: -1})
+
+	const size = 10<<10 + 1 // 10 KiB + 1 byte → 11 chunks of 1 KiB
+	d := f.TransferChunked(a, b, size)
+	rack := f.ClassStats(Rack)
+	if rack.Messages != 11 {
+		t.Errorf("messages = %d, want 11 chunks", rack.Messages)
+	}
+	if rack.Bytes != size {
+		t.Errorf("bytes = %d, want %d", rack.Bytes, size)
+	}
+	// Pipelined: one latency + size/bandwidth, same as a single Send —
+	// NOT 11 latencies.
+	if want := f.Cost(a, b, size); d != want {
+		t.Errorf("chunked duration = %v, want pipelined %v", d, want)
+	}
+	if rack.SimTime != d {
+		t.Errorf("sim time = %v, want %v", rack.SimTime, d)
+	}
+}
+
+func TestTransferChunkedBeatsSerialChunks(t *testing.T) {
+	f := New(Config{ChunkBytes: 1 << 10})
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 3, Island: -1}) // Core: 40 µs latency
+
+	const size = 64 << 10 // 64 chunks
+	pipelined := f.TransferChunked(a, b, size)
+	f.ResetStats()
+	var serial time.Duration
+	for sent := 0; sent < size; sent += 1 << 10 {
+		serial += f.Send(a, b, 1<<10)
+	}
+	// Serial per-chunk sends pay 64 latencies; the pipelined stream pays 1.
+	if serial < pipelined+60*DefaultProfiles()[Core].Latency {
+		t.Errorf("serial %v should exceed pipelined %v by ~63 latencies", serial, pipelined)
+	}
+}
+
+func TestTransferChunkedSmallIsOneChunk(t *testing.T) {
+	f := New(Config{})
+	if f.ChunkBytes() != DefaultChunkBytes {
+		t.Errorf("ChunkBytes = %d, want default %d", f.ChunkBytes(), DefaultChunkBytes)
+	}
+	a, b := idgen.Next(), idgen.Next()
+	f.TransferChunked(a, b, 100) // below chunk size → single message
+	if got := f.ClassStats(Core).Messages; got != 1 {
+		t.Errorf("messages = %d, want 1", got)
+	}
+	if got := f.Chunks(DefaultChunkBytes + 1); got != 2 {
+		t.Errorf("Chunks(chunk+1) = %d, want 2", got)
+	}
+}
+
+func TestTransferChunkedDelaysAndCancel(t *testing.T) {
+	f := New(Config{
+		TimeScale:  1.0,
+		ChunkBytes: 1 << 10,
+		Profiles: map[LinkClass]LinkProfile{
+			Core: {Latency: time.Millisecond, Bandwidth: 1e6}, // 1 KiB ≈ 1 ms
+		},
+	})
+	a, b := idgen.Next(), idgen.Next() // unregistered → Core
+
+	start := time.Now()
+	d := f.TransferChunked(a, b, 4<<10) // ≈ 1 ms + 4 ms
+	if elapsed := time.Since(start); elapsed < d/2 {
+		t.Errorf("chunked transfer returned after %v, want ≈%v", elapsed, d)
+	}
+
+	// A cancelled context skips the remaining chunk delays.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start = time.Now()
+	d = f.TransferChunkedCtx(ctx, a, b, 64<<10) // would be ≈ 65 ms
+	if elapsed := time.Since(start); elapsed > d/2 {
+		t.Errorf("cancelled chunked transfer still waited %v of %v", elapsed, d)
+	}
+	// Accounting is still charged in full: the bytes were in flight.
+	if got := f.ClassStats(Core).Bytes; got != 4<<10+64<<10 {
+		t.Errorf("bytes = %d, want full accounting", got)
 	}
 }
 

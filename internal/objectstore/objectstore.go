@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"skadi/internal/idgen"
 )
@@ -43,6 +44,16 @@ type Stats struct {
 	Spills    int64
 }
 
+// counters is the live form of Stats: atomics, so snapshots and bumps on
+// paths that already dropped the store lock never contend on it.
+type counters struct {
+	puts      atomic.Int64
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+	spills    atomic.Int64
+}
+
 type entry struct {
 	id     idgen.ObjectID
 	data   []byte
@@ -59,7 +70,7 @@ type Store struct {
 	entries  map[idgen.ObjectID]*entry
 	lru      *list.List // front = least recently used
 	spill    SpillFunc
-	stats    Stats
+	stats    counters
 }
 
 // New returns a store with the given capacity in bytes. spill may be nil,
@@ -107,7 +118,7 @@ func (s *Store) Put(id idgen.ObjectID, data []byte, format string) error {
 	e.elem = s.lru.PushBack(e)
 	s.entries[id] = e
 	s.used += size
-	s.stats.Puts++
+	s.stats.puts.Add(1)
 	return nil
 }
 
@@ -128,7 +139,7 @@ func (s *Store) makeRoomLocked(size int64) error {
 			if err != nil {
 				return fmt.Errorf("%w: spill failed: %v", ErrOutOfMemory, err)
 			}
-			s.stats.Spills++
+			s.stats.spills.Add(1)
 			// Re-check: the entry may have been deleted or pinned while
 			// the lock was released.
 			if cur, ok := s.entries[victim.id]; !ok || cur != victim || victim.elem == nil {
@@ -138,7 +149,7 @@ func (s *Store) makeRoomLocked(size int64) error {
 		s.lru.Remove(victim.elem)
 		delete(s.entries, victim.id)
 		s.used -= int64(len(victim.data))
-		s.stats.Evictions++
+		s.stats.evictions.Add(1)
 	}
 	return nil
 }
@@ -150,10 +161,10 @@ func (s *Store) Get(id idgen.ObjectID) ([]byte, string, error) {
 	defer s.mu.Unlock()
 	e, ok := s.entries[id]
 	if !ok {
-		s.stats.Misses++
+		s.stats.misses.Add(1)
 		return nil, "", ErrNotFound
 	}
-	s.stats.Hits++
+	s.stats.hits.Add(1)
 	if e.elem != nil {
 		s.lru.MoveToBack(e.elem)
 	}
@@ -261,11 +272,16 @@ func (s *Store) List() []idgen.ObjectID {
 	return out
 }
 
-// Stats returns a snapshot of activity counters.
+// Stats returns a snapshot of activity counters without taking the store
+// lock.
 func (s *Store) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stats
+	return Stats{
+		Puts:      s.stats.puts.Load(),
+		Hits:      s.stats.hits.Load(),
+		Misses:    s.stats.misses.Load(),
+		Evictions: s.stats.evictions.Load(),
+		Spills:    s.stats.spills.Load(),
+	}
 }
 
 // Clear drops every object, including pinned ones. Used by failure

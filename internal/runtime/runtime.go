@@ -361,7 +361,9 @@ func (rt *Runtime) Put(data []byte, format string) (idgen.ObjectID, error) {
 func (rt *Runtime) PutAt(node idgen.NodeID, data []byte, format string) (idgen.ObjectID, error) {
 	id := idgen.Next()
 	if node != rt.driver {
-		rt.Cluster.Fabric.Send(rt.driver, node, len(data))
+		// Bulk placement streams in pipelined chunks: one latency plus the
+		// bandwidth cost, however large the input shard.
+		rt.Cluster.Fabric.TransferChunked(rt.driver, node, len(data))
 	}
 	if err := rt.Layer.Put(node, id, data, format); err != nil {
 		return idgen.Nil, err

@@ -87,7 +87,7 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 	// the caller's context carries a trace; the handler then runs under the
 	// same context, so remote-side spans attach to the caller's trace —
 	// in-process propagation of the TraceID/SpanID pair.
-	t.fabric.SendCtx(ctx, from, to, len(payload)+messageOverhead)
+	t.charge(ctx, from, to, len(payload)+messageOverhead)
 	resp, err := h(ctx, from, kind, payload)
 	if err != nil {
 		// Errors still travel back over the network.
@@ -95,8 +95,20 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 		return nil, &RemoteError{Msg: err.Error()}
 	}
 	// Charge the response path.
-	t.fabric.SendCtx(ctx, to, from, len(resp)+messageOverhead)
+	t.charge(ctx, to, from, len(resp)+messageOverhead)
 	return resp, nil
+}
+
+// charge accounts one message. Bulk payloads (raylet pushes, migration
+// object copies) larger than the fabric's chunk size stream as pipelined
+// chunks instead of one whole-object stall; control messages stay single
+// sends.
+func (t *InProc) charge(ctx context.Context, from, to idgen.NodeID, size int) {
+	if size > t.fabric.ChunkBytes() {
+		t.fabric.TransferChunkedCtx(ctx, from, to, size)
+		return
+	}
+	t.fabric.SendCtx(ctx, from, to, size)
 }
 
 // Close implements Transport.
