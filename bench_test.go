@@ -49,6 +49,7 @@ func BenchmarkE12_PipelineOverlap(b *testing.B)   { runExperimentBench(b, "e12")
 func BenchmarkE13_Autoscaling(b *testing.B)       { runExperimentBench(b, "e13") }
 func BenchmarkE14_Migration(b *testing.B)         { runExperimentBench(b, "e14") }
 func BenchmarkE15_DataPlane(b *testing.B)         { runExperimentBench(b, "e15") }
+func BenchmarkE16_Cancellation(b *testing.B)      { runExperimentBench(b, "e16") }
 
 // TestE10_CapabilityMatrix asserts Table 1's Skadi row: every capability
 // probe must pass (E10 is a pass/fail matrix, not a timing experiment).

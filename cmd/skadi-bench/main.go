@@ -1,15 +1,17 @@
-// Command skadi-bench runs the reproduction experiments (E1–E15 in
+// Command skadi-bench runs the reproduction experiments (E1–E16 in
 // DESIGN.md's per-experiment index) and prints their tables. Each
 // experiment regenerates one figure or claim of the Skadi paper.
 //
 // Usage:
 //
-//	skadi-bench              # run everything
-//	skadi-bench -e e3,e4     # run selected experiments
-//	skadi-bench -list        # list experiments
+//	skadi-bench                            # run everything
+//	skadi-bench -e e3,e4                   # run selected experiments
+//	skadi-bench -e e16 -json BENCH.json    # also write machine-readable results
+//	skadi-bench -list                      # list experiments
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,8 +23,9 @@ import (
 
 func main() {
 	var (
-		exps = flag.String("e", "all", "comma-separated experiment ids (e1..e15) or 'all'")
-		list = flag.Bool("list", false, "list available experiments and exit")
+		exps    = flag.String("e", "all", "comma-separated experiment ids (e1..e16) or 'all'")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		jsonOut = flag.String("json", "", "write the result tables as JSON to this file")
 	)
 	flag.Parse()
 
@@ -43,6 +46,7 @@ func main() {
 	}
 
 	failed := 0
+	var tables []*experiments.Table
 	for _, id := range ids {
 		fn, ok := experiments.Lookup(id)
 		if !ok {
@@ -57,8 +61,21 @@ func main() {
 			failed++
 			continue
 		}
+		tables = append(tables, table)
 		fmt.Print(table.Render())
 		fmt.Printf("   (%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(tables, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshalling results: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d result table(s) to %s\n", len(tables), *jsonOut)
 	}
 	if failed > 0 {
 		os.Exit(1)

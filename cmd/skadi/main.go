@@ -23,6 +23,7 @@ import (
 	"skadi/internal/frontend/mrfe"
 	"skadi/internal/ir"
 	"skadi/internal/runtime"
+	"skadi/internal/task"
 )
 
 func main() {
@@ -135,6 +136,28 @@ func main() {
 	fmt.Printf("  learned w = [%.3f %.3f] (true [2.000 -0.500])\n", w.Data[0], w.Data[1])
 	fmt.Printf("  loss %.4f -> %.6f over %d epochs\n", hist[0], hist[len(hist)-1], len(hist))
 
+	// Cancellation: revoke a small doomed chain so the reclaim counters
+	// have something to account.
+	fmt.Println("\n== cancellation ==")
+	rtm := s.Runtime()
+	rtm.Registry.Register("demo/echo", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		return [][]byte{args[0]}, nil
+	})
+	seed, err := rtm.Put(make([]byte, 64<<10), "raw")
+	if err != nil {
+		log.Fatal(err)
+	}
+	root := task.NewSpec(rtm.Job(), "demo/echo", []task.Arg{task.RefArg(seed)}, 1)
+	rootRefs := rtm.Submit(root)
+	leaf := task.NewSpec(rtm.Job(), "demo/echo", []task.Arg{task.RefArg(rootRefs[0])}, 1)
+	leafRefs := rtm.Submit(leaf)
+	if _, err := rtm.Get(ctx, leafRefs[0]); err != nil {
+		log.Fatal(err)
+	}
+	rep := rtm.Cancel(rootRefs[0])
+	fmt.Printf("revoked a 2-stage chain: %d tasks cancelled, %d workers reclaimed, %.1f KiB freed\n",
+		rep.TasksCancelled, rep.WorkersReclaimed, float64(rep.BytesReclaimed)/(1<<10))
+
 	// Runtime stats.
 	fmt.Println("\n== runtime ==")
 	stats := s.Runtime().FabricStats()
@@ -163,6 +186,15 @@ func main() {
 			if strings.Contains(line, "node_") {
 				fmt.Println(line)
 			}
+		}
+
+		// Cancellation-subsystem counters (the same names E16 reads).
+		fmt.Println("\n== cancellation counters ==")
+		for _, name := range []string{
+			runtime.MetricTasksCancelled, runtime.MetricWorkersReclaimed,
+			runtime.MetricBytesReclaimed, runtime.MetricTasksDeadlineExceeded,
+		} {
+			fmt.Printf("%-24s %d\n", name, s.Runtime().Metrics.Counter(name).Value())
 		}
 	}
 }

@@ -9,8 +9,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 15 {
-		t.Fatalf("registered experiments = %d, want 15: %v", len(ids), ids)
+	if len(ids) != 16 {
+		t.Fatalf("registered experiments = %d, want 16: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)

@@ -29,18 +29,30 @@ var (
 type Log struct {
 	mu        sync.RWMutex
 	producers map[idgen.ObjectID]*task.Spec
+	// consumers is the reverse edge set: for each object, the recorded tasks
+	// that take it as a ref argument. Cascading cancellation walks these
+	// edges downstream (producer → consumers) the same way recovery walks
+	// producer edges upstream.
+	consumers map[idgen.ObjectID][]*task.Spec
 }
 
 // NewLog returns an empty lineage log.
 func NewLog() *Log {
-	return &Log{producers: make(map[idgen.ObjectID]*task.Spec)}
+	return &Log{
+		producers: make(map[idgen.ObjectID]*task.Spec),
+		consumers: make(map[idgen.ObjectID][]*task.Spec),
+	}
 }
 
-// Record stores spec as the producer of each of its return objects.
+// Record stores spec as the producer of each of its return objects and as a
+// consumer of each of its ref arguments.
 func (l *Log) Record(spec *task.Spec) {
 	l.mu.Lock()
 	for _, ret := range spec.Returns {
 		l.producers[ret] = spec
+	}
+	for _, ref := range spec.RefArgs() {
+		l.consumers[ref] = append(l.consumers[ref], spec)
 	}
 	l.mu.Unlock()
 }
@@ -53,12 +65,27 @@ func (l *Log) Producer(id idgen.ObjectID) (*task.Spec, bool) {
 	return spec, ok
 }
 
+// Consumers returns the recorded tasks that consume id as a ref argument
+// (a copy; callers may mutate it freely).
+func (l *Log) Consumers(id idgen.ObjectID) []*task.Spec {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	specs := l.consumers[id]
+	if len(specs) == 0 {
+		return nil
+	}
+	out := make([]*task.Spec, len(specs))
+	copy(out, specs)
+	return out
+}
+
 // Forget removes provenance for the given objects (e.g. after a job's
 // results are consumed and its objects deleted).
 func (l *Log) Forget(ids ...idgen.ObjectID) {
 	l.mu.Lock()
 	for _, id := range ids {
 		delete(l.producers, id)
+		delete(l.consumers, id)
 	}
 	l.mu.Unlock()
 }

@@ -190,3 +190,57 @@ func TestRecoveryPlanCycleDetected(t *testing.T) {
 		t.Errorf("err = %v, want ErrCycle", err)
 	}
 }
+
+func TestConsumersReverseIndex(t *testing.T) {
+	log := NewLog()
+	specs := chainSpecs(3)
+	for _, s := range specs {
+		log.Record(s)
+	}
+	// t1's output is consumed by t2 only; t2's by t3; t3's by nobody.
+	c := log.Consumers(specs[0].Returns[0])
+	if len(c) != 1 || c[0].ID != specs[1].ID {
+		t.Fatalf("Consumers(t1.out) = %v, want exactly t2", c)
+	}
+	c = log.Consumers(specs[1].Returns[0])
+	if len(c) != 1 || c[0].ID != specs[2].ID {
+		t.Fatalf("Consumers(t2.out) = %v, want exactly t3", c)
+	}
+	if c = log.Consumers(specs[2].Returns[0]); c != nil {
+		t.Fatalf("Consumers(t3.out) = %v, want nil", c)
+	}
+}
+
+func TestConsumersFanOut(t *testing.T) {
+	log := NewLog()
+	job := idgen.Next()
+	root := task.NewSpec(job, "src", nil, 1)
+	log.Record(root)
+	var want []idgen.TaskID
+	for i := 0; i < 3; i++ {
+		c := task.NewSpec(job, "sink", []task.Arg{task.RefArg(root.Returns[0])}, 1)
+		log.Record(c)
+		want = append(want, c.ID)
+	}
+	got := log.Consumers(root.Returns[0])
+	if len(got) != len(want) {
+		t.Fatalf("Consumers = %d specs, want %d", len(got), len(want))
+	}
+	for i, spec := range got {
+		if spec.ID != want[i] {
+			t.Errorf("consumer %d = %s, want %s", i, spec.ID.Short(), want[i].Short())
+		}
+	}
+}
+
+func TestForgetDropsConsumerEdges(t *testing.T) {
+	log := NewLog()
+	specs := chainSpecs(2)
+	for _, s := range specs {
+		log.Record(s)
+	}
+	log.Forget(specs[0].Returns[0])
+	if c := log.Consumers(specs[0].Returns[0]); c != nil {
+		t.Fatalf("Consumers after Forget = %v, want nil", c)
+	}
+}

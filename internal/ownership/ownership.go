@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 )
 
 // State is an object's lifecycle state.
@@ -60,6 +61,17 @@ var (
 	// ErrExists reports a duplicate CreatePending.
 	ErrExists = errors.New("ownership: object already registered")
 )
+
+// errUnknown builds the coded not-found error for id: the sentinel stays in
+// the chain for in-process callers, the NotFound code survives the wire.
+func errUnknown(id idgen.ObjectID) error {
+	return skaderr.Mark(skaderr.NotFound, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short()))
+}
+
+// errLost builds the coded data-loss error for id.
+func errLost(id idgen.ObjectID) error {
+	return skaderr.Mark(skaderr.DataLoss, fmt.Errorf("%w: %s", ErrObjectLost, id.Short()))
+}
 
 // Record is one ownership-table entry.
 type Record struct {
@@ -109,7 +121,7 @@ func (t *Table) CreatePending(id idgen.ObjectID, owner idgen.NodeID, task idgen.
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if _, ok := t.entries[id]; ok {
-		return ErrExists
+		return skaderr.Mark(skaderr.AlreadyExists, ErrExists)
 	}
 	t.entries[id] = &entry{
 		rec:         Record{ID: id, Owner: owner, State: Pending, Task: task},
@@ -127,7 +139,7 @@ func (t *Table) MarkReady(id idgen.ObjectID, size int64, location idgen.NodeID, 
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return nil, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return nil, errUnknown(id)
 	}
 	e.rec.State = Ready
 	e.rec.Size = size
@@ -171,7 +183,7 @@ func (t *Table) AddLocation(id idgen.ObjectID, node idgen.NodeID) error {
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return errUnknown(id)
 	}
 	e.locations[node] = true
 	e.syncLocations()
@@ -189,7 +201,7 @@ func (t *Table) MoveLocation(id idgen.ObjectID, from, to idgen.NodeID) error {
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return errUnknown(id)
 	}
 	e.locations[to] = true
 	delete(e.locations, from)
@@ -237,7 +249,7 @@ func (t *Table) Subscribe(id idgen.ObjectID, node idgen.NodeID) (ready bool, rec
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return false, Record{}, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return false, Record{}, errUnknown(id)
 	}
 	if e.rec.State == Ready {
 		return true, e.rec, nil
@@ -252,7 +264,7 @@ func (t *Table) Get(id idgen.ObjectID) (Record, error) {
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return Record{}, fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return Record{}, errUnknown(id)
 	}
 	return e.rec, nil
 }
@@ -264,7 +276,7 @@ func (t *Table) WaitReady(ctx context.Context, id idgen.ObjectID) error {
 	e, ok := t.entries[id]
 	if !ok {
 		t.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return errUnknown(id)
 	}
 	switch e.rec.State {
 	case Ready:
@@ -272,7 +284,7 @@ func (t *Table) WaitReady(ctx context.Context, id idgen.ObjectID) error {
 		return nil
 	case Lost:
 		t.mu.Unlock()
-		return fmt.Errorf("%w: %s", ErrObjectLost, id.Short())
+		return errLost(id)
 	}
 	ch := make(chan State, 1)
 	e.waiters = append(e.waiters, ch)
@@ -281,12 +293,50 @@ func (t *Table) WaitReady(ctx context.Context, id idgen.ObjectID) error {
 	select {
 	case s := <-ch:
 		if s == Lost {
-			return fmt.Errorf("%w: %s", ErrObjectLost, id.Short())
+			return errLost(id)
 		}
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		return skaderr.Mark(skaderr.CodeOf(ctx.Err()), ctx.Err())
 	}
+}
+
+// AbortPending marks every still-Pending object Lost, releasing its waiters,
+// and returns the aborted IDs. Shutdown uses this so no Get/Wait caller stays
+// blocked on an object that will never be produced.
+// PendingIDs returns the IDs of all still-Pending objects, sorted. Shutdown
+// uses it to record failure causes BEFORE AbortPending wakes the waiters, so
+// a released Get never observes a bare loss.
+func (t *Table) PendingIDs() []idgen.ObjectID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out []idgen.ObjectID
+	for id, e := range t.entries {
+		if e.rec.State == Pending {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+func (t *Table) AbortPending() []idgen.ObjectID {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var aborted []idgen.ObjectID
+	for id, e := range t.entries {
+		if e.rec.State != Pending {
+			continue
+		}
+		e.rec.State = Lost
+		aborted = append(aborted, id)
+		for _, w := range e.waiters {
+			w <- Lost
+		}
+		e.waiters = nil
+	}
+	sort.Slice(aborted, func(i, j int) bool { return aborted[i].Less(aborted[j]) })
+	return aborted
 }
 
 // RemoveNodeLocations drops every location on a failed node and returns the
@@ -322,7 +372,7 @@ func (t *Table) MarkLost(id idgen.ObjectID) error {
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return errUnknown(id)
 	}
 	e.rec.State = Lost
 	e.locations = make(map[idgen.NodeID]bool)
@@ -341,7 +391,7 @@ func (t *Table) Reset(id idgen.ObjectID) error {
 	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		return fmt.Errorf("%w: %s", ErrUnknownObject, id.Short())
+		return errUnknown(id)
 	}
 	e.rec.State = Pending
 	e.locations = make(map[idgen.NodeID]bool)

@@ -103,6 +103,10 @@ type Stats struct {
 	PushesSent    int64
 	PushesRecv    int64
 	DPUHops       int64
+	// BusyMicros accumulates worker-slot occupancy: the time between slot
+	// acquire and release, summed over tasks. E16 measures the
+	// worker-seconds reclaimed by cancellation as the drop in this counter.
+	BusyMicros int64
 	// Migration counters (live-drain subsystem, experiment E14).
 	ActorsMigratedIn   int64
 	ActorsMigratedOut  int64
@@ -569,12 +573,22 @@ func (r *Raylet) waitArrival(ctx context.Context, id idgen.ObjectID) error {
 // Argument resolution happens *before* a worker slot is taken, so tasks
 // waiting on inputs do not hold compute — the "wait mode" of §2.1.
 func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) {
+	// Cancellation checkpoint before any work: a task revoked while queued
+	// on the wire costs nothing here.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	args := make([][]byte, len(spec.Args))
 	var stall time.Duration
 	for i, a := range spec.Args {
 		if !a.IsRef {
 			args[i] = a.Value
 			continue
+		}
+		// Checkpoint between argument resolutions: deep input chains stop
+		// pulling the moment the task is revoked.
+		if err := ctx.Err(); err != nil {
+			return nil, err
 		}
 		start := time.Now()
 		actx, stallSp := trace.Start(ctx, trace.KindPullStall, r.cfg.Node)
@@ -598,7 +612,16 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 		return nil, ctx.Err()
 	}
 	slotSp.End()
-	defer func() { r.slots <- struct{}{} }()
+	busyStart := time.Now()
+	defer func() {
+		r.bump(func(s *Stats) { s.BusyMicros += time.Since(busyStart).Microseconds() })
+		r.slots <- struct{}{}
+	}()
+	// Checkpoint after the slot wait: a task cancelled while queued for a
+	// slot releases it immediately instead of executing.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	fn, err := r.cfg.Registry.Lookup(spec.Fn)
 	if err != nil {
@@ -609,6 +632,7 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 		Backend:   r.cfg.Backend,
 		TimeScale: r.cfg.TimeScale,
 		Spec:      spec,
+		Ctx:       ctx,
 	}
 
 	_, execSp := trace.Start(ctx, trace.KindExec, r.cfg.Node)
@@ -636,9 +660,17 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 	if len(outs) != len(spec.Returns) {
 		return nil, fmt.Errorf("raylet: %s returned %d values, spec declares %d", spec.Fn, len(outs), len(spec.Returns))
 	}
+	// Post-exec checkpoint: a kernel that was interrupted mid-Compute (or
+	// finished after revocation) must not commit partial outputs.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	resp := ExecResponse{StallMicros: stall.Microseconds()}
 	for i, out := range outs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		cctx, commitSp := trace.Start(ctx, trace.KindCommit, r.cfg.Node)
 		commitSp.SetAttr("obj", spec.Returns[i].Short())
 		err := r.commit(cctx, spec.Returns[i], out)

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"time"
+	"sync/atomic"
 
 	"skadi/internal/caching"
 	"skadi/internal/cluster"
@@ -25,6 +25,7 @@ import (
 	"skadi/internal/ownership"
 	"skadi/internal/raylet"
 	"skadi/internal/scheduler"
+	"skadi/internal/skaderr"
 	"skadi/internal/task"
 	"skadi/internal/trace"
 	"skadi/internal/transport"
@@ -135,12 +136,56 @@ type Runtime struct {
 	mu         sync.Mutex
 	recoveryMu sync.Mutex
 	errs       map[idgen.ObjectID]error
-	actorLoc   map[idgen.ActorID]actorPlacement
+	// tasks tracks every submitted-but-unfinished task's cancellation
+	// control, keyed by task ID; Cancel walks lineage and fires these.
+	tasks    map[idgen.TaskID]*taskCtl
+	actorLoc map[idgen.ActorID]actorPlacement
 	// actorGate pauses task dispatch for an actor mid-migration: submissions
 	// park on the channel until the cutover lands, so none are lost.
 	actorGate map[idgen.ActorID]chan struct{}
 	inflight  sync.WaitGroup
 	autoscale autoscaleState
+}
+
+// Metric names for the cancellation subsystem, read by `skadi -trace` and
+// experiment E16.
+const (
+	MetricTasksCancelled        = "tasks_cancelled"
+	MetricWorkersReclaimed      = "workers_reclaimed"
+	MetricBytesReclaimed        = "bytes_reclaimed"
+	MetricTasksDeadlineExceeded = "tasks_deadline_exceeded"
+)
+
+// taskCtl is the cancellation control for one in-flight task: the cancel
+// function revokes its dispatch context (interrupting the exec RPC and, over
+// the wire, the remote handler), and executing reports whether the task
+// currently occupies a worker — the distinction behind the WorkersReclaimed
+// counter.
+type taskCtl struct {
+	spec      *task.Spec
+	cancel    context.CancelCauseFunc
+	executing atomic.Bool
+}
+
+// registerTask tracks a task's cancellation control until dropTask.
+func (rt *Runtime) registerTask(ctl *taskCtl) {
+	rt.mu.Lock()
+	rt.tasks[ctl.spec.ID] = ctl
+	rt.mu.Unlock()
+}
+
+// dropTask forgets a finished task's control.
+func (rt *Runtime) dropTask(id idgen.TaskID) {
+	rt.mu.Lock()
+	delete(rt.tasks, id)
+	rt.mu.Unlock()
+}
+
+// taskCtl returns the control for a task, or nil once it finished.
+func (rt *Runtime) taskCtl(id idgen.TaskID) *taskCtl {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.tasks[id]
 }
 
 // actorPlacement records where an actor lives and what backend it needs,
@@ -182,6 +227,7 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 		raylets:   make(map[idgen.NodeID]*raylet.Raylet),
 		rayletCfg: make(map[idgen.NodeID]raylet.Config),
 		errs:      make(map[idgen.ObjectID]error),
+		tasks:     make(map[idgen.TaskID]*taskCtl),
 		actorLoc:  make(map[idgen.ActorID]actorPlacement),
 		actorGate: make(map[idgen.ActorID]chan struct{}),
 		job:       idgen.Next(),
@@ -319,9 +365,11 @@ func (rt *Runtime) Driver() idgen.NodeID { return rt.driver }
 // cache puts and fabric transfers, ready for critical-path analysis.
 func (rt *Runtime) Tracer() *trace.Tracer { return rt.tracer }
 
-// traceCtx opens the root span of a task's trace, keyed by the task ID.
-func (rt *Runtime) traceCtx(spec *task.Spec) (context.Context, *trace.Span) {
-	ctx, root := rt.tracer.StartRoot(context.Background(), spec.ID, trace.KindSubmit, rt.driver)
+// traceCtx opens the root span of a task's trace, keyed by the task ID. The
+// parent context carries the submitter's deadline and cancellation, which
+// thereby bound every downstream hop of the task.
+func (rt *Runtime) traceCtx(parent context.Context, spec *task.Spec) (context.Context, *trace.Span) {
+	ctx, root := rt.tracer.StartRoot(parent, spec.ID, trace.KindSubmit, rt.driver)
 	root.SetAttr("fn", spec.Fn)
 	return ctx, root
 }
@@ -380,31 +428,44 @@ func (rt *Runtime) PutAt(node idgen.NodeID, data []byte, format string) (idgen.O
 // Submit schedules a task asynchronously and returns its result references
 // immediately (futures). Errors surface through Get on the returns.
 func (rt *Runtime) Submit(spec *task.Spec) []idgen.ObjectID {
-	rt.prepare(spec)
-	rt.inflight.Add(1)
-	rt.autoscale.pending.Add(1)
-	ctx, root := rt.traceCtx(spec)
-	go func() {
-		defer rt.inflight.Done()
-		defer rt.autoscale.pending.Add(-1)
-		defer root.End()
-		rt.dispatch(ctx, spec, idgen.Nil)
-	}()
-	return spec.Returns
+	return rt.SubmitCtx(context.Background(), spec)
+}
+
+// SubmitCtx is Submit with an end-to-end context: a deadline or cancellation
+// on ctx bounds the whole task — scheduling, argument pulls, the kernel, and
+// commits — failing the task's futures with skaderr.DeadlineExceeded or
+// skaderr.Cancelled.
+func (rt *Runtime) SubmitCtx(ctx context.Context, spec *task.Spec) []idgen.ObjectID {
+	return rt.submitAsync(ctx, idgen.Nil, spec)
 }
 
 // SubmitTo schedules a task on an explicit node, bypassing the scheduler —
 // the physical graph planner uses it to realize its placements.
 func (rt *Runtime) SubmitTo(node idgen.NodeID, spec *task.Spec) []idgen.ObjectID {
+	return rt.SubmitToCtx(context.Background(), node, spec)
+}
+
+// SubmitToCtx is SubmitTo with an end-to-end context (see SubmitCtx).
+func (rt *Runtime) SubmitToCtx(ctx context.Context, node idgen.NodeID, spec *task.Spec) []idgen.ObjectID {
+	return rt.submitAsync(ctx, node, spec)
+}
+
+// submitAsync registers, traces, and dispatches one task in the background.
+func (rt *Runtime) submitAsync(ctx context.Context, pinned idgen.NodeID, spec *task.Spec) []idgen.ObjectID {
 	rt.prepare(spec)
+	tctx, cancel := context.WithCancelCause(ctx)
+	ctl := &taskCtl{spec: spec, cancel: cancel}
+	rt.registerTask(ctl)
 	rt.inflight.Add(1)
 	rt.autoscale.pending.Add(1)
-	ctx, root := rt.traceCtx(spec)
+	tctx, root := rt.traceCtx(tctx, spec)
 	go func() {
 		defer rt.inflight.Done()
 		defer rt.autoscale.pending.Add(-1)
 		defer root.End()
-		rt.dispatch(ctx, spec, node)
+		defer cancel(nil)
+		defer rt.dropTask(spec.ID)
+		rt.dispatch(tctx, spec, pinned)
 	}()
 	return spec.Returns
 }
@@ -420,6 +481,11 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 	rt.autoscale.pending.Add(int64(len(specs)))
 	var placements []idgen.NodeID
 	for {
+		// Obtain the capacity watch BEFORE attempting placement: capacity
+		// freed between a failed attempt and the wait would otherwise be a
+		// lost wakeup. No polling floor — the scheduler wakes us when a task
+		// finishes, a node revives, or a node is added.
+		watch := rt.Sched.CapacityWatch()
 		var err error
 		placements, err = rt.Sched.PickGang(specs)
 		if err == nil {
@@ -432,26 +498,36 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 		select {
 		case <-ctx.Done():
 			rt.autoscale.pending.Add(-int64(len(specs)))
-			return nil, ctx.Err()
-		case <-time.After(time.Millisecond):
+			return nil, skaderr.Mark(skaderr.CodeOf(ctx.Err()), ctx.Err())
+		case <-watch:
 		}
 	}
 	refs := make([][]idgen.ObjectID, len(specs))
 	for i, s := range specs {
 		refs[i] = s.Returns
 		rt.inflight.Add(1)
-		tctx, root := rt.traceCtx(s)
+		gctx, cancel := context.WithCancelCause(ctx)
+		ctl := &taskCtl{spec: s, cancel: cancel}
+		rt.registerTask(ctl)
+		tctx, root := rt.traceCtx(gctx, s)
 		root.SetAttr("gang", s.Gang)
-		go func(i int, s *task.Spec, tctx context.Context, root *trace.Span) {
+		go func(i int, s *task.Spec, tctx context.Context, root *trace.Span, ctl *taskCtl) {
 			defer rt.inflight.Done()
 			defer rt.autoscale.pending.Add(-1)
 			defer root.End()
+			defer ctl.cancel(nil)
+			defer rt.dropTask(s.ID)
+			ctl.executing.Store(true)
 			err := rt.execOn(tctx, placements[i], s)
+			ctl.executing.Store(false)
 			rt.Sched.Finished(placements[i])
 			if err != nil {
+				if cause := context.Cause(tctx); cause != nil {
+					err = cause
+				}
 				rt.failTask(s, err)
 			}
-		}(i, s, tctx, root)
+		}(i, s, tctx, root, ctl)
 	}
 	return refs, nil
 }
@@ -478,8 +554,16 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 	// must not loop forever.
 	const maxRedirects = 16
 	redirects := 0
+	ctl := rt.taskCtl(spec.ID)
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
+		// Cancellation checkpoint between attempts: a revoked task stops
+		// before taking a node, and the recorded error carries the cause
+		// (skaderr.Cancelled or DeadlineExceeded), not a transport artifact.
+		if cause := context.Cause(ctx); cause != nil {
+			rt.failTask(spec, cause)
+			return
+		}
 		node := pinned
 		if node.IsNil() {
 			if !spec.Actor.IsNil() {
@@ -501,9 +585,19 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 		} else {
 			rt.Sched.Started(node)
 		}
+		if ctl != nil {
+			ctl.executing.Store(true)
+		}
 		err := rt.execOn(ctx, node, spec)
+		if ctl != nil {
+			ctl.executing.Store(false)
+		}
 		rt.Sched.Finished(node)
 		if err == nil {
+			return
+		}
+		if cause := context.Cause(ctx); cause != nil {
+			rt.failTask(spec, cause)
 			return
 		}
 		lastErr = err
@@ -573,7 +667,13 @@ func (rt *Runtime) waitActorGate(ctx context.Context, actor idgen.ActorID) {
 }
 
 // failTask marks every return of a failed task lost and records the error.
+// The error is recorded BEFORE MarkLost wakes any waiter, so a Get released
+// by the loss always sees the typed failure, never a bare "lost".
 func (rt *Runtime) failTask(spec *task.Spec, err error) {
+	err = skaderr.Coerce(err)
+	if skaderr.CodeOf(err) == skaderr.DeadlineExceeded {
+		rt.Metrics.Counter(MetricTasksDeadlineExceeded).Inc()
+	}
 	rt.mu.Lock()
 	for _, ret := range spec.Returns {
 		rt.errs[ret] = fmt.Errorf("task %s (%s): %w", spec.ID.Short(), spec.Fn, err)
@@ -597,7 +697,7 @@ func (rt *Runtime) taskErr(id idgen.ObjectID) error {
 // replaying its producing tasks before Get reports failure.
 func (rt *Runtime) Get(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
 	if err := rt.Head.Table.WaitReady(ctx, id); err != nil {
-		if rt.opts.Recovery == RecoverLineage && errors.Is(err, ownership.ErrObjectLost) {
+		if rt.opts.Recovery == RecoverLineage && errors.Is(err, ownership.ErrObjectLost) && !rt.terminalFailure(id) {
 			rerr := rt.recoverByLineage([]idgen.ObjectID{id})
 			if rerr == nil {
 				rt.mu.Lock()
@@ -611,11 +711,25 @@ func (rt *Runtime) Get(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
 			}
 		}
 		if terr := rt.taskErr(id); terr != nil {
-			return nil, fmt.Errorf("%v (wait: %w)", terr, err)
+			// The recorded task error is the primary failure: keep it on the
+			// %w chain so errors.Is sees its code; the wait error is context.
+			return nil, fmt.Errorf("%w (wait: %v)", terr, err)
 		}
 		return nil, err
 	}
 	return rt.drv.FetchLocal(ctx, id)
+}
+
+// terminalFailure reports whether an object's recorded error is a deliberate
+// revocation (cancel or deadline). Lineage recovery must not resurrect such
+// tasks: re-executing work the user revoked would defeat the cancellation.
+func (rt *Runtime) terminalFailure(id idgen.ObjectID) bool {
+	switch skaderr.CodeOf(rt.taskErr(id)) {
+	case skaderr.Cancelled, skaderr.DeadlineExceeded:
+		return true
+	default:
+		return false
+	}
 }
 
 // Wait blocks until at least n of the references are ready (or failed) and
@@ -793,6 +907,12 @@ func (rt *Runtime) recoverByLineage(lost []idgen.ObjectID) error {
 		return err
 	}
 	for _, spec := range plan {
+		// Never resurrect revoked work. Cancellation cascades to every
+		// downstream consumer, so any dependent of a skipped producer is
+		// itself cancelled (and skipped) — the plan stays consistent.
+		if rt.revokedTask(spec) {
+			continue
+		}
 		for _, ret := range spec.Returns {
 			_ = rt.Head.Table.Reset(ret)
 		}
@@ -807,6 +927,94 @@ func (rt *Runtime) recoverByLineage(lost []idgen.ObjectID) error {
 		}
 	}
 	return nil
+}
+
+// revokedTask reports whether any of a task's returns carries a cancel or
+// deadline failure.
+func (rt *Runtime) revokedTask(spec *task.Spec) bool {
+	for _, ret := range spec.Returns {
+		if rt.terminalFailure(ret) {
+			return true
+		}
+	}
+	return false
+}
+
+// CancelReport summarizes what one Cancel call reclaimed.
+type CancelReport struct {
+	// TasksCancelled counts tasks in the cancelled graph (queued, running,
+	// or already finished with reclaimable outputs).
+	TasksCancelled int
+	// WorkersReclaimed counts tasks whose exec RPC was in flight — a worker
+	// slot freed before the kernel would have finished on its own.
+	WorkersReclaimed int
+	// BytesReclaimed sums the sizes of already-committed outputs freed.
+	BytesReclaimed int64
+}
+
+// Cancel revokes the tasks producing the given objects and, cascading over
+// lineage consumer edges, every queued or in-flight descendant. In-flight
+// tasks are interrupted at the raylet's cancel checkpoints (the cancel rides
+// the transport to the remote handler), futures fail with skaderr.Cancelled,
+// blocked Get/Wait callers wake, and already-committed outputs of the doomed
+// graph are freed from the caching layer.
+func (rt *Runtime) Cancel(ids ...idgen.ObjectID) CancelReport {
+	// Seed with the producers of the given objects, then BFS downstream:
+	// every recorded consumer of a cancelled task's outputs is doomed too.
+	seen := make(map[idgen.TaskID]bool)
+	var frontier, doomed []*task.Spec
+	for _, id := range ids {
+		if spec, ok := rt.Head.Lineage.Producer(id); ok && !seen[spec.ID] {
+			seen[spec.ID] = true
+			frontier = append(frontier, spec)
+		}
+	}
+	for len(frontier) > 0 {
+		spec := frontier[0]
+		frontier = frontier[1:]
+		doomed = append(doomed, spec)
+		for _, ret := range spec.Returns {
+			for _, c := range rt.Head.Lineage.Consumers(ret) {
+				if !seen[c.ID] {
+					seen[c.ID] = true
+					frontier = append(frontier, c)
+				}
+			}
+		}
+	}
+
+	var rep CancelReport
+	cancelErr := skaderr.New(skaderr.Cancelled, "runtime: cancelled")
+	for _, spec := range doomed {
+		rep.TasksCancelled++
+		if ctl := rt.taskCtl(spec.ID); ctl != nil {
+			if ctl.executing.Load() {
+				rep.WorkersReclaimed++
+			}
+			ctl.cancel(cancelErr)
+		}
+		// Record the error BEFORE MarkLost wakes waiters, so a released Get
+		// sees Cancelled rather than a bare loss.
+		rt.mu.Lock()
+		for _, ret := range spec.Returns {
+			if _, exists := rt.errs[ret]; !exists {
+				rt.errs[ret] = fmt.Errorf("task %s (%s): %w", spec.ID.Short(), spec.Fn, cancelErr)
+			}
+		}
+		rt.mu.Unlock()
+		for _, ret := range spec.Returns {
+			if rec, err := rt.Head.Table.Get(ret); err == nil && rec.State == ownership.Ready {
+				// Partial progress of the doomed graph: reclaim the bytes.
+				rep.BytesReclaimed += rec.Size
+				rt.Layer.Delete(ret)
+			}
+			_ = rt.Head.Table.MarkLost(ret)
+		}
+	}
+	rt.Metrics.Counter(MetricTasksCancelled).Add(int64(rep.TasksCancelled))
+	rt.Metrics.Counter(MetricWorkersReclaimed).Add(int64(rep.WorkersReclaimed))
+	rt.Metrics.Counter(MetricBytesReclaimed).Add(rep.BytesReclaimed)
+	return rep
 }
 
 // RestartNode brings a killed node back with empty state: the raylet
@@ -855,8 +1063,21 @@ func (rt *Runtime) Free(ids ...idgen.ObjectID) {
 // FabricStats returns total fabric accounting, for experiment reporting.
 func (rt *Runtime) FabricStats() fabric.Stats { return rt.Cluster.Fabric.TotalStats() }
 
-// Shutdown drains in-flight tasks and tears down the transport.
+// Shutdown drains in-flight tasks, releases every waiter still blocked on a
+// never-to-be-produced object (with skaderr.Unavailable), and tears down the
+// transport. No Get/Wait goroutine outlives it.
 func (rt *Runtime) Shutdown() {
 	rt.Drain()
+	// Record the cause before AbortPending wakes waiters: a released Get
+	// must observe Unavailable, never a bare loss.
+	rt.mu.Lock()
+	for _, id := range rt.Head.Table.PendingIDs() {
+		if _, ok := rt.errs[id]; !ok {
+			rt.errs[id] = skaderr.New(skaderr.Unavailable,
+				"runtime: shutdown before object %s was produced", id.Short())
+		}
+	}
+	rt.mu.Unlock()
+	rt.Head.Table.AbortPending()
 	_ = rt.Cluster.Transport.Close()
 }

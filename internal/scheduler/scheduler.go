@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 	"skadi/internal/task"
 	"skadi/internal/trace"
 )
@@ -89,6 +90,10 @@ type Scheduler struct {
 	locator ObjectLocator
 	rr      int
 	rng     uint64
+	// capCh is closed (and replaced) whenever capacity may have grown: a
+	// task finished, a node came up or was added. Blocked gang submitters
+	// wait on it instead of polling.
+	capCh chan struct{}
 }
 
 // New returns a scheduler with the given policy. locator may be nil for
@@ -99,7 +104,23 @@ func New(policy Policy, locator ObjectLocator) *Scheduler {
 		byID:    make(map[idgen.NodeID]*nodeState),
 		locator: locator,
 		rng:     0x9e3779b97f4a7c15, // fixed seed: placement is reproducible
+		capCh:   make(chan struct{}),
 	}
+}
+
+// CapacityWatch returns a channel that is closed the next time capacity may
+// have grown. To avoid lost wakeups, obtain the channel BEFORE attempting a
+// placement: watch, try, and only then wait on the watch.
+func (s *Scheduler) CapacityWatch() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.capCh
+}
+
+// notifyCapacityLocked wakes every capacity watcher. Caller holds mu.
+func (s *Scheduler) notifyCapacityLocked() {
+	close(s.capCh)
+	s.capCh = make(chan struct{})
 }
 
 // SetPolicy switches the placement policy at runtime.
@@ -126,6 +147,7 @@ func (s *Scheduler) AddNode(info NodeInfo) {
 	ns := &nodeState{info: info, alive: true}
 	s.nodes = append(s.nodes, ns)
 	s.byID[info.ID] = ns
+	s.notifyCapacityLocked()
 }
 
 // RemoveNode unregisters a node.
@@ -150,6 +172,9 @@ func (s *Scheduler) SetAlive(id idgen.NodeID, alive bool) {
 	defer s.mu.Unlock()
 	if ns, ok := s.byID[id]; ok {
 		ns.alive = alive
+		if alive {
+			s.notifyCapacityLocked()
+		}
 	}
 }
 
@@ -192,7 +217,8 @@ func (s *Scheduler) Pick(spec *task.Spec) (idgen.NodeID, error) {
 	defer s.mu.Unlock()
 	cands := s.candidatesLocked(spec.Backend)
 	if len(cands) == 0 {
-		return idgen.Nil, fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend)
+		return idgen.Nil, skaderr.Mark(skaderr.FailedPrecondition,
+			fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend))
 	}
 	var chosen *nodeState
 	switch s.policy {
@@ -282,6 +308,7 @@ func (s *Scheduler) Finished(id idgen.NodeID) {
 	defer s.mu.Unlock()
 	if ns, ok := s.byID[id]; ok && ns.inflight > 0 {
 		ns.inflight--
+		s.notifyCapacityLocked()
 	}
 }
 
@@ -311,7 +338,8 @@ func (s *Scheduler) PickGang(specs []*task.Spec) ([]idgen.NodeID, error) {
 		}
 	}
 	if len(cands) == 0 {
-		return nil, fmt.Errorf("%w: backend %q", ErrNoNodes, specs[0].Backend)
+		return nil, skaderr.Mark(skaderr.FailedPrecondition,
+			fmt.Errorf("%w: backend %q", ErrNoNodes, specs[0].Backend))
 	}
 	// Count free slots.
 	free := 0
@@ -321,7 +349,8 @@ func (s *Scheduler) PickGang(specs []*task.Spec) ([]idgen.NodeID, error) {
 		}
 	}
 	if free < len(specs) {
-		return nil, fmt.Errorf("%w: need %d slots, %d free", ErrNoCapacity, len(specs), free)
+		return nil, skaderr.Mark(skaderr.ResourceExhausted,
+			fmt.Errorf("%w: need %d slots, %d free", ErrNoCapacity, len(specs), free))
 	}
 	// Spread over distinct nodes first (one slot each), then wrap.
 	placements := make([]idgen.NodeID, 0, len(specs))
@@ -340,7 +369,8 @@ func (s *Scheduler) PickGang(specs []*task.Spec) ([]idgen.NodeID, error) {
 			}
 		}
 		if !progressed {
-			return nil, fmt.Errorf("%w: need %d slots", ErrNoCapacity, len(specs))
+			return nil, skaderr.Mark(skaderr.ResourceExhausted,
+				fmt.Errorf("%w: need %d slots", ErrNoCapacity, len(specs)))
 		}
 		idx++
 		if idx > len(specs) {

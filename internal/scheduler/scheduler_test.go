@@ -3,6 +3,7 @@ package scheduler
 import (
 	"errors"
 	"testing"
+	"time"
 
 	"skadi/internal/idgen"
 	"skadi/internal/task"
@@ -324,5 +325,75 @@ func TestActionString(t *testing.T) {
 		if a.String() != want {
 			t.Errorf("String = %q", a.String())
 		}
+	}
+}
+
+func TestCapacityWatchWakesOnFinished(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 1, "cpu", 1)
+	if _, err := s.Pick(cpuSpec()); err != nil {
+		t.Fatal(err)
+	}
+	// Full: the gang cannot place now.
+	watch := s.CapacityWatch()
+	if _, err := s.PickGang([]*task.Spec{cpuSpec()}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("PickGang on full cluster = %v, want ErrNoCapacity", err)
+	}
+	select {
+	case <-watch:
+		t.Fatal("watch fired with no capacity change")
+	default:
+	}
+	s.Finished(nodes[0])
+	select {
+	case <-watch:
+	case <-time.After(time.Second):
+		t.Fatal("watch not closed after Finished freed a slot")
+	}
+	if _, err := s.PickGang([]*task.Spec{cpuSpec()}); err != nil {
+		t.Fatalf("PickGang after wakeup: %v", err)
+	}
+}
+
+func TestCapacityWatchWakesOnNodeUp(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 1, "cpu", 2)
+	s.SetAlive(nodes[0], false)
+	watch := s.CapacityWatch()
+	s.SetAlive(nodes[0], true)
+	select {
+	case <-watch:
+	case <-time.After(time.Second):
+		t.Fatal("watch not closed after node came back up")
+	}
+	watch = s.CapacityWatch()
+	addNodes(s, 1, "cpu", 2)
+	select {
+	case <-watch:
+	case <-time.After(time.Second):
+		t.Fatal("watch not closed after AddNode")
+	}
+}
+
+// TestCapacityWatchNoLostWakeup exercises the watch-then-try-then-wait
+// protocol: a wakeup that lands between the failed attempt and the wait
+// must still be observed, because the channel was obtained BEFORE trying.
+func TestCapacityWatchNoLostWakeup(t *testing.T) {
+	s := New(RoundRobin, nil)
+	nodes := addNodes(s, 1, "cpu", 1)
+	if _, err := s.Pick(cpuSpec()); err != nil {
+		t.Fatal(err)
+	}
+	watch := s.CapacityWatch()
+	if _, err := s.PickGang([]*task.Spec{cpuSpec()}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("PickGang = %v, want ErrNoCapacity", err)
+	}
+	// Capacity frees BEFORE the submitter reaches its wait: the pre-obtained
+	// channel is already closed, so the wait returns immediately.
+	s.Finished(nodes[0])
+	select {
+	case <-watch:
+	case <-time.After(time.Second):
+		t.Fatal("wakeup lost: channel obtained before the attempt was not closed")
 	}
 }

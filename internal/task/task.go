@@ -9,6 +9,7 @@
 package task
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 )
 
 // Arg is one task argument: either an inline value or a reference to an
@@ -77,11 +79,27 @@ type Context struct {
 	// ActorState is the actor's private state for actor tasks; the raylet
 	// persists it between calls.
 	ActorState map[string][]byte
+	// Ctx is the execution context: it is cancelled when the task is
+	// revoked (Runtime.Cancel, a submit deadline, node drain). Long-running
+	// functions should check it between units of work; Compute honours it
+	// automatically.
+	Ctx context.Context
+}
+
+// Err returns the execution context's error, or nil when the task has no
+// context or has not been cancelled. Function bodies use it as a cheap
+// cancellation checkpoint.
+func (c *Context) Err() error {
+	if c.Ctx == nil {
+		return nil
+	}
+	return c.Ctx.Err()
 }
 
 // Compute models d of kernel time on the executing backend, scaled by the
 // context's TimeScale. Sub-200µs scaled durations are spin-waited for
-// precision (same rationale as fabric delays).
+// precision (same rationale as fabric delays). Cancellation of Ctx cuts the
+// wait short: a cancelled task stops burning its slot mid-kernel.
 func (c *Context) Compute(d time.Duration) {
 	if c.TimeScale <= 0 || d <= 0 {
 		return
@@ -90,10 +108,22 @@ func (c *Context) Compute(d time.Duration) {
 	if d < 200*time.Microsecond {
 		deadline := time.Now().Add(d)
 		for time.Now().Before(deadline) {
+			if c.Err() != nil {
+				return
+			}
 		}
 		return
 	}
-	time.Sleep(d)
+	if c.Ctx == nil {
+		time.Sleep(d)
+		return
+	}
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+	case <-c.Ctx.Done():
+	}
 }
 
 // Func is an executable task body: resolved argument bytes in, output
@@ -129,7 +159,7 @@ func (r *Registry) Lookup(name string) (Func, error) {
 	defer r.mu.RUnlock()
 	fn, ok := r.fns[name]
 	if !ok {
-		return nil, fmt.Errorf("%w: %q", ErrUnknownFn, name)
+		return nil, skaderr.Mark(skaderr.NotFound, fmt.Errorf("%w: %q", ErrUnknownFn, name))
 	}
 	return fn, nil
 }

@@ -6,6 +6,7 @@ import (
 
 	"skadi/internal/fabric"
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 )
 
 // messageOverhead approximates per-message header bytes (IDs, kind, frame)
@@ -75,24 +76,28 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 	closed := t.closed
 	t.mu.RUnlock()
 	if closed {
-		return nil, ErrClosed
+		return nil, unavailable(ErrClosed)
 	}
 	if !ok || isDown {
-		return nil, ErrUnreachable
+		return nil, unavailable(ErrUnreachable)
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, callerErr(err)
 	}
 	// Charge the request path. SendCtx records the transfer as a span when
 	// the caller's context carries a trace; the handler then runs under the
 	// same context, so remote-side spans attach to the caller's trace —
-	// in-process propagation of the TraceID/SpanID pair.
+	// in-process propagation of the TraceID/SpanID pair. Deadlines and
+	// cancellation propagate the same way: the handler shares the caller's
+	// context directly.
 	t.charge(ctx, from, to, len(payload)+messageOverhead)
 	resp, err := h(ctx, from, kind, payload)
 	if err != nil {
-		// Errors still travel back over the network.
+		// Errors still travel back over the network — and flatten to their
+		// wire form (code + message), so the in-proc path surfaces exactly
+		// what a TCP caller would see.
 		t.fabric.SendCtx(ctx, to, from, messageOverhead+len(err.Error()))
-		return nil, &RemoteError{Msg: err.Error()}
+		return nil, skaderr.RoundTrip(err)
 	}
 	// Charge the response path.
 	t.charge(ctx, to, from, len(resp)+messageOverhead)

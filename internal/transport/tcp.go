@@ -6,8 +6,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 	"skadi/internal/trace"
 	"skadi/internal/wire"
 )
@@ -19,6 +21,10 @@ var ErrAlreadyListening = errors.New("transport: node already listening")
 const (
 	frameRequest  = 0
 	frameResponse = 1
+	// frameCancel tells the server to cancel the handler context of an
+	// in-flight request (by reqID) — how caller-side cancellation and
+	// deadline expiry cascade across the socket to interrupt remote work.
+	frameCancel = 2
 )
 
 // Response status codes.
@@ -112,7 +118,7 @@ func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payl
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
-		return nil, ErrClosed
+		return nil, unavailable(ErrClosed)
 	}
 	client, ok := t.conns[to]
 	if ok && client.dead() {
@@ -123,19 +129,20 @@ func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payl
 		addr, found := t.dir[to]
 		if !found {
 			t.mu.Unlock()
-			return nil, ErrUnreachable
+			return nil, unavailable(ErrUnreachable)
 		}
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			t.mu.Unlock()
-			return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+			return nil, unavailable(fmt.Errorf("%w: %v", ErrUnreachable, err))
 		}
 		client = newTCPClient(conn)
 		t.conns[to] = client
 	}
 	t.mu.Unlock()
 	// Propagate the trace position explicitly: the remote process cannot
-	// see this context, so the TraceID/SpanID pair rides the frame.
+	// see this context, so the TraceID/SpanID pair — and the absolute
+	// deadline — ride the frame.
 	sc, _ := trace.FromContext(ctx)
 	return client.call(ctx, from, sc, kind, payload)
 }
@@ -191,18 +198,45 @@ func (s *tcpServer) acceptLoop() {
 func (s *tcpServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	var writeMu sync.Mutex
+	// In-flight handler contexts by reqID, so a later cancel frame from the
+	// caller interrupts the matching handler.
+	var cancelMu sync.Mutex
+	cancels := make(map[uint64]context.CancelFunc)
+	defer func() {
+		// Connection torn down: abort whatever is still running for it.
+		cancelMu.Lock()
+		for _, cancel := range cancels {
+			cancel()
+		}
+		cancelMu.Unlock()
+	}()
 	for {
 		frame, err := wire.ReadFrame(conn)
 		if err != nil {
 			return
 		}
 		r := wire.NewReader(frame)
-		if tag := r.Byte(); tag != frameRequest {
+		switch tag := r.Byte(); tag {
+		case frameRequest:
+		case frameCancel:
+			reqID := r.Uint64()
+			if r.Err() != nil {
+				return
+			}
+			cancelMu.Lock()
+			cancel := cancels[reqID]
+			cancelMu.Unlock()
+			if cancel != nil {
+				cancel()
+			}
+			continue
+		default:
 			return // protocol violation
 		}
 		reqID := r.Uint64()
 		from := idgen.ID(r.Bytes16())
 		sc := trace.SpanContext{Trace: idgen.ID(r.Bytes16()), Span: idgen.ID(r.Bytes16())}
+		deadlineNanos := r.Uint64()
 		kind := r.String()
 		payload := r.LenBytes()
 		if r.Err() != nil {
@@ -212,18 +246,39 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		// conceptually once the handler runs concurrently.
 		p := make([]byte, len(payload))
 		copy(p, payload)
+		// Rebuild the caller's context on this side of the wire: trace
+		// position, absolute deadline, and a cancel hook for cancel frames.
+		hctx := context.Background()
+		if s.tracer != nil && sc.IsValid() {
+			hctx = trace.ContextWith(trace.WithTracer(hctx, s.tracer), sc)
+		}
+		var hcancel context.CancelFunc
+		if deadlineNanos != 0 {
+			hctx, hcancel = context.WithDeadline(hctx, time.Unix(0, int64(deadlineNanos)))
+		} else {
+			hctx, hcancel = context.WithCancel(hctx)
+		}
+		cancelMu.Lock()
+		cancels[reqID] = hcancel
+		cancelMu.Unlock()
 		go func() {
-			hctx := context.Background()
-			if s.tracer != nil && sc.IsValid() {
-				hctx = trace.ContextWith(trace.WithTracer(hctx, s.tracer), sc)
-			}
+			defer func() {
+				cancelMu.Lock()
+				delete(cancels, reqID)
+				cancelMu.Unlock()
+				hcancel()
+			}()
 			resp, herr := s.handler(hctx, from, kind, p)
 			var buf wire.Buffer
 			buf.Byte(frameResponse)
 			buf.Uint64(reqID)
 			if herr != nil {
+				// The typed code rides next to the message, so errors.Is
+				// works on the far side exactly as it does in-process.
+				code, msg := skaderr.EncodeWire(herr)
 				buf.Byte(statusRemote)
-				buf.String(herr.Error())
+				buf.Byte(code)
+				buf.String(msg)
 			} else {
 				buf.Byte(statusOK)
 				buf.LenBytes(resp)
@@ -260,6 +315,7 @@ type tcpClient struct {
 
 type response struct {
 	payload []byte
+	code    byte
 	remote  string
 	ok      bool
 }
@@ -291,6 +347,7 @@ func (c *tcpClient) readLoop() {
 			copy(resp.payload, body)
 			resp.ok = true
 		} else {
+			resp.code = r.Byte()
 			resp.remote = r.String()
 		}
 		if r.Err() != nil {
@@ -330,11 +387,14 @@ func (c *tcpClient) dead() bool {
 func (c *tcpClient) close() { c.fail(ErrClosed) }
 
 func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, sc trace.SpanContext, kind string, payload []byte) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, callerErr(err)
+	}
 	c.mu.Lock()
 	if c.err != nil {
 		err := c.err
 		c.mu.Unlock()
-		return nil, err
+		return nil, unavailable(err)
 	}
 	c.nextID++
 	reqID := c.nextID
@@ -342,12 +402,20 @@ func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, sc trace.SpanCo
 	c.pending[reqID] = ch
 	c.mu.Unlock()
 
+	// The absolute deadline rides the frame (0 = none): the server rebuilds
+	// it on its side, so remote work is bounded by the caller's budget.
+	var deadlineNanos uint64
+	if t, ok := ctx.Deadline(); ok {
+		deadlineNanos = uint64(t.UnixNano())
+	}
+
 	var buf wire.Buffer
 	buf.Byte(frameRequest)
 	buf.Uint64(reqID)
 	buf.Bytes16(from)
 	buf.Bytes16(sc.Trace)
 	buf.Bytes16(sc.Span)
+	buf.Uint64(deadlineNanos)
 	buf.String(kind)
 	buf.LenBytes(payload)
 
@@ -358,22 +426,31 @@ func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, sc trace.SpanCo
 		c.mu.Lock()
 		delete(c.pending, reqID)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+		return nil, unavailable(fmt.Errorf("%w: %v", ErrUnreachable, err))
 	}
 
 	select {
 	case resp, ok := <-ch:
 		if !ok {
-			return nil, ErrUnreachable
+			return nil, unavailable(ErrUnreachable)
 		}
 		if !resp.ok {
-			return nil, &RemoteError{Msg: resp.remote}
+			return nil, skaderr.DecodeWire(resp.code, resp.remote)
 		}
 		return resp.payload, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.pending, reqID)
 		c.mu.Unlock()
-		return nil, ctx.Err()
+		// Best effort: tell the server to stop working on our behalf. The
+		// response, if any still arrives, is dropped by readLoop (the
+		// pending entry is gone).
+		var cb wire.Buffer
+		cb.Byte(frameCancel)
+		cb.Uint64(reqID)
+		c.writeMu.Lock()
+		_ = wire.WriteFrame(c.conn, cb.Bytes())
+		c.writeMu.Unlock()
+		return nil, callerErr(ctx.Err())
 	}
 }

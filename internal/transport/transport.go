@@ -9,6 +9,15 @@
 //
 // All payloads are bytes; Encode/Decode provide the gob-based encoding used
 // for control messages, while bulk data moves as raw bytes.
+//
+// Error semantics are uniform across both implementations: a failure of the
+// transport itself (unreachable peer, closed transport, expired caller
+// context) carries a skaderr code and the matching sentinel in its chain,
+// while a failure of the remote handler comes back as a skaderr round-trip —
+// the typed code crosses the wire next to the message, so errors.Is against
+// skaderr codes gives the same answer on InProc and TCP. Caller deadlines
+// propagate too: the TCP frame carries the absolute deadline (and a cancel
+// frame on caller abort), the in-proc path shares the context directly.
 package transport
 
 import (
@@ -19,6 +28,7 @@ import (
 	"fmt"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 )
 
 // Errors returned by transports.
@@ -30,22 +40,18 @@ var (
 	ErrClosed = errors.New("transport: closed")
 )
 
-// RemoteError wraps an error returned by a remote handler, preserving the
-// distinction between transport failures (retryable, node may be dead) and
-// application errors (the call was delivered and the handler failed).
-type RemoteError struct {
-	Msg string
-}
+// unavailable marks a transport-level failure with the Unavailable code
+// while keeping the sentinel (ErrUnreachable/ErrClosed) in the chain.
+func unavailable(err error) error { return skaderr.Mark(skaderr.Unavailable, err) }
 
-// Error implements the error interface.
-func (e *RemoteError) Error() string { return "remote: " + e.Msg }
+// callerErr classifies a caller-side context failure (Cancelled or
+// DeadlineExceeded) so local aborts carry the same codes as remote ones.
+func callerErr(err error) error { return skaderr.Mark(skaderr.CodeOf(err), err) }
 
 // IsRemote reports whether err is an application-level error from the
-// remote handler (as opposed to a transport failure).
-func IsRemote(err error) bool {
-	var re *RemoteError
-	return errors.As(err, &re)
-}
+// remote handler (as opposed to a transport failure): the call was
+// delivered and the handler failed.
+func IsRemote(err error) bool { return skaderr.IsRemote(err) }
 
 // Handler processes one inbound message on a node. kind identifies the RPC
 // method; the returned bytes are the response payload.

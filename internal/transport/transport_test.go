@@ -11,6 +11,7 @@ import (
 
 	"skadi/internal/fabric"
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 )
 
 // echoHandler responds with "kind:payload".
@@ -284,6 +285,111 @@ func TestTCPLargePayload(t *testing.T) {
 		if resp[i] != payload[i] {
 			t.Fatalf("payload corrupted at byte %d", i)
 		}
+	}
+}
+
+// TestCrossTransportErrorParity is the satellite contract: the same handler
+// failure must be errors.Is-equal on both transports — same skaderr code,
+// same message, both marked remote.
+func TestCrossTransportErrorParity(t *testing.T) {
+	handler := func(context.Context, idgen.NodeID, string, []byte) ([]byte, error) {
+		return nil, skaderr.Mark(skaderr.DataLoss, errors.New("ownership: object lost"))
+	}
+	got := make(map[string]error)
+	for name, tr := range transports(t) {
+		server, client := idgen.Next(), idgen.Next()
+		if err := tr.Listen(server, handler); err != nil {
+			t.Fatalf("%s Listen: %v", name, err)
+		}
+		_, err := tr.Call(context.Background(), client, server, "x", nil)
+		if err == nil {
+			t.Fatalf("%s: want error", name)
+		}
+		got[name] = err
+	}
+	inproc, tcp := got["inproc"], got["tcp"]
+	if inproc.Error() != tcp.Error() {
+		t.Errorf("messages diverge: inproc %q, tcp %q", inproc, tcp)
+	}
+	for _, target := range []error{skaderr.DataLoss, skaderr.Cancelled, skaderr.Internal} {
+		if errors.Is(inproc, target) != errors.Is(tcp, target) {
+			t.Errorf("errors.Is(%v) diverges: inproc %v, tcp %v",
+				target, errors.Is(inproc, target), errors.Is(tcp, target))
+		}
+	}
+	if !errors.Is(tcp, skaderr.DataLoss) {
+		t.Errorf("tcp err = %v, want DataLoss code to survive the wire", tcp)
+	}
+	if !IsRemote(inproc) || !IsRemote(tcp) {
+		t.Error("both errors must be marked remote")
+	}
+}
+
+// TestDeadlineCrossesWire: the caller's deadline must be observable in the
+// remote handler's context on both transports.
+func TestDeadlineCrossesWire(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			server, client := idgen.Next(), idgen.Next()
+			sawDeadline := make(chan bool, 1)
+			err := tr.Listen(server, func(ctx context.Context, _ idgen.NodeID, _ string, _ []byte) ([]byte, error) {
+				_, ok := ctx.Deadline()
+				sawDeadline <- ok
+				return nil, nil
+			})
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if _, err := tr.Call(ctx, client, server, "x", nil); err != nil {
+				t.Fatalf("Call: %v", err)
+			}
+			if !<-sawDeadline {
+				t.Error("handler context carried no deadline")
+			}
+		})
+	}
+}
+
+// TestCancelPropagatesToServer: when the caller aborts mid-call, the remote
+// handler's context must be cancelled — over TCP this rides a cancel frame.
+func TestCancelPropagatesToServer(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			server, client := idgen.Next(), idgen.Next()
+			started := make(chan struct{})
+			interrupted := make(chan struct{})
+			err := tr.Listen(server, func(ctx context.Context, _ idgen.NodeID, _ string, _ []byte) ([]byte, error) {
+				close(started)
+				select {
+				case <-ctx.Done():
+					close(interrupted)
+					return nil, ctx.Err()
+				case <-time.After(5 * time.Second):
+					return nil, errors.New("handler never saw cancellation")
+				}
+			})
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			callErr := make(chan error, 1)
+			go func() {
+				_, err := tr.Call(ctx, client, server, "x", nil)
+				callErr <- err
+			}()
+			<-started
+			cancel()
+			select {
+			case <-interrupted:
+			case <-time.After(2 * time.Second):
+				t.Fatal("server handler was not interrupted by caller cancel")
+			}
+			if err := <-callErr; !errors.Is(err, skaderr.Cancelled) {
+				t.Errorf("caller err = %v, want skaderr.Cancelled", err)
+			}
+		})
 	}
 }
 
