@@ -1,4 +1,4 @@
-// Command skadi-bench runs the reproduction experiments (E1–E16 in
+// Command skadi-bench runs the reproduction experiments (E1–E17 in
 // DESIGN.md's per-experiment index) and prints their tables. Each
 // experiment regenerates one figure or claim of the Skadi paper.
 //
@@ -8,6 +8,8 @@
 //	skadi-bench -e e3,e4                   # run selected experiments
 //	skadi-bench -e e16 -json BENCH.json    # also write machine-readable results
 //	skadi-bench -list                      # list experiments
+//	skadi-bench -chaos                     # seeded chaos soak (replayable)
+//	skadi-bench -chaos -chaos.episodes 5000 -chaos.seed 1 -chaos.journal j.txt
 package main
 
 import (
@@ -23,11 +25,18 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("e", "all", "comma-separated experiment ids (e1..e16) or 'all'")
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		jsonOut = flag.String("json", "", "write the result tables as JSON to this file")
+		exps     = flag.String("e", "all", "comma-separated experiment ids (e1..e17) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments and exit")
+		jsonOut  = flag.String("json", "", "write the result tables as JSON to this file")
+		soak     = flag.Bool("chaos", false, "run the seeded chaos soak instead of experiments")
+		episodes = flag.Int("chaos.episodes", 1000, "episodes for -chaos (seeds -chaos.seed and up)")
 	)
+	flag.StringVar(&journalFlag, "chaos.journal", "", "on -chaos failure, also write the fault journal to this file")
 	flag.Parse()
+
+	if *soak {
+		os.Exit(runChaosSoak(*episodes))
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -502,7 +502,12 @@ func (l *Layer) writeReplica(ctx context.Context, from, node idgen.NodeID, id id
 			return nil // degrade: fewer copies, counted, not a crash
 		}
 	}
-	l.fabric.SendCtx(ctx, from, node, len(data))
+	if _, err := l.fabric.SendCtx(ctx, from, node, len(data)); err != nil {
+		// The target left the fabric while the replica was in flight:
+		// degrade (fewer copies, counted), same as a dropped store.
+		l.stats.degradedPlacements.Add(1)
+		return nil
+	}
 	if err := si.store.Put(id, data, format); err != nil && !errors.Is(err, objectstore.ErrExists) {
 		return fmt.Errorf("caching: replica on %s: %w", node.Short(), err)
 	}
@@ -575,7 +580,12 @@ func (l *Layer) encodeShards(ctx context.Context, from idgen.NodeID, id idgen.Ob
 			}
 		}
 		shardID := idgen.Next()
-		l.fabric.SendCtx(ctx, from, node, len(shards[i]))
+		if _, err := l.fabric.SendCtx(ctx, from, node, len(shards[i])); err != nil {
+			// Target departed mid-encode: skip the slot (Nil node; parity
+			// tolerates missing shards), counted as a degraded placement.
+			l.stats.degradedPlacements.Add(1)
+			return nil
+		}
 		if err := si.store.Put(shardID, shards[i], "ec-shard"); err != nil {
 			return fmt.Errorf("caching: shard %d on %s: %w", i, node.Short(), err)
 		}
@@ -725,7 +735,9 @@ func (l *Layer) fetchMiss(ctx context.Context, to idgen.NodeID, id idgen.ObjectI
 		if err != nil {
 			continue
 		}
-		l.fabric.TransferChunkedCtx(ctx, node, to, len(data))
+		if _, err := l.fabric.TransferChunkedCtx(ctx, node, to, len(data)); err != nil {
+			continue // source vanished mid-transfer: try the next location
+		}
 		l.stats.remoteHits.Add(1)
 		l.stats.bytesTransferred.Add(int64(len(data)))
 		l.maybeCacheLocal(cacheOnRead, hasStore, si, to, id, data, f)
@@ -798,7 +810,9 @@ func (l *Layer) reconstruct(ctx context.Context, to idgen.NodeID, info *ecInfo) 
 	}
 	if err := l.forEachParallel(len(fetches), func(i int) error {
 		f := fetches[i]
-		l.fabric.SendCtx(ctx, f.node, to, len(f.data))
+		if _, err := l.fabric.SendCtx(ctx, f.node, to, len(f.data)); err != nil {
+			return nil // shard source departed; the hole is within parity
+		}
 		l.stats.bytesTransferred.Add(int64(len(f.data)))
 		shards[f.idx] = f.data
 		return nil
@@ -824,6 +838,36 @@ func (l *Layer) Contains(id idgen.ObjectID) bool {
 	}
 	_, ok := sh.ec[id]
 	return ok
+}
+
+// RecoverableWithout reports whether id could still be materialized if
+// node's copy vanished: another location whose store REALLY holds the
+// bytes (verified against the store, not just this index — invariant
+// checkers use this to catch silently-lost copies), the DSM tier, or an
+// EC group.
+func (l *Layer) RecoverableWithout(node idgen.NodeID, id idgen.ObjectID) bool {
+	sh := l.shardFor(id)
+	sh.mu.RLock()
+	others := make([]idgen.NodeID, 0, len(sh.locations[id]))
+	for loc := range sh.locations[id] {
+		if loc != node {
+			others = append(others, loc)
+		}
+	}
+	redundant := sh.inDSM[id]
+	if _, ok := sh.ec[id]; ok {
+		redundant = true
+	}
+	sh.mu.RUnlock()
+	if redundant {
+		return true
+	}
+	for _, loc := range others {
+		if st := l.Store(loc); st != nil && st.Contains(id) {
+			return true
+		}
+	}
+	return false
 }
 
 // Locations returns the nodes currently recorded as holding a full copy,

@@ -1,0 +1,301 @@
+// Package chaos is the runtime's deterministic, seeded fault-injection
+// engine. The paper's Gen-1/Gen-2 argument is about message paths through
+// an unreliable disaggregated substrate, and related work treats partial
+// failure as the common case there — so instead of hand-rolled kill loops,
+// every subsystem gets one reusable adversary that interposes on the
+// fabric and the transports.
+//
+// The pieces:
+//
+//   - Plan: a seeded, serializable fault schedule — probabilistic message
+//     rules (drop/delay/duplicate per link class and RPC kind) plus
+//     scheduled events (crash/restart, partition/heal, slow links,
+//     decommission). Plans are either scripted by tests or generated from
+//     a seed; the same seed always yields the byte-identical plan.
+//   - Engine: the transport.Interposer that executes a plan. Message
+//     verdicts are pure hashes of (seed, link, rule, per-link sequence
+//     number), so the decision stream per link is independent of goroutine
+//     interleaving; every action lands in an event journal.
+//   - Checker: cross-subsystem invariants run after an episode (futures
+//     resolved with typed causes, ownership/residency agreement, migration
+//     hygiene, goroutine baseline, fabric byte accounting).
+//
+// Any failure replays from its printed seed: `-chaos.seed=N` regenerates
+// the identical plan and decision streams.
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"skadi/internal/fabric"
+)
+
+// Rule is one probabilistic message-fault rule. Percentages are integers
+// in [0,100] so plans serialize byte-identically. A rule applies to a
+// message when both matchers pass (empty matcher = match all).
+type Rule struct {
+	// Name tags the rule in journals and renderings.
+	Name string
+	// Kinds restricts the rule to RPC kinds with one of these prefixes.
+	Kinds []string
+	// Classes restricts the rule to these link classes.
+	Classes []fabric.LinkClass
+	// DropPct / DelayPct / DupPct are per-message probabilities.
+	DropPct, DelayPct, DupPct int
+	// Delay is the injected latency when DelayPct fires.
+	Delay time.Duration
+}
+
+// matches reports whether the rule applies to one message.
+func (r *Rule) matches(kind string, class fabric.LinkClass) bool {
+	if len(r.Classes) > 0 {
+		ok := false
+		for _, c := range r.Classes {
+			if c == class {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	if len(r.Kinds) > 0 {
+		for _, k := range r.Kinds {
+			if strings.HasPrefix(kind, k) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// EventKind classifies a scheduled fault event.
+type EventKind int
+
+// Event kinds.
+const (
+	// EventCrash kills the target nodes (state lost, transport severed,
+	// fabric endpoint unregistered).
+	EventCrash EventKind = iota
+	// EventRestart brings previously-crashed nodes back empty.
+	EventRestart
+	// EventPartition splits the cluster: the target nodes on one side,
+	// everyone else on the other; cross-side messages drop.
+	EventPartition
+	// EventHeal clears all partitions and revives scheduling for nodes
+	// that are actually alive.
+	EventHeal
+	// EventSlowClass multiplies one link class's cost by Factor.
+	EventSlowClass
+	// EventDecommission gracefully drains the target node (runtime-level;
+	// the engine journals it).
+	EventDecommission
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventRestart:
+		return "restart"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	case EventSlowClass:
+		return "slow-class"
+	case EventDecommission:
+		return "decommission"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scheduled fault. Nodes are referenced by index into the
+// plan's node list — node IDs are per-process, indices are stable across
+// replays of the same cluster shape.
+type Event struct {
+	// At orders timed events (offset from episode start). Step groups
+	// events applied manually via ApplyStep; timed application ignores
+	// events with Step != 0 and vice versa.
+	At   time.Duration
+	Step int
+	Kind EventKind
+	// Nodes are the target node indices (crash/restart/decommission: the
+	// victims; partition: the minority side).
+	Nodes []int
+	// Class and Factor parameterize EventSlowClass.
+	Class  fabric.LinkClass
+	Factor float64
+}
+
+// Plan is one complete fault schedule.
+type Plan struct {
+	Seed   int64
+	Rules  []Rule
+	Events []Event
+}
+
+// String renders the plan deterministically: the same plan always yields
+// the same bytes, which is what TestChaosReplay asserts.
+func (p *Plan) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan seed=%d\n", p.Seed)
+	for i, r := range p.Rules {
+		fmt.Fprintf(&sb, "rule[%d] %s kinds=%v classes=%v drop=%d%% delay=%d%%/%s dup=%d%%\n",
+			i, r.Name, r.Kinds, r.Classes, r.DropPct, r.DelayPct, r.Delay, r.DupPct)
+	}
+	for i, e := range p.Events {
+		fmt.Fprintf(&sb, "event[%d] at=%s step=%d %s nodes=%v class=%v factor=%g\n",
+			i, e.At, e.Step, e.Kind, e.Nodes, e.Class, e.Factor)
+	}
+	return sb.String()
+}
+
+// Mix selects the fault family a generated plan emphasizes — the three
+// fault mixes experiment E17 measures, plus a combined mode for soaks.
+type Mix int
+
+// Fault mixes.
+const (
+	// MixMessage is drop/delay/duplicate-heavy message chaos.
+	MixMessage Mix = iota
+	// MixPartition is partition/heal cycles plus slow links.
+	MixPartition
+	// MixCrash is crash/restart cycles.
+	MixCrash
+	// MixAll draws from all families.
+	MixAll
+)
+
+// String names the mix.
+func (m Mix) String() string {
+	switch m {
+	case MixMessage:
+		return "message"
+	case MixPartition:
+		return "partition"
+	case MixCrash:
+		return "crash"
+	default:
+		return "all"
+	}
+}
+
+// GenConfig shapes a generated plan.
+type GenConfig struct {
+	// Faultable are the node indices eligible for crash/partition events
+	// (typically the worker nodes — never the head).
+	Faultable []int
+	// Window is the time span events fall into.
+	Window time.Duration
+	// Mix selects the fault family.
+	Mix Mix
+}
+
+// Generate builds a randomized plan from a seed. The same (seed, cfg)
+// always yields the byte-identical plan: generation draws only from a
+// rand.Rand seeded with seed, never from global state or time.
+func Generate(seed int64, cfg GenConfig) *Plan {
+	rng := rand.New(rand.NewSource(seed))
+	p := &Plan{Seed: seed}
+	if cfg.Window <= 0 {
+		cfg.Window = 10 * time.Millisecond
+	}
+	at := func(fracLo, fracHi float64) time.Duration {
+		lo := float64(cfg.Window) * fracLo
+		hi := float64(cfg.Window) * fracHi
+		return time.Duration(lo + rng.Float64()*(hi-lo))
+	}
+	pick := func() int { return cfg.Faultable[rng.Intn(len(cfg.Faultable))] }
+
+	msgRules := func() {
+		p.Rules = append(p.Rules, Rule{
+			Name:    "drop",
+			DropPct: 1 + rng.Intn(6), // 1–6 %
+		})
+		p.Rules = append(p.Rules, Rule{
+			Name:     "delay",
+			DelayPct: 2 + rng.Intn(10),
+			Delay:    time.Duration(50+rng.Intn(450)) * time.Microsecond,
+		})
+		// Duplicates are restricted to control-plane kinds: duplicating an
+		// exec re-runs a whole kernel, which models a retransmit storm
+		// poorly and mostly burns wall clock.
+		p.Rules = append(p.Rules, Rule{
+			Name:   "dup",
+			Kinds:  []string{"own.", "get", "pull", "push"},
+			DupPct: 1 + rng.Intn(4),
+		})
+	}
+	partitionCycle := func() {
+		if len(cfg.Faultable) < 2 {
+			return
+		}
+		// Partition a random minority for a slice of the window, then heal.
+		k := 1 + rng.Intn(len(cfg.Faultable)/2)
+		side := append([]int(nil), cfg.Faultable...)
+		rng.Shuffle(len(side), func(i, j int) { side[i], side[j] = side[j], side[i] })
+		side = side[:k]
+		sort.Ints(side)
+		start := at(0.1, 0.4)
+		p.Events = append(p.Events,
+			Event{At: start, Kind: EventPartition, Nodes: side},
+			Event{At: start + at(0.2, 0.4), Kind: EventHeal},
+		)
+		if rng.Intn(2) == 0 {
+			p.Events = append(p.Events, Event{
+				At: at(0.0, 0.2), Kind: EventSlowClass,
+				Class: fabric.Rack, Factor: 2 + float64(rng.Intn(6)),
+			})
+		}
+	}
+	crashCycle := func() {
+		n := 1 + rng.Intn(2)
+		for i := 0; i < n; i++ {
+			victim := pick()
+			down := at(0.1, 0.5)
+			p.Events = append(p.Events,
+				Event{At: down, Kind: EventCrash, Nodes: []int{victim}},
+				// Always pair with a restart: capacity returns and the
+				// goroutine-baseline invariant stays meaningful.
+				Event{At: down + at(0.2, 0.5), Kind: EventRestart, Nodes: []int{victim}},
+			)
+		}
+	}
+
+	switch cfg.Mix {
+	case MixMessage:
+		msgRules()
+	case MixPartition:
+		partitionCycle()
+	case MixCrash:
+		crashCycle()
+	default:
+		msgRules()
+		if rng.Intn(2) == 0 {
+			partitionCycle()
+		}
+		if rng.Intn(2) == 0 {
+			crashCycle()
+		}
+	}
+	// Terminal heal pins the episode length: RunPlan keeps message rules
+	// armed until the last event fires, so a pure-message plan still runs
+	// chaos for the whole window instead of healing immediately.
+	p.Events = append(p.Events, Event{At: cfg.Window, Kind: EventHeal})
+	sortEvents(p.Events)
+	return p
+}
+
+// sortEvents orders timed events by At (stable for equal times).
+func sortEvents(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package chaos
+
+// RaceEnabled lets chaos suites shrink episode counts under the race
+// detector, where each episode costs roughly an order of magnitude more.
+const RaceEnabled = true

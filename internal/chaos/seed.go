@@ -1,0 +1,43 @@
+package chaos
+
+import "flag"
+
+// DefaultSeed is the fixed seed used when -chaos.seed is not given: CI
+// runs are reproducible by default, and a failure report always carries a
+// seed that means something.
+const DefaultSeed = 1
+
+var seedFlag *int64
+
+// The flag is registered lazily-but-once: several test binaries and
+// skadi-bench all link this package, and some tests construct their own
+// FlagSets; double-registering on the global CommandLine panics.
+func init() {
+	if flag.Lookup("chaos.seed") == nil {
+		seedFlag = flag.Int64("chaos.seed", DefaultSeed,
+			"seed for chaos plans; replays a failed episode byte-identically")
+	}
+}
+
+// FlagSeed returns the -chaos.seed value (DefaultSeed when unset).
+func FlagSeed() int64 {
+	if seedFlag == nil {
+		return DefaultSeed
+	}
+	return *seedFlag
+}
+
+// mix folds words into a splitmix64 chain. It is the engine's only source
+// of randomness at message-verdict time: a pure function of its inputs, so
+// the fault decision for the n-th message on a link never depends on
+// scheduling order.
+func mix(words ...uint64) uint64 {
+	var h uint64 = 0x9e3779b97f4a7c15
+	for _, w := range words {
+		h += w + 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}

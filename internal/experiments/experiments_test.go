@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 	"testing"
@@ -9,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 16 {
-		t.Fatalf("registered experiments = %d, want 16: %v", len(ids), ids)
+	if len(ids) != 17 {
+		t.Fatalf("registered experiments = %d, want 17: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)
@@ -286,5 +287,25 @@ func TestE15Shape(t *testing.T) {
 	// Chunked pipelining: deterministic sim cost, strictly cheaper.
 	if serial, pipelined := ms(tbl.Rows[6][1]), ms(tbl.Rows[6][2]); pipelined >= serial {
 		t.Errorf("chunked move %v ms not cheaper than serial chunks %v ms", pipelined, serial)
+	}
+}
+
+func TestE17Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e17 runs chaos episodes in real time")
+	}
+	tbl := runExperiment(t, "e17", 3)
+	for _, row := range tbl.Rows {
+		// The payload claim: zero invariant violations in every mix.
+		if row[7] != "0" {
+			t.Errorf("%s mix: %s invariant violations, want 0", row[0], row[7])
+		}
+		// Every future terminated: ok + failed-typed == all submitted.
+		var ok, failed int
+		fmt.Sscan(row[2], &ok)
+		fmt.Sscan(row[3], &failed)
+		if ok+failed != e17Leaves+e17Aggs {
+			t.Errorf("%s mix: %d futures terminated, want %d", row[0], ok+failed, e17Leaves+e17Aggs)
+		}
 	}
 }

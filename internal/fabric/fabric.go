@@ -13,12 +13,14 @@ package fabric
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 	"skadi/internal/trace"
 )
 
@@ -133,9 +135,18 @@ type Fabric struct {
 	chunkBytes int
 	profiles   [numClasses]LinkProfile
 	stats      [numClasses]classStats
+	// slow holds per-class float64 multipliers (as bits) applied to link
+	// costs; 0 means unset (×1). The chaos engine uses it to degrade link
+	// classes without rebuilding the fabric.
+	slow [numClasses]atomic.Uint64
 
 	mu        sync.RWMutex
 	locations map[idgen.NodeID]Location
+	// departed marks endpoints that were explicitly Unregistered (crash,
+	// decommission). Unlike never-registered endpoints — which are simply
+	// treated as remote — transfers touching a departed endpoint fail with
+	// a typed skaderr.Unavailable.
+	departed map[idgen.NodeID]bool
 }
 
 // New returns a Fabric with the given configuration.
@@ -144,6 +155,7 @@ func New(cfg Config) *Fabric {
 		timeScale:  cfg.TimeScale,
 		chunkBytes: cfg.ChunkBytes,
 		locations:  make(map[idgen.NodeID]Location),
+		departed:   make(map[idgen.NodeID]bool),
 	}
 	if f.chunkBytes <= 0 {
 		f.chunkBytes = DefaultChunkBytes
@@ -161,18 +173,45 @@ func New(cfg Config) *Fabric {
 }
 
 // Register places an endpoint in the topology. Re-registering replaces the
-// previous location.
+// previous location and clears any departed mark.
 func (f *Fabric) Register(node idgen.NodeID, loc Location) {
 	f.mu.Lock()
 	f.locations[node] = loc
+	delete(f.departed, node)
 	f.mu.Unlock()
 }
 
-// Unregister removes an endpoint.
+// Unregister removes an endpoint. Subsequent SendCtx/TransferChunkedCtx
+// calls touching it fail with skaderr.Unavailable — including transfers
+// already in flight, which abort at the next chunk boundary.
 func (f *Fabric) Unregister(node idgen.NodeID) {
 	f.mu.Lock()
 	delete(f.locations, node)
+	f.departed[node] = true
 	f.mu.Unlock()
+}
+
+// Location returns the registered placement of an endpoint.
+func (f *Fabric) Location(node idgen.NodeID) (Location, bool) {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	loc, ok := f.locations[node]
+	return loc, ok
+}
+
+// endpointErr returns the typed failure for a transfer touching a departed
+// endpoint, or nil.
+func (f *Fabric) endpointErr(from, to idgen.NodeID) error {
+	f.mu.RLock()
+	gf, gt := f.departed[from], f.departed[to]
+	f.mu.RUnlock()
+	if gt {
+		return skaderr.New(skaderr.Unavailable, "fabric: endpoint %s unregistered", to.Short())
+	}
+	if gf {
+		return skaderr.New(skaderr.Unavailable, "fabric: endpoint %s unregistered", from.Short())
+	}
+	return nil
 }
 
 // ClassBetween derives the link class connecting two registered endpoints:
@@ -203,14 +242,28 @@ func (f *Fabric) ClassBetween(a, b idgen.NodeID) LinkClass {
 	return Core
 }
 
-// cost returns the simulated duration of moving size bytes over class.
+// cost returns the simulated duration of moving size bytes over class,
+// scaled by any slow-link factor installed on the class.
 func (f *Fabric) cost(class LinkClass, size int) time.Duration {
 	p := f.profiles[class]
 	d := p.Latency
 	if size > 0 && p.Bandwidth > 0 {
 		d += time.Duration(float64(size) / p.Bandwidth * float64(time.Second))
 	}
+	if bits := f.slow[class].Load(); bits != 0 {
+		d = time.Duration(float64(d) * math.Float64frombits(bits))
+	}
 	return d
+}
+
+// SetSlowFactor multiplies one link class's cost by factor (≥ 1 degrades,
+// 1 restores). The chaos engine uses it to model congested or flapping
+// links without rebuilding the fabric.
+func (f *Fabric) SetSlowFactor(class LinkClass, factor float64) {
+	if class < 0 || class >= numClasses || factor <= 0 {
+		return
+	}
+	f.slow[class].Store(math.Float64bits(factor))
 }
 
 // account records the transfer and delays the caller per TimeScale.
@@ -235,7 +288,15 @@ func (f *Fabric) Send(from, to idgen.NodeID, size int) time.Duration {
 // the transfer is recorded as a span whose kind names the link class
 // (dpu-hop, durable-bounce, or xfer with a link attribute) and whose Sim
 // field carries the deterministic cost-model duration.
-func (f *Fabric) SendCtx(ctx context.Context, from, to idgen.NodeID, size int) time.Duration {
+//
+// Unlike Send, SendCtx has an error path: a message addressed to (or from)
+// an endpoint that has been Unregistered — crashed, decommissioned — fails
+// with a typed skaderr.Unavailable instead of being silently charged as a
+// remote transfer that never arrives.
+func (f *Fabric) SendCtx(ctx context.Context, from, to idgen.NodeID, size int) (time.Duration, error) {
+	if err := f.endpointErr(from, to); err != nil {
+		return 0, err
+	}
 	class := f.ClassBetween(from, to)
 	_, sp := trace.Start(ctx, spanKindFor(class), from)
 	d := f.account(class, size)
@@ -244,7 +305,7 @@ func (f *Fabric) SendCtx(ctx context.Context, from, to idgen.NodeID, size int) t
 		sp.SetAttr("link", class.String())
 		sp.End()
 	}
-	return d
+	return d, nil
 }
 
 // TransferClass charges an explicit link class; used for paths that are not
@@ -300,22 +361,38 @@ func (f *Fabric) TransferChunked(from, to idgen.NodeID, size int) time.Duration 
 // cancellation: when ctx is cancelled mid-transfer the remaining chunk
 // delays are skipped (the accounting for the full transfer has already
 // been charged — bytes in flight are not unsent).
-func (f *Fabric) TransferChunkedCtx(ctx context.Context, from, to idgen.NodeID, size int) time.Duration {
+//
+// Like SendCtx it has an error path: if either endpoint has been
+// Unregistered the transfer fails with skaderr.Unavailable — up front, or
+// at the next chunk boundary when the endpoint departs mid-transfer.
+func (f *Fabric) TransferChunkedCtx(ctx context.Context, from, to idgen.NodeID, size int) (time.Duration, error) {
+	if err := f.endpointErr(from, to); err != nil {
+		return 0, err
+	}
 	class := f.ClassBetween(from, to)
 	_, sp := trace.Start(ctx, spanKindFor(class), from)
-	d := f.transferChunked(ctx, class, size)
+	d, err := f.transferChunkedEndpoints(ctx, from, to, class, size)
 	if sp != nil {
 		sp.SetSim(d)
 		sp.SetAttr("link", class.String())
 		sp.SetAttr("chunks", fmt.Sprint(f.Chunks(size)))
 		sp.End()
 	}
-	return d
+	return d, err
 }
 
 // transferChunked accounts a pipelined chunked transfer and delays the
 // caller in per-chunk slices.
 func (f *Fabric) transferChunked(ctx context.Context, class LinkClass, size int) time.Duration {
+	d, _ := f.transferChunkedEndpoints(ctx, idgen.Nil, idgen.Nil, class, size)
+	return d
+}
+
+// transferChunkedEndpoints is transferChunked with endpoint liveness checks
+// between chunks: a transfer whose source or destination is Unregistered
+// mid-flight aborts with skaderr.Unavailable. Nil endpoints skip the check
+// (class-only transfers have no registration to lose).
+func (f *Fabric) transferChunkedEndpoints(ctx context.Context, from, to idgen.NodeID, class LinkClass, size int) (time.Duration, error) {
 	chunks := f.Chunks(size)
 	d := f.cost(class, size) // pipelined: one latency + size/bandwidth
 	s := &f.stats[class]
@@ -323,15 +400,24 @@ func (f *Fabric) transferChunked(ctx context.Context, class LinkClass, size int)
 	s.bytes.Add(int64(size))
 	s.simNanos.Add(int64(d))
 	if f.timeScale <= 0 || d <= 0 {
-		return d
+		return d, nil
 	}
+	checked := !from.IsNil() || !to.IsNil()
 	// Slice the delay across chunks so concurrent transfers interleave at
 	// chunk granularity and cancellation takes effect between chunks.
 	slice := d / time.Duration(chunks)
 	rem := d
 	for i := 0; i < chunks && rem > 0; i++ {
 		if ctx != nil && ctx.Err() != nil {
-			return d
+			return d, nil
+		}
+		if checked {
+			if err := f.endpointErr(from, to); err != nil {
+				// The endpoint vanished mid-transfer. The full transfer was
+				// already charged (bytes in flight are not unsent); the error
+				// tells the caller the data did not land.
+				return d - rem, err
+			}
 		}
 		w := slice
 		if i == chunks-1 || w > rem {
@@ -340,7 +426,7 @@ func (f *Fabric) transferChunked(ctx context.Context, class LinkClass, size int)
 		f.wait(w)
 		rem -= w
 	}
-	return d
+	return d, nil
 }
 
 // spanKindFor maps a link class to its trace span kind. DPU hops and

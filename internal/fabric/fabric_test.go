@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
 )
 
 // accountingFabric returns a Fabric that never delays, for fast tests.
@@ -286,7 +287,7 @@ func TestTransferChunkedDelaysAndCancel(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
 	start = time.Now()
-	d = f.TransferChunkedCtx(ctx, a, b, 64<<10) // would be ≈ 65 ms
+	d, _ = f.TransferChunkedCtx(ctx, a, b, 64<<10) // would be ≈ 65 ms
 	if elapsed := time.Since(start); elapsed > d/2 {
 		t.Errorf("cancelled chunked transfer still waited %v of %v", elapsed, d)
 	}
@@ -307,5 +308,85 @@ func TestUnregister(t *testing.T) {
 	f.Unregister(b)
 	if got := f.ClassBetween(a, b); got != Core {
 		t.Errorf("after Unregister, class = %v, want Core", got)
+	}
+}
+
+// TestSendCtxDepartedEndpoint is the regression test for the silent
+// lost-message bug: SendCtx to an endpoint that was Unregistered used to
+// charge the transfer as Core and return a bare duration with no error
+// path; it must fail with a typed skaderr.Unavailable (and charge nothing).
+func TestSendCtxDepartedEndpoint(t *testing.T) {
+	f := accountingFabric()
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 0, Island: -1})
+	ctx := context.Background()
+
+	if _, err := f.SendCtx(ctx, a, b, 1<<10); err != nil {
+		t.Fatalf("SendCtx between registered endpoints: %v", err)
+	}
+	before := f.TotalStats()
+
+	f.Unregister(b)
+	_, err := f.SendCtx(ctx, a, b, 1<<10)
+	if err == nil {
+		t.Fatal("SendCtx to unregistered endpoint returned no error")
+	}
+	if code := skaderr.CodeOf(err); code != skaderr.Unavailable {
+		t.Fatalf("SendCtx error code = %v, want Unavailable (err: %v)", code, err)
+	}
+	if _, err := f.TransferChunkedCtx(ctx, a, b, 1<<20); skaderr.CodeOf(err) != skaderr.Unavailable {
+		t.Fatalf("TransferChunkedCtx to unregistered endpoint: err = %v, want Unavailable", err)
+	}
+	if after := f.TotalStats(); after != before {
+		t.Errorf("refused transfers were still charged: %+v -> %+v", before, after)
+	}
+
+	// Re-registering clears the departed mark.
+	f.Register(b, Location{Rack: 1, Island: -1})
+	if _, err := f.SendCtx(ctx, a, b, 1<<10); err != nil {
+		t.Fatalf("SendCtx after re-register: %v", err)
+	}
+
+	// A never-registered endpoint stays on the legacy remote (Core) path:
+	// only explicit departure is an error.
+	stranger := idgen.Next()
+	if _, err := f.SendCtx(ctx, a, stranger, 64); err != nil {
+		t.Fatalf("SendCtx to never-registered endpoint: %v", err)
+	}
+}
+
+// TestTransferChunkedCtxDepartsMidTransfer unregisters the destination
+// while a real-time chunked transfer is in flight and asserts the transfer
+// aborts with skaderr.Unavailable at a chunk boundary instead of running
+// (and succeeding) to completion.
+func TestTransferChunkedCtxDepartsMidTransfer(t *testing.T) {
+	// 1 MiB at 100 MB/s ≈ 10 ms of real delay, sliced across 4 chunks.
+	f := New(Config{
+		TimeScale:  1.0,
+		ChunkBytes: 256 << 10,
+		Profiles: map[LinkClass]LinkProfile{
+			Core: {Latency: 100 * time.Microsecond, Bandwidth: 100e6},
+		},
+	})
+	a, b := idgen.Next(), idgen.Next()
+	f.Register(a, Location{Rack: 0, Island: -1})
+	f.Register(b, Location{Rack: 1, Island: -1})
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := f.TransferChunkedCtx(context.Background(), a, b, 1<<20)
+		errCh <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	f.Unregister(b)
+
+	select {
+	case err := <-errCh:
+		if skaderr.CodeOf(err) != skaderr.Unavailable {
+			t.Fatalf("mid-transfer departure: err = %v, want Unavailable", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("transfer did not return")
 	}
 }

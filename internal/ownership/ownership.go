@@ -73,6 +73,23 @@ func errLost(id idgen.ObjectID) error {
 	return skaderr.Mark(skaderr.DataLoss, fmt.Errorf("%w: %s", ErrObjectLost, id.Short()))
 }
 
+// errStaleCommit builds the coded error for a commit naming a location that
+// no longer holds the bytes.
+func errStaleCommit(id idgen.ObjectID, loc idgen.NodeID) error {
+	return skaderr.Mark(skaderr.Unavailable,
+		fmt.Errorf("ownership: stale commit of %s at %s: location holds no copy", id.Short(), loc.Short()))
+}
+
+// CommitGuard validates a claimed location at commit time, under the table
+// lock. It reports whether the node genuinely holds the object (or the
+// object is redundantly recoverable without it). The guard closes the
+// commit-vs-crash race: a producer can finish its local write, die, have
+// its store wiped and its locations purged — and only then does its
+// own.ready land at the head. Without the guard that late commit
+// resurrects a location with no bytes behind it; with it, the commit is
+// rejected typed and the task fails over to lineage recovery.
+type CommitGuard func(location idgen.NodeID, id idgen.ObjectID) bool
+
 // Record is one ownership-table entry.
 type Record struct {
 	ID    idgen.ObjectID
@@ -109,11 +126,23 @@ type entry struct {
 type Table struct {
 	mu      sync.Mutex
 	entries map[idgen.ObjectID]*entry
+	guard   CommitGuard
 }
 
 // NewTable returns an empty table.
 func NewTable() *Table {
 	return &Table{entries: make(map[idgen.ObjectID]*entry)}
+}
+
+// SetCommitGuard installs the residency validator consulted by MarkReady
+// and AddLocation. Call before serving traffic; a nil guard (the default)
+// accepts every commit. The guard runs under the table lock, so its
+// serialization against location-purging writers (RemoveNodeLocations) is
+// what closes the race — it must not call back into the table.
+func (t *Table) SetCommitGuard(g CommitGuard) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.guard = g
 }
 
 // CreatePending registers a new object in Pending state.
@@ -140,6 +169,11 @@ func (t *Table) MarkReady(id idgen.ObjectID, size int64, location idgen.NodeID, 
 	e, ok := t.entries[id]
 	if !ok {
 		return nil, errUnknown(id)
+	}
+	// Device placements keep their bytes in device memory, not the node's
+	// object store — the residency guard only applies to host commits.
+	if t.guard != nil && deviceID.IsNil() && !t.guard(location, id) {
+		return nil, errStaleCommit(id, location)
 	}
 	e.rec.State = Ready
 	e.rec.Size = size
@@ -184,6 +218,9 @@ func (t *Table) AddLocation(id idgen.ObjectID, node idgen.NodeID) error {
 	e, ok := t.entries[id]
 	if !ok {
 		return errUnknown(id)
+	}
+	if t.guard != nil && !t.guard(node, id) {
+		return errStaleCommit(id, node)
 	}
 	e.locations[node] = true
 	e.syncLocations()
@@ -267,6 +304,21 @@ func (t *Table) Get(id idgen.ObjectID) (Record, error) {
 		return Record{}, errUnknown(id)
 	}
 	return e.rec, nil
+}
+
+// Records snapshots every entry, sorted by ID. Location slices are copied:
+// invariant checkers walk the snapshot while the table keeps mutating.
+func (t *Table) Records() []Record {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Record, 0, len(t.entries))
+	for _, e := range t.entries {
+		rec := e.rec
+		rec.Locations = append([]idgen.NodeID(nil), rec.Locations...)
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
 }
 
 // WaitReady blocks until the object is Ready (nil), Lost (ErrObjectLost),

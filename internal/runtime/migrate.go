@@ -291,6 +291,8 @@ func (rt *Runtime) SampleNodeGauges() []scheduler.NodeLoad {
 		resident.With(label).Set(used)
 		queue.With(label).Set(int64(depth))
 		actorsVec.With(label).Set(int64(actorCount[id]))
+		n := rt.Cluster.Node(id)
+		unreachable := n == nil || !n.Alive() || rt.chaosEng.Partitioned(rt.driver, id)
 		loads = append(loads, scheduler.NodeLoad{
 			ID:            id,
 			Backend:       cfgs[id].backend,
@@ -298,6 +300,7 @@ func (rt *Runtime) SampleNodeGauges() []scheduler.NodeLoad {
 			QueueDepth:    depth,
 			Actors:        actorCount[id],
 			DPUProxied:    cfgs[id].proxied,
+			Unreachable:   unreachable,
 		})
 	}
 	return loads

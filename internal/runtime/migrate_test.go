@@ -6,6 +6,7 @@ import (
 	"sync"
 	"testing"
 
+	"skadi/internal/chaos"
 	"skadi/internal/idgen"
 	"skadi/internal/scheduler"
 	"skadi/internal/task"
@@ -390,6 +391,54 @@ func TestSampleNodeGaugesAndRebalance(t *testing.T) {
 		data, err := rt.Get(context.Background(), id)
 		if err != nil || len(data) != 64<<10 || data[0] != byte(i) {
 			t.Errorf("object %d after rebalance: len=%d err=%v", i, len(data), err)
+		}
+	}
+}
+
+// A partitioned-away node must never be a rebalance spill target: bytes
+// migrated onto it would strand behind the partition.
+func TestRebalanceSkipsPartitionedNode(t *testing.T) {
+	rt := newMigrateRuntime(t, 3)
+	rt.Registry.Register("blob", func(_ *task.Context, args [][]byte) ([][]byte, error) {
+		out := make([]byte, 64<<10)
+		for i := range out {
+			out[i] = args[0][0]
+		}
+		return [][]byte{out}, nil
+	})
+
+	workers := rt.workerServers()
+	hot, parted := workers[0], workers[1]
+	for i := 0; i < 8; i++ {
+		spec := task.NewSpec(rt.Job(), "blob", []task.Arg{task.ValueArg([]byte{byte(i)})}, 1)
+		rt.SubmitTo(hot, spec)
+	}
+	rt.Drain()
+
+	rt.InstallPlan(&chaos.Plan{Seed: 1})
+	defer rt.HealChaos()
+	rt.Chaos().Partition([]idgen.NodeID{parted})
+
+	var partedLoad *scheduler.NodeLoad
+	loads := rt.SampleNodeGauges()
+	for i := range loads {
+		if loads[i].ID == parted {
+			partedLoad = &loads[i]
+		}
+	}
+	if partedLoad == nil || !partedLoad.Unreachable {
+		t.Fatalf("partitioned node load = %+v, want Unreachable", partedLoad)
+	}
+	moves, err := rt.Rebalance(context.Background(), scheduler.RebalanceConfig{HotFactor: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("rebalance planned no moves off the hot node")
+	}
+	for _, mv := range moves {
+		if mv.To == parted || mv.From == parted {
+			t.Errorf("plan touches partitioned node: %v", mv)
 		}
 	}
 }

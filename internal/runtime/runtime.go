@@ -13,8 +13,10 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"skadi/internal/caching"
+	"skadi/internal/chaos"
 	"skadi/internal/cluster"
 	"skadi/internal/dsm"
 	"skadi/internal/fabric"
@@ -145,6 +147,14 @@ type Runtime struct {
 	actorGate map[idgen.ActorID]chan struct{}
 	inflight  sync.WaitGroup
 	autoscale autoscaleState
+	// retiredExecuted accumulates TasksExecuted from raylets discarded by
+	// RestartNode, so TasksExecuted() stays monotonic across crash/restart
+	// cycles instead of losing the crashed node's history.
+	retiredExecuted int64
+
+	// chaosEng interposes on the transport for fault injection; always
+	// present, transparent until a plan is installed. See chaosctl.go.
+	chaosEng *chaos.Engine
 }
 
 // Metric names for the cancellation subsystem, read by `skadi -trace` and
@@ -232,6 +242,7 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 		actorGate: make(map[idgen.ActorID]chan struct{}),
 		job:       idgen.Next(),
 	}
+	rt.initChaos()
 
 	layer, err := caching.NewLayer(c.Fabric, opts.Caching)
 	if err != nil {
@@ -245,6 +256,17 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	rt.driver = headNode.ID
 	rt.Head = raylet.NewHead(headNode.ID)
 	layer.AddStore(headNode.ID, caching.HostDRAM, objectstore.New(1<<30, nil))
+	// Residency guard: a commit naming a location must be backed by bytes —
+	// either in that node's store or redundantly elsewhere (DSM, EC,
+	// another verified replica). Rejects own.ready/own.addloc messages from
+	// producers whose node was wiped between their local write and the
+	// commit landing at the head (the commit-vs-crash race chaos kills hit).
+	rt.Head.Table.SetCommitGuard(func(loc idgen.NodeID, id idgen.ObjectID) bool {
+		if st := layer.Store(loc); st != nil && st.Contains(id) {
+			return true
+		}
+		return layer.RecoverableWithout(loc, id)
+	})
 
 	rt.Sched = scheduler.New(opts.Policy, &locator{layer: layer, table: rt.Head.Table})
 
@@ -396,6 +418,20 @@ func (rt *Runtime) Raylets() []*raylet.Raylet {
 		}
 	}
 	return out
+}
+
+// TasksExecuted returns the cluster-wide count of completed task
+// executions, including those performed by raylets since discarded by
+// crash/restart cycles. Executions beyond one per submitted task are
+// recovery work: dispatch retries and lineage replays.
+func (rt *Runtime) TasksExecuted() int64 {
+	rt.mu.Lock()
+	total := rt.retiredExecuted
+	rt.mu.Unlock()
+	for _, rl := range rt.Raylets() {
+		total += rl.Stats().TasksExecuted
+	}
+	return total
 }
 
 // Put stores driver-provided input data and returns its reference.
@@ -698,7 +734,7 @@ func (rt *Runtime) taskErr(id idgen.ObjectID) error {
 func (rt *Runtime) Get(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
 	if err := rt.Head.Table.WaitReady(ctx, id); err != nil {
 		if rt.opts.Recovery == RecoverLineage && errors.Is(err, ownership.ErrObjectLost) && !rt.terminalFailure(id) {
-			rerr := rt.recoverByLineage([]idgen.ObjectID{id})
+			rerr := rt.recoverByLineage(ctx, []idgen.ObjectID{id})
 			if rerr == nil {
 				rt.mu.Lock()
 				delete(rt.errs, id)
@@ -831,6 +867,11 @@ func (rt *Runtime) ActorNode(actor idgen.ActorID) (idgen.NodeID, bool) {
 // store contents are lost, and recovery runs per the configured mode.
 // It returns the object IDs that lost their last copy.
 func (rt *Runtime) KillNode(node idgen.NodeID) []idgen.ObjectID {
+	// Route through the chaos engine: the crash lands in the episode
+	// journal and the fabric endpoint is unregistered, so in-flight
+	// chunked transfers touching this node fail with a typed Unavailable
+	// instead of silently completing against a dead peer.
+	rt.chaosEng.CrashNode(node)
 	rt.Cluster.Kill(node)
 	rt.Sched.SetAlive(node, false)
 	if store := rt.Layer.Store(node); store != nil {
@@ -852,7 +893,9 @@ func (rt *Runtime) KillNode(node idgen.NodeID) []idgen.ObjectID {
 		stillLost = append(stillLost, id)
 	}
 	if rt.opts.Recovery == RecoverLineage && len(stillLost) > 0 {
-		if err := rt.recoverByLineage(stillLost); err == nil {
+		// KillNode has no caller context; the per-exec timeout inside
+		// recoverByLineage still bounds the replay.
+		if err := rt.recoverByLineage(context.Background(), stillLost); err == nil {
 			return nil
 		}
 	}
@@ -878,10 +921,20 @@ func (rt *Runtime) recoverFromCache(id idgen.ObjectID) bool {
 	return true
 }
 
+// recoveryExecTimeout caps a single recovery re-execution. Recovery must
+// terminate even when the cluster is misbehaving: a replayed task whose
+// argument resolution blocks on an ownership wait that will never fire
+// (e.g. the argument's producer died mid-commit under chaos) would
+// otherwise wedge recovery — and the Get behind it — forever.
+const recoveryExecTimeout = 10 * time.Second
+
 // recoverByLineage re-executes the producing tasks of the lost objects in
 // dependency order. Recoveries are serialized: concurrent losses share one
-// replay rather than racing to re-execute the same producers.
-func (rt *Runtime) recoverByLineage(lost []idgen.ObjectID) error {
+// replay rather than racing to re-execute the same producers. The context
+// bounds the whole replay; each exec is additionally capped by
+// recoveryExecTimeout so one wedged task cannot hold the recovery lock
+// indefinitely.
+func (rt *Runtime) recoverByLineage(ctx context.Context, lost []idgen.ObjectID) error {
 	rt.recoveryMu.Lock()
 	defer rt.recoveryMu.Unlock()
 	// available must verify a copy is actually fetchable, not just that the
@@ -918,11 +971,18 @@ func (rt *Runtime) recoverByLineage(lost []idgen.ObjectID) error {
 		}
 		node, err := rt.Sched.Pick(spec)
 		if err != nil {
+			// The returns were just Reset to pending; record the typed
+			// failure so they fail Lost-with-cause instead of leaking as
+			// futures nobody will ever resolve.
+			rt.failTask(spec, err)
 			return err
 		}
-		err = rt.execOn(context.Background(), node, spec)
+		ectx, cancel := context.WithTimeout(ctx, recoveryExecTimeout)
+		err = rt.execOn(ectx, node, spec)
+		cancel()
 		rt.Sched.Finished(node)
 		if err != nil {
+			rt.failTask(spec, err)
 			return err
 		}
 	}
@@ -1021,6 +1081,17 @@ func (rt *Runtime) Cancel(ids ...idgen.ObjectID) CancelReport {
 // daemon is rebuilt against a fresh (empty) object store registered with
 // the caching layer, and the node becomes schedulable again.
 func (rt *Runtime) RestartNode(node idgen.NodeID) {
+	// Restarting a node that is already running must be a no-op: the
+	// restart path swaps in an empty store, so applying it to a live node
+	// would erase bytes committed since the last restart while the
+	// ownership table keeps the now-dangling locations. (Generated chaos
+	// plans can schedule overlapping crash/restart cycles for one node.)
+	if n := rt.Cluster.Node(node); n == nil || n.Alive() {
+		return
+	}
+	// Mirror of KillNode: journal the restart and re-register the fabric
+	// endpoint at its pre-crash location.
+	rt.chaosEng.RestoreNode(node)
 	rt.Cluster.Restart(node)
 	n := rt.Cluster.Node(node)
 	if n == nil {
@@ -1032,6 +1103,9 @@ func (rt *Runtime) RestartNode(node idgen.NodeID) {
 	rt.mu.Unlock()
 	if hadRaylet && hadCfg {
 		old.Stop()
+		rt.mu.Lock()
+		rt.retiredExecuted += old.Stats().TasksExecuted
+		rt.mu.Unlock()
 		rt.Layer.AddStore(node, tierFor(n.Kind), objectstore.New(n.Res.MemBytes, nil))
 		if rl, err := raylet.New(cfg); err == nil {
 			if err := rl.Start(); err == nil {

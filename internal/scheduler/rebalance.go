@@ -22,6 +22,11 @@ type NodeLoad struct {
 	// prefers offloading its data to a direct-attached Gen-2 peer of the
 	// same backend, removing per-message DPU hops.
 	DPUProxied bool
+	// Unreachable marks a node the control plane cannot currently talk to
+	// (dead, or partitioned away from the head). Such a node is excluded as
+	// both source and destination: migrating data onto it would strand the
+	// bytes behind the partition, and draining it cannot be coordinated.
+	Unreachable bool
 }
 
 // RebalanceConfig tunes the planner.
@@ -82,7 +87,16 @@ func PlanRebalance(loads []NodeLoad, cfg RebalanceConfig) []Move {
 	if cfg.MinBytes <= 0 {
 		cfg.MinBytes = 1
 	}
-	nodes := append([]NodeLoad(nil), loads...)
+	// Unreachable nodes are out of the population entirely: never a source
+	// (can't be drained), never a destination (bytes would strand behind
+	// the partition), and not in the mean (their sample is stale anyway).
+	nodes := make([]NodeLoad, 0, len(loads))
+	for _, nd := range loads {
+		if nd.Unreachable {
+			continue
+		}
+		nodes = append(nodes, nd)
+	}
 	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID.Less(nodes[j].ID) })
 
 	var moves []Move

@@ -147,3 +147,46 @@ func TestPlanRebalanceOrderIndependent(t *testing.T) {
 		}
 	}
 }
+
+func TestPlanRebalanceSkipsUnreachable(t *testing.T) {
+	nodes := loadSet(4)
+	nodes[0].ResidentBytes = 1000
+	nodes[1].ResidentBytes = 100
+	nodes[2].ResidentBytes = 100
+	// Node 3 is the coldest — and partitioned away. It must not be the
+	// spill target: bytes migrated onto it would strand behind the
+	// partition.
+	nodes[3].ResidentBytes = 0
+	nodes[3].Unreachable = true
+	moves := PlanRebalance(nodes, RebalanceConfig{})
+	if len(moves) != 1 {
+		t.Fatalf("moves = %v, want 1", moves)
+	}
+	if moves[0].To == nodes[3].ID {
+		t.Fatalf("spill targeted unreachable node: %v", moves[0])
+	}
+	// Mean excludes the unreachable node: (1000+100+100)/3 = 400, so the
+	// hot source drains its excess over that mean.
+	if moves[0].From != nodes[0].ID || moves[0].Bytes != 1000-400 {
+		t.Errorf("move = %+v, want 600 bytes from node 0", moves[0])
+	}
+
+	// An unreachable node is not a source either, however hot it looks.
+	nodes[3].ResidentBytes = 5000
+	for _, mv := range PlanRebalance(nodes, RebalanceConfig{}) {
+		if mv.From == nodes[3].ID || mv.To == nodes[3].ID {
+			t.Errorf("plan touches unreachable node: %v", mv)
+		}
+	}
+
+	// Gen-1 offload must not pick an unreachable Gen-2 peer.
+	g1 := loadSet(3)
+	g1[0].DPUProxied = true
+	g1[0].ResidentBytes = 300
+	g1[1].Unreachable = true
+	g1[2].ResidentBytes = 50
+	offload := PlanRebalance(g1, RebalanceConfig{OffloadGen1: true})
+	if len(offload) != 1 || offload[0].To != g1[2].ID {
+		t.Fatalf("offload = %v, want single move to the reachable peer %s", offload, g1[2].ID.Short())
+	}
+}

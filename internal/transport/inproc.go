@@ -2,7 +2,9 @@ package transport
 
 import (
 	"context"
+	"fmt"
 	"sync"
+	"time"
 
 	"skadi/internal/fabric"
 	"skadi/internal/idgen"
@@ -19,10 +21,11 @@ const messageOverhead = 64
 type InProc struct {
 	fabric *fabric.Fabric
 
-	mu       sync.RWMutex
-	handlers map[idgen.NodeID]Handler
-	down     map[idgen.NodeID]bool
-	closed   bool
+	mu         sync.RWMutex
+	handlers   map[idgen.NodeID]Handler
+	down       map[idgen.NodeID]bool
+	interposer Interposer
+	closed     bool
 }
 
 // NewInProc returns an in-process transport over the given fabric.
@@ -68,12 +71,21 @@ func (t *InProc) SetDown(node idgen.NodeID, down bool) {
 	t.mu.Unlock()
 }
 
+// SetInterposer installs (or, with nil, removes) the fault interposer
+// consulted on every Call. See Interposer.
+func (t *InProc) SetInterposer(i Interposer) {
+	t.mu.Lock()
+	t.interposer = i
+	t.mu.Unlock()
+}
+
 // Call implements Transport.
 func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, payload []byte) ([]byte, error) {
 	t.mu.RLock()
 	h, ok := t.handlers[to]
 	isDown := t.down[to] || t.down[from]
 	closed := t.closed
+	ip := t.interposer
 	t.mu.RUnlock()
 	if closed {
 		return nil, unavailable(ErrClosed)
@@ -84,36 +96,70 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 	if err := ctx.Err(); err != nil {
 		return nil, callerErr(err)
 	}
+	size := len(payload) + messageOverhead
+	if ip != nil {
+		v := ip.Intercept(from, to, kind, size)
+		if v.Drop {
+			return nil, unavailable(fmt.Errorf("%w: injected fault (%s)", ErrUnreachable, kind))
+		}
+		if v.Delay > 0 {
+			select {
+			case <-time.After(v.Delay):
+			case <-ctx.Done():
+				ip.Undeliverable(from, to, kind, size)
+				return nil, callerErr(ctx.Err())
+			}
+		}
+		if v.Duplicate {
+			// Deliver the request an extra time before the real delivery and
+			// discard its response — what a retransmitted request looks like
+			// to the handler. Exercises handler idempotence.
+			if _, cerr := t.chargeErr(ctx, from, to, size); cerr == nil {
+				_, _ = h(ctx, from, kind, payload)
+			}
+		}
+	}
 	// Charge the request path. SendCtx records the transfer as a span when
 	// the caller's context carries a trace; the handler then runs under the
 	// same context, so remote-side spans attach to the caller's trace —
 	// in-process propagation of the TraceID/SpanID pair. Deadlines and
 	// cancellation propagate the same way: the handler shares the caller's
 	// context directly.
-	t.charge(ctx, from, to, len(payload)+messageOverhead)
+	if _, err := t.chargeErr(ctx, from, to, size); err != nil {
+		// The fabric refused the message (endpoint unregistered mid-call).
+		if ip != nil {
+			ip.Undeliverable(from, to, kind, size)
+		}
+		return nil, unavailable(err)
+	}
+	if ip != nil {
+		ip.Delivered(from, to, kind, size)
+	}
 	resp, err := h(ctx, from, kind, payload)
 	if err != nil {
 		// Errors still travel back over the network — and flatten to their
 		// wire form (code + message), so the in-proc path surfaces exactly
 		// what a TCP caller would see.
-		t.fabric.SendCtx(ctx, to, from, messageOverhead+len(err.Error()))
+		_, _ = t.fabric.SendCtx(ctx, to, from, messageOverhead+len(err.Error()))
 		return nil, skaderr.RoundTrip(err)
 	}
-	// Charge the response path.
-	t.charge(ctx, to, from, len(resp)+messageOverhead)
+	// Charge the response path. A responder unregistered while its handler
+	// ran cannot get the bytes back to the caller.
+	if _, cerr := t.chargeErr(ctx, to, from, len(resp)+messageOverhead); cerr != nil {
+		return nil, unavailable(cerr)
+	}
 	return resp, nil
 }
 
-// charge accounts one message. Bulk payloads (raylet pushes, migration
+// chargeErr accounts one message. Bulk payloads (raylet pushes, migration
 // object copies) larger than the fabric's chunk size stream as pipelined
 // chunks instead of one whole-object stall; control messages stay single
-// sends.
-func (t *InProc) charge(ctx context.Context, from, to idgen.NodeID, size int) {
+// sends. A transfer touching an unregistered endpoint fails typed.
+func (t *InProc) chargeErr(ctx context.Context, from, to idgen.NodeID, size int) (time.Duration, error) {
 	if size > t.fabric.ChunkBytes() {
-		t.fabric.TransferChunkedCtx(ctx, from, to, size)
-		return
+		return t.fabric.TransferChunkedCtx(ctx, from, to, size)
 	}
-	t.fabric.SendCtx(ctx, from, to, size)
+	return t.fabric.SendCtx(ctx, from, to, size)
 }
 
 // Close implements Transport.

@@ -37,12 +37,13 @@ const (
 // 127.0.0.1 port; the transport keeps a directory of node → address and one
 // pooled client connection per destination.
 type TCP struct {
-	mu        sync.Mutex
-	listeners map[idgen.NodeID]*tcpServer
-	dir       map[idgen.NodeID]string
-	conns     map[idgen.NodeID]*tcpClient
-	tracer    *trace.Tracer
-	closed    bool
+	mu         sync.Mutex
+	listeners  map[idgen.NodeID]*tcpServer
+	dir        map[idgen.NodeID]string
+	conns      map[idgen.NodeID]*tcpClient
+	tracer     *trace.Tracer
+	interposer Interposer
+	closed     bool
 }
 
 // NewTCP returns an empty TCP transport.
@@ -60,6 +61,15 @@ func NewTCP() *TCP {
 func (t *TCP) SetTracer(tr *trace.Tracer) {
 	t.mu.Lock()
 	t.tracer = tr
+	t.mu.Unlock()
+}
+
+// SetInterposer installs (or, with nil, removes) the fault interposer
+// consulted on every outbound Call — the same seam the in-process transport
+// exposes, so one chaos plan drives both wire formats.
+func (t *TCP) SetInterposer(i Interposer) {
+	t.mu.Lock()
+	t.interposer = i
 	t.mu.Unlock()
 }
 
@@ -120,6 +130,7 @@ func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payl
 		t.mu.Unlock()
 		return nil, unavailable(ErrClosed)
 	}
+	ip := t.interposer
 	client, ok := t.conns[to]
 	if ok && client.dead() {
 		delete(t.conns, to)
@@ -140,6 +151,34 @@ func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payl
 		t.conns[to] = client
 	}
 	t.mu.Unlock()
+	if ip != nil {
+		size := len(payload) + messageOverhead
+		v := ip.Intercept(from, to, kind, size)
+		if v.Drop {
+			return nil, unavailable(fmt.Errorf("%w: injected fault (%s)", ErrUnreachable, kind))
+		}
+		if v.Delay > 0 {
+			select {
+			case <-time.After(v.Delay):
+			case <-ctx.Done():
+				ip.Undeliverable(from, to, kind, size)
+				return nil, callerErr(ctx.Err())
+			}
+		}
+		// Propagate the trace position explicitly (see below). The duplicate
+		// rides its own frame; its response is discarded.
+		sc, _ := trace.FromContext(ctx)
+		if v.Duplicate {
+			_, _ = client.call(ctx, from, sc, kind, payload)
+		}
+		resp, err := client.call(ctx, from, sc, kind, payload)
+		if err != nil && !IsRemote(err) {
+			ip.Undeliverable(from, to, kind, size)
+		} else {
+			ip.Delivered(from, to, kind, size)
+		}
+		return resp, err
+	}
 	// Propagate the trace position explicitly: the remote process cannot
 	// see this context, so the TraceID/SpanID pair — and the absolute
 	// deadline — ride the frame.

@@ -26,6 +26,7 @@ import (
 	"encoding/gob"
 	"errors"
 	"fmt"
+	"time"
 
 	"skadi/internal/idgen"
 	"skadi/internal/skaderr"
@@ -56,6 +57,32 @@ func IsRemote(err error) bool { return skaderr.IsRemote(err) }
 // Handler processes one inbound message on a node. kind identifies the RPC
 // method; the returned bytes are the response payload.
 type Handler func(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error)
+
+// Verdict is an interposer's decision about one outbound message.
+type Verdict struct {
+	// Drop fails the call with a typed Unavailable before delivery.
+	Drop bool
+	// Delay injects extra latency before delivery.
+	Delay time.Duration
+	// Duplicate delivers the request twice (the duplicate's response is
+	// discarded), the way a retransmitted request would arrive.
+	Duplicate bool
+}
+
+// Interposer intercepts messages between the caller and the wire. The chaos
+// engine implements it to inject deterministic faults; transports consult it
+// after their own reachability checks, so a verdict applies only to messages
+// that would otherwise be delivered.
+//
+// Delivered/Undeliverable close the accounting loop: every intercepted
+// message is reported exactly once as delivered (it reached the handler) or
+// undeliverable (the fabric refused it after the verdict), letting the
+// interposer balance attempts against outcomes.
+type Interposer interface {
+	Intercept(from, to idgen.NodeID, kind string, size int) Verdict
+	Delivered(from, to idgen.NodeID, kind string, size int)
+	Undeliverable(from, to idgen.NodeID, kind string, size int)
+}
 
 // Transport moves messages between nodes.
 type Transport interface {
