@@ -17,6 +17,10 @@ import (
 	"skadi/internal/wire"
 )
 
+// maxRows bounds the decoded row count so hostile headers cannot overflow
+// the nRows*8 / (nRows+1)*4 buffer-length arithmetic below.
+const maxRows = 1 << 40
+
 // DType is a column element type.
 type DType int
 
@@ -223,42 +227,118 @@ const magic = 0x534b4142 // "SKAB"
 // Encode serializes the batch. Fixed-width buffers are written as raw
 // little-endian memory, 8-byte aligned so Decode can alias them.
 func Encode(b *Batch) []byte {
-	buf := wire.NewBuffer(256 + b.rows*8*len(b.Cols))
-	buf.Uint32(magic)
-	buf.Uvarint(uint64(len(b.Cols)))
-	buf.Uvarint(uint64(b.rows))
+	var glue wire.Buffer
+	out := make([]byte, 0, EncodedSize(b))
+	for _, seg := range EncodeSegments(&glue, nil, b) {
+		out = append(out, seg...)
+	}
+	return out
+}
+
+// EncodedSize returns the exact byte length Encode produces for b.
+func EncodedSize(b *Batch) int {
+	n := 4 + uvarintLen(uint64(len(b.Cols))) + uvarintLen(uint64(b.rows))
 	for _, f := range b.Schema.Fields {
-		buf.String(f.Name)
-		buf.Byte(byte(f.Type))
+		n += uvarintLen(uint64(len(f.Name))) + len(f.Name) + 1
 	}
 	for i := range b.Cols {
 		col := &b.Cols[i]
 		switch col.Type {
 		case Int64:
-			pad(buf)
-			buf.Raw(int64sToBytes(col.Ints))
+			n = pad8(n) + len(col.Ints)*8
 		case Float64:
-			pad(buf)
-			buf.Raw(float64sToBytes(col.Floats))
+			n = pad8(n) + len(col.Floats)*8
 		case Bytes:
-			pad(buf)
-			buf.Raw(int32sToBytes(col.Offsets))
-			buf.Uvarint(uint64(len(col.Blob)))
-			buf.Raw(col.Blob)
+			n = pad8(n) + len(col.Offsets)*4 + uvarintLen(uint64(len(col.Blob))) + len(col.Blob)
 		}
 	}
-	return buf.Bytes()
+	return n
 }
 
-// pad aligns the buffer to 8 bytes.
-func pad(buf *wire.Buffer) {
-	for buf.Len()%8 != 0 {
-		buf.Byte(0)
+// EncodeSegments appends b's encoding to segs as a scatter/gather list and
+// returns the extended slice: fixed-width column buffers and blobs appear as
+// segments that alias the batch's own memory (zero-copy), while the header,
+// alignment padding, and length prefixes are appended to glue and referenced
+// by small segments. Writing the segments in order produces exactly
+// Encode(b); wire.WriteFrameSegments turns them into one frame without ever
+// coalescing the columns into a fresh allocation. glue's storage must
+// outlive the segments; the batch must not be modified while they are in
+// use.
+func EncodeSegments(glue *wire.Buffer, segs [][]byte, b *Batch) [][]byte {
+	total := 0
+	mark := glue.Len()
+	// flush slices the glue bytes appended since the last flush into a
+	// segment. Glue growth only appends, so earlier segments stay valid
+	// even if the buffer's storage is reallocated meanwhile.
+	flush := func() {
+		if glue.Len() > mark {
+			seg := glue.Bytes()[mark:glue.Len()]
+			segs = append(segs, seg)
+			total += len(seg)
+			mark = glue.Len()
+		}
 	}
+	column := func(raw []byte) {
+		flush()
+		if len(raw) > 0 {
+			segs = append(segs, raw)
+			total += len(raw)
+		}
+	}
+	padTo8 := func() {
+		for (total+glue.Len()-mark)%8 != 0 {
+			glue.Byte(0)
+		}
+	}
+
+	glue.Uint32(magic)
+	glue.Uvarint(uint64(len(b.Cols)))
+	glue.Uvarint(uint64(b.rows))
+	for _, f := range b.Schema.Fields {
+		glue.String(f.Name)
+		glue.Byte(byte(f.Type))
+	}
+	for i := range b.Cols {
+		col := &b.Cols[i]
+		switch col.Type {
+		case Int64:
+			padTo8()
+			column(int64sToBytes(col.Ints))
+		case Float64:
+			padTo8()
+			column(float64sToBytes(col.Floats))
+		case Bytes:
+			padTo8()
+			column(int32sToBytes(col.Offsets))
+			glue.Uvarint(uint64(len(col.Blob)))
+			column(col.Blob)
+		}
+	}
+	flush()
+	return segs
+}
+
+// pad8 rounds n up to the next multiple of 8.
+func pad8(n int) int { return (n + 7) &^ 7 }
+
+// uvarintLen returns the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
 }
 
 // Decode deserializes a batch, aliasing data's storage for fixed-width
-// columns (zero-copy). The caller must not modify data afterwards.
+// columns (zero-copy). The caller must not modify data afterwards. data may
+// be a sub-slice at any offset of a larger buffer (a pooled frame, a
+// decompressed block): columns whose bytes land on an unaligned address are
+// copied instead of aliased, so the result is always safe to use. Corrupt
+// or hostile input fails with ErrCorrupt — never a panic — and a
+// successfully decoded batch is fully navigable (every BytesAt is in
+// bounds).
 func Decode(data []byte) (*Batch, error) {
 	r := wire.NewReader(data)
 	if r.Uint32() != magic {
@@ -266,7 +346,7 @@ func Decode(data []byte) (*Batch, error) {
 	}
 	nCols := int(r.Uvarint())
 	nRows := int(r.Uvarint())
-	if r.Err() != nil || nCols < 0 || nRows < 0 || nCols > 1<<16 {
+	if r.Err() != nil || nCols < 0 || nRows < 0 || nCols > 1<<16 || nRows > maxRows {
 		return nil, fmt.Errorf("%w: bad header", ErrCorrupt)
 	}
 	schema := &Schema{Fields: make([]Field, nCols)}
@@ -314,6 +394,20 @@ func Decode(data []byte) (*Batch, error) {
 				return nil, fmt.Errorf("%w: blob column %d", ErrCorrupt, i)
 			}
 			consumed += pre - r.Remaining()
+			// Validate the offsets before anyone calls BytesAt: they must
+			// start ≥ 0, never decrease, and end exactly at the blob length,
+			// or a hostile frame turns slicing into a panic or an
+			// out-of-bounds read of neighbouring wire bytes.
+			if off := col.Offsets; len(off) > 0 {
+				if off[0] < 0 || int(off[len(off)-1]) != len(col.Blob) {
+					return nil, fmt.Errorf("%w: offsets column %d out of range", ErrCorrupt, i)
+				}
+				for j := 1; j < len(off); j++ {
+					if off[j] < off[j-1] {
+						return nil, fmt.Errorf("%w: offsets column %d not monotonic", ErrCorrupt, i)
+					}
+				}
+			}
 		default:
 			return nil, fmt.Errorf("%w: unknown dtype %d", ErrCorrupt, col.Type)
 		}
@@ -332,9 +426,16 @@ func align8(r *wire.Reader, consumed int) int {
 }
 
 // The casts below implement the zero-copy property: a fixed-width column's
-// wire bytes are reinterpreted in place. Encode always lays buffers out
-// 8-byte aligned, and little-endian layout matches every platform this
-// simulator targets (amd64/arm64).
+// wire bytes are reinterpreted in place. Encode lays buffers out 8-byte
+// aligned relative to the start of the encoding, and little-endian layout
+// matches every platform this simulator targets (amd64/arm64).
+//
+// Relative alignment is not pointer alignment: decoded payloads are often
+// sub-slices of a larger frame — a pooled transport buffer, a compression
+// scratch region — whose own base address owes us nothing. An unsafe.Slice
+// over an unaligned pointer is undefined behaviour and trips checkptr under
+// -race, so each cast verifies the actual address and falls back to copying
+// into a freshly allocated (naturally aligned) slice when it is off.
 
 func int64sToBytes(v []int64) []byte {
 	if len(v) == 0 {
@@ -361,21 +462,36 @@ func bytesToInt64s(b []byte, n int) []int64 {
 	if n == 0 {
 		return nil
 	}
-	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int64, n)
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*8), b)
+	return out
 }
 
 func bytesToFloat64s(b []byte, n int) []float64 {
 	if n == 0 {
 		return nil
 	}
-	return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	if uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*float64)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]float64, n)
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*8), b)
+	return out
 }
 
 func bytesToInt32s(b []byte, n int) []int32 {
 	if n == 0 {
 		return nil
 	}
-	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	if uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n)
+	}
+	out := make([]int32, n)
+	copy(unsafe.Slice((*byte)(unsafe.Pointer(&out[0])), n*4), b)
+	return out
 }
 
 // Select returns a new batch containing the rows at the given indices.

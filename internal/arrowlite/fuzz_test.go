@@ -1,0 +1,179 @@
+package arrowlite
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// fuzzSeedBatch builds a batch exercising every column type.
+func fuzzSeedBatch(t testing.TB, rows int) *Batch {
+	schema := NewSchema(
+		Field{Name: "id", Type: Int64},
+		Field{Name: "score", Type: Float64},
+		Field{Name: "name", Type: Bytes},
+	)
+	b := NewBuilder(schema)
+	for i := 0; i < rows; i++ {
+		if err := b.Append(int64(i), float64(i)*1.5, fmt.Sprintf("row-%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// walkBatch touches every decoded value; combined with FuzzDecode it proves
+// a successful Decode yields a batch that cannot panic on access.
+func walkBatch(b *Batch) (sink int64) {
+	for c := 0; c < b.NumCols(); c++ {
+		col := b.Col(c)
+		for i := 0; i < b.NumRows(); i++ {
+			switch col.Type {
+			case Int64:
+				sink += col.Ints[i]
+			case Float64:
+				sink += int64(col.Floats[i])
+			case Bytes:
+				sink += int64(len(col.BytesAt(i)))
+			}
+		}
+	}
+	return sink
+}
+
+// FuzzDecode: Decode must never panic and never read out of bounds; the
+// only acceptable failure is ErrCorrupt.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(fuzzSeedBatch(f, 0)))
+	f.Add(Encode(fuzzSeedBatch(f, 1)))
+	f.Add(Encode(fuzzSeedBatch(f, 17)))
+	// Seed a few targeted corruptions: bad magic, truncations, flipped
+	// offsets.
+	enc := Encode(fuzzSeedBatch(f, 5))
+	f.Add(enc[:len(enc)/2])
+	bad := append([]byte(nil), enc...)
+	bad[0] ^= 0xFF
+	f.Add(bad)
+	bad2 := append([]byte(nil), enc...)
+	bad2[len(bad2)-10] ^= 0x80
+	f.Add(bad2)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Decode returned a non-ErrCorrupt error: %v", err)
+			}
+			return
+		}
+		walkBatch(b) // must not panic
+	})
+}
+
+// TestDecodeRejectsBadOffsets hand-corrupts the offsets of a Bytes column
+// in every hostile direction; each must come back ErrCorrupt instead of a
+// later panic in BytesAt.
+func TestDecodeRejectsBadOffsets(t *testing.T) {
+	batch := fuzzSeedBatch(t, 4)
+	enc := Encode(batch)
+
+	// Locate the Bytes column's offsets: decode once and find where the
+	// offsets buffer starts by re-encoding prefix sizes. Simpler: scan for
+	// the encoded offsets of the known blob (0, 5, 10, ...): "row-0".. each
+	// 5 bytes, so offsets are 0,5,10,15,20 as int32 LE.
+	find := func(vals ...byte) int {
+		return bytes.Index(enc, vals)
+	}
+	offStart := find(0, 0, 0, 0, 5, 0, 0, 0, 10, 0, 0, 0)
+	if offStart < 0 {
+		t.Fatal("could not locate offsets buffer in encoding")
+	}
+
+	corrupt := func(name string, mutate func(e []byte)) {
+		e := append([]byte(nil), enc...)
+		mutate(e)
+		b, err := Decode(e)
+		if err == nil {
+			// Must still be safe to walk even if validation let a
+			// value-equivalent mutation through.
+			walkBatch(b)
+			t.Fatalf("%s: corrupt offsets accepted", name)
+		}
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+	}
+	corrupt("negative first offset", func(e []byte) {
+		copy(e[offStart:], []byte{0xFF, 0xFF, 0xFF, 0xFF}) // -1
+	})
+	corrupt("decreasing offsets", func(e []byte) {
+		copy(e[offStart+4:], []byte{20, 0, 0, 0})
+		copy(e[offStart+8:], []byte{5, 0, 0, 0})
+	})
+	corrupt("last offset beyond blob", func(e []byte) {
+		copy(e[offStart+16:], []byte{200, 0, 0, 0})
+	})
+	corrupt("last offset short of blob", func(e []byte) {
+		copy(e[offStart+16:], []byte{19, 0, 0, 0})
+	})
+}
+
+// TestDecodeAtEveryAlignment encodes a batch, then re-decodes it from a
+// sub-slice placed at every byte offset 0–7 of a larger buffer — the shape
+// decoded payloads have once they arrive inside pooled frame buffers. Every
+// offset must round-trip exactly (aliasing when aligned, copying when not).
+func TestDecodeAtEveryAlignment(t *testing.T) {
+	for _, rows := range []int{0, 1, 3, 64, 1000} {
+		batch := fuzzSeedBatch(t, rows)
+		enc := Encode(batch)
+		for off := 0; off < 8; off++ {
+			host := make([]byte, off+len(enc)+16)
+			copy(host[off:], enc)
+			got, err := Decode(host[off : off+len(enc)])
+			if err != nil {
+				t.Fatalf("rows=%d offset=%d: %v", rows, off, err)
+			}
+			if got.NumRows() != batch.NumRows() || got.NumCols() != batch.NumCols() {
+				t.Fatalf("rows=%d offset=%d: shape mismatch", rows, off)
+			}
+			for i := 0; i < rows; i++ {
+				if got.Col(0).Ints[i] != batch.Col(0).Ints[i] {
+					t.Fatalf("rows=%d offset=%d: int mismatch at %d", rows, off, i)
+				}
+				if got.Col(1).Floats[i] != batch.Col(1).Floats[i] {
+					t.Fatalf("rows=%d offset=%d: float mismatch at %d", rows, off, i)
+				}
+				if !bytes.Equal(got.Col(2).BytesAt(i), batch.Col(2).BytesAt(i)) {
+					t.Fatalf("rows=%d offset=%d: bytes mismatch at %d", rows, off, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeRandomCorruption is a deterministic mini-fuzz that runs in a
+// normal `go test`: random flips over valid encodings must never panic.
+func TestDecodeRandomCorruption(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	enc := Encode(fuzzSeedBatch(t, 32))
+	for trial := 0; trial < 5000; trial++ {
+		e := append([]byte(nil), enc...)
+		for flips := 0; flips < 1+rng.Intn(6); flips++ {
+			e[rng.Intn(len(e))] ^= byte(1 + rng.Intn(255))
+		}
+		if rng.Intn(4) == 0 {
+			e = e[:rng.Intn(len(e)+1)]
+		}
+		b, err := Decode(e)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("non-ErrCorrupt error: %v", err)
+			}
+			continue
+		}
+		walkBatch(b)
+	}
+}

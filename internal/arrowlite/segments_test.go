@@ -1,0 +1,136 @@
+package arrowlite
+
+import (
+	"bytes"
+	"testing"
+
+	"skadi/internal/wire"
+)
+
+// TestEncodeSegmentsMatchesEncode: writing the scatter/gather segments in
+// order must be byte-identical to the coalescing Encode, for every column
+// mix and row count.
+func TestEncodeSegmentsMatchesEncode(t *testing.T) {
+	schemas := []*Schema{
+		NewSchema(Field{Name: "i", Type: Int64}),
+		NewSchema(Field{Name: "f", Type: Float64}),
+		NewSchema(Field{Name: "b", Type: Bytes}),
+		NewSchema(
+			Field{Name: "i", Type: Int64},
+			Field{Name: "b", Type: Bytes},
+			Field{Name: "f", Type: Float64},
+			Field{Name: "b2", Type: Bytes},
+		),
+	}
+	for _, schema := range schemas {
+		for _, rows := range []int{0, 1, 2, 7, 100} {
+			bld := NewBuilder(schema)
+			for i := 0; i < rows; i++ {
+				var vals []any
+				for _, f := range schema.Fields {
+					switch f.Type {
+					case Int64:
+						vals = append(vals, int64(i*3))
+					case Float64:
+						vals = append(vals, float64(i)/2)
+					case Bytes:
+						vals = append(vals, bytes.Repeat([]byte{byte(i)}, i%5))
+					}
+				}
+				if err := bld.Append(vals...); err != nil {
+					t.Fatal(err)
+				}
+			}
+			batch := bld.Build()
+			want := Encode(batch)
+			if len(want) != EncodedSize(batch) {
+				t.Fatalf("EncodedSize = %d, Encode produced %d", EncodedSize(batch), len(want))
+			}
+			var glue wire.Buffer
+			var got []byte
+			for _, seg := range EncodeSegments(&glue, nil, batch) {
+				got = append(got, seg...)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("schema %d rows %d: segment encoding differs from Encode", len(schema.Fields), rows)
+			}
+			back, err := Decode(got)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back.NumRows() != rows {
+				t.Fatalf("round trip rows = %d, want %d", back.NumRows(), rows)
+			}
+		}
+	}
+}
+
+// TestEncodeSegmentsAliasesColumns proves the big buffers are not copied:
+// the int column segment must share storage with the batch.
+func TestEncodeSegmentsAliasesColumns(t *testing.T) {
+	bld := NewBuilder(NewSchema(Field{Name: "i", Type: Int64}))
+	for i := 0; i < 1024; i++ {
+		if err := bld.Append(int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := bld.Build()
+	var glue wire.Buffer
+	segs := EncodeSegments(&glue, nil, batch)
+	colBytes := int64sToBytes(batch.Col(0).Ints)
+	found := false
+	for _, seg := range segs {
+		if len(seg) == len(colBytes) && &seg[0] == &colBytes[0] {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no segment aliases the column storage — the encode copied it")
+	}
+}
+
+func BenchmarkEncode64Ki(b *testing.B) {
+	batch := benchBatch(b, 64<<10)
+	b.ReportAllocs()
+	b.SetBytes(int64(EncodedSize(batch)))
+	for i := 0; i < b.N; i++ {
+		_ = Encode(batch)
+	}
+}
+
+func BenchmarkEncodeSegments64Ki(b *testing.B) {
+	batch := benchBatch(b, 64<<10)
+	b.ReportAllocs()
+	b.SetBytes(int64(EncodedSize(batch)))
+	var glue wire.Buffer
+	var segs [][]byte
+	for i := 0; i < b.N; i++ {
+		glue.Reset()
+		segs = EncodeSegments(&glue, segs[:0], batch)
+	}
+}
+
+func BenchmarkDecode64Ki(b *testing.B) {
+	enc := Encode(benchBatch(b, 64<<10))
+	b.ReportAllocs()
+	b.SetBytes(int64(len(enc)))
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchBatch(tb testing.TB, rows int) *Batch {
+	bld := NewBuilder(NewSchema(
+		Field{Name: "id", Type: Int64},
+		Field{Name: "v", Type: Float64},
+		Field{Name: "tag", Type: Bytes},
+	))
+	for i := 0; i < rows; i++ {
+		if err := bld.Append(int64(i), float64(i)*0.5, []byte("tag-xyz")); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return bld.Build()
+}

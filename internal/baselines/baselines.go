@@ -44,7 +44,7 @@ func NewDurableStore(f *fabric.Fabric) *DurableStore {
 
 // Put uploads a blob.
 func (s *DurableStore) Put(key string, data []byte) {
-	s.fabric.TransferClass(fabric.Durable, len(data))
+	s.fabric.TransferDataClass(fabric.Durable, data)
 	cp := make([]byte, len(data))
 	copy(cp, data)
 	s.mu.Lock()
@@ -64,7 +64,7 @@ func (s *DurableStore) Get(key string) ([]byte, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, key)
 	}
-	s.fabric.TransferClass(fabric.Durable, len(data))
+	s.fabric.TransferDataClass(fabric.Durable, data)
 	return data, nil
 }
 
@@ -102,13 +102,15 @@ func delta(f *fabric.Fabric, fn func()) (fabric.Stats, fabric.Stats) {
 	durAfter := f.ClassStats(fabric.Durable)
 	totAfter := f.TotalStats()
 	return fabric.Stats{
-			Messages: durAfter.Messages - durBefore.Messages,
-			Bytes:    durAfter.Bytes - durBefore.Bytes,
-			SimTime:  durAfter.SimTime - durBefore.SimTime,
+			Messages:     durAfter.Messages - durBefore.Messages,
+			Bytes:        durAfter.Bytes - durBefore.Bytes,
+			LogicalBytes: durAfter.LogicalBytes - durBefore.LogicalBytes,
+			SimTime:      durAfter.SimTime - durBefore.SimTime,
 		}, fabric.Stats{
-			Messages: totAfter.Messages - totBefore.Messages,
-			Bytes:    totAfter.Bytes - totBefore.Bytes,
-			SimTime:  totAfter.SimTime - totBefore.SimTime,
+			Messages:     totAfter.Messages - totBefore.Messages,
+			Bytes:        totAfter.Bytes - totBefore.Bytes,
+			LogicalBytes: totAfter.LogicalBytes - totBefore.LogicalBytes,
+			SimTime:      totAfter.SimTime - totBefore.SimTime,
 		}
 }
 
@@ -130,8 +132,8 @@ func RunStateless(f *fabric.Fabric, stages []Stage, input []byte) (Result, error
 			store.Put(fmt.Sprintf("stage-%d-in", i+1), data)
 		}
 	})
-	out.DurableBytes = dur.Bytes
-	out.TotalBytes = tot.Bytes
+	out.DurableBytes = dur.LogicalBytes
+	out.TotalBytes = tot.LogicalBytes
 	out.Messages = tot.Messages
 	out.Elapsed = tot.SimTime
 	return out, nil
@@ -153,8 +155,8 @@ func RunServerful(f *fabric.Fabric, stages []Stage, input []byte, reservedSlots 
 			data = stage(data)
 		}
 	})
-	out.DurableBytes = dur.Bytes
-	out.TotalBytes = tot.Bytes
+	out.DurableBytes = dur.LogicalBytes
+	out.TotalBytes = tot.LogicalBytes
 	out.Messages = tot.Messages
 	out.Elapsed = tot.SimTime
 	// Reserve the pool for the pipeline duration (minimum 1 second of

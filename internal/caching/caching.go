@@ -502,7 +502,7 @@ func (l *Layer) writeReplica(ctx context.Context, from, node idgen.NodeID, id id
 			return nil // degrade: fewer copies, counted, not a crash
 		}
 	}
-	if _, err := l.fabric.SendCtx(ctx, from, node, len(data)); err != nil {
+	if _, err := l.fabric.TransferDataCtx(ctx, from, node, data); err != nil {
 		// The target left the fabric while the replica was in flight:
 		// degrade (fewer copies, counted), same as a dropped store.
 		l.stats.degradedPlacements.Add(1)
@@ -580,7 +580,7 @@ func (l *Layer) encodeShards(ctx context.Context, from idgen.NodeID, id idgen.Ob
 			}
 		}
 		shardID := idgen.Next()
-		if _, err := l.fabric.SendCtx(ctx, from, node, len(shards[i])); err != nil {
+		if _, err := l.fabric.TransferDataCtx(ctx, from, node, shards[i]); err != nil {
 			// Target departed mid-encode: skip the slot (Nil node; parity
 			// tolerates missing shards), counted as a degraded placement.
 			l.stats.degradedPlacements.Add(1)
@@ -735,7 +735,7 @@ func (l *Layer) fetchMiss(ctx context.Context, to idgen.NodeID, id idgen.ObjectI
 		if err != nil {
 			continue
 		}
-		if _, err := l.fabric.TransferChunkedCtx(ctx, node, to, len(data)); err != nil {
+		if _, err := l.fabric.TransferDataCtx(ctx, node, to, data); err != nil {
 			continue // source vanished mid-transfer: try the next location
 		}
 		l.stats.remoteHits.Add(1)
@@ -810,7 +810,7 @@ func (l *Layer) reconstruct(ctx context.Context, to idgen.NodeID, info *ecInfo) 
 	}
 	if err := l.forEachParallel(len(fetches), func(i int) error {
 		f := fetches[i]
-		if _, err := l.fabric.SendCtx(ctx, f.node, to, len(f.data)); err != nil {
+		if _, err := l.fabric.TransferDataCtx(ctx, f.node, to, f.data); err != nil {
 			return nil // shard source departed; the hole is within parity
 		}
 		l.stats.bytesTransferred.Add(int64(len(f.data)))

@@ -74,7 +74,7 @@ func (p *Pool) Write(from idgen.NodeID, id idgen.ObjectID, data []byte) error {
 	// Charge the transfer outside the lock: it may sleep. Demotions stream
 	// in pipelined chunks so a large spill pays one latency, not a
 	// whole-object stall per message.
-	p.fabric.TransferChunked(from, p.blade, len(data))
+	p.fabric.TransferData(from, p.blade, data)
 	return nil
 }
 
@@ -91,7 +91,7 @@ func (p *Pool) Read(to idgen.NodeID, id idgen.ObjectID) ([]byte, error) {
 		return nil, ErrNotFound
 	}
 	// Promotions stream back in pipelined chunks (see Write).
-	p.fabric.TransferChunked(p.blade, to, len(data))
+	p.fabric.TransferData(p.blade, to, data)
 	return data, nil
 }
 

@@ -127,7 +127,10 @@ func timeFanOutPut(cfg caching.Config) ([]string, error) {
 }
 
 // hotKeyBytes runs N concurrent readers against one remote 64 KiB key and
-// returns the fabric bytes that actually moved.
+// returns the logical fabric bytes that actually moved. Logical (pre-
+// compression) bytes keep the coalescing measurement independent of the
+// rack links' compression policy — the all-zero test payload compresses to
+// almost nothing on the wire.
 func hotKeyBytes(readers int) (int64, error) {
 	layer, f, nodes, err := dataPlaneRig(caching.Config{}, 3*time.Millisecond)
 	if err != nil {
@@ -156,7 +159,7 @@ func hotKeyBytes(readers int) (int64, error) {
 			return 0, err
 		}
 	}
-	return f.ClassStats(fabric.Rack).Bytes, nil
+	return f.ClassStats(fabric.Rack).LogicalBytes, nil
 }
 
 // chunkedRow compares the deterministic cost of moving 8 MiB across the

@@ -92,5 +92,5 @@ func runSkadiPipeline(stages, size int) (int64, int64, int64, error) {
 	rt.Drain()
 	total := rt.Cluster.Fabric.TotalStats()
 	durable := rt.Cluster.Fabric.ClassStats(fabric.Durable)
-	return int64(total.SimTime), durable.Bytes, total.Bytes, nil
+	return int64(total.SimTime), durable.LogicalBytes, total.LogicalBytes, nil
 }

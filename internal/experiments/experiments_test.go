@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 {
-		t.Fatalf("registered experiments = %d, want 17: %v", len(ids), ids)
+	if len(ids) != 18 {
+		t.Fatalf("registered experiments = %d, want 18: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)
@@ -287,6 +287,41 @@ func TestE15Shape(t *testing.T) {
 	// Chunked pipelining: deterministic sim cost, strictly cheaper.
 	if serial, pipelined := ms(tbl.Rows[6][1]), ms(tbl.Rows[6][2]); pipelined >= serial {
 		t.Errorf("chunked move %v ms not cheaper than serial chunks %v ms", pipelined, serial)
+	}
+}
+
+func TestE18Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e18 runs benchmark loops")
+	}
+	tbl := runExperiment(t, "e18", 6)
+	n := func(cell string) int64 {
+		v, err := strconv.ParseInt(cell, 10, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", cell)
+		}
+		return v
+	}
+	// Rows come in gob/zero-copy pairs per link class.
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		gob, zc := tbl.Rows[i], tbl.Rows[i+1]
+		link := gob[0]
+		// Acceptance: >= 2x fewer allocated bytes/op and lower ns/op.
+		if n(zc[3])*2 > n(gob[3]) {
+			t.Errorf("%s: zero-copy alloc/op %s not 2x under gob %s", link, zc[3], gob[3])
+		}
+		if n(zc[2]) >= n(gob[2]) {
+			t.Errorf("%s: zero-copy ns/op %s not under gob %s", link, zc[2], gob[2])
+		}
+		// Compressed links (rack, core) ship fewer wire bytes than logical;
+		// island ships raw.
+		wire, logical := n(zc[4]), n(zc[5])
+		if link == "island" && wire != logical {
+			t.Errorf("island: wire %d != logical %d (Gen-2 links ship raw)", wire, logical)
+		}
+		if link != "island" && wire >= logical {
+			t.Errorf("%s: wire %d not under logical %d (link compression)", link, wire, logical)
+		}
 	}
 }
 

@@ -1,0 +1,136 @@
+package fabric
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+// compressRig registers two endpoints per link class of interest: same
+// island (no compression) and different racks (Core, compressed).
+func compressRig(t *testing.T) (f *Fabric, islandA, islandB, rackA, rackB idgen.NodeID) {
+	t.Helper()
+	f = accountingFabric()
+	islandA, islandB = idgen.Next(), idgen.Next()
+	f.Register(islandA, Location{Rack: 0, Island: 1})
+	f.Register(islandB, Location{Rack: 0, Island: 1})
+	rackA, rackB = idgen.Next(), idgen.Next()
+	f.Register(rackA, Location{Rack: 1, Island: -1})
+	f.Register(rackB, Location{Rack: 2, Island: -1})
+	return
+}
+
+func TestDefaultCompressionPolicy(t *testing.T) {
+	f := accountingFabric()
+	for class, want := range map[LinkClass]bool{
+		Loopback: false, Island: false, DPUHop: false,
+		Rack: true, Core: true, Durable: true,
+	} {
+		if got := f.Compressible(class); got != want {
+			t.Errorf("Compressible(%s) = %v, want %v", class, got, want)
+		}
+	}
+}
+
+func TestTransferDataCompressedLink(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	data := bytes.Repeat([]byte("abcdefgh"), 8<<10) // 64 KiB, highly repetitive
+	f.TransferData(rackA, rackB, data)
+	st := f.ClassStats(Core)
+	if st.LogicalBytes != int64(len(data)) {
+		t.Fatalf("logical bytes = %d, want %d", st.LogicalBytes, len(data))
+	}
+	if st.Bytes >= st.LogicalBytes/2 {
+		t.Fatalf("wire bytes = %d, want well under logical %d for repetitive data",
+			st.Bytes, st.LogicalBytes)
+	}
+}
+
+func TestTransferDataUncompressedLink(t *testing.T) {
+	f, islandA, islandB, _, _ := compressRig(t)
+	data := bytes.Repeat([]byte("abcdefgh"), 8<<10)
+	f.TransferData(islandA, islandB, data)
+	st := f.ClassStats(Island)
+	if st.Bytes != int64(len(data)) || st.LogicalBytes != int64(len(data)) {
+		t.Fatalf("island wire/logical = %d/%d, want both %d (no compression on Gen-2 links)",
+			st.Bytes, st.LogicalBytes, len(data))
+	}
+}
+
+func TestTransferDataIncompressiblePayload(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	rng := rand.New(rand.NewSource(7))
+	data := make([]byte, 64<<10)
+	rng.Read(data)
+	f.TransferData(rackA, rackB, data)
+	st := f.ClassStats(Core)
+	// Random bytes don't compress; the fabric must ship them raw rather
+	// than charging an inflated block.
+	if st.Bytes != int64(len(data)) {
+		t.Fatalf("wire bytes = %d, want raw %d for incompressible payload", st.Bytes, len(data))
+	}
+}
+
+func TestTransferDataBelowMinShipsRaw(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	data := bytes.Repeat([]byte{0}, 100) // compressible but tiny
+	f.TransferData(rackA, rackB, data)
+	if st := f.ClassStats(Core); st.Bytes != int64(len(data)) {
+		t.Fatalf("wire bytes = %d, want %d (below CompressMinBytes)", st.Bytes, len(data))
+	}
+}
+
+func TestTransferDataCompressionLowersCost(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	raw := New(Config{TimeScale: 0, Compress: NoCompression()})
+	raw.Register(rackA, Location{Rack: 1, Island: -1})
+	raw.Register(rackB, Location{Rack: 2, Island: -1})
+	data := bytes.Repeat([]byte("abcdefgh"), 128<<10) // 1 MiB
+	dCompressed := f.TransferData(rackA, rackB, data)
+	dRaw := raw.TransferData(rackA, rackB, data)
+	if dCompressed >= dRaw {
+		t.Fatalf("compressed transfer cost %v not below raw %v", dCompressed, dRaw)
+	}
+}
+
+func TestTransferMessageCtxOverheadRidesRaw(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	const overhead = 64
+	data := bytes.Repeat([]byte("x"), 32<<10)
+	if _, err := f.TransferMessageCtx(context.Background(), rackA, rackB, data, overhead); err != nil {
+		t.Fatal(err)
+	}
+	st := f.ClassStats(Core)
+	if st.LogicalBytes != int64(len(data)+overhead) {
+		t.Fatalf("logical bytes = %d, want %d", st.LogicalBytes, len(data)+overhead)
+	}
+	if st.Bytes >= st.LogicalBytes {
+		t.Fatalf("wire bytes = %d, want < logical %d", st.Bytes, st.LogicalBytes)
+	}
+	if st.Messages != 1 {
+		t.Fatalf("messages = %d, want 1 (single send, not chunked)", st.Messages)
+	}
+}
+
+func TestTransferDataCtxDepartedEndpoint(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	f.Unregister(rackB)
+	if _, err := f.TransferDataCtx(context.Background(), rackA, rackB, make([]byte, 1024)); err == nil {
+		t.Fatal("transfer to departed endpoint succeeded")
+	}
+	if st := f.TotalStats(); st.Messages != 0 {
+		t.Fatalf("failed transfer still charged %d messages", st.Messages)
+	}
+}
+
+func TestResetStatsClearsLogicalBytes(t *testing.T) {
+	f, _, _, rackA, rackB := compressRig(t)
+	f.TransferData(rackA, rackB, make([]byte, 64<<10))
+	f.ResetStats()
+	if st := f.TotalStats(); st.Bytes != 0 || st.LogicalBytes != 0 {
+		t.Fatalf("ResetStats left wire/logical = %d/%d", st.Bytes, st.LogicalBytes)
+	}
+}

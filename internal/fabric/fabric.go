@@ -22,6 +22,7 @@ import (
 	"skadi/internal/idgen"
 	"skadi/internal/skaderr"
 	"skadi/internal/trace"
+	"skadi/internal/wire"
 )
 
 // LinkClass identifies a class of interconnect with a shared cost profile.
@@ -107,6 +108,27 @@ type Location struct {
 // small enough that a transfer can be overlapped and cancelled mid-flight.
 const DefaultChunkBytes = 256 << 10
 
+// DefaultCompressMinBytes is the smallest payload worth compressing when
+// Config.CompressMinBytes is zero. Below ~4 KiB the per-block overhead and
+// codec latency outweigh the wire savings on every modelled link.
+const DefaultCompressMinBytes = 4 << 10
+
+// DefaultCompression returns the per-link-class compression policy: the
+// LZ4-style codec runs faster than rack-and-beyond links (Rack, Core,
+// Durable), so shipping fewer bytes wins there; tightly-coupled Gen-2
+// links (Loopback, Island) and the PCIe DPU hop are faster than the codec
+// and ship raw.
+func DefaultCompression() map[LinkClass]bool {
+	return map[LinkClass]bool{Rack: true, Core: true, Durable: true}
+}
+
+// NoCompression returns a policy that ships raw on every link class; use it
+// in Config.Compress to reproduce the uncompressed wire path (E18's
+// baseline arm).
+func NoCompression() map[LinkClass]bool {
+	return map[LinkClass]bool{}
+}
+
 // Config configures a Fabric.
 type Config struct {
 	// TimeScale multiplies simulated durations before delaying the caller.
@@ -119,22 +141,34 @@ type Config struct {
 	// ChunkBytes is the chunk size for TransferChunked; 0 means
 	// DefaultChunkBytes.
 	ChunkBytes int
+	// Compress is the per-link-class compression policy for the data-aware
+	// transfer APIs (TransferData and friends); nil uses
+	// DefaultCompression. Pass NoCompression() to ship raw everywhere.
+	Compress map[LinkClass]bool
+	// CompressMinBytes is the smallest payload the fabric will try to
+	// compress; 0 means DefaultCompressMinBytes.
+	CompressMinBytes int
 }
 
 // classStats holds per-class accounting. All fields are atomics so the hot
-// path takes no locks.
+// path takes no locks. bytes is bytes-on-wire (post-compression);
+// logicalBytes is the pre-compression payload size. The two differ only on
+// compressed link classes fed through the data-aware transfer APIs.
 type classStats struct {
-	messages atomic.Int64
-	bytes    atomic.Int64
-	simNanos atomic.Int64
+	messages     atomic.Int64
+	bytes        atomic.Int64
+	logicalBytes atomic.Int64
+	simNanos     atomic.Int64
 }
 
 // Fabric is the cluster interconnect. It is safe for concurrent use.
 type Fabric struct {
-	timeScale  float64
-	chunkBytes int
-	profiles   [numClasses]LinkProfile
-	stats      [numClasses]classStats
+	timeScale   float64
+	chunkBytes  int
+	compressMin int
+	compress    [numClasses]bool
+	profiles    [numClasses]LinkProfile
+	stats       [numClasses]classStats
 	// slow holds per-class float64 multipliers (as bits) applied to link
 	// costs; 0 means unset (×1). The chaos engine uses it to degrade link
 	// classes without rebuilding the fabric.
@@ -152,13 +186,17 @@ type Fabric struct {
 // New returns a Fabric with the given configuration.
 func New(cfg Config) *Fabric {
 	f := &Fabric{
-		timeScale:  cfg.TimeScale,
-		chunkBytes: cfg.ChunkBytes,
-		locations:  make(map[idgen.NodeID]Location),
-		departed:   make(map[idgen.NodeID]bool),
+		timeScale:   cfg.TimeScale,
+		chunkBytes:  cfg.ChunkBytes,
+		compressMin: cfg.CompressMinBytes,
+		locations:   make(map[idgen.NodeID]Location),
+		departed:    make(map[idgen.NodeID]bool),
 	}
 	if f.chunkBytes <= 0 {
 		f.chunkBytes = DefaultChunkBytes
+	}
+	if f.compressMin <= 0 {
+		f.compressMin = DefaultCompressMinBytes
 	}
 	profiles := cfg.Profiles
 	if profiles == nil {
@@ -169,7 +207,64 @@ func New(cfg Config) *Fabric {
 			f.profiles[c] = p
 		}
 	}
+	policy := cfg.Compress
+	if policy == nil {
+		policy = DefaultCompression()
+	}
+	for c, on := range policy {
+		if c >= 0 && c < numClasses {
+			f.compress[c] = on
+		}
+	}
 	return f
+}
+
+// Compressible reports whether the fabric compresses payloads on the given
+// link class.
+func (f *Fabric) Compressible(class LinkClass) bool {
+	return class >= 0 && class < numClasses && f.compress[class]
+}
+
+// wireSizeSampleMax bounds how many payload bytes wireSize actually runs
+// through the codec; larger payloads extrapolate the sample's ratio. The
+// cost model needs entropy sensitivity — all-zero pages vs random bytes —
+// not a second full compression pass on every multi-megabyte transfer.
+const wireSizeSampleMax = 256 << 10
+
+// wireSize returns the bytes-on-wire for a payload crossing class: the
+// compressed size when the class's policy says compress and the payload
+// clears the minimum, the raw size otherwise. The compression really runs
+// (into pooled scratch, then discarded) over a bounded prefix so the
+// modeled wire bytes reflect the payload's actual entropy, not a guessed
+// ratio.
+func (f *Fabric) wireSize(class LinkClass, data []byte) int {
+	if !f.Compressible(class) || len(data) < f.compressMin {
+		return len(data)
+	}
+	sample := data
+	if len(sample) > wireSizeSampleMax {
+		sample = data[:wireSizeSampleMax]
+	}
+	scratch := wire.GetBuf(wire.CompressBound(len(sample)))
+	compressed := wire.AppendCompress(scratch, sample)
+	n := len(compressed)
+	wire.PutBuf(compressed)
+	if n >= len(sample) {
+		// Incompressible payload: the sender ships it raw (plus nothing —
+		// the one-byte framing flag is lost in message overhead).
+		return len(data)
+	}
+	if len(sample) < len(data) {
+		// Extrapolate the sampled ratio across the whole payload.
+		n = int(float64(len(data)) * float64(n) / float64(len(sample)))
+		if n >= len(data) {
+			return len(data)
+		}
+		if n < 1 {
+			n = 1
+		}
+	}
+	return n
 }
 
 // Register places an endpoint in the topology. Re-registering replaces the
@@ -266,12 +361,23 @@ func (f *Fabric) SetSlowFactor(class LinkClass, factor float64) {
 	f.slow[class].Store(math.Float64bits(factor))
 }
 
-// account records the transfer and delays the caller per TimeScale.
+// account records the transfer and delays the caller per TimeScale. Size-only
+// callers have no payload to compress, so wire bytes equal logical bytes.
 func (f *Fabric) account(class LinkClass, size int) time.Duration {
-	d := f.cost(class, size)
+	return f.accountWire(class, size, size)
+}
+
+// accountWire records a transfer whose bytes-on-wire (post-compression) and
+// logical bytes (pre-compression) differ. The cost model charges wire bytes —
+// that is what crosses the link — while logical bytes keep the data-plane
+// accounting (hot-key detection, experiment byte counters) stable across
+// compression policies.
+func (f *Fabric) accountWire(class LinkClass, wireBytes, logicalBytes int) time.Duration {
+	d := f.cost(class, wireBytes)
 	s := &f.stats[class]
 	s.messages.Add(1)
-	s.bytes.Add(int64(size))
+	s.bytes.Add(int64(wireBytes))
+	s.logicalBytes.Add(int64(logicalBytes))
 	s.simNanos.Add(int64(d))
 	f.wait(d)
 	return d
@@ -371,7 +477,7 @@ func (f *Fabric) TransferChunkedCtx(ctx context.Context, from, to idgen.NodeID, 
 	}
 	class := f.ClassBetween(from, to)
 	_, sp := trace.Start(ctx, spanKindFor(class), from)
-	d, err := f.transferChunkedEndpoints(ctx, from, to, class, size)
+	d, err := f.transferChunkedEndpoints(ctx, from, to, class, size, size)
 	if sp != nil {
 		sp.SetSim(d)
 		sp.SetAttr("link", class.String())
@@ -381,23 +487,96 @@ func (f *Fabric) TransferChunkedCtx(ctx context.Context, from, to idgen.NodeID, 
 	return d, err
 }
 
+// TransferData is the data-aware TransferChunked: given the actual payload
+// (not just its length) the fabric applies the link class's compression
+// policy, charges bytes-on-wire for cost, and records both wire and logical
+// bytes. This is the bulk-move entry point for the zero-copy columnar path.
+func (f *Fabric) TransferData(from, to idgen.NodeID, data []byte) time.Duration {
+	class := f.ClassBetween(from, to)
+	d, _ := f.transferChunkedEndpoints(context.Background(), idgen.Nil, idgen.Nil, class, f.wireSize(class, data), len(data))
+	return d
+}
+
+// TransferDataCtx is TransferData with trace annotation, cancellation, and
+// endpoint liveness (see TransferChunkedCtx). The trace span carries both a
+// wire and a logical byte count so compressed links are visible in traces.
+func (f *Fabric) TransferDataCtx(ctx context.Context, from, to idgen.NodeID, data []byte) (time.Duration, error) {
+	if err := f.endpointErr(from, to); err != nil {
+		return 0, err
+	}
+	class := f.ClassBetween(from, to)
+	wireBytes := f.wireSize(class, data)
+	_, sp := trace.Start(ctx, spanKindFor(class), from)
+	d, err := f.transferChunkedEndpoints(ctx, from, to, class, wireBytes, len(data))
+	if sp != nil {
+		sp.SetSim(d)
+		sp.SetAttr("link", class.String())
+		sp.SetAttr("chunks", fmt.Sprint(f.Chunks(wireBytes)))
+		if wireBytes != len(data) {
+			sp.SetAttr("wire", fmt.Sprint(wireBytes))
+			sp.SetAttr("logical", fmt.Sprint(len(data)))
+		}
+		sp.End()
+	}
+	return d, err
+}
+
+// TransferDataClass is TransferData over an explicit link class; used for
+// paths that are not endpoint-to-endpoint (e.g. durable-storage puts).
+func (f *Fabric) TransferDataClass(class LinkClass, data []byte) time.Duration {
+	if class < 0 || class >= numClasses {
+		class = Core
+	}
+	d, _ := f.transferChunkedEndpoints(context.Background(), idgen.Nil, idgen.Nil, class, f.wireSize(class, data), len(data))
+	return d
+}
+
+// TransferMessageCtx charges a single (non-chunked) message whose payload is
+// in hand, with overhead bytes of headers riding along uncompressed. It is
+// SendCtx for callers that can hand the fabric real bytes: the data-plane
+// transports use it so per-link compression shows up in their cost model
+// without changing the sizes they report to the chaos interposer.
+func (f *Fabric) TransferMessageCtx(ctx context.Context, from, to idgen.NodeID, payload []byte, overhead int) (time.Duration, error) {
+	if err := f.endpointErr(from, to); err != nil {
+		return 0, err
+	}
+	class := f.ClassBetween(from, to)
+	wireBytes := f.wireSize(class, payload) + overhead
+	logical := len(payload) + overhead
+	_, sp := trace.Start(ctx, spanKindFor(class), from)
+	d := f.accountWire(class, wireBytes, logical)
+	if sp != nil {
+		sp.SetSim(d)
+		sp.SetAttr("link", class.String())
+		if wireBytes != logical {
+			sp.SetAttr("wire", fmt.Sprint(wireBytes))
+			sp.SetAttr("logical", fmt.Sprint(logical))
+		}
+		sp.End()
+	}
+	return d, nil
+}
+
 // transferChunked accounts a pipelined chunked transfer and delays the
 // caller in per-chunk slices.
 func (f *Fabric) transferChunked(ctx context.Context, class LinkClass, size int) time.Duration {
-	d, _ := f.transferChunkedEndpoints(ctx, idgen.Nil, idgen.Nil, class, size)
+	d, _ := f.transferChunkedEndpoints(ctx, idgen.Nil, idgen.Nil, class, size, size)
 	return d
 }
 
 // transferChunkedEndpoints is transferChunked with endpoint liveness checks
 // between chunks: a transfer whose source or destination is Unregistered
 // mid-flight aborts with skaderr.Unavailable. Nil endpoints skip the check
-// (class-only transfers have no registration to lose).
-func (f *Fabric) transferChunkedEndpoints(ctx context.Context, from, to idgen.NodeID, class LinkClass, size int) (time.Duration, error) {
-	chunks := f.Chunks(size)
-	d := f.cost(class, size) // pipelined: one latency + size/bandwidth
+// (class-only transfers have no registration to lose). wireBytes is what
+// crosses the link (post-compression) and drives both cost and chunk count;
+// logicalBytes is the pre-compression payload size.
+func (f *Fabric) transferChunkedEndpoints(ctx context.Context, from, to idgen.NodeID, class LinkClass, wireBytes, logicalBytes int) (time.Duration, error) {
+	chunks := f.Chunks(wireBytes)
+	d := f.cost(class, wireBytes) // pipelined: one latency + size/bandwidth
 	s := &f.stats[class]
 	s.messages.Add(int64(chunks))
-	s.bytes.Add(int64(size))
+	s.bytes.Add(int64(wireBytes))
+	s.logicalBytes.Add(int64(logicalBytes))
 	s.simNanos.Add(int64(d))
 	if f.timeScale <= 0 || d <= 0 {
 		return d, nil
@@ -466,11 +645,14 @@ func (f *Fabric) wait(d time.Duration) {
 	time.Sleep(d)
 }
 
-// Stats is a snapshot of one link class's accounting.
+// Stats is a snapshot of one link class's accounting. Bytes is
+// bytes-on-wire (post-compression); LogicalBytes is the pre-compression
+// payload size. On uncompressed classes the two are equal.
 type Stats struct {
-	Messages int64
-	Bytes    int64
-	SimTime  time.Duration
+	Messages     int64
+	Bytes        int64
+	LogicalBytes int64
+	SimTime      time.Duration
 }
 
 // ClassStats returns the accounting snapshot for one link class.
@@ -480,9 +662,10 @@ func (f *Fabric) ClassStats(class LinkClass) Stats {
 	}
 	s := &f.stats[class]
 	return Stats{
-		Messages: s.messages.Load(),
-		Bytes:    s.bytes.Load(),
-		SimTime:  time.Duration(s.simNanos.Load()),
+		Messages:     s.messages.Load(),
+		Bytes:        s.bytes.Load(),
+		LogicalBytes: s.logicalBytes.Load(),
+		SimTime:      time.Duration(s.simNanos.Load()),
 	}
 }
 
@@ -493,6 +676,7 @@ func (f *Fabric) TotalStats() Stats {
 		s := f.ClassStats(c)
 		total.Messages += s.Messages
 		total.Bytes += s.Bytes
+		total.LogicalBytes += s.LogicalBytes
 		total.SimTime += s.SimTime
 	}
 	return total
@@ -503,6 +687,7 @@ func (f *Fabric) ResetStats() {
 	for c := range f.stats {
 		f.stats[c].messages.Store(0)
 		f.stats[c].bytes.Store(0)
+		f.stats[c].logicalBytes.Store(0)
 		f.stats[c].simNanos.Store(0)
 	}
 }

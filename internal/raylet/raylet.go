@@ -274,15 +274,15 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 			}
 			r.migMu.Unlock()
 			if moved {
-				return transport.Encode(GetResponse{MovedTo: fwd.to})
+				return EncodeGetResponse(&GetResponse{MovedTo: fwd.to}), nil
 			}
 			return nil, err
 		}
-		return transport.Encode(GetResponse{Data: data, Format: format})
+		return EncodeGetResponse(&GetResponse{Data: data, Format: format}), nil
 
 	case KindPush:
 		var req PushRequest
-		if err := transport.Decode(payload, &req); err != nil {
+		if err := DecodePushRequest(payload, &req); err != nil {
 			return nil, err
 		}
 		r.receivePush(req.ID, req.Data, req.Format)
@@ -545,7 +545,7 @@ func (r *Raylet) migrateTransferObject(ctx context.Context, req *MigrateTransfer
 		// No local copy (DSM-only or already evicted): nothing to move.
 		return transport.Encode(MigrateTransferResponse{Found: false})
 	}
-	push := transport.MustEncode(PushRequest{ID: req.Object, Data: data, Format: format})
+	push := EncodePushRequest(&PushRequest{ID: req.Object, Data: data, Format: format})
 	if _, err := r.call(ctx, req.Dest, KindPush, push); err != nil {
 		return nil, fmt.Errorf("raylet: migrate push to %s: %w", req.Dest.Short(), err)
 	}
@@ -870,7 +870,7 @@ func (r *Raylet) pushTo(ctx context.Context, to idgen.NodeID, id idgen.ObjectID,
 	ctx, sp := trace.Start(ctx, trace.KindPush, r.cfg.Node)
 	sp.SetAttr("to", to.Short()).SetAttr("obj", id.Short())
 	defer sp.End()
-	payload := transport.MustEncode(PushRequest{ID: id, Data: data, Format: format})
+	payload := EncodePushRequest(&PushRequest{ID: id, Data: data, Format: format})
 	if _, err := r.call(ctx, to, KindPush, payload); err != nil {
 		return err
 	}
@@ -992,7 +992,7 @@ func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen
 				continue
 			}
 			var get GetResponse
-			if err := transport.Decode(resp, &get); err != nil {
+			if err := DecodeGetResponse(resp, &get); err != nil {
 				break
 			}
 			if !get.MovedTo.IsNil() {

@@ -130,7 +130,7 @@ func (r *rig) fetch(idx int, id idgen.ObjectID) ([]byte, error) {
 		return nil, err
 	}
 	var resp GetResponse
-	if err := transport.Decode(respB, &resp); err != nil {
+	if err := DecodeGetResponse(respB, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Data, nil

@@ -44,7 +44,7 @@ func TestTCPEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	var resp GetResponse
-	if err := transport.Decode(respB, &resp); err != nil {
+	if err := DecodeGetResponse(respB, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(resp.Data, []byte("over-tcp!")) {

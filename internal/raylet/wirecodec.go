@@ -1,0 +1,82 @@
+package raylet
+
+import (
+	"fmt"
+
+	"skadi/internal/idgen"
+	"skadi/internal/wire"
+)
+
+// The bulk-path messages — object gets and pushes, which carry the
+// multi-megabyte columnar payloads — use a hand-rolled wire layout instead
+// of gob. gob's reflective encoder writes type descriptors per message and
+// copies every payload byte through its own buffer; on the transfer hot
+// path that tax dominates. Control messages (ownership, migration
+// bookkeeping, exec specs) stay gob: their payloads are tens of bytes and
+// schema agility matters more than nanoseconds.
+//
+// Decoded Data slices alias the input buffer — the zero-copy point. The
+// transport hands each response/request payload to exactly one consumer in
+// freshly-decoded storage, so aliasing is safe; callers that outlive the
+// buffer already own it.
+const (
+	getResponseTag = 0xA1
+	pushRequestTag = 0xA2
+)
+
+// EncodeGetResponse encodes a GetResponse with the bulk-path layout.
+func EncodeGetResponse(r *GetResponse) []byte {
+	buf := wire.NewBuffer(32 + len(r.Format) + len(r.Data))
+	buf.Byte(getResponseTag)
+	buf.Bytes16(r.MovedTo)
+	buf.String(r.Format)
+	buf.Bool(r.Data != nil)
+	buf.LenBytes(r.Data)
+	return buf.Bytes()
+}
+
+// DecodeGetResponse decodes into r. r.Data aliases b.
+func DecodeGetResponse(b []byte, r *GetResponse) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != getResponseTag {
+		return fmt.Errorf("raylet: not a get-response payload")
+	}
+	r.MovedTo = idgen.NodeID(rd.Bytes16())
+	r.Format = rd.String()
+	hasData := rd.Bool()
+	data := rd.LenBytes()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt get-response: %w", err)
+	}
+	if hasData {
+		r.Data = data
+	} else {
+		r.Data = nil
+	}
+	return nil
+}
+
+// EncodePushRequest encodes a PushRequest with the bulk-path layout.
+func EncodePushRequest(r *PushRequest) []byte {
+	buf := wire.NewBuffer(40 + len(r.Format) + len(r.Data))
+	buf.Byte(pushRequestTag)
+	buf.Bytes16(r.ID)
+	buf.String(r.Format)
+	buf.LenBytes(r.Data)
+	return buf.Bytes()
+}
+
+// DecodePushRequest decodes into r. r.Data aliases b.
+func DecodePushRequest(b []byte, r *PushRequest) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != pushRequestTag {
+		return fmt.Errorf("raylet: not a push-request payload")
+	}
+	r.ID = idgen.ObjectID(rd.Bytes16())
+	r.Format = rd.String()
+	r.Data = rd.LenBytes()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt push-request: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package raylet
+
+import (
+	"bytes"
+	"testing"
+
+	"skadi/internal/idgen"
+	"skadi/internal/transport"
+)
+
+func TestGetResponseRoundTrip(t *testing.T) {
+	cases := []GetResponse{
+		{},
+		{MovedTo: idgen.Next()},
+		{Data: []byte{}, Format: "raw"},
+		{Data: []byte("hello"), Format: "arrow"},
+		{Data: bytes.Repeat([]byte{7}, 1<<20), Format: "arrow"},
+	}
+	for i, in := range cases {
+		var out GetResponse
+		if err := DecodeGetResponse(EncodeGetResponse(&in), &out); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if out.MovedTo != in.MovedTo || out.Format != in.Format {
+			t.Fatalf("case %d: header mismatch", i)
+		}
+		if (out.Data == nil) != (in.Data == nil) {
+			t.Fatalf("case %d: nil-ness of Data not preserved", i)
+		}
+		if !bytes.Equal(out.Data, in.Data) {
+			t.Fatalf("case %d: data mismatch", i)
+		}
+	}
+}
+
+func TestPushRequestRoundTrip(t *testing.T) {
+	in := PushRequest{ID: idgen.Next(), Data: bytes.Repeat([]byte("x"), 4096), Format: "arrow"}
+	var out PushRequest
+	if err := DecodePushRequest(EncodePushRequest(&in), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ID != in.ID || out.Format != in.Format || !bytes.Equal(out.Data, in.Data) {
+		t.Fatal("push request round trip mismatch")
+	}
+}
+
+func TestBulkCodecRejectsGarbage(t *testing.T) {
+	var gr GetResponse
+	var pr PushRequest
+	for _, b := range [][]byte{nil, {}, {0x00}, {getResponseTag}, {pushRequestTag, 1, 2}, []byte("not a frame")} {
+		if err := DecodeGetResponse(b, &gr); err == nil && len(b) < 22 {
+			t.Fatalf("short get-response %v accepted", b)
+		}
+		if err := DecodePushRequest(b, &pr); err == nil && len(b) < 22 {
+			t.Fatalf("short push-request %v accepted", b)
+		}
+	}
+	// A gob payload must not decode as a bulk message (tag mismatch).
+	gob := transport.MustEncode(GetResponse{Data: []byte("x")})
+	if err := DecodeGetResponse(gob, &gr); err == nil {
+		t.Fatal("gob payload decoded as bulk get-response")
+	}
+}
+
+// The benchmarks quantify the gob tax the bulk paths no longer pay.
+func benchPayload() []byte {
+	data := make([]byte, 1<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	return data
+}
+
+func BenchmarkGetResponseWireCodec(b *testing.B) {
+	resp := GetResponse{Data: benchPayload(), Format: "arrow"}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(resp.Data)))
+	for i := 0; i < b.N; i++ {
+		enc := EncodeGetResponse(&resp)
+		var out GetResponse
+		if err := DecodeGetResponse(enc, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGetResponseGob(b *testing.B) {
+	resp := GetResponse{Data: benchPayload(), Format: "arrow"}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(resp.Data)))
+	for i := 0; i < b.N; i++ {
+		enc := transport.MustEncode(resp)
+		var out GetResponse
+		if err := transport.Decode(enc, &out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -447,7 +447,7 @@ func (rt *Runtime) PutAt(node idgen.NodeID, data []byte, format string) (idgen.O
 	if node != rt.driver {
 		// Bulk placement streams in pipelined chunks: one latency plus the
 		// bandwidth cost, however large the input shard.
-		rt.Cluster.Fabric.TransferChunked(rt.driver, node, len(data))
+		rt.Cluster.Fabric.TransferData(rt.driver, node, data)
 	}
 	if err := rt.Layer.Put(node, id, data, format); err != nil {
 		return idgen.Nil, err

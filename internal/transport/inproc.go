@@ -114,7 +114,7 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 			// Deliver the request an extra time before the real delivery and
 			// discard its response — what a retransmitted request looks like
 			// to the handler. Exercises handler idempotence.
-			if _, cerr := t.chargeErr(ctx, from, to, size); cerr == nil {
+			if _, cerr := t.chargeErr(ctx, from, to, payload); cerr == nil {
 				_, _ = h(ctx, from, kind, payload)
 			}
 		}
@@ -125,7 +125,7 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 	// in-process propagation of the TraceID/SpanID pair. Deadlines and
 	// cancellation propagate the same way: the handler shares the caller's
 	// context directly.
-	if _, err := t.chargeErr(ctx, from, to, size); err != nil {
+	if _, err := t.chargeErr(ctx, from, to, payload); err != nil {
 		// The fabric refused the message (endpoint unregistered mid-call).
 		if ip != nil {
 			ip.Undeliverable(from, to, kind, size)
@@ -145,21 +145,25 @@ func (t *InProc) Call(ctx context.Context, from, to idgen.NodeID, kind string, p
 	}
 	// Charge the response path. A responder unregistered while its handler
 	// ran cannot get the bytes back to the caller.
-	if _, cerr := t.chargeErr(ctx, to, from, len(resp)+messageOverhead); cerr != nil {
+	if _, cerr := t.chargeErr(ctx, to, from, resp); cerr != nil {
 		return nil, unavailable(cerr)
 	}
 	return resp, nil
 }
 
-// chargeErr accounts one message. Bulk payloads (raylet pushes, migration
-// object copies) larger than the fabric's chunk size stream as pipelined
-// chunks instead of one whole-object stall; control messages stay single
-// sends. A transfer touching an unregistered endpoint fails typed.
-func (t *InProc) chargeErr(ctx context.Context, from, to idgen.NodeID, size int) (time.Duration, error) {
-	if size > t.fabric.ChunkBytes() {
-		return t.fabric.TransferChunkedCtx(ctx, from, to, size)
+// chargeErr accounts one message from its actual payload bytes, so the
+// fabric can apply the link class's compression policy and charge
+// bytes-on-wire. The interposer keeps seeing logical sizes — compression is
+// a cost-model concern, not a delivery-accounting one. Bulk payloads
+// (raylet pushes, migration object copies) larger than the fabric's chunk
+// size stream as pipelined chunks instead of one whole-object stall;
+// control messages stay single sends. A transfer touching an unregistered
+// endpoint fails typed.
+func (t *InProc) chargeErr(ctx context.Context, from, to idgen.NodeID, payload []byte) (time.Duration, error) {
+	if len(payload)+messageOverhead > t.fabric.ChunkBytes() {
+		return t.fabric.TransferDataCtx(ctx, from, to, payload)
 	}
-	return t.fabric.SendCtx(ctx, from, to, size)
+	return t.fabric.TransferMessageCtx(ctx, from, to, payload, messageOverhead)
 }
 
 // Close implements Transport.

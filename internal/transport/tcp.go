@@ -33,6 +33,79 @@ const (
 	statusRemote = 1
 )
 
+// Payload codecs on the TCP wire. Request and response payloads ride as a
+// codec tag plus lengths in the header, then the body as its own
+// scatter/gather segment — never copied into the frame buffer.
+const (
+	codecRaw = 0
+	codecLZ4 = 1
+)
+
+// tcpCompressMin is the smallest payload the TCP path tries to compress;
+// below this the codec costs more than the bytes it saves on a loopback
+// socket.
+const tcpCompressMin = 4 << 10
+
+// appendPayloadSection writes the payload's codec tag and lengths into hdr
+// and returns the segment to put on the wire after hdr, plus the pooled
+// scratch to release once the frame has been written (nil when the payload
+// ships raw). Payloads that compress ride as
+// codecLZ4 | uvarint(logicalLen) | uvarint(blockLen) | block;
+// raw ones as codecRaw | uvarint(len) | bytes.
+func appendPayloadSection(hdr *wire.Buffer, payload []byte) (seg, scratch []byte) {
+	if len(payload) >= tcpCompressMin {
+		b := wire.GetBuf(wire.CompressBound(len(payload)))
+		c := wire.AppendCompress(b, payload)
+		if len(c) < len(payload) {
+			hdr.Byte(codecLZ4)
+			hdr.Uvarint(uint64(len(payload)))
+			hdr.Uvarint(uint64(len(c)))
+			return c, c
+		}
+		wire.PutBuf(c) // incompressible: ship raw
+	}
+	hdr.Byte(codecRaw)
+	hdr.Uvarint(uint64(len(payload)))
+	return payload, nil
+}
+
+// readPayloadSection decodes a payload section written by
+// appendPayloadSection. The result is freshly allocated — never aliasing
+// the (pooled, about-to-be-reused) frame buffer — because payloads escape
+// to handlers and callers that may retain them.
+func readPayloadSection(r *wire.Reader) ([]byte, error) {
+	switch codec := r.Byte(); codec {
+	case codecRaw:
+		body := r.LenBytes()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		p := make([]byte, len(body))
+		copy(p, body)
+		return p, nil
+	case codecLZ4:
+		logical := r.Uvarint()
+		blockLen := r.Uvarint()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if logical > wire.MaxFrameSize {
+			return nil, fmt.Errorf("transport: compressed payload claims %d bytes", logical)
+		}
+		block := r.Raw(int(blockLen))
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		p := make([]byte, logical)
+		if err := wire.DecompressInto(p, block); err != nil {
+			return nil, err
+		}
+		return p, nil
+	default:
+		return nil, fmt.Errorf("transport: unknown payload codec %d", codec)
+	}
+}
+
 // TCP is the socket-backed transport. Each listening node binds its own
 // 127.0.0.1 port; the transport keeps a directory of node → address and one
 // pooled client connection per destination.
@@ -166,10 +239,13 @@ func (t *TCP) Call(ctx context.Context, from, to idgen.NodeID, kind string, payl
 			}
 		}
 		// Propagate the trace position explicitly (see below). The duplicate
-		// rides its own frame; its response is discarded.
+		// rides its own frame concurrently with the original — a real
+		// retransmit races its first copy rather than preceding it — and its
+		// response is discarded. Running it synchronously would serialize the
+		// race away and double the call's latency.
 		sc, _ := trace.FromContext(ctx)
 		if v.Duplicate {
-			_, _ = client.call(ctx, from, sc, kind, payload)
+			go func() { _, _ = client.call(ctx, from, sc, kind, payload) }()
 		}
 		resp, err := client.call(ctx, from, sc, kind, payload)
 		if err != nil && !IsRemote(err) {
@@ -238,9 +314,15 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 	defer conn.Close()
 	var writeMu sync.Mutex
 	// In-flight handler contexts by reqID, so a later cancel frame from the
-	// caller interrupts the matching handler.
+	// caller interrupts the matching handler. recentCancel remembers cancels
+	// that arrived for reqIDs with no registered handler: a frameCancel can
+	// race ahead of its request's registration, and forgetting it would leave
+	// the request running against a caller that already gave up. reqIDs start
+	// at 1, so the ring's zero slots never match a real request.
 	var cancelMu sync.Mutex
 	cancels := make(map[uint64]context.CancelFunc)
+	var recentCancel [64]uint64
+	recentIdx := 0
 	defer func() {
 		// Connection torn down: abort whatever is still running for it.
 		cancelMu.Lock()
@@ -250,7 +332,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		cancelMu.Unlock()
 	}()
 	for {
-		frame, err := wire.ReadFrame(conn)
+		frame, err := wire.ReadFrameBuf(conn)
 		if err != nil {
 			return
 		}
@@ -259,17 +341,24 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		case frameRequest:
 		case frameCancel:
 			reqID := r.Uint64()
-			if r.Err() != nil {
+			bad := r.Err() != nil
+			wire.PutBuf(frame)
+			if bad {
 				return
 			}
 			cancelMu.Lock()
 			cancel := cancels[reqID]
+			if cancel == nil {
+				recentCancel[recentIdx] = reqID
+				recentIdx = (recentIdx + 1) % len(recentCancel)
+			}
 			cancelMu.Unlock()
 			if cancel != nil {
 				cancel()
 			}
 			continue
 		default:
+			wire.PutBuf(frame)
 			return // protocol violation
 		}
 		reqID := r.Uint64()
@@ -277,14 +366,14 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		sc := trace.SpanContext{Trace: idgen.ID(r.Bytes16()), Span: idgen.ID(r.Bytes16())}
 		deadlineNanos := r.Uint64()
 		kind := r.String()
-		payload := r.LenBytes()
-		if r.Err() != nil {
+		// readPayloadSection copies (or decompresses) into fresh storage, so
+		// the pooled frame buffer can be released before the handler runs.
+		payload, perr := readPayloadSection(r)
+		bad := perr != nil || r.Err() != nil
+		wire.PutBuf(frame)
+		if bad {
 			return
 		}
-		// Copy the payload: it aliases the frame buffer, which is reused
-		// conceptually once the handler runs concurrently.
-		p := make([]byte, len(payload))
-		copy(p, payload)
 		// Rebuild the caller's context on this side of the wire: trace
 		// position, absolute deadline, and a cancel hook for cancel frames.
 		hctx := context.Background()
@@ -299,7 +388,20 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		}
 		cancelMu.Lock()
 		cancels[reqID] = hcancel
+		preCancelled := false
+		for _, id := range recentCancel {
+			if id == reqID {
+				preCancelled = true
+				break
+			}
+		}
 		cancelMu.Unlock()
+		if preCancelled {
+			// The cancel for this request already arrived; start the handler
+			// with its context pre-cancelled instead of letting it run against
+			// a departed caller.
+			hcancel()
+		}
 		go func() {
 			defer func() {
 				cancelMu.Lock()
@@ -307,24 +409,29 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 				cancelMu.Unlock()
 				hcancel()
 			}()
-			resp, herr := s.handler(hctx, from, kind, p)
-			var buf wire.Buffer
-			buf.Byte(frameResponse)
-			buf.Uint64(reqID)
+			resp, herr := s.handler(hctx, from, kind, payload)
+			hdr := wire.GetBuffer(64)
+			var seg, scratch []byte
+			hdr.Byte(frameResponse)
+			hdr.Uint64(reqID)
 			if herr != nil {
 				// The typed code rides next to the message, so errors.Is
 				// works on the far side exactly as it does in-process.
 				code, msg := skaderr.EncodeWire(herr)
-				buf.Byte(statusRemote)
-				buf.Byte(code)
-				buf.String(msg)
+				hdr.Byte(statusRemote)
+				hdr.Byte(code)
+				hdr.String(msg)
 			} else {
-				buf.Byte(statusOK)
-				buf.LenBytes(resp)
+				hdr.Byte(statusOK)
+				seg, scratch = appendPayloadSection(hdr, resp)
 			}
 			writeMu.Lock()
-			defer writeMu.Unlock()
-			_ = wire.WriteFrame(conn, buf.Bytes())
+			_ = wire.WriteFrameSegments(conn, hdr.Bytes(), seg)
+			writeMu.Unlock()
+			if scratch != nil {
+				wire.PutBuf(scratch)
+			}
+			wire.PutBuffer(hdr)
 		}()
 	}
 }
@@ -367,29 +474,33 @@ func newTCPClient(conn net.Conn) *tcpClient {
 
 func (c *tcpClient) readLoop() {
 	for {
-		frame, err := wire.ReadFrame(c.conn)
+		frame, err := wire.ReadFrameBuf(c.conn)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrUnreachable, err))
 			return
 		}
 		r := wire.NewReader(frame)
 		if tag := r.Byte(); tag != frameResponse {
+			wire.PutBuf(frame)
 			c.fail(ErrUnreachable)
 			return
 		}
 		reqID := r.Uint64()
 		status := r.Byte()
 		var resp response
+		var perr error
 		if status == statusOK {
-			body := r.LenBytes()
-			resp.payload = make([]byte, len(body))
-			copy(resp.payload, body)
+			// The decoded payload is fresh storage (it outlives the pooled
+			// frame: callers retain responses).
+			resp.payload, perr = readPayloadSection(r)
 			resp.ok = true
 		} else {
 			resp.code = r.Byte()
 			resp.remote = r.String()
 		}
-		if r.Err() != nil {
+		bad := perr != nil || r.Err() != nil
+		wire.PutBuf(frame)
+		if bad {
 			c.fail(ErrUnreachable)
 			return
 		}
@@ -448,19 +559,25 @@ func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, sc trace.SpanCo
 		deadlineNanos = uint64(t.UnixNano())
 	}
 
-	var buf wire.Buffer
-	buf.Byte(frameRequest)
-	buf.Uint64(reqID)
-	buf.Bytes16(from)
-	buf.Bytes16(sc.Trace)
-	buf.Bytes16(sc.Span)
-	buf.Uint64(deadlineNanos)
-	buf.String(kind)
-	buf.LenBytes(payload)
+	// The header rides a pooled buffer; the payload goes on the wire as its
+	// own scatter/gather segment, never copied into the frame.
+	hdr := wire.GetBuffer(96 + len(kind))
+	hdr.Byte(frameRequest)
+	hdr.Uint64(reqID)
+	hdr.Bytes16(from)
+	hdr.Bytes16(sc.Trace)
+	hdr.Bytes16(sc.Span)
+	hdr.Uint64(deadlineNanos)
+	hdr.String(kind)
+	seg, scratch := appendPayloadSection(hdr, payload)
 
 	c.writeMu.Lock()
-	err := wire.WriteFrame(c.conn, buf.Bytes())
+	err := wire.WriteFrameSegments(c.conn, hdr.Bytes(), seg)
 	c.writeMu.Unlock()
+	if scratch != nil {
+		wire.PutBuf(scratch)
+	}
+	wire.PutBuffer(hdr)
 	if err != nil {
 		c.mu.Lock()
 		delete(c.pending, reqID)

@@ -1,0 +1,126 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func lz4RoundTrip(t *testing.T, src []byte) {
+	t.Helper()
+	block := AppendCompress(nil, src)
+	if len(block) > CompressBound(len(src)) {
+		t.Fatalf("block %d exceeds bound %d for %d input bytes", len(block), CompressBound(len(src)), len(src))
+	}
+	dst := make([]byte, len(src))
+	if err := DecompressInto(dst, block); err != nil {
+		t.Fatalf("DecompressInto: %v", err)
+	}
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("round trip mismatch: %d input bytes", len(src))
+	}
+}
+
+func TestLZ4RoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cases := [][]byte{
+		nil,
+		[]byte(""),
+		[]byte("a"),
+		[]byte("hello world"),
+		bytes.Repeat([]byte("x"), 100000),
+		bytes.Repeat([]byte("abcd"), 5000),
+		bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 300),
+	}
+	// Incompressible random data.
+	random := make([]byte, 64<<10)
+	rng.Read(random)
+	cases = append(cases, random)
+	// Mixed: runs + random islands, every small length.
+	for n := 0; n < 300; n++ {
+		mixed := make([]byte, n)
+		for i := range mixed {
+			if i%3 == 0 {
+				mixed[i] = byte(rng.Intn(256))
+			} else {
+				mixed[i] = 7
+			}
+		}
+		cases = append(cases, mixed)
+	}
+	for _, src := range cases {
+		lz4RoundTrip(t, src)
+	}
+}
+
+func TestLZ4CompressesRuns(t *testing.T) {
+	src := bytes.Repeat([]byte("skadi"), 10000)
+	block := AppendCompress(nil, src)
+	if len(block) >= len(src)/10 {
+		t.Fatalf("run of %d bytes compressed only to %d", len(src), len(block))
+	}
+}
+
+func TestLZ4Deterministic(t *testing.T) {
+	src := bytes.Repeat([]byte("deterministic payload 123 "), 1000)
+	a := AppendCompress(nil, src)
+	b := AppendCompress(nil, src)
+	if !bytes.Equal(a, b) {
+		t.Fatal("same input produced different blocks")
+	}
+}
+
+// TestLZ4DecompressHostile feeds corrupt blocks: every outcome must be a
+// clean ErrCorruptBlock, never a panic or an out-of-range access.
+func TestLZ4DecompressHostile(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := bytes.Repeat([]byte("valid data segment "), 200)
+	valid := AppendCompress(nil, src)
+	dst := make([]byte, len(src))
+	for trial := 0; trial < 2000; trial++ {
+		block := append([]byte(nil), valid...)
+		for flips := 0; flips < 1+rng.Intn(4); flips++ {
+			block[rng.Intn(len(block))] ^= byte(1 + rng.Intn(255))
+		}
+		_ = DecompressInto(dst, block) // must not panic
+	}
+	for trial := 0; trial < 2000; trial++ {
+		block := make([]byte, rng.Intn(64))
+		rng.Read(block)
+		_ = DecompressInto(dst, block)
+	}
+	// Truncations of a valid block.
+	for cut := 0; cut < len(valid); cut += 7 {
+		_ = DecompressInto(dst, valid[:cut])
+	}
+	// Wrong output sizes must error, not overrun.
+	if err := DecompressInto(make([]byte, len(src)-1), valid); err == nil {
+		t.Fatal("short dst accepted")
+	}
+	if err := DecompressInto(make([]byte, len(src)+1), valid); err == nil {
+		t.Fatal("long dst accepted")
+	}
+}
+
+func BenchmarkLZ4Compress(b *testing.B) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 2000)
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	var block []byte
+	for i := 0; i < b.N; i++ {
+		block = AppendCompress(block[:0], src)
+	}
+}
+
+func BenchmarkLZ4Decompress(b *testing.B) {
+	src := bytes.Repeat([]byte("the quick brown fox jumps over the lazy dog "), 2000)
+	block := AppendCompress(nil, src)
+	dst := make([]byte, len(src))
+	b.SetBytes(int64(len(src)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecompressInto(dst, block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Sized-class buffer pooling for the transfer hot path. Frame reads, frame
+// header builds, and compression scratch all need short-lived byte slices of
+// message-ish sizes; allocating them per message is exactly the per-message
+// tax the zero-copy wire path removes. Buffers are pooled by power-of-two
+// capacity class so a Get never returns a slice more than 2x the request and
+// pools stay type-homogeneous (sync.Pool works best with one size per pool).
+
+// minPoolClass is the smallest pooled class (512 B); requests below it round
+// up. maxPoolClass is the largest (64 MiB = MaxFrameSize); requests above it
+// fall through to plain make and are dropped on Put.
+const (
+	minPoolShift = 9  // 512 B
+	maxPoolShift = 26 // 64 MiB
+	numPools     = maxPoolShift - minPoolShift + 1
+)
+
+var bufPools [numPools]sync.Pool
+
+// poolClass returns the pool index for a capacity, or -1 if unpooled.
+func poolClass(capacity int) int {
+	if capacity <= 0 {
+		return 0
+	}
+	shift := bits.Len(uint(capacity - 1)) // ceil(log2)
+	if shift < minPoolShift {
+		return 0
+	}
+	if shift > maxPoolShift {
+		return -1
+	}
+	return shift - minPoolShift
+}
+
+// GetBuf returns a zero-length slice with capacity at least n from the pool.
+// Release it with PutBuf when no alias of it can outlive the call.
+func GetBuf(n int) []byte {
+	class := poolClass(n)
+	if class < 0 {
+		return make([]byte, 0, n)
+	}
+	if v := bufPools[class].Get(); v != nil {
+		return v.([]byte)[:0]
+	}
+	return make([]byte, 0, 1<<(class+minPoolShift))
+}
+
+// PutBuf returns a buffer obtained from GetBuf to its pool. Putting a slice
+// that still has live aliases is a use-after-free in spirit: the next GetBuf
+// will hand the same storage to an unrelated message. Foreign or oversized
+// slices are dropped.
+func PutBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
+		return // not one of ours; let GC have it
+	}
+	class := poolClass(c)
+	if class < 0 {
+		return
+	}
+	bufPools[class].Put(b[:0:c]) //nolint:staticcheck // slice, not pointer: sizes are class-uniform
+}
+
+// GetBuffer returns a Buffer whose storage comes from the sized-class pool.
+// Pair it with PutBuffer on every hot-path exit.
+func GetBuffer(capacity int) *Buffer {
+	return &Buffer{b: GetBuf(capacity)}
+}
+
+// PutBuffer recycles a pooled Buffer's storage. The Buffer must not be used
+// afterwards, and no slice returned by Bytes() may outlive the call.
+func PutBuffer(buf *Buffer) {
+	if buf == nil {
+		return
+	}
+	PutBuf(buf.b)
+	buf.b = nil
+}

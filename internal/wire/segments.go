@@ -1,0 +1,69 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Scatter/gather framing: a frame is written from multiple segments without
+// coalescing them into one allocation. On a net.Conn the segments go out as
+// one writev, so a bulk payload crosses from its owner's memory to the
+// socket with zero intermediate copies — the header rides in its own small
+// (pooled) segment.
+
+// vecPool recycles the net.Buffers backing arrays so segment writes allocate
+// nothing per message.
+var vecPool = sync.Pool{
+	New: func() any { return make(net.Buffers, 0, 8) },
+}
+
+// WriteFrameSegments writes one length-prefixed frame whose payload is the
+// concatenation of segs, without copying them together. Equivalent on the
+// wire to WriteFrame(w, concat(segs...)).
+func WriteFrameSegments(w io.Writer, segs ...[]byte) error {
+	total := 0
+	for _, s := range segs {
+		total += len(s)
+	}
+	if total > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", total, MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(total))
+	vec := vecPool.Get().(net.Buffers)
+	vec = append(vec, hdr[:])
+	for _, s := range segs {
+		if len(s) > 0 {
+			vec = append(vec, s)
+		}
+	}
+	// net.Buffers.WriteTo consumes the vector (writev on a net.Conn, a
+	// Write loop elsewhere) and guarantees full delivery or an error.
+	_, err := vec.WriteTo(w)
+	vecPool.Put(vec[:0])
+	return err
+}
+
+// ReadFrameBuf reads one length-prefixed frame into pooled storage. The
+// caller owns the returned slice and must release it with PutBuf once no
+// alias of it can outlive the message — the whole point is that the next
+// frame on this connection reuses the same storage.
+func ReadFrameBuf(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds max %d", n, MaxFrameSize)
+	}
+	payload := GetBuf(int(n))[:n]
+	if _, err := io.ReadFull(r, payload); err != nil {
+		PutBuf(payload)
+		return nil, err
+	}
+	return payload, nil
+}

@@ -1,0 +1,133 @@
+package wire
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func TestWriteFrameSegmentsMatchesWriteFrame(t *testing.T) {
+	payloadSets := [][][]byte{
+		{},
+		{nil},
+		{[]byte("a")},
+		{[]byte("hdr"), []byte("body")},
+		{[]byte("h"), nil, []byte(""), bytes.Repeat([]byte("x"), 100000), []byte("tail")},
+	}
+	for _, segs := range payloadSets {
+		var whole []byte
+		for _, s := range segs {
+			whole = append(whole, s...)
+		}
+		var a, b bytes.Buffer
+		if err := WriteFrame(&a, whole); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteFrameSegments(&b, segs...); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Bytes(), b.Bytes()) {
+			t.Fatalf("segment framing differs from whole framing for %d segments", len(segs))
+		}
+		got, err := ReadFrame(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, whole) {
+			t.Fatal("frame round trip mismatch")
+		}
+	}
+}
+
+func TestWriteFrameSegmentsTooLarge(t *testing.T) {
+	big := make([]byte, MaxFrameSize/2+1)
+	var sink bytes.Buffer
+	if err := WriteFrameSegments(&sink, big, big); err == nil {
+		t.Fatal("oversized segmented frame accepted")
+	}
+}
+
+func TestReadFrameBuf(t *testing.T) {
+	var b bytes.Buffer
+	payload := bytes.Repeat([]byte("p"), 10000)
+	if err := WriteFrame(&b, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrameBuf(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("pooled frame read mismatch")
+	}
+	PutBuf(got)
+}
+
+func TestBufPoolSizing(t *testing.T) {
+	for _, n := range []int{0, 1, 511, 512, 513, 4096, 1 << 20} {
+		b := GetBuf(n)
+		if len(b) != 0 || cap(b) < n {
+			t.Fatalf("GetBuf(%d): len=%d cap=%d", n, len(b), cap(b))
+		}
+		PutBuf(b)
+	}
+	// Oversized requests fall through to make and are not pooled.
+	huge := GetBuf(1<<26 + 1)
+	if cap(huge) < 1<<26+1 {
+		t.Fatal("oversized GetBuf shorted the request")
+	}
+	PutBuf(huge) // must not poison the pools
+}
+
+// TestBufPoolConcurrent hammers the pool from many goroutines; run under
+// -race it proves reused storage is handed to one owner at a time.
+func TestBufPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				n := 64 << uint(i%10)
+				b := GetBuf(n)[:n]
+				for j := range b {
+					b[j] = byte(g)
+				}
+				for j := range b {
+					if b[j] != byte(g) {
+						t.Errorf("buffer shared across owners")
+						return
+					}
+				}
+				PutBuf(b)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func BenchmarkFrameSegmentsVsCopy(b *testing.B) {
+	hdr := []byte("0123456789abcdef0123456789abcdef")
+	payload := bytes.Repeat([]byte("z"), 1<<20)
+	b.Run("coalesced", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			whole := make([]byte, 0, len(hdr)+len(payload))
+			whole = append(whole, hdr...)
+			whole = append(whole, payload...)
+			_ = WriteFrame(discardWriter{}, whole)
+		}
+	})
+	b.Run("segments", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(payload)))
+		for i := 0; i < b.N; i++ {
+			_ = WriteFrameSegments(discardWriter{}, hdr, payload)
+		}
+	})
+}
+
+type discardWriter struct{}
+
+func (discardWriter) Write(p []byte) (int, error) { return len(p), nil }
