@@ -15,15 +15,18 @@ import (
 	"fmt"
 	"log"
 	"strings"
+	"time"
 
 	"skadi/internal/arrowlite"
 	"skadi/internal/core"
 	"skadi/internal/frontend/graphfe"
 	"skadi/internal/frontend/mlfe"
 	"skadi/internal/frontend/mrfe"
+	"skadi/internal/idgen"
 	"skadi/internal/ir"
 	"skadi/internal/runtime"
 	"skadi/internal/task"
+	"skadi/internal/tenancy"
 )
 
 func main() {
@@ -36,7 +39,10 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := core.Options{}
+	// The tenancy plane stays inert until the first tenant registers (the
+	// tour's own workloads run unattributed), then the tenancy section
+	// below turns it on live.
+	opts := core.Options{Tenancy: tenancy.Options{FairShare: true, Preemption: true}}
 	if *gen2 {
 		opts.DeviceMode = runtime.Gen2
 	}
@@ -158,6 +164,53 @@ func main() {
 	fmt.Printf("revoked a 2-stage chain: %d tasks cancelled, %d workers reclaimed, %.1f KiB freed\n",
 		rep.TasksCancelled, rep.WorkersReclaimed, float64(rep.BytesReclaimed)/(1<<10))
 
+	// Multi-tenancy: a batch tenant floods more work than the cluster
+	// absorbs while an interactive tenant holds a priority band over it —
+	// admission bounds the batch queue (typed rejections) and preemption
+	// keeps the interactive tenant's tasks off the back of the batch queue.
+	fmt.Println("\n== tenancy ==")
+	if err := rtm.RegisterTenant(tenancy.Config{Name: "interactive", Priority: 1}); err != nil {
+		log.Fatal(err)
+	}
+	if err := rtm.RegisterTenant(tenancy.Config{Name: "batch", MaxPending: 16}); err != nil {
+		log.Fatal(err)
+	}
+	rtm.Registry.Register("demo/spin", func(tctx *task.Context, _ [][]byte) ([][]byte, error) {
+		select {
+		case <-time.After(50 * time.Millisecond):
+			return [][]byte{[]byte("ok")}, nil
+		case <-tctx.Ctx.Done():
+			return nil, tctx.Ctx.Err()
+		}
+	})
+	// The batch flood: paced just enough for grants to keep up, and held
+	// long enough (50ms kernels) that every slot and the whole bounded
+	// queue are still occupied when the overflow and the interactive
+	// submits arrive.
+	batchCtx := tenancy.ContextWith(ctx, "batch")
+	for i := 0; i < 40; i++ {
+		rtm.SubmitCtx(batchCtx, task.NewSpec(rtm.Job(), "demo/spin", nil, 1))
+		time.Sleep(200 * time.Microsecond)
+	}
+	for i := 0; i < 8; i++ { // queue is full: rejected typed
+		rtm.SubmitCtx(batchCtx, task.NewSpec(rtm.Job(), "demo/spin", nil, 1))
+	}
+	interCtx := tenancy.ContextWith(ctx, "interactive")
+	var interRefs []idgen.ObjectID
+	for i := 0; i < 8; i++ { // slots are full: preempts batch
+		interRefs = append(interRefs, rtm.SubmitCtx(interCtx, task.NewSpec(rtm.Job(), "demo/spin", nil, 1))...)
+	}
+	for _, ref := range interRefs {
+		if _, err := rtm.Get(ctx, ref); err != nil {
+			log.Fatal(err)
+		}
+	}
+	rtm.Drain()
+	for _, a := range rtm.Tenancy.Accounts() {
+		fmt.Printf("  %-12s submitted=%-3d admitted=%-3d rejected=%-3d completed=%-3d preempted=%d\n",
+			a.Tenant, a.Submitted, a.Admitted, a.Rejected, a.Completed, a.Preempted)
+	}
+
 	// Runtime stats.
 	fmt.Println("\n== runtime ==")
 	stats := s.Runtime().FabricStats()
@@ -195,6 +248,15 @@ func main() {
 			runtime.MetricBytesReclaimed, runtime.MetricTasksDeadlineExceeded,
 		} {
 			fmt.Printf("%-24s %d\n", name, s.Runtime().Metrics.Counter(name).Value())
+		}
+
+		// Per-tenant serving metrics (the same families E19 reads),
+		// labelled by tenant name.
+		fmt.Println("\n== per-tenant metrics ==")
+		for _, line := range strings.Split(s.Runtime().Metrics.Snapshot(), "\n") {
+			if strings.Contains(line, "tenant_") {
+				fmt.Println(line)
+			}
 		}
 	}
 }

@@ -181,10 +181,24 @@ type flight struct {
 }
 
 // Layer is the cluster-wide caching layer. It is safe for concurrent use.
+// Quota is the consumer-side interface to per-tenant cache-byte quotas.
+// The tenancy controller implements it; the caching layer stays free of a
+// tenancy dependency. Reserve is charged once per logical object on the
+// put path — before any bytes land — with the submitting tenant carried on
+// ctx; replicas and EC shards of the same object are not re-charged.
+// Release returns the bytes when the object's directory entry is deleted.
+type Quota interface {
+	Reserve(ctx context.Context, id idgen.ObjectID, n int64) error
+	Release(id idgen.ObjectID)
+}
+
 type Layer struct {
 	fabric *fabric.Fabric
 	cfg    Config
 	coder  *erasure.Coder
+
+	quotaMu sync.RWMutex
+	quota   Quota
 
 	// storeMu guards the store table and placement cursor. It is an
 	// RWMutex so the data plane's store lookups never contend with each
@@ -229,6 +243,20 @@ func NewLayer(f *fabric.Fabric, cfg Config) (*Layer, error) {
 		l.coder = coder
 	}
 	return l, nil
+}
+
+// SetQuota installs the per-tenant cache-byte quota enforced on the put
+// path. A nil quota (the default) disables enforcement.
+func (l *Layer) SetQuota(q Quota) {
+	l.quotaMu.Lock()
+	l.quota = q
+	l.quotaMu.Unlock()
+}
+
+func (l *Layer) getQuota() Quota {
+	l.quotaMu.RLock()
+	defer l.quotaMu.RUnlock()
+	return l.quota
 }
 
 // shardFor returns the directory shard owning id.
@@ -399,6 +427,16 @@ func (l *Layer) putCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID
 		return "", fmt.Errorf("%w: %s", ErrNoStore, from.Short())
 	}
 
+	// Tenant quota gate: the logical bytes are charged before any copy
+	// lands, so an over-quota tenant is rejected (or evicts its own oldest
+	// objects) without touching stores. Replicas/shards are not re-charged.
+	quota := l.getQuota()
+	if quota != nil {
+		if err := quota.Reserve(ctx, id, int64(len(data))); err != nil {
+			return "", err
+		}
+	}
+
 	// Primary copy: local store, falling back to the DSM tier on pressure.
 	primaryLocal := true
 	tier := si.tier.String()
@@ -409,11 +447,17 @@ func (l *Layer) putCtx(ctx context.Context, from idgen.NodeID, id idgen.ObjectID
 		return tier, err
 	case pool != nil:
 		if derr := pool.Write(from, id, data); derr != nil {
+			if quota != nil {
+				quota.Release(id)
+			}
 			return tier, fmt.Errorf("caching: primary put failed: %v; dsm: %w", err, derr)
 		}
 		primaryLocal = false
 		tier = DisaggMem.String()
 	default:
+		if quota != nil {
+			quota.Release(id)
+		}
 		return tier, err
 	}
 
@@ -921,6 +965,9 @@ func (l *Layer) Delete(id idgen.ObjectID) {
 		if pool := l.dsmPool(); pool != nil {
 			_ = pool.Free(id)
 		}
+	}
+	if q := l.getQuota(); q != nil {
+		q.Release(id)
 	}
 }
 

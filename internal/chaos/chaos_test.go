@@ -301,6 +301,48 @@ func TestCheckerHygiene(t *testing.T) {
 	}
 }
 
+// TestCheckerTenants exercises I6 with fake views: accounting that does
+// not balance — a submit never decided, an admitted task never concluded,
+// or leftover queue/slot occupancy — is a violation; balanced books with a
+// mix of completions, failures, and rejections are not.
+func TestCheckerTenants(t *testing.T) {
+	cases := []struct {
+		name    string
+		account TenantAccount
+		want    int
+	}{
+		{"balanced", TenantAccount{
+			Tenant: "a", Submitted: 10, Admitted: 8, Rejected: 2,
+			Completed: 5, Failed: 3,
+		}, 0},
+		{"submit-undecided", TenantAccount{
+			Tenant: "a", Submitted: 10, Admitted: 8, Rejected: 1,
+			Completed: 8,
+		}, 1},
+		{"task-never-concluded", TenantAccount{
+			Tenant: "a", Submitted: 8, Admitted: 8,
+			Completed: 7, InFlight: 1,
+		}, 1}, // in-flight balances the identity but violates quiesce
+		{"phantom-occupancy", TenantAccount{
+			Tenant: "a", Submitted: 4, Admitted: 4, Completed: 4,
+			Queued: 1, Running: 1,
+		}, 1},
+	}
+	for _, tc := range cases {
+		v := View{Tenants: func() []TenantAccount { return []TenantAccount{tc.account} }}
+		got := NewChecker(v, nil).Check()
+		if len(got) != tc.want {
+			t.Errorf("%s: violations = %v, want %d", tc.name, got, tc.want)
+			continue
+		}
+		for _, viol := range got {
+			if viol.Invariant != "I6-tenancy" {
+				t.Errorf("%s: invariant = %s, want I6-tenancy", tc.name, viol.Invariant)
+			}
+		}
+	}
+}
+
 // TestCheckerAccounting exercises I5 directly on an engine: an Intercept
 // with no matching outcome callback is exactly the imbalance I5 catches.
 func TestCheckerAccounting(t *testing.T) {

@@ -31,6 +31,25 @@ type Hygiene struct {
 	Drained bool
 }
 
+// TenantAccount is one tenant's accounting snapshot for invariant I6.
+type TenantAccount struct {
+	Tenant string
+	// Submitted = Admitted + Rejected: every submit is decided.
+	Submitted int64
+	Admitted  int64
+	Rejected  int64
+	// Admitted = Completed + Failed + InFlight: every admitted task
+	// concludes exactly once (Failed includes cancelled, deadline-exceeded,
+	// and chaos-killed tasks that exhausted recovery).
+	Completed int64
+	Failed    int64
+	InFlight  int64
+	// Queued and Running must be zero at quiesce: no phantom slot or queue
+	// occupancy survives HealChaos.
+	Queued  int64
+	Running int64
+}
+
 // View is the checker's window into the runtime — plain funcs, so the
 // chaos package needs no runtime import and tests can fake any slice of
 // the world.
@@ -51,6 +70,9 @@ type View struct {
 	Redundant func(node idgen.NodeID, id idgen.ObjectID) bool
 	// Hygiene snapshots every raylet's migration bookkeeping.
 	Hygiene func() []Hygiene
+	// Tenants snapshots per-tenant admission/completion accounting at
+	// quiesce (nil when tenancy is inert).
+	Tenants func() []TenantAccount
 }
 
 // Violation is one failed invariant.
@@ -92,6 +114,7 @@ func (c *Checker) Check() []Violation {
 	out = append(out, c.checkHygiene()...)
 	out = append(out, c.checkGoroutines()...)
 	out = append(out, c.checkAccounting()...)
+	out = append(out, c.checkTenants()...)
 	return out
 }
 
@@ -202,6 +225,48 @@ func (c *Checker) checkGoroutines() []Violation {
 		n = runtime.NumGoroutine()
 	}
 	return nil
+}
+
+// checkTenants — I6: per-tenant accounting balances at quiesce. Every
+// submit was decided (admitted or rejected), every admitted task concluded
+// exactly once, and no queue or slot occupancy is left over after
+// HealChaos — a leaked grant or double-concluded task would starve or
+// overfeed a tenant on every subsequent episode.
+func (c *Checker) checkTenants() []Violation {
+	if c.view.Tenants == nil {
+		return nil
+	}
+	var out []Violation
+	for _, a := range c.view.Tenants() {
+		if a.Submitted != a.Admitted+a.Rejected {
+			out = append(out, Violation{
+				Invariant: "I6-tenancy",
+				Detail: fmt.Sprintf("tenant %s: submitted %d != admitted %d + rejected %d",
+					a.Tenant, a.Submitted, a.Admitted, a.Rejected),
+			})
+		}
+		if a.Admitted != a.Completed+a.Failed+a.InFlight {
+			out = append(out, Violation{
+				Invariant: "I6-tenancy",
+				Detail: fmt.Sprintf("tenant %s: admitted %d != completed %d + failed %d + in-flight %d",
+					a.Tenant, a.Admitted, a.Completed, a.Failed, a.InFlight),
+			})
+		}
+		if a.InFlight != 0 {
+			out = append(out, Violation{
+				Invariant: "I6-tenancy",
+				Detail:    fmt.Sprintf("tenant %s: %d task(s) still in flight at quiesce", a.Tenant, a.InFlight),
+			})
+		}
+		if a.Queued != 0 || a.Running != 0 {
+			out = append(out, Violation{
+				Invariant: "I6-tenancy",
+				Detail: fmt.Sprintf("tenant %s: queued %d / running %d at quiesce, want 0/0",
+					a.Tenant, a.Queued, a.Running),
+			})
+		}
+	}
+	return out
 }
 
 // checkAccounting — I5: every message the engine saw attempted is

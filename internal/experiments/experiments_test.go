@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 18 {
-		t.Fatalf("registered experiments = %d, want 18: %v", len(ids), ids)
+	if len(ids) != 19 {
+		t.Fatalf("registered experiments = %d, want 19: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)
@@ -342,5 +342,41 @@ func TestE17Shape(t *testing.T) {
 		if ok+failed != e17Leaves+e17Aggs {
 			t.Errorf("%s mix: %d futures terminated, want %d", row[0], ok+failed, e17Leaves+e17Aggs)
 		}
+	}
+}
+
+func TestE19Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e19 runs open-loop serving load in real time")
+	}
+	tbl := runExperiment(t, "e19", 3)
+	p99 := make(map[string]float64, 3)
+	for _, row := range tbl.Rows {
+		var v float64
+		if _, err := fmt.Sscanf(row[2], "%f ms", &v); err != nil {
+			t.Fatalf("bad p99 cell %q: %v", row[2], err)
+		}
+		p99[row[0]] = v
+		// The victim's offered load must complete in every arm.
+		if row[3] != strconv.Itoa(e19VictimJobs) {
+			t.Errorf("%s arm: victim done = %s, want %d", row[0], row[3], e19VictimJobs)
+		}
+	}
+	// The isolation claim: fair share + preemption holds the victim's p99
+	// within 2x of solo; unbounded FIFO does not come close.
+	if p99["fair"] > 2*p99["solo"] {
+		t.Errorf("fair p99 %.1fms > 2x solo p99 %.1fms (isolation lost)", p99["fair"], p99["solo"])
+	}
+	if p99["fifo"] <= p99["fair"] {
+		t.Errorf("fifo p99 %.1fms not above fair p99 %.1fms (antagonist never hurt FIFO)",
+			p99["fifo"], p99["fair"])
+	}
+	// Bounded admission and preemption both actually fired in the fair arm.
+	fair := tbl.Rows[2]
+	if fair[5] == "0" {
+		t.Error("fair arm: no typed admission rejections under antagonist overload")
+	}
+	if fair[6] == "0" {
+		t.Error("fair arm: no preemptions under antagonist occupancy")
 	}
 }

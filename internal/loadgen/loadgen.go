@@ -1,0 +1,186 @@
+// Package loadgen is an open-loop load generator for the multi-tenant
+// serving experiments (E19): it models a large population of independent
+// clients whose arrival process does NOT slow down when the system does.
+// Closed-loop drivers wait for each response before the next request,
+// hiding queueing collapse behind a lower offered rate (coordinated
+// omission); an open-loop generator keeps firing on schedule, so queueing
+// delay shows up where it belongs — in the latency distribution.
+//
+// Arrivals follow a Poisson process (exponential inter-arrival times) and
+// job sizes a bounded Pareto (heavy tail: most jobs are small, the biggest
+// are orders of magnitude larger), both driven by a seeded splitmix64
+// stream so every run of a given seed offers byte-identical load.
+package loadgen
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"skadi/internal/metrics"
+	"skadi/internal/skaderr"
+)
+
+// Config describes one tenant's offered load.
+type Config struct {
+	// Clients is the simulated client population — the bound on
+	// concurrently outstanding requests. An arrival finding every client
+	// busy is counted Skipped instead of queueing at the generator (the
+	// generator never becomes the bottleneck being measured).
+	Clients int
+	// Rate is the aggregate arrival rate in requests/sec.
+	Rate float64
+	// Arrivals is the total number of arrivals to generate.
+	Arrivals int
+	// Seed drives the arrival and size streams deterministically.
+	Seed uint64
+	// SizeMin/SizeMax bound the Pareto job-size distribution in bytes.
+	// Zero values default to 1KiB..4MiB.
+	SizeMin, SizeMax int64
+	// Alpha is the Pareto tail index (default 1.3: a heavy tail where the
+	// top percentile dominates total bytes, the classic data-serving mix).
+	Alpha float64
+	// Submit runs one request: seq is the arrival index and size its job
+	// size. It must honor ctx. The returned error classifies the arrival:
+	// nil = completed, skaderr.ResourceExhausted = rejected (admission),
+	// anything else = failed.
+	Submit func(ctx context.Context, seq int, size int64) error
+}
+
+// Stats summarizes one Run.
+type Stats struct {
+	Arrivals  int
+	Completed int
+	// Rejected counts typed ResourceExhausted outcomes — admission control
+	// doing its job, reported separately from real failures.
+	Rejected int
+	Failed   int
+	// Skipped counts arrivals that found every simulated client busy.
+	Skipped int
+	// Latency holds per-request latency samples in microseconds for
+	// completed requests only.
+	Latency *metrics.Histogram
+}
+
+// Generator produces one tenant's open-loop load.
+type Generator struct {
+	cfg Config
+}
+
+// New validates and returns a generator.
+func New(cfg Config) *Generator {
+	if cfg.Clients <= 0 {
+		cfg.Clients = 1
+	}
+	if cfg.SizeMin <= 0 {
+		cfg.SizeMin = 1 << 10
+	}
+	if cfg.SizeMax < cfg.SizeMin {
+		cfg.SizeMax = 4 << 20
+	}
+	if cfg.Alpha <= 0 {
+		cfg.Alpha = 1.3
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 0x5eed0f10ad
+	}
+	return &Generator{cfg: cfg}
+}
+
+// splitmix64 advances the PRNG state and returns the next draw.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// uniform returns a draw in (0, 1].
+func uniform(state *uint64) float64 {
+	return (float64(splitmix64(state)>>11) + 1) / float64(1<<53)
+}
+
+// Sizes returns the full job-size schedule for the config — the same
+// sequence Run submits — so experiments can pre-provision inputs.
+func (g *Generator) Sizes() []int64 {
+	state := g.cfg.Seed ^ 0x5126e
+	out := make([]int64, g.cfg.Arrivals)
+	for i := range out {
+		out[i] = g.size(&state)
+	}
+	return out
+}
+
+// size draws one bounded-Pareto job size.
+func (g *Generator) size(state *uint64) int64 {
+	u := uniform(state)
+	s := float64(g.cfg.SizeMin) * math.Pow(u, -1/g.cfg.Alpha)
+	if s > float64(g.cfg.SizeMax) {
+		s = float64(g.cfg.SizeMax)
+	}
+	return int64(s)
+}
+
+// Run generates the configured arrivals against Submit and blocks until
+// every outstanding request finishes or ctx expires. Arrival times are
+// kept on schedule regardless of response latency (open loop); when the
+// schedule slips because the generator itself was starved of CPU, the
+// backlog of due arrivals fires immediately rather than silently
+// stretching the offered rate.
+func (g *Generator) Run(ctx context.Context) Stats {
+	stats := Stats{Latency: &metrics.Histogram{}}
+	slots := make(chan struct{}, g.cfg.Clients)
+	for i := 0; i < g.cfg.Clients; i++ {
+		slots <- struct{}{}
+	}
+	arrivalState := g.cfg.Seed
+	sizeState := g.cfg.Seed ^ 0x5126e
+
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	next := time.Duration(0) // offset of the next arrival from start
+	for i := 0; i < g.cfg.Arrivals; i++ {
+		if g.cfg.Rate > 0 {
+			next += time.Duration(-math.Log(uniform(&arrivalState)) / g.cfg.Rate * float64(time.Second))
+		}
+		if wait := next - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				wg.Wait()
+				return stats
+			}
+		}
+		stats.Arrivals++
+		size := g.size(&sizeState)
+		select {
+		case <-slots:
+		default:
+			stats.Skipped++
+			continue
+		}
+		wg.Add(1)
+		go func(seq int, size int64) {
+			defer wg.Done()
+			defer func() { slots <- struct{}{} }()
+			t0 := time.Now()
+			err := g.cfg.Submit(ctx, seq, size)
+			mu.Lock()
+			switch {
+			case err == nil:
+				stats.Completed++
+				stats.Latency.ObserveDuration(time.Since(t0))
+			case skaderr.CodeOf(err) == skaderr.ResourceExhausted:
+				stats.Rejected++
+			default:
+				stats.Failed++
+			}
+			mu.Unlock()
+		}(i, size)
+	}
+	wg.Wait()
+	return stats
+}

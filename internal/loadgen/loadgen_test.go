@@ -1,0 +1,136 @@
+package loadgen
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"skadi/internal/skaderr"
+)
+
+// TestDeterministicSchedule: the same seed offers the same job sizes.
+func TestDeterministicSchedule(t *testing.T) {
+	mk := func() []int64 {
+		return New(Config{Arrivals: 1000, Seed: 42}).Sizes()
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("size %d diverges: %d vs %d", i, a[i], b[i])
+		}
+	}
+	if other := New(Config{Arrivals: 1000, Seed: 43}).Sizes(); other[0] == a[0] && other[1] == a[1] && other[2] == a[2] {
+		t.Fatal("different seeds produced the same schedule")
+	}
+}
+
+// TestHeavyTail: bounded Pareto sizes are heavy-tailed — the largest draw
+// dwarfs the median — and respect the configured bounds.
+func TestHeavyTail(t *testing.T) {
+	sizes := New(Config{Arrivals: 20000, Seed: 7, SizeMin: 1 << 10, SizeMax: 64 << 20}).Sizes()
+	var max int64
+	small := 0
+	for _, s := range sizes {
+		if s < 1<<10 || s > 64<<20 {
+			t.Fatalf("size %d out of bounds", s)
+		}
+		if s > max {
+			max = s
+		}
+		if s < 4<<10 {
+			small++
+		}
+	}
+	if small < len(sizes)/2 {
+		t.Errorf("only %d/%d sizes under 4KiB; tail not bottom-heavy", small, len(sizes))
+	}
+	if max < 1<<20 {
+		t.Errorf("max size %d; tail never reached 1MiB over 20k draws", max)
+	}
+}
+
+// TestOpenLoopTenThousandClients: 10k simulated clients fire and every
+// arrival is accounted exactly once across the outcome classes.
+func TestOpenLoopTenThousandClients(t *testing.T) {
+	var calls atomic.Int64
+	g := New(Config{
+		Clients:  10000,
+		Arrivals: 25000,
+		Rate:     0, // as fast as possible: this test measures accounting
+		Seed:     99,
+		Submit: func(ctx context.Context, seq int, size int64) error {
+			calls.Add(1)
+			switch seq % 10 {
+			case 0:
+				return skaderr.New(skaderr.ResourceExhausted, "tenant over quota")
+			case 1:
+				return skaderr.New(skaderr.Unavailable, "node died")
+			default:
+				return nil
+			}
+		},
+	})
+	stats := g.Run(context.Background())
+	if stats.Arrivals != 25000 {
+		t.Fatalf("arrivals = %d", stats.Arrivals)
+	}
+	if got := stats.Completed + stats.Rejected + stats.Failed + stats.Skipped; got != stats.Arrivals {
+		t.Fatalf("outcomes %d != arrivals %d", got, stats.Arrivals)
+	}
+	if stats.Rejected == 0 || stats.Failed == 0 || stats.Completed == 0 {
+		t.Fatalf("outcome mix missing a class: %+v", stats)
+	}
+	if int(calls.Load()) != stats.Arrivals-stats.Skipped {
+		t.Fatalf("submit calls %d != non-skipped arrivals %d", calls.Load(), stats.Arrivals-stats.Skipped)
+	}
+	if stats.Latency.Count() != stats.Completed {
+		t.Fatalf("latency samples %d != completed %d", stats.Latency.Count(), stats.Completed)
+	}
+}
+
+// TestOpenLoopKeepsSchedule: with a slow Submit, arrivals keep firing on
+// schedule (open loop) instead of waiting for responses; the run records
+// queueing where it belongs, in latency, not in a reduced offered rate.
+func TestOpenLoopKeepsSchedule(t *testing.T) {
+	start := time.Now()
+	g := New(Config{
+		Clients:  64,
+		Arrivals: 50,
+		Rate:     1000, // 50 arrivals in ~50ms
+		Seed:     3,
+		Submit: func(ctx context.Context, seq int, size int64) error {
+			time.Sleep(30 * time.Millisecond) // far slower than inter-arrival
+			return nil
+		},
+	})
+	stats := g.Run(context.Background())
+	if stats.Completed != 50 {
+		t.Fatalf("completed = %d", stats.Completed)
+	}
+	// Closed-loop would need 50 × 30ms / 64 clients ≈ serial time; open
+	// loop overlaps everything: total ≈ schedule (~50ms) + one service.
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("run took %v; generator is closing the loop", elapsed)
+	}
+}
+
+// TestRunHonorsContext: cancelling ctx stops the arrival schedule.
+func TestRunHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(Config{
+		Clients: 4, Arrivals: 1000, Rate: 1, Seed: 5,
+		Submit: func(ctx context.Context, seq int, size int64) error { return nil },
+	})
+	done := make(chan Stats, 1)
+	go func() { done <- g.Run(ctx) }()
+	select {
+	case stats := <-done:
+		if stats.Arrivals >= 1000 {
+			t.Fatalf("cancelled run generated all %d arrivals", stats.Arrivals)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run ignored cancelled context")
+	}
+}

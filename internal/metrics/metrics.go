@@ -183,13 +183,58 @@ func (v *GaugeVec) Values() map[string]int64 {
 	return out
 }
 
+// CounterVec is a family of counters keyed by a label (e.g. one counter per
+// tenant). The tenancy layer accounts admissions, rejections, completions,
+// and preemptions per tenant through these families.
+type CounterVec struct {
+	name     string
+	mu       sync.Mutex
+	counters map[string]*Counter
+}
+
+// With returns the counter for the given label, creating it on first use.
+func (v *CounterVec) With(label string) *Counter {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	c, ok := v.counters[label]
+	if !ok {
+		c = &Counter{}
+		v.counters[label] = c
+	}
+	return c
+}
+
+// Labels returns the registered labels, sorted.
+func (v *CounterVec) Labels() []string {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make([]string, 0, len(v.counters))
+	for l := range v.counters {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Values returns a label → value snapshot.
+func (v *CounterVec) Values() map[string]int64 {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	out := make(map[string]int64, len(v.counters))
+	for l, c := range v.counters {
+		out[l] = c.Value()
+	}
+	return out
+}
+
 // Registry is a named collection of metrics. The zero value is ready to use.
 type Registry struct {
-	mu         sync.Mutex
-	counters   map[string]*Counter
-	gauges     map[string]*Gauge
-	gaugeVecs  map[string]*GaugeVec
-	histograms map[string]*Histogram
+	mu          sync.Mutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	gaugeVecs   map[string]*GaugeVec
+	counterVecs map[string]*CounterVec
+	histograms  map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
@@ -241,6 +286,22 @@ func (r *Registry) GaugeVec(name string) *GaugeVec {
 	return v
 }
 
+// CounterVec returns the labelled counter family with the given name,
+// creating it on first use.
+func (r *Registry) CounterVec(name string) *CounterVec {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.counterVecs == nil {
+		r.counterVecs = make(map[string]*CounterVec)
+	}
+	v, ok := r.counterVecs[name]
+	if !ok {
+		v = &CounterVec{name: name, counters: make(map[string]*Counter)}
+		r.counterVecs[name] = v
+	}
+	return v
+}
+
 // Histogram returns the histogram with the given name, creating it on first
 // use.
 func (r *Registry) Histogram(name string) *Histogram {
@@ -272,6 +333,11 @@ func (r *Registry) Snapshot() string {
 	for name, v := range r.gaugeVecs {
 		for label, val := range v.Values() {
 			lines = append(lines, fmt.Sprintf("gauge %s{%s} = %d", name, label, val))
+		}
+	}
+	for name, v := range r.counterVecs {
+		for label, val := range v.Values() {
+			lines = append(lines, fmt.Sprintf("counter %s{%s} = %d", name, label, val))
 		}
 	}
 	for name, h := range r.histograms {

@@ -26,6 +26,7 @@ import (
 	"skadi/internal/metrics"
 	"skadi/internal/objectstore"
 	"skadi/internal/task"
+	"skadi/internal/tenancy"
 	"skadi/internal/trace"
 	"skadi/internal/transport"
 )
@@ -625,6 +626,12 @@ func (r *Raylet) execTask(ctx context.Context, spec *task.Spec) ([]byte, error) 
 	// on the wire costs nothing here.
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	// Stamp the tenant from the spec so cache puts during commit are
+	// attributed (and quota-bounded) regardless of which transport carried
+	// the exec RPC or whether this is a recovery re-execution.
+	if spec.Tenant != "" {
+		ctx = tenancy.ContextWith(ctx, spec.Tenant)
 	}
 	args := make([][]byte, len(spec.Args))
 	var stall time.Duration

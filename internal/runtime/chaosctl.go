@@ -161,7 +161,7 @@ func (rt *Runtime) reviveReachable() {
 	}
 }
 
-// ChaosChecker binds the five cross-subsystem invariants to this runtime,
+// ChaosChecker binds the six cross-subsystem invariants to this runtime,
 // capturing the goroutine baseline now. Build it before injecting faults;
 // call Check only after the episode quiesced (faults healed, Gets
 // returned, Drain done).
@@ -188,6 +188,30 @@ func (rt *Runtime) ChaosChecker() *chaos.Checker {
 					HeldLocks:            h.HeldLocks,
 					LiveActorTombstones:  h.LiveActorTombstones,
 					LiveObjectTombstones: h.LiveObjectTombstones,
+				})
+			}
+			return out
+		},
+		Tenants: func() []chaos.TenantAccount {
+			if !rt.Tenancy.Enabled() {
+				return nil
+			}
+			// Accounting concludes when dispatch goroutines exit, which can
+			// trail the Get calls that released the episode; drain first so
+			// the snapshot is a true quiesce view.
+			rt.Drain()
+			var out []chaos.TenantAccount
+			for _, a := range rt.Tenancy.Accounts() {
+				out = append(out, chaos.TenantAccount{
+					Tenant:    a.Tenant,
+					Submitted: a.Submitted,
+					Admitted:  a.Admitted,
+					Rejected:  a.Rejected,
+					Completed: a.Completed,
+					Failed:    a.Failed,
+					InFlight:  a.InFlight,
+					Queued:    a.Queued,
+					Running:   a.Running,
 				})
 			}
 			return out

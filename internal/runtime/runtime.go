@@ -29,6 +29,7 @@ import (
 	"skadi/internal/scheduler"
 	"skadi/internal/skaderr"
 	"skadi/internal/task"
+	"skadi/internal/tenancy"
 	"skadi/internal/trace"
 	"skadi/internal/transport"
 )
@@ -111,6 +112,10 @@ type Options struct {
 	DeviceMode DeviceMode
 	// Recovery selects the failure-handling strategy.
 	Recovery RecoveryMode
+	// Tenancy configures the multi-tenant control plane (fair share,
+	// preemption). The controller stays inert — zero cost on every submit
+	// path — until RegisterTenant is called.
+	Tenancy tenancy.Options
 }
 
 // Runtime is a running Skadi instance.
@@ -124,6 +129,10 @@ type Runtime struct {
 	// counts, and queue depths (GaugeVec families keyed by node), refreshed
 	// by SampleNodeGauges and read by the rebalancer and `skadi -trace`.
 	Metrics *metrics.Registry
+	// Tenancy is the multi-tenant control plane: admission, fair-share
+	// slot grants with preemption, and worker/cache-byte quotas. Inert
+	// until RegisterTenant.
+	Tenancy *tenancy.Controller
 	tracer  *trace.Tracer
 
 	opts      Options
@@ -243,12 +252,18 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 		job:       idgen.Next(),
 	}
 	rt.initChaos()
+	rt.Tenancy = tenancy.NewController(opts.Tenancy, rt.Metrics)
 
 	layer, err := caching.NewLayer(c.Fabric, opts.Caching)
 	if err != nil {
 		return nil, err
 	}
 	rt.Layer = layer
+	// Cache-byte quotas gate the put path; evictions under per-tenant
+	// pressure free the object cluster-wide (ownership + residency +
+	// lineage) so the chaos residency invariant keeps holding.
+	layer.SetQuota(rt.Tenancy)
+	rt.Tenancy.SetEvictor(func(id idgen.ObjectID) { rt.Free(id) })
 
 	// Head node: hosts the ownership service, the driver, and a driver-side
 	// raylet for result fetching. It is not a scheduling target.
@@ -269,6 +284,12 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	})
 
 	rt.Sched = scheduler.New(opts.Policy, &locator{layer: layer, table: rt.Head.Table})
+	// Worker quotas are enforced twice: at the tenancy slot gate (the
+	// primary, fair-share path) and here at placement, covering gang and
+	// recovery placements that bypass the gate.
+	rt.Sched.SetGate(func(spec *task.Spec) error {
+		return rt.Tenancy.WorkerQuota(spec.Tenant)
+	})
 
 	// Memory blade first so stores can spill to it.
 	if spec.MemBladeBytes > 0 {
@@ -365,6 +386,9 @@ func (rt *Runtime) addRaylet(node *cluster.Node, backend string, slots int, dpuP
 	rt.rayletCfg[node.ID] = cfg
 	rt.mu.Unlock()
 	rt.Sched.AddNode(scheduler.NodeInfo{ID: node.ID, Backend: backend, Slots: slots})
+	// The node's slots and store bytes join the capacity pool the
+	// fair-share controller divides among tenants.
+	rt.Tenancy.AddCapacity(slots, node.Res.MemBytes)
 	return nil
 }
 
@@ -381,6 +405,14 @@ func tierFor(kind cluster.NodeKind) caching.Tier {
 
 // Driver returns the driver/head node ID.
 func (rt *Runtime) Driver() idgen.NodeID { return rt.driver }
+
+// RegisterTenant activates the multi-tenant control plane for one tenant:
+// subsequent submits tagged with the tenant (tenancy.ContextWith or
+// Spec.Tenant) are admission-controlled, fair-share scheduled, and bounded
+// by the config's quotas.
+func (rt *Runtime) RegisterTenant(cfg tenancy.Config) error {
+	return rt.Tenancy.RegisterTenant(cfg)
+}
 
 // Tracer returns the runtime's span store. Every submitted task records a
 // trace under its task ID: submit → sched-pick → exec/pull-stall/fetch →
@@ -489,6 +521,21 @@ func (rt *Runtime) SubmitToCtx(ctx context.Context, node idgen.NodeID, spec *tas
 // submitAsync registers, traces, and dispatches one task in the background.
 func (rt *Runtime) submitAsync(ctx context.Context, pinned idgen.NodeID, spec *task.Spec) []idgen.ObjectID {
 	rt.prepare(spec)
+	// Tenant attribution: an explicit Spec.Tenant wins; otherwise the
+	// submit context's tenant tags the spec, so attribution survives
+	// re-dispatch and rides the wire with the exec RPC.
+	if spec.Tenant == "" {
+		spec.Tenant, _ = tenancy.FromContext(ctx)
+	} else if t, _ := tenancy.FromContext(ctx); t != spec.Tenant {
+		ctx = tenancy.ContextWith(ctx, spec.Tenant)
+	}
+	// Admission control: an over-bounds submit blocks here (backpressure)
+	// or fails its futures with a typed skaderr.ResourceExhausted before
+	// any dispatch machinery spins up — the pending queue stays bounded.
+	if err := rt.Tenancy.Admit(ctx, spec.Tenant); err != nil {
+		rt.failTask(spec, err)
+		return spec.Returns
+	}
 	tctx, cancel := context.WithCancelCause(ctx)
 	ctl := &taskCtl{spec: spec, cancel: cancel}
 	rt.registerTask(ctl)
@@ -501,7 +548,8 @@ func (rt *Runtime) submitAsync(ctx context.Context, pinned idgen.NodeID, spec *t
 		defer root.End()
 		defer cancel(nil)
 		defer rt.dropTask(spec.ID)
-		rt.dispatch(tctx, spec, pinned)
+		dequeued, ok := rt.dispatch(tctx, spec, pinned)
+		rt.Tenancy.TaskDone(spec.Tenant, dequeued, ok)
 	}()
 	return spec.Returns
 }
@@ -509,7 +557,11 @@ func (rt *Runtime) submitAsync(ctx context.Context, pinned idgen.NodeID, spec *t
 // SubmitGang atomically places a gang of tasks (SPMD subgraph) and runs
 // them; it retries placement until capacity frees up or ctx expires.
 func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idgen.ObjectID, error) {
+	gangTenant, _ := tenancy.FromContext(ctx)
 	for _, s := range specs {
+		if s.Tenant == "" {
+			s.Tenant = gangTenant
+		}
 		rt.prepare(s)
 	}
 	// Gang members count toward the autoscaler's pending-task signal just
@@ -541,6 +593,11 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 	refs := make([][]idgen.ObjectID, len(specs))
 	for i, s := range specs {
 		refs[i] = s.Returns
+		// Gang members bypass tenant admission (gating individual members
+		// could deadlock a gang against itself — PickGang already reserved
+		// their slots atomically) but are tracked so per-tenant accounting
+		// and dominant shares include gang slot occupancy.
+		rt.Tenancy.Track(s.Tenant)
 		rt.inflight.Add(1)
 		gctx, cancel := context.WithCancelCause(ctx)
 		ctl := &taskCtl{spec: s, cancel: cancel}
@@ -553,16 +610,19 @@ func (rt *Runtime) SubmitGang(ctx context.Context, specs []*task.Spec) ([][]idge
 			defer root.End()
 			defer ctl.cancel(nil)
 			defer rt.dropTask(s.ID)
+			rt.Tenancy.GangStarted(s.Tenant)
 			ctl.executing.Store(true)
 			err := rt.execOn(tctx, placements[i], s)
 			ctl.executing.Store(false)
 			rt.Sched.Finished(placements[i])
+			rt.Tenancy.GangFinished(s.Tenant)
 			if err != nil {
 				if cause := context.Cause(tctx); cause != nil {
 					err = cause
 				}
 				rt.failTask(s, err)
 			}
+			rt.Tenancy.TaskDone(s.Tenant, true, err == nil)
 		}(i, s, tctx, root, ctl)
 	}
 	return refs, nil
@@ -582,15 +642,28 @@ func (rt *Runtime) prepare(spec *task.Spec) {
 }
 
 // dispatch picks a node (unless pinned) and executes the task, retrying on
-// dead nodes.
-func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.NodeID) {
+// dead nodes. It reports whether the task left the tenancy pending queue
+// (took a slot grant it did not give back) and whether it succeeded; the
+// caller concludes per-tenant accounting with both.
+func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.NodeID) (dequeued, ok bool) {
 	const maxAttempts = 3
 	// Migration redirects are bounded separately from failure attempts: a
 	// bounced task is not a failure, but a pathological migration storm
 	// must not loop forever.
 	const maxRedirects = 16
-	redirects := 0
+	// Preemption replays are bounded generously: each replay means the
+	// fair-share controller revoked this task for an under-share tenant —
+	// progress for the cluster, but a pathological seesaw must not loop
+	// forever either.
+	const maxPreemptions = 64
+	redirects, preemptions := 0, 0
 	ctl := rt.taskCtl(spec.ID)
+	// requeue re-enters the tenancy pending queue between attempts: the
+	// task gave its slot grant back and will contend again.
+	requeue := func() {
+		rt.Tenancy.Requeue(spec.Tenant)
+		dequeued = false
+	}
 	var lastErr error
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		// Cancellation checkpoint between attempts: a revoked task stops
@@ -598,22 +671,52 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 		// (skaderr.Cancelled or DeadlineExceeded), not a transport artifact.
 		if cause := context.Cause(ctx); cause != nil {
 			rt.failTask(spec, cause)
-			return
+			return dequeued, false
+		}
+		// Fair-share slot gate: blocks until this tenant may occupy one
+		// more worker (weighted dominant share, priority bands, MaxWorkers
+		// quota). A nil grant means tenancy is inert. The grant's cancel
+		// hook is what makes the running attempt preemptible.
+		grant, gerr := rt.Tenancy.Acquire(ctx, spec.Tenant, spec.ID)
+		if gerr != nil {
+			rt.failTask(spec, gerr)
+			return dequeued, false
+		}
+		attemptCtx, attemptCancel := ctx, context.CancelCauseFunc(nil)
+		if grant != nil {
+			dequeued = true
+			attemptCtx, attemptCancel = context.WithCancelCause(ctx)
+			grant.BindCancel(func(cause error) { attemptCancel(cause) })
+		}
+		// endAttempt releases the slot AFTER the scheduler forgets the
+		// in-flight task, so a preemption-freed node is the least-loaded
+		// candidate when the woken waiter places its task.
+		endAttempt := func(node idgen.NodeID) {
+			if !node.IsNil() {
+				rt.Sched.Finished(node)
+			}
+			if grant != nil {
+				grant.Release()
+			}
+			if attemptCancel != nil {
+				attemptCancel(nil)
+			}
 		}
 		node := pinned
 		if node.IsNil() {
 			if !spec.Actor.IsNil() {
-				rt.waitActorGate(ctx, spec.Actor)
+				rt.waitActorGate(attemptCtx, spec.Actor)
 				rt.mu.Lock()
 				node = rt.actorLoc[spec.Actor].node
 				rt.mu.Unlock()
 			}
 			if node.IsNil() {
 				var err error
-				node, err = rt.Sched.PickCtx(ctx, spec)
+				node, err = rt.Sched.PickCtx(attemptCtx, spec)
 				if err != nil {
+					endAttempt(idgen.Nil)
 					rt.failTask(spec, err)
-					return
+					return dequeued, false
 				}
 			} else {
 				rt.Sched.Started(node)
@@ -624,19 +727,34 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 		if ctl != nil {
 			ctl.executing.Store(true)
 		}
-		err := rt.execOn(ctx, node, spec)
+		err := rt.execOn(attemptCtx, node, spec)
 		if ctl != nil {
 			ctl.executing.Store(false)
 		}
-		rt.Sched.Finished(node)
+		preempted := grant != nil &&
+			skaderr.CodeOf(context.Cause(attemptCtx)) == skaderr.Preempted
+		endAttempt(node)
 		if err == nil {
-			return
+			return dequeued, true
 		}
 		if cause := context.Cause(ctx); cause != nil {
 			rt.failTask(spec, cause)
-			return
+			return dequeued, false
 		}
 		lastErr = err
+		if preempted {
+			// The fair-share controller revoked this attempt for an
+			// under-share tenant. Not a failure: replay through the fair
+			// queue without consuming an attempt (lineage-style replay —
+			// the kernel's partial work is discarded, its inputs are
+			// intact, and the next grant re-executes from the spec).
+			preemptions++
+			if preemptions <= maxPreemptions {
+				requeue()
+				attempt--
+				continue
+			}
+		}
 		var moved *raylet.ActorMigratedError
 		if errors.As(err, &moved) && pinned.IsNil() {
 			// The actor live-migrated while this task was queued; follow
@@ -648,6 +766,7 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 			rt.mu.Unlock()
 			redirects++
 			if redirects <= maxRedirects {
+				requeue()
 				attempt--
 				continue
 			}
@@ -661,11 +780,13 @@ func (rt *Runtime) dispatch(ctx context.Context, spec *task.Spec, pinned idgen.N
 			if !spec.Actor.IsNil() {
 				rt.replaceActors(node)
 			}
+			requeue()
 			continue
 		}
 		break
 	}
 	rt.failTask(spec, lastErr)
+	return dequeued, false
 }
 
 // execOn performs the exec RPC against one raylet.

@@ -94,6 +94,13 @@ type Scheduler struct {
 	// task finished, a node came up or was added. Blocked gang submitters
 	// wait on it instead of polling.
 	capCh chan struct{}
+
+	// gate vetoes placements before node selection (nil = allow all). The
+	// runtime installs the tenancy worker-quota check here so quota
+	// enforcement covers every placement path — including gangs and
+	// recovery re-executions that bypass the fair-share slot gate.
+	gateMu sync.RWMutex
+	gate   func(*task.Spec) error
 }
 
 // New returns a scheduler with the given policy. locator may be nil for
@@ -121,6 +128,26 @@ func (s *Scheduler) CapacityWatch() <-chan struct{} {
 func (s *Scheduler) notifyCapacityLocked() {
 	close(s.capCh)
 	s.capCh = make(chan struct{})
+}
+
+// SetGate installs a placement veto consulted by Pick and PickGang before
+// node selection; a non-nil error rejects the placement (typed errors pass
+// through to the caller). nil removes the gate.
+func (s *Scheduler) SetGate(gate func(*task.Spec) error) {
+	s.gateMu.Lock()
+	s.gate = gate
+	s.gateMu.Unlock()
+}
+
+// checkGate applies the placement veto, if any.
+func (s *Scheduler) checkGate(spec *task.Spec) error {
+	s.gateMu.RLock()
+	gate := s.gate
+	s.gateMu.RUnlock()
+	if gate == nil {
+		return nil
+	}
+	return gate(spec)
 }
 
 // SetPolicy switches the placement policy at runtime.
@@ -213,6 +240,9 @@ func (s *Scheduler) candidatesLocked(backend string) []*nodeState {
 // Pick chooses a node for the task and accounts one in-flight task on it.
 // The caller must call Finished when the task completes.
 func (s *Scheduler) Pick(spec *task.Spec) (idgen.NodeID, error) {
+	if err := s.checkGate(spec); err != nil {
+		return idgen.Nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	cands := s.candidatesLocked(spec.Backend)
@@ -328,6 +358,11 @@ func (s *Scheduler) Inflight(id idgen.NodeID) int {
 func (s *Scheduler) PickGang(specs []*task.Spec) ([]idgen.NodeID, error) {
 	if len(specs) == 0 {
 		return nil, nil
+	}
+	for _, spec := range specs {
+		if err := s.checkGate(spec); err != nil {
+			return nil, err
+		}
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -64,6 +64,11 @@ type Spec struct {
 	// Meta carries free-form parameters to the function (the physical
 	// planner uses it to describe argument grouping and shard indices).
 	Meta map[string]string
+	// Tenant attributes the task to a serving tenant for admission,
+	// fair-share scheduling, quotas, and per-tenant accounting. It rides
+	// the wire beside TraceID/SpanID/deadline so attribution survives the
+	// TCP hop. Empty means unattributed (single-job workloads).
+	Tenant string
 }
 
 // Context is passed to executing functions.

@@ -1,0 +1,477 @@
+package tenancy
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/metrics"
+	"skadi/internal/skaderr"
+)
+
+func newTestController(opts Options) *Controller {
+	return NewController(opts, metrics.NewRegistry())
+}
+
+func TestInertPassThrough(t *testing.T) {
+	c := newTestController(Options{FairShare: true, Preemption: true})
+	ctx := context.Background()
+	if err := c.Admit(ctx, "anyone"); err != nil {
+		t.Fatalf("inert Admit: %v", err)
+	}
+	g, err := c.Acquire(ctx, "anyone", idgen.Next())
+	if err != nil || g != nil {
+		t.Fatalf("inert Acquire: g=%v err=%v", g, err)
+	}
+	if err := c.Reserve(ContextWith(ctx, "anyone"), idgen.Next(), 1<<20); err != nil {
+		t.Fatalf("inert Reserve: %v", err)
+	}
+}
+
+func TestAdmissionTokenBucket(t *testing.T) {
+	c := newTestController(Options{})
+	now := time.Unix(0, 0)
+	c.SetClock(func() time.Time { return now })
+	if err := c.RegisterTenant(Config{Name: "a", Rate: 10, Burst: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// Burst of 2 admits, third is over rate.
+	for i := 0; i < 2; i++ {
+		if err := c.Admit(ctx, "a"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	err := c.Admit(ctx, "a")
+	if skaderr.CodeOf(err) != skaderr.ResourceExhausted {
+		t.Fatalf("want ResourceExhausted, got %v", err)
+	}
+	// Refill one token after 100ms at 10/s.
+	now = now.Add(100 * time.Millisecond)
+	if err := c.Admit(ctx, "a"); err != nil {
+		t.Fatalf("post-refill admit: %v", err)
+	}
+	a := c.Account("a")
+	if a.Admitted != 3 || a.Rejected != 1 || a.Submitted != 4 {
+		t.Fatalf("accounting: %+v", a)
+	}
+}
+
+func TestAdmissionBoundedQueueFailFast(t *testing.T) {
+	c := newTestController(Options{})
+	if err := c.RegisterTenant(Config{Name: "a", MaxPending: 2}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if err := c.Admit(ctx, "a"); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	err := c.Admit(ctx, "a")
+	if skaderr.CodeOf(err) != skaderr.ResourceExhausted {
+		t.Fatalf("want typed ResourceExhausted, got %v", err)
+	}
+	// Concluding one admitted task frees queue space.
+	c.TaskDone("a", false, false)
+	if err := c.Admit(ctx, "a"); err != nil {
+		t.Fatalf("post-drain admit: %v", err)
+	}
+	if q := c.Account("a").Queued; q != 2 {
+		t.Fatalf("queued = %d, want 2 (bounded)", q)
+	}
+}
+
+func TestAdmissionBackpressureBlocks(t *testing.T) {
+	c := newTestController(Options{})
+	if err := c.RegisterTenant(Config{Name: "a", MaxPending: 1, BlockOnFull: true}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Admit(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	admitted := make(chan error, 1)
+	go func() { admitted <- c.Admit(ctx, "a") }()
+	select {
+	case err := <-admitted:
+		t.Fatalf("blocked Admit returned early: %v", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+	c.TaskDone("a", false, true) // drains the queue, wakes the waiter
+	select {
+	case err := <-admitted:
+		if err != nil {
+			t.Fatalf("woken Admit: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Admit never woke after queue drain")
+	}
+}
+
+func TestAdmissionBlockRespectsContext(t *testing.T) {
+	c := newTestController(Options{})
+	if err := c.RegisterTenant(Config{Name: "a", MaxPending: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admit(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	// WithBlock overrides the tenant's fail-fast default; a cancelled ctx
+	// unblocks with the ctx's code.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Admit(WithBlock(ctx, true), "a") }()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled Admit returned nil")
+		}
+		if !errors.Is(err, context.Canceled) && skaderr.CodeOf(err) != skaderr.Cancelled {
+			t.Fatalf("want cancellation, got %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Admit ignored context cancellation")
+	}
+}
+
+// grantFor admits and acquires one slot for tenant name.
+func grantFor(t *testing.T, c *Controller, name string) *Grant {
+	t.Helper()
+	if err := c.Admit(context.Background(), name); err != nil {
+		t.Fatalf("admit %s: %v", name, err)
+	}
+	g, err := c.Acquire(context.Background(), name, idgen.Next())
+	if err != nil {
+		t.Fatalf("acquire %s: %v", name, err)
+	}
+	return g
+}
+
+func TestFairShareWakeOrder(t *testing.T) {
+	c := newTestController(Options{FairShare: true})
+	c.AddCapacity(2, 0)
+	for _, n := range []string{"hog", "light"} {
+		if err := c.RegisterTenant(Config{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Hog takes both slots.
+	g1 := grantFor(t, c, "hog")
+	g2 := grantFor(t, c, "hog")
+
+	// Both tenants park a waiter; light has the lower dominant share so it
+	// must win the next free slot even though hog enqueued first.
+	results := make(chan string, 2)
+	var wg sync.WaitGroup
+	park := func(name string) {
+		wg.Add(1)
+		if err := c.Admit(context.Background(), name); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+		go func() {
+			defer wg.Done()
+			g, err := c.Acquire(context.Background(), name, idgen.Next())
+			if err != nil {
+				t.Errorf("acquire %s: %v", name, err)
+				return
+			}
+			results <- name
+			g.Release()
+		}()
+	}
+	park("hog")
+	time.Sleep(20 * time.Millisecond) // hog's waiter parks first
+	park("light")
+	time.Sleep(20 * time.Millisecond)
+
+	g1.Release()
+	first := <-results
+	if first != "light" {
+		t.Fatalf("first grant went to %q, want light (DRF order)", first)
+	}
+	g2.Release()
+	<-results
+	wg.Wait()
+}
+
+func TestPriorityBandTrumpsShare(t *testing.T) {
+	c := newTestController(Options{FairShare: true})
+	c.AddCapacity(1, 0)
+	if err := c.RegisterTenant(Config{Name: "lo", Priority: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterTenant(Config{Name: "hi", Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g := grantFor(t, c, "hi") // hi is using the only slot: higher share
+	results := make(chan string, 2)
+	park := func(name string) {
+		if err := c.Admit(context.Background(), name); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+		go func() {
+			g, err := c.Acquire(context.Background(), name, idgen.Next())
+			if err != nil {
+				t.Errorf("acquire %s: %v", name, err)
+				return
+			}
+			results <- name
+			g.Release()
+		}()
+	}
+	park("lo")
+	time.Sleep(20 * time.Millisecond)
+	park("hi") // higher band, even though hi's share is higher
+	time.Sleep(20 * time.Millisecond)
+	g.Release()
+	if first := <-results; first != "hi" {
+		t.Fatalf("first grant went to %q, want hi (priority band)", first)
+	}
+	<-results
+}
+
+func TestPreemptionRevokesOverShare(t *testing.T) {
+	c := newTestController(Options{FairShare: true, Preemption: true})
+	c.AddCapacity(2, 0)
+	for _, n := range []string{"hog", "victim"} {
+		if err := c.RegisterTenant(Config{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g1 := grantFor(t, c, "hog")
+	g2 := grantFor(t, c, "hog")
+	preempted := make(chan error, 2)
+	g1.BindCancel(func(cause error) { preempted <- cause })
+	g2.BindCancel(func(cause error) { preempted <- cause })
+
+	// Victim asks for a slot: all busy, hog is strictly over-share →
+	// hog's newest grant (g2) is revoked with a typed Preempted cause.
+	if err := c.Admit(context.Background(), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	acquired := make(chan *Grant, 1)
+	go func() {
+		g, err := c.Acquire(context.Background(), "victim", idgen.Next())
+		if err != nil {
+			t.Errorf("victim acquire: %v", err)
+		}
+		acquired <- g
+	}()
+	var cause error
+	select {
+	case cause = <-preempted:
+	case <-time.After(2 * time.Second):
+		t.Fatal("no preemption fired")
+	}
+	if skaderr.CodeOf(cause) != skaderr.Preempted {
+		t.Fatalf("preemption cause = %v, want Preempted", cause)
+	}
+	if !skaderr.Retryable(cause) {
+		t.Fatal("Preempted must be retryable (lineage replay)")
+	}
+	// The runtime reacts to the cancel by releasing the grant; then the
+	// victim's waiter gets the slot.
+	g2.Release()
+	select {
+	case g := <-acquired:
+		g.Release()
+	case <-time.After(2 * time.Second):
+		t.Fatal("victim never acquired after preemption")
+	}
+	g1.Release()
+	if n := c.Account("hog").Preempted; n != 1 {
+		t.Fatalf("hog preempted = %d, want 1", n)
+	}
+}
+
+func TestPreemptionBeforeBindFiresOnBind(t *testing.T) {
+	c := newTestController(Options{FairShare: true, Preemption: true})
+	c.AddCapacity(1, 0)
+	for _, n := range []string{"hog", "victim"} {
+		if err := c.RegisterTenant(Config{Name: n}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := grantFor(t, c, "hog")
+	if err := c.Admit(context.Background(), "victim"); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		vg, err := c.Acquire(context.Background(), "victim", idgen.Next())
+		if err == nil {
+			vg.Release()
+		}
+	}()
+	// Wait for the preemption to have fired against the unbound grant.
+	deadline := time.After(2 * time.Second)
+	for c.Account("hog").Preempted == 0 {
+		select {
+		case <-deadline:
+			t.Fatal("preemption never fired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	// Late bind must observe the pending preemption immediately.
+	fired := make(chan error, 1)
+	g.BindCancel(func(cause error) { fired <- cause })
+	select {
+	case cause := <-fired:
+		if skaderr.CodeOf(cause) != skaderr.Preempted {
+			t.Fatalf("cause = %v", cause)
+		}
+	default:
+		t.Fatal("BindCancel after preemption did not fire the hook")
+	}
+	g.Release()
+}
+
+func TestWorkerQuotaCapsAcquire(t *testing.T) {
+	c := newTestController(Options{FairShare: true})
+	c.AddCapacity(4, 0)
+	if err := c.RegisterTenant(Config{Name: "a", MaxWorkers: 1}); err != nil {
+		t.Fatal(err)
+	}
+	g := grantFor(t, c, "a")
+	// Second acquire must park even though 3 slots are free.
+	if err := c.Admit(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan struct{})
+	go func() {
+		g2, err := c.Acquire(context.Background(), "a", idgen.Next())
+		if err == nil {
+			close(got)
+			g2.Release()
+		}
+	}()
+	select {
+	case <-got:
+		t.Fatal("MaxWorkers=1 tenant ran 2 tasks at once")
+	case <-time.After(30 * time.Millisecond):
+	}
+	g.Release()
+	select {
+	case <-got:
+	case <-time.After(2 * time.Second):
+		t.Fatal("quota slot never handed over")
+	}
+}
+
+func TestCacheQuotaReserveReleaseEvict(t *testing.T) {
+	c := newTestController(Options{})
+	if err := c.RegisterTenant(Config{Name: "a", MaxCacheBytes: 100}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := ContextWith(context.Background(), "a")
+	id1, id2 := idgen.Next(), idgen.Next()
+	if err := c.Reserve(ctx, id1, 60); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(ctx, id1, 60); err != nil {
+		t.Fatalf("re-reserve same ID must be a no-op: %v", err)
+	}
+	// 60+60 > 100 and no eviction configured: typed failure.
+	err := c.Reserve(ctx, id2, 60)
+	if skaderr.CodeOf(err) != skaderr.ResourceExhausted {
+		t.Fatalf("want ResourceExhausted, got %v", err)
+	}
+	c.Release(id1)
+	if got := c.CacheBytes("a"); got != 0 {
+		t.Fatalf("bytes after release = %d", got)
+	}
+	if err := c.Reserve(ctx, id2, 60); err != nil {
+		t.Fatalf("post-release reserve: %v", err)
+	}
+
+	// With EvictOnQuota, the tenant's own oldest object is evicted to make
+	// room, via the installed evictor.
+	if err := c.RegisterTenant(Config{Name: "b", MaxCacheBytes: 100, EvictOnQuota: true}); err != nil {
+		t.Fatal(err)
+	}
+	var evicted []idgen.ObjectID
+	c.SetEvictor(func(id idgen.ObjectID) {
+		evicted = append(evicted, id)
+		c.Release(id)
+	})
+	bctx := ContextWith(context.Background(), "b")
+	old, young, next := idgen.Next(), idgen.Next(), idgen.Next()
+	if err := c.Reserve(bctx, old, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(bctx, young, 40); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Reserve(bctx, next, 50); err != nil {
+		t.Fatalf("evicting reserve: %v", err)
+	}
+	if len(evicted) != 1 || evicted[0] != old {
+		t.Fatalf("evicted %v, want oldest [%v]", evicted, old)
+	}
+	if got := c.CacheBytes("b"); got != 90 {
+		t.Fatalf("b bytes = %d, want 90", got)
+	}
+	// Tenant a's bytes were untouched by b's pressure.
+	if got := c.CacheBytes("a"); got != 60 {
+		t.Fatalf("a bytes = %d, want 60", got)
+	}
+}
+
+func TestAccountingIdentity(t *testing.T) {
+	c := newTestController(Options{FairShare: true})
+	c.AddCapacity(2, 0)
+	if err := c.RegisterTenant(Config{Name: "a", MaxPending: 4}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	// 3 admitted (1 completes, 1 fails, 1 never granted), then rejections.
+	for i := 0; i < 3; i++ {
+		if err := c.Admit(ctx, "a"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g1, _ := c.Acquire(ctx, "a", idgen.Next())
+	g2, _ := c.Acquire(ctx, "a", idgen.Next())
+	g1.Release()
+	c.TaskDone("a", true, true)
+	g2.Release()
+	c.TaskDone("a", true, false)
+	c.TaskDone("a", false, false) // admitted, never granted
+	if err := c.Admit(ctx, "a"); err != nil {
+		t.Fatal(err)
+	}
+	c.TaskDone("a", false, true)
+	a := c.Account("a")
+	if a.Admitted != a.Completed+a.Failed+a.InFlight {
+		t.Fatalf("I6 violated: %+v", a)
+	}
+	if a.Submitted != a.Admitted+a.Rejected {
+		t.Fatalf("submit identity violated: %+v", a)
+	}
+	if a.Queued != 0 || a.Running != 0 {
+		t.Fatalf("quiesce: queued=%d running=%d", a.Queued, a.Running)
+	}
+}
+
+func TestMetricsRendered(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := NewController(Options{}, reg)
+	if err := c.RegisterTenant(Config{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Admit(context.Background(), "a"); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	for _, want := range []string{"tenant_admitted{a} = 1", "tenant_queued{a} = 1"} {
+		if !strings.Contains(snap, want) {
+			t.Fatalf("snapshot missing %q:\n%s", want, snap)
+		}
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"skadi/internal/idgen"
 	"skadi/internal/skaderr"
+	"skadi/internal/tenancy"
 	"skadi/internal/trace"
 	"skadi/internal/wire"
 )
@@ -365,6 +366,7 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		from := idgen.ID(r.Bytes16())
 		sc := trace.SpanContext{Trace: idgen.ID(r.Bytes16()), Span: idgen.ID(r.Bytes16())}
 		deadlineNanos := r.Uint64()
+		tenant := r.String()
 		kind := r.String()
 		// readPayloadSection copies (or decompresses) into fresh storage, so
 		// the pooled frame buffer can be released before the handler runs.
@@ -379,6 +381,9 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		hctx := context.Background()
 		if s.tracer != nil && sc.IsValid() {
 			hctx = trace.ContextWith(trace.WithTracer(hctx, s.tracer), sc)
+		}
+		if tenant != "" {
+			hctx = tenancy.ContextWith(hctx, tenant)
 		}
 		var hcancel context.CancelFunc
 		if deadlineNanos != 0 {
@@ -558,16 +563,20 @@ func (c *tcpClient) call(ctx context.Context, from idgen.NodeID, sc trace.SpanCo
 	if t, ok := ctx.Deadline(); ok {
 		deadlineNanos = uint64(t.UnixNano())
 	}
+	// The tenant rides beside trace/deadline so multi-tenant attribution
+	// (quotas, fair share, accounting) survives the hop like skaderr codes.
+	tenant, _ := tenancy.FromContext(ctx)
 
 	// The header rides a pooled buffer; the payload goes on the wire as its
 	// own scatter/gather segment, never copied into the frame.
-	hdr := wire.GetBuffer(96 + len(kind))
+	hdr := wire.GetBuffer(96 + len(kind) + len(tenant))
 	hdr.Byte(frameRequest)
 	hdr.Uint64(reqID)
 	hdr.Bytes16(from)
 	hdr.Bytes16(sc.Trace)
 	hdr.Bytes16(sc.Span)
 	hdr.Uint64(deadlineNanos)
+	hdr.String(tenant)
 	hdr.String(kind)
 	seg, scratch := appendPayloadSection(hdr, payload)
 

@@ -166,6 +166,7 @@ func TestTCPCancelBeforeRequestNotLost(t *testing.T) {
 	rb.Bytes16(idgen.Nil)
 	rb.Bytes16(idgen.Nil)
 	rb.Uint64(0)
+	rb.String("") // tenant (none)
 	rb.String("late")
 	rb.Byte(codecRaw)
 	rb.Uvarint(0)

@@ -12,6 +12,7 @@ import (
 	"skadi/internal/fabric"
 	"skadi/internal/idgen"
 	"skadi/internal/skaderr"
+	"skadi/internal/tenancy"
 )
 
 // echoHandler responds with "kind:payload".
@@ -347,6 +348,42 @@ func TestDeadlineCrossesWire(t *testing.T) {
 			}
 			if !<-sawDeadline {
 				t.Error("handler context carried no deadline")
+			}
+		})
+	}
+}
+
+// TestTenantCrossesWire is the tenancy parity satellite: the caller's
+// tenant ID must be observable in the remote handler's context on both
+// transports — it rides the frame beside TraceID/SpanID/deadline and
+// survives the TCP hop like skaderr codes do.
+func TestTenantCrossesWire(t *testing.T) {
+	for name, tr := range transports(t) {
+		t.Run(name, func(t *testing.T) {
+			server, client := idgen.Next(), idgen.Next()
+			sawTenant := make(chan string, 1)
+			err := tr.Listen(server, func(ctx context.Context, _ idgen.NodeID, _ string, _ []byte) ([]byte, error) {
+				tenant, _ := tenancy.FromContext(ctx)
+				sawTenant <- tenant
+				return nil, nil
+			})
+			if err != nil {
+				t.Fatalf("Listen: %v", err)
+			}
+			ctx := tenancy.ContextWith(context.Background(), "acme-analytics")
+			if _, err := tr.Call(ctx, client, server, "x", nil); err != nil {
+				t.Fatalf("Call: %v", err)
+			}
+			if got := <-sawTenant; got != "acme-analytics" {
+				t.Errorf("handler saw tenant %q, want %q", got, "acme-analytics")
+			}
+			// And the absence of a tenant must also round-trip (no phantom
+			// attribution).
+			if _, err := tr.Call(context.Background(), client, server, "x", nil); err != nil {
+				t.Fatalf("Call: %v", err)
+			}
+			if got := <-sawTenant; got != "" {
+				t.Errorf("untagged call saw tenant %q, want none", got)
 			}
 		})
 	}
