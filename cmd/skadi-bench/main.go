@@ -1,4 +1,4 @@
-// Command skadi-bench runs the reproduction experiments (E1–E19 in
+// Command skadi-bench runs the reproduction experiments (E1–E20 in
 // DESIGN.md's per-experiment index) and prints their tables. Each
 // experiment regenerates one figure or claim of the Skadi paper.
 //
@@ -25,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exps     = flag.String("e", "all", "comma-separated experiment ids (e1..e19) or 'all'")
+		exps     = flag.String("e", "all", "comma-separated experiment ids (e1..e20) or 'all'")
 		list     = flag.Bool("list", false, "list available experiments and exit")
 		jsonOut  = flag.String("json", "", "write the result tables as JSON to this file")
 		soak     = flag.Bool("chaos", false, "run the seeded chaos soak instead of experiments")

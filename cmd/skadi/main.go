@@ -7,6 +7,7 @@
 //	skadi                      # default cluster
 //	skadi -servers 8 -gpus 4   # bigger cluster
 //	skadi -gen2                # device-centric (Gen-2) wiring
+//	skadi -decentralized       # sharded directory + work stealing + gossip
 package main
 
 import (
@@ -35,6 +36,7 @@ func main() {
 		gpus    = flag.Int("gpus", 2, "disaggregated GPUs")
 		fpgas   = flag.Int("fpgas", 2, "disaggregated FPGAs")
 		gen2    = flag.Bool("gen2", false, "device-centric (Gen-2) wiring instead of Gen-1")
+		decent  = flag.Bool("decentralized", false, "decentralized control plane: sharded ownership directory, work-stealing schedulers, gossip liveness")
 		showTr  = flag.Bool("trace", false, "dump the last task's span timeline and critical path")
 	)
 	flag.Parse()
@@ -46,6 +48,7 @@ func main() {
 	if *gen2 {
 		opts.DeviceMode = runtime.Gen2
 	}
+	opts.Decentralized = *decent
 	s, err := core.New(core.ClusterSpec{
 		Servers: *servers, ServerSlots: 4, ServerMemBytes: 256 << 20,
 		GPUs: *gpus, FPGAs: *fpgas, DeviceSlots: 2, DeviceMemBytes: 64 << 20,
@@ -256,6 +259,22 @@ func main() {
 		for _, line := range strings.Split(s.Runtime().Metrics.Snapshot(), "\n") {
 			if strings.Contains(line, "tenant_") {
 				fmt.Println(line)
+			}
+		}
+
+		// Decentralized control plane: gossip view, per-shard directory
+		// sizes, and per-node steal counters (gauges refreshed by
+		// SampleControlPlane — the same families E20's regime reads).
+		if cp := s.Runtime().SampleControlPlane(); cp.Decentralized {
+			fmt.Println("\n== control plane (decentralized) ==")
+			fmt.Printf("gossip view: %d alive, %d suspect, %d dead\n", cp.Alive, cp.Suspect, cp.Dead)
+			fmt.Printf("directory: %d shards, %d handoffs\n", len(cp.ShardEntries), cp.Handoffs)
+			for _, line := range strings.Split(s.Runtime().Metrics.Snapshot(), "\n") {
+				if strings.Contains(line, "gossip_") ||
+					strings.Contains(line, "directory_") ||
+					strings.Contains(line, "sched_steals") {
+					fmt.Println(line)
+				}
 			}
 		}
 	}

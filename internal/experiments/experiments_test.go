@@ -10,8 +10,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 19 {
-		t.Fatalf("registered experiments = %d, want 19: %v", len(ids), ids)
+	if len(ids) != 20 {
+		t.Fatalf("registered experiments = %d, want 20: %v", len(ids), ids)
 	}
 	for i, id := range ids {
 		want := "e" + strconv.Itoa(i+1)
@@ -378,5 +378,43 @@ func TestE19Shape(t *testing.T) {
 	}
 	if fair[6] == "0" {
 		t.Error("fair arm: no preemptions under antagonist occupancy")
+	}
+}
+
+func TestE20Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("e20 sweeps to 1000 simulated nodes")
+	}
+	tbl := runExperiment(t, "e20", 2*len(e20Sweep))
+	tput := func(cell string) float64 {
+		f, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad throughput cell %q", cell)
+		}
+		return f
+	}
+	central := make(map[string]float64)
+	shardTput := make(map[string]float64)
+	for i := 0; i < len(tbl.Rows); i += 2 {
+		c, s := tbl.Rows[i], tbl.Rows[i+1]
+		if c[1] != "central" || s[1] != "sharded" || c[0] != s[0] {
+			t.Fatalf("row pairing changed: %v / %v", c, s)
+		}
+		central[c[0]] = tput(c[2])
+		shardTput[s[0]] = tput(s[2])
+		// The steal path must genuinely fire at every size.
+		if s[4] == "0.00" {
+			t.Errorf("n=%s: sharded arm never stole", s[0])
+		}
+	}
+	// The headline claim: >=5x centralized throughput at >=500 nodes.
+	for _, n := range []string{"500", "1000"} {
+		if ratio := shardTput[n] / central[n]; ratio < 5 {
+			t.Errorf("n=%s: sharded/central = %.1fx, want >= 5x", n, ratio)
+		}
+	}
+	// Near-linear scaling: doubling the fleet buys at least 1.5x.
+	if scale := shardTput["1000"] / shardTput["500"]; scale < 1.5 {
+		t.Errorf("sharded 500→1000 scaling = %.2fx, want >= 1.5x (near-linear)", scale)
 	}
 }

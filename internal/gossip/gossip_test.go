@@ -1,0 +1,217 @@
+package gossip
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+func nodes(n int) []idgen.NodeID {
+	out := make([]idgen.NodeID, n)
+	for i := range out {
+		out[i] = idgen.FromSeq(uint64(i + 1))
+	}
+	return out
+}
+
+// reachSet is a mutable oracle: unreachable[n] makes n invisible to every
+// prober.
+type reachSet struct {
+	mu          sync.Mutex
+	unreachable map[idgen.NodeID]bool
+}
+
+func newReachSet() *reachSet {
+	return &reachSet{unreachable: make(map[idgen.NodeID]bool)}
+}
+
+func (r *reachSet) set(n idgen.NodeID, down bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.unreachable[n] = down
+}
+
+func (r *reachSet) reach(_, to idgen.NodeID) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return !r.unreachable[to]
+}
+
+func TestSuspectThenDead(t *testing.T) {
+	oracle := newReachSet()
+	c := New(Config{Seed: 42, ProbeFanout: 3, SuspectTicks: 3}, oracle.reach)
+	ns := nodes(8)
+	for _, n := range ns {
+		c.Join(n)
+	}
+	c.Drain()
+	victim := ns[3]
+	oracle.set(victim, true)
+
+	var sawSuspect, sawDead bool
+	for tick := 0; tick < 32 && !sawDead; tick++ {
+		for _, ev := range c.Tick() {
+			if ev.Node != victim {
+				t.Fatalf("unexpected event for healthy node: %+v", ev)
+			}
+			switch ev.Status {
+			case Suspect:
+				sawSuspect = true
+			case Dead:
+				if !sawSuspect {
+					t.Fatal("dead without passing through suspect")
+				}
+				sawDead = true
+			}
+		}
+	}
+	if !sawDead {
+		t.Fatal("unreachable node never declared dead")
+	}
+	if st, _, _ := c.Status(victim); st != Dead {
+		t.Fatalf("status = %v, want dead", st)
+	}
+	alive, _, dead := c.Counts()
+	if alive != 7 || dead != 1 {
+		t.Fatalf("counts = %d alive / %d dead", alive, dead)
+	}
+}
+
+func TestRefutationCancelsSuspicion(t *testing.T) {
+	oracle := newReachSet()
+	c := New(Config{Seed: 7, ProbeFanout: 3, SuspectTicks: 10}, oracle.reach)
+	ns := nodes(6)
+	for _, n := range ns {
+		c.Join(n)
+	}
+	c.Drain()
+	victim := ns[0]
+	oracle.set(victim, true)
+	// Tick until suspected (but not dead: SuspectTicks is generous).
+	suspected := false
+	for tick := 0; tick < 16 && !suspected; tick++ {
+		for _, ev := range c.Tick() {
+			if ev.Node == victim && ev.Status == Suspect {
+				suspected = true
+			}
+		}
+	}
+	if !suspected {
+		t.Fatal("never suspected")
+	}
+	_, incBefore, _ := c.Status(victim)
+	oracle.set(victim, false) // network heals
+	refuted := false
+	for tick := 0; tick < 16 && !refuted; tick++ {
+		for _, ev := range c.Tick() {
+			if ev.Node == victim && ev.Status == Alive {
+				refuted = true
+				if ev.Incarnation <= incBefore {
+					t.Fatalf("refutation did not bump incarnation: %d -> %d", incBefore, ev.Incarnation)
+				}
+			}
+		}
+	}
+	if !refuted {
+		t.Fatal("healed node never refuted suspicion")
+	}
+	if st, _, _ := c.Status(victim); st != Alive {
+		t.Fatalf("status = %v, want alive", st)
+	}
+}
+
+func TestDeclareDeadAndRejoin(t *testing.T) {
+	c := New(Config{Seed: 1}, nil)
+	ns := nodes(3)
+	for _, n := range ns {
+		c.Join(n)
+	}
+	c.Drain()
+	c.DeclareDead(ns[1])
+	evs := c.Drain()
+	if len(evs) != 1 || evs[0].Status != Dead || evs[0].Node != ns[1] {
+		t.Fatalf("events = %+v", evs)
+	}
+	c.DeclareDead(ns[1]) // idempotent
+	if evs := c.Drain(); len(evs) != 0 {
+		t.Fatalf("duplicate death emitted events: %+v", evs)
+	}
+	c.Join(ns[1]) // rejoin refutes with a bumped incarnation
+	evs = c.Drain()
+	if len(evs) != 1 || evs[0].Status != Alive || evs[0].Incarnation != 1 {
+		t.Fatalf("rejoin events = %+v", evs)
+	}
+	// A dead node does not flap back without a rejoin: ticks emit nothing.
+	c.DeclareDead(ns[2])
+	c.Drain()
+	for i := 0; i < 8; i++ {
+		for _, ev := range c.Tick() {
+			if ev.Node == ns[2] {
+				t.Fatalf("dead node resurrected by tick: %+v", ev)
+			}
+		}
+	}
+}
+
+func TestDeterministicSchedule(t *testing.T) {
+	run := func() []Event {
+		oracle := newReachSet()
+		c := New(Config{Seed: 99, ProbeFanout: 2, SuspectTicks: 2}, oracle.reach)
+		ns := nodes(10)
+		for _, n := range ns {
+			c.Join(n)
+		}
+		c.Drain()
+		oracle.set(ns[4], true)
+		oracle.set(ns[7], true)
+		var all []Event
+		for i := 0; i < 20; i++ {
+			all = append(all, c.Tick()...)
+		}
+		return all
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%+v\n%+v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("no events emitted")
+	}
+}
+
+func TestPartitionDetectsAllVictims(t *testing.T) {
+	oracle := newReachSet()
+	c := New(Config{Seed: 5, ProbeFanout: 4, SuspectTicks: 2}, oracle.reach)
+	ns := nodes(12)
+	for _, n := range ns {
+		c.Join(n)
+	}
+	c.Drain()
+	for _, n := range ns[:4] {
+		oracle.set(n, true)
+	}
+	for i := 0; i < 64; i++ {
+		c.Tick()
+	}
+	alive, suspect, dead := c.Counts()
+	if dead != 4 || alive != 8 || suspect != 0 {
+		t.Fatalf("counts after partition = %d/%d/%d (alive/suspect/dead)", alive, suspect, dead)
+	}
+}
+
+func TestLeaveRemovesMember(t *testing.T) {
+	c := New(Config{Seed: 3}, nil)
+	ns := nodes(3)
+	for _, n := range ns {
+		c.Join(n)
+	}
+	c.Leave(ns[0])
+	if _, _, ok := c.Status(ns[0]); ok {
+		t.Fatal("left member still tracked")
+	}
+	if got := len(c.Members()); got != 2 {
+		t.Fatalf("members = %d", got)
+	}
+}

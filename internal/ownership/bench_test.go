@@ -1,0 +1,96 @@
+package ownership
+
+import (
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+// benchTable returns a table preloaded with n Ready entries and the ID set.
+func benchTable(b *testing.B, n int) (*Table, []idgen.ObjectID) {
+	b.Helper()
+	tbl := NewTable()
+	owner, task, loc := idgen.Next(), idgen.Next(), idgen.Next()
+	ids := make([]idgen.ObjectID, n)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		if err := tbl.CreatePending(ids[i], owner, task); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tbl.MarkReady(ids[i], 64, loc, idgen.Nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl, ids
+}
+
+func BenchmarkGet(b *testing.B) {
+	tbl, ids := benchTable(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.Get(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMarkReady(b *testing.B) {
+	tbl, ids := benchTable(b, 4096)
+	loc := idgen.Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tbl.MarkReady(ids[i%len(ids)], 64, loc, idgen.Nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAddLocation(b *testing.B) {
+	tbl, ids := benchTable(b, 4096)
+	loc := idgen.Next()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tbl.AddLocation(ids[i%len(ids)], loc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShardedGet measures routing + shard cost so E20's per-shard
+// directory attribution has a microbenchmark anchor.
+func BenchmarkShardedGet(b *testing.B) {
+	s, _ := newShardedWith(8)
+	owner, task, loc := idgen.Next(), idgen.Next(), idgen.Next()
+	ids := make([]idgen.ObjectID, 4096)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		if err := s.CreatePending(ids[i], owner, task); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.MarkReady(ids[i], 64, loc, idgen.Nil, ""); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Get(ids[i%len(ids)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPendingIDs(b *testing.B) {
+	tbl := NewTable()
+	owner, task := idgen.Next(), idgen.Next()
+	for i := 0; i < 4096; i++ {
+		if err := tbl.CreatePending(idgen.Next(), owner, task); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := tbl.PendingIDs(); len(got) != 4096 {
+			b.Fatal("bad length")
+		}
+	}
+}

@@ -324,24 +324,37 @@ func (t *Table) Records() []Record {
 // WaitReady blocks until the object is Ready (nil), Lost (ErrObjectLost),
 // or the context is done.
 func (t *Table) WaitReady(ctx context.Context, id idgen.ObjectID) error {
+	ch, err := t.waitChan(id)
+	if err != nil || ch == nil {
+		return err
+	}
+	return awaitState(ctx, id, ch)
+}
+
+// waitChan is the non-blocking half of WaitReady: it resolves immediately
+// (nil channel) when the object is already Ready or Lost, or registers a
+// waiter and returns its channel. ShardedTable uses the split so the park
+// happens outside the shard-routing lock.
+func (t *Table) waitChan(id idgen.ObjectID) (chan State, error) {
 	t.mu.Lock()
+	defer t.mu.Unlock()
 	e, ok := t.entries[id]
 	if !ok {
-		t.mu.Unlock()
-		return errUnknown(id)
+		return nil, errUnknown(id)
 	}
 	switch e.rec.State {
 	case Ready:
-		t.mu.Unlock()
-		return nil
+		return nil, nil
 	case Lost:
-		t.mu.Unlock()
-		return errLost(id)
+		return nil, errLost(id)
 	}
 	ch := make(chan State, 1)
 	e.waiters = append(e.waiters, ch)
-	t.mu.Unlock()
+	return ch, nil
+}
 
+// awaitState parks on a waiter channel registered by waitChan.
+func awaitState(ctx context.Context, id idgen.ObjectID, ch chan State) error {
 	select {
 	case s := <-ch:
 		if s == Lost {
@@ -362,7 +375,7 @@ func (t *Table) WaitReady(ctx context.Context, id idgen.ObjectID) error {
 func (t *Table) PendingIDs() []idgen.ObjectID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var out []idgen.ObjectID
+	out := make([]idgen.ObjectID, 0, len(t.entries))
 	for id, e := range t.entries {
 		if e.rec.State == Pending {
 			out = append(out, id)
@@ -375,7 +388,7 @@ func (t *Table) PendingIDs() []idgen.ObjectID {
 func (t *Table) AbortPending() []idgen.ObjectID {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	var aborted []idgen.ObjectID
+	aborted := make([]idgen.ObjectID, 0, len(t.entries))
 	for id, e := range t.entries {
 		if e.rec.State != Pending {
 			continue
@@ -469,4 +482,54 @@ func (t *Table) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return len(t.entries)
+}
+
+// takeMisplaced removes and returns every entry whose ID fails the keep
+// predicate. Entries move whole — waiter channels, subscriber sets, and the
+// PR 2 forwarding chains travel with the record, so a WaitReady parked
+// before a shard handoff is still released by a MarkReady that lands on the
+// entry's new shard, and stale-location pulls keep chasing forwards across
+// the move.
+func (t *Table) takeMisplaced(keep func(idgen.ObjectID) bool) map[idgen.ObjectID]*entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var out map[idgen.ObjectID]*entry
+	for id, e := range t.entries {
+		if keep(id) {
+			continue
+		}
+		if out == nil {
+			out = make(map[idgen.ObjectID]*entry)
+		}
+		out[id] = e
+		delete(t.entries, id)
+	}
+	return out
+}
+
+// takeAll removes and returns every entry (shard decommission).
+func (t *Table) takeAll() map[idgen.ObjectID]*entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := t.entries
+	t.entries = make(map[idgen.ObjectID]*entry)
+	return out
+}
+
+// adopt inserts entries taken from another shard. An ID that already exists
+// locally is kept as-is and the incoming entry is dropped; handoff runs
+// under the sharded table's exclusive lock, so this only arises from a
+// malformed double-move.
+func (t *Table) adopt(m map[idgen.ObjectID]*entry) {
+	if len(m) == 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for id, e := range m {
+		if _, ok := t.entries[id]; ok {
+			continue
+		}
+		t.entries[id] = e
+	}
 }

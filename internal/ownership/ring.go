@@ -1,0 +1,130 @@
+package ownership
+
+import (
+	"sort"
+
+	"skadi/internal/idgen"
+)
+
+// DefaultVNodes is the virtual-node count per ring member. 64 points per
+// member keeps the expected ownership imbalance under ~15% at a few hundred
+// members while membership changes stay cheap (O(vnodes·log points)).
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring with virtual nodes: each member owns the
+// arc between its predecessor point and each of its points, and an object
+// hashes to the first point clockwise from its key. Adding or removing one
+// member only reassigns the arcs adjacent to that member's points — the
+// property that keeps directory handoff proportional to 1/members instead
+// of a full reshuffle.
+//
+// Ring is not concurrency-safe; ShardedTable guards it with its own lock.
+type Ring struct {
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	members map[idgen.NodeID]bool
+	version uint64
+}
+
+type ringPoint struct {
+	hash uint64
+	node idgen.NodeID
+}
+
+// NewRing returns an empty ring with the given virtual-node count per
+// member (DefaultVNodes if vnodes <= 0).
+func NewRing(vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	return &Ring{vnodes: vnodes, members: make(map[idgen.NodeID]bool)}
+}
+
+// fnv1a64 hashes b with FNV-1a, seeded so vnode indices decorrelate.
+func fnv1a64(b []byte, seed uint64) uint64 {
+	h := uint64(14695981039346656037) ^ seed
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	// Final avalanche (splitmix64 tail): FNV alone clusters on short,
+	// counter-like inputs such as idgen IDs.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// keyHash hashes an object ID onto the ring.
+func keyHash(id idgen.ObjectID) uint64 {
+	b := [16]byte(id)
+	return fnv1a64(b[:], 0)
+}
+
+// Add inserts a member's virtual nodes. Reports false if already present.
+func (r *Ring) Add(n idgen.NodeID) bool {
+	if r.members[n] {
+		return false
+	}
+	r.members[n] = true
+	b := [16]byte(n)
+	for v := 0; v < r.vnodes; v++ {
+		r.points = append(r.points, ringPoint{hash: fnv1a64(b[:], uint64(v)+1), node: n})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	r.version++
+	return true
+}
+
+// Remove deletes a member's virtual nodes. Reports false if not a member.
+func (r *Ring) Remove(n idgen.NodeID) bool {
+	if !r.members[n] {
+		return false
+	}
+	delete(r.members, n)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != n {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	r.version++
+	return true
+}
+
+// OwnerOf returns the member owning the object's key, or false on an empty
+// ring.
+func (r *Ring) OwnerOf(id idgen.ObjectID) (idgen.NodeID, bool) {
+	if len(r.points) == 0 {
+		return idgen.Nil, false
+	}
+	h := keyHash(id)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: keys past the last point belong to the first
+	}
+	return r.points[i].node, true
+}
+
+// Has reports membership.
+func (r *Ring) Has(n idgen.NodeID) bool { return r.members[n] }
+
+// Members returns the member set, sorted.
+func (r *Ring) Members() []idgen.NodeID {
+	out := make([]idgen.NodeID, 0, len(r.members))
+	for n := range r.members {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Len returns the member count.
+func (r *Ring) Len() int { return len(r.members) }
+
+// Version increments on every membership change; routing caches use it to
+// detect staleness.
+func (r *Ring) Version() uint64 { return r.version }

@@ -1,0 +1,120 @@
+package ownership
+
+import (
+	"testing"
+
+	"skadi/internal/idgen"
+)
+
+func ringMembers(n int) []idgen.NodeID {
+	out := make([]idgen.NodeID, n)
+	for i := range out {
+		out[i] = idgen.Next()
+	}
+	return out
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(0)
+	if _, ok := r.OwnerOf(idgen.Next()); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if r.Len() != 0 || r.Version() != 0 {
+		t.Fatalf("Len=%d Version=%d", r.Len(), r.Version())
+	}
+}
+
+func TestRingAddRemoveIdempotent(t *testing.T) {
+	r := NewRing(8)
+	n := idgen.Next()
+	if !r.Add(n) || r.Add(n) {
+		t.Fatal("Add idempotence broken")
+	}
+	if !r.Has(n) {
+		t.Fatal("Has = false after Add")
+	}
+	if !r.Remove(n) || r.Remove(n) {
+		t.Fatal("Remove idempotence broken")
+	}
+	if r.Version() != 2 {
+		t.Fatalf("Version = %d, want 2 (no-ops must not bump)", r.Version())
+	}
+}
+
+func TestRingDistribution(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := ringMembers(8)
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := make(map[idgen.NodeID]int)
+	const keys = 20000
+	for i := 0; i < keys; i++ {
+		owner, ok := r.OwnerOf(idgen.FromSeq(uint64(i)))
+		if !ok {
+			t.Fatal("no owner")
+		}
+		counts[owner]++
+	}
+	mean := keys / len(members)
+	for _, m := range members {
+		c := counts[m]
+		if c < mean*2/5 || c > mean*5/2 {
+			t.Errorf("member load %d outside [%d,%d] of mean %d", c, mean*2/5, mean*5/2, mean)
+		}
+	}
+}
+
+func TestRingAddMovesOnlyToNewMember(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := ringMembers(8)
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 5000
+	before := make([]idgen.NodeID, keys)
+	for i := range before {
+		before[i], _ = r.OwnerOf(idgen.FromSeq(uint64(i)))
+	}
+	fresh := idgen.Next()
+	r.Add(fresh)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		after, _ := r.OwnerOf(idgen.FromSeq(uint64(i)))
+		if after != before[i] {
+			moved++
+			if after != fresh {
+				t.Fatalf("key %d moved to %s, not the new member", i, after.Short())
+			}
+		}
+	}
+	// Expected churn ≈ keys/9; allow a wide band, but it must be a small
+	// minority — the whole point of consistent hashing.
+	if moved == 0 || moved > keys/3 {
+		t.Errorf("moved %d of %d keys on a 1-of-9 membership change", moved, keys)
+	}
+}
+
+func TestRingRemoveKeepsSurvivorKeys(t *testing.T) {
+	r := NewRing(DefaultVNodes)
+	members := ringMembers(6)
+	for _, m := range members {
+		r.Add(m)
+	}
+	const keys = 5000
+	before := make([]idgen.NodeID, keys)
+	for i := range before {
+		before[i], _ = r.OwnerOf(idgen.FromSeq(uint64(i)))
+	}
+	victim := members[2]
+	r.Remove(victim)
+	for i := 0; i < keys; i++ {
+		after, _ := r.OwnerOf(idgen.FromSeq(uint64(i)))
+		if before[i] != victim && after != before[i] {
+			t.Fatalf("key %d owned by survivor %s moved to %s", i, before[i].Short(), after.Short())
+		}
+		if after == victim {
+			t.Fatalf("key %d still routed to removed member", i)
+		}
+	}
+}

@@ -1,0 +1,437 @@
+package ownership
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
+)
+
+// ErrNoShards reports an ownership op against a sharded directory with no
+// ring members (all shard hosts removed and none re-added).
+var ErrNoShards = errors.New("ownership: sharded directory has no members")
+
+func errNoShards() error {
+	return skaderr.Mark(skaderr.Unavailable, ErrNoShards)
+}
+
+// ShardedTable is the decentralized ownership directory: a consistent-hash
+// Ring routes every object ID to a member node, and each member hosts a
+// full *Table holding exactly the entries it owns. Each shard preserves the
+// complete Table contract — CommitGuard, WaitReady parking, push
+// subscriptions, forwarding chains, AbortPending — so the protocols built
+// on the centralized table run unchanged against a shard.
+//
+// Membership changes (AddMember / RemoveMember) hand keys off by moving
+// whole entries between shards under the directory's exclusive lock:
+// parked waiters, subscriber sets, and forwarding chains travel with the
+// entry, so a future created before a handoff resolves after it with no
+// protocol-visible seam. Ops hold the shared lock only long enough to
+// route and run the shard call (WaitReady parks outside it), so routing
+// can never observe a half-finished handoff.
+type ShardedTable struct {
+	mu       sync.RWMutex
+	ring     *Ring
+	shards   map[idgen.NodeID]*Table
+	guard    CommitGuard
+	handoffs uint64
+	// orphans holds entries stranded by removal of the last member; the
+	// next AddMember adopts them. The runtime keeps the head node a
+	// permanent member, so this is a safety net, not a steady state.
+	orphans map[idgen.ObjectID]*entry
+}
+
+// NewSharded returns an empty sharded directory with the given virtual-node
+// count per member (DefaultVNodes if vnodes <= 0).
+func NewSharded(vnodes int) *ShardedTable {
+	return &ShardedTable{
+		ring:   NewRing(vnodes),
+		shards: make(map[idgen.NodeID]*Table),
+	}
+}
+
+// AddMember adds a node as a shard host and rebalances: every entry whose
+// key now hashes to the new member moves to its shard. Returns the number
+// of entries handed off. Idempotent.
+func (s *ShardedTable) AddMember(n idgen.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ring.Add(n) {
+		return 0
+	}
+	t := s.shards[n]
+	if t == nil {
+		t = NewTable()
+		t.SetCommitGuard(s.guard)
+		s.shards[n] = t
+	}
+	moved := 0
+	// Only keys that now land on the new member move; every other arc is
+	// untouched — the consistent-hashing property that bounds handoff.
+	for host, shard := range s.shards {
+		if host == n {
+			continue
+		}
+		taken := shard.takeMisplaced(func(id idgen.ObjectID) bool {
+			owner, _ := s.ring.OwnerOf(id)
+			return owner == host
+		})
+		moved += len(taken)
+		t.adopt(taken)
+	}
+	if len(s.orphans) > 0 {
+		orphans := s.orphans
+		s.orphans = nil
+		moved += len(orphans)
+		// Orphans may now belong to any member, not just the new one.
+		byOwner := make(map[idgen.NodeID]map[idgen.ObjectID]*entry)
+		for id, e := range orphans {
+			owner, _ := s.ring.OwnerOf(id)
+			m := byOwner[owner]
+			if m == nil {
+				m = make(map[idgen.ObjectID]*entry)
+				byOwner[owner] = m
+			}
+			m[id] = e
+		}
+		for owner, m := range byOwner {
+			s.shards[owner].adopt(m)
+		}
+	}
+	s.handoffs += uint64(moved)
+	return moved
+}
+
+// RemoveMember drops a shard host and hands its entries to the surviving
+// owners. Returns the number of entries handed off. Idempotent. The node's
+// *data-plane* copies are a separate concern: callers still run
+// RemoveNodeLocations to purge locations on the failed node.
+func (s *ShardedTable) RemoveMember(n idgen.NodeID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ring.Remove(n) {
+		return 0
+	}
+	shard := s.shards[n]
+	delete(s.shards, n)
+	if shard == nil {
+		return 0
+	}
+	taken := shard.takeAll()
+	moved := len(taken)
+	if s.ring.Len() == 0 {
+		if moved > 0 {
+			if s.orphans == nil {
+				s.orphans = make(map[idgen.ObjectID]*entry)
+			}
+			for id, e := range taken {
+				s.orphans[id] = e
+			}
+		}
+		s.handoffs += uint64(moved)
+		return moved
+	}
+	byOwner := make(map[idgen.NodeID]map[idgen.ObjectID]*entry)
+	for id, e := range taken {
+		owner, _ := s.ring.OwnerOf(id)
+		m := byOwner[owner]
+		if m == nil {
+			m = make(map[idgen.ObjectID]*entry)
+			byOwner[owner] = m
+		}
+		m[id] = e
+	}
+	for owner, m := range byOwner {
+		s.shards[owner].adopt(m)
+	}
+	s.handoffs += uint64(moved)
+	return moved
+}
+
+// OwnerOf returns the ring member owning id's key — the node a raylet
+// should address own.* RPCs for id to. False on an empty ring.
+func (s *ShardedTable) OwnerOf(id idgen.ObjectID) (idgen.NodeID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.OwnerOf(id)
+}
+
+// Members returns the shard hosts, sorted.
+func (s *ShardedTable) Members() []idgen.NodeID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Members()
+}
+
+// Handoffs returns the cumulative count of entries moved between shards.
+func (s *ShardedTable) Handoffs() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.handoffs
+}
+
+// ShardSizes returns the entry count per shard host (the `skadi -trace`
+// per-shard directory view).
+func (s *ShardedTable) ShardSizes() map[idgen.NodeID]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[idgen.NodeID]int, len(s.shards))
+	for host, shard := range s.shards {
+		out[host] = shard.Len()
+	}
+	return out
+}
+
+// Version returns the ring's membership version.
+func (s *ShardedTable) Version() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.ring.Version()
+}
+
+// shardFor routes id to its owning shard. Caller holds s.mu (read or
+// write).
+func (s *ShardedTable) shardFor(id idgen.ObjectID) (*Table, error) {
+	owner, ok := s.ring.OwnerOf(id)
+	if !ok {
+		return nil, errNoShards()
+	}
+	t := s.shards[owner]
+	if t == nil {
+		// Ring and shard map are mutated together under the write lock;
+		// divergence is a bug, not a runtime condition.
+		return nil, skaderr.Mark(skaderr.Internal,
+			fmt.Errorf("ownership: ring member %s has no shard", owner.Short()))
+	}
+	return t, nil
+}
+
+// --- Directory implementation -------------------------------------------
+
+// SetCommitGuard installs the guard on every current shard and remembers it
+// for shards created by later AddMember calls.
+func (s *ShardedTable) SetCommitGuard(g CommitGuard) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.guard = g
+	for _, shard := range s.shards {
+		shard.SetCommitGuard(g)
+	}
+}
+
+// CreatePending registers a new object on its owning shard.
+func (s *ShardedTable) CreatePending(id idgen.ObjectID, owner idgen.NodeID, task idgen.TaskID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return err
+	}
+	return t.CreatePending(id, owner, task)
+}
+
+// MarkReady commits the object on its owning shard.
+func (s *ShardedTable) MarkReady(id idgen.ObjectID, size int64, location idgen.NodeID, deviceID idgen.NodeID, deviceHandle string) ([]idgen.NodeID, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return nil, err
+	}
+	return t.MarkReady(id, size, location, deviceID, deviceHandle)
+}
+
+// AddLocation records an additional copy on the owning shard.
+func (s *ShardedTable) AddLocation(id idgen.ObjectID, node idgen.NodeID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return err
+	}
+	return t.AddLocation(id, node)
+}
+
+// MoveLocation retargets a copy on the owning shard.
+func (s *ShardedTable) MoveLocation(id idgen.ObjectID, from, to idgen.NodeID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return err
+	}
+	return t.MoveLocation(id, from, to)
+}
+
+// ResolveForward chases a forwarding chain on the owning shard.
+func (s *ShardedTable) ResolveForward(id idgen.ObjectID, stale idgen.NodeID) (idgen.NodeID, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return idgen.Nil, false
+	}
+	return t.ResolveForward(id, stale)
+}
+
+// Subscribe registers a push subscription on the owning shard.
+func (s *ShardedTable) Subscribe(id idgen.ObjectID, node idgen.NodeID) (bool, Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return false, Record{}, err
+	}
+	return t.Subscribe(id, node)
+}
+
+// Get returns the record from the owning shard.
+func (s *ShardedTable) Get(id idgen.ObjectID) (Record, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return Record{}, err
+	}
+	return t.Get(id)
+}
+
+// Records snapshots every shard, merged and sorted by ID — same semantics
+// as Table.Records, so the chaos invariant checkers run unchanged.
+func (s *ShardedTable) Records() []Record {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Record
+	for _, shard := range s.shards {
+		out = append(out, shard.Records()...)
+	}
+	for id, e := range s.orphans {
+		rec := e.rec
+		rec.Locations = append([]idgen.NodeID(nil), rec.Locations...)
+		rec.ID = id
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Less(out[j].ID) })
+	return out
+}
+
+// WaitReady blocks until the object is Ready or Lost. The waiter registers
+// under the routing lock (so it cannot race a handoff) but parks outside
+// it; if the entry migrates while parked, the waiter channel migrates with
+// it and the release arrives from the new shard.
+func (s *ShardedTable) WaitReady(ctx context.Context, id idgen.ObjectID) error {
+	s.mu.RLock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		s.mu.RUnlock()
+		return err
+	}
+	ch, err := t.waitChan(id)
+	s.mu.RUnlock()
+	if err != nil || ch == nil {
+		return err
+	}
+	return awaitState(ctx, id, ch)
+}
+
+// PendingIDs merges the still-Pending IDs across shards, sorted.
+func (s *ShardedTable) PendingIDs() []idgen.ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []idgen.ObjectID
+	for _, shard := range s.shards {
+		out = append(out, shard.PendingIDs()...)
+	}
+	for id, e := range s.orphans {
+		if e.rec.State == Pending {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// AbortPending aborts still-Pending objects on every shard, sorted. Takes
+// the write lock: it may mutate orphaned entries directly.
+func (s *ShardedTable) AbortPending() []idgen.ObjectID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []idgen.ObjectID
+	for _, shard := range s.shards {
+		out = append(out, shard.AbortPending()...)
+	}
+	for id, e := range s.orphans {
+		if e.rec.State != Pending {
+			continue
+		}
+		e.rec.State = Lost
+		out = append(out, id)
+		for _, w := range e.waiters {
+			w <- Lost
+		}
+		e.waiters = nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// RemoveNodeLocations purges a failed node's copies across every shard and
+// returns the objects that lost their last copy, sorted.
+func (s *ShardedTable) RemoveNodeLocations(node idgen.NodeID) []idgen.ObjectID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []idgen.ObjectID
+	for _, shard := range s.shards {
+		out = append(out, shard.RemoveNodeLocations(node)...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// MarkLost forces an object Lost on its owning shard.
+func (s *ShardedTable) MarkLost(id idgen.ObjectID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return err
+	}
+	return t.MarkLost(id)
+}
+
+// Reset returns an object to Pending on its owning shard.
+func (s *ShardedTable) Reset(id idgen.ObjectID) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return err
+	}
+	return t.Reset(id)
+}
+
+// Delete removes an object's entry from its owning shard.
+func (s *ShardedTable) Delete(id idgen.ObjectID) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, err := s.shardFor(id)
+	if err != nil {
+		return
+	}
+	t.Delete(id)
+}
+
+// Len returns the total entry count across shards.
+func (s *ShardedTable) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := len(s.orphans)
+	for _, shard := range s.shards {
+		n += shard.Len()
+	}
+	return n
+}

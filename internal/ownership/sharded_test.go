@@ -1,0 +1,310 @@
+package ownership
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
+)
+
+func newShardedWith(members int) (*ShardedTable, []idgen.NodeID) {
+	s := NewSharded(16)
+	nodes := make([]idgen.NodeID, members)
+	for i := range nodes {
+		nodes[i] = idgen.Next()
+		s.AddMember(nodes[i])
+	}
+	return s, nodes
+}
+
+func TestShardedLifecycle(t *testing.T) {
+	s, _ := newShardedWith(3)
+	owner, task, loc := idgen.Next(), idgen.Next(), idgen.Next()
+	ids := make([]idgen.ObjectID, 50)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		if err := s.CreatePending(ids[i], owner, task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.Len(); got != len(ids) {
+		t.Fatalf("Len = %d, want %d", got, len(ids))
+	}
+	if got := s.PendingIDs(); len(got) != len(ids) {
+		t.Fatalf("PendingIDs = %d, want %d", len(got), len(ids))
+	}
+	// Entries must actually be spread over more than one shard.
+	spread := 0
+	for _, n := range s.ShardSizes() {
+		if n > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("entries on %d shards, want >= 2", spread)
+	}
+	for _, id := range ids {
+		if _, err := s.MarkReady(id, 8, loc, idgen.Nil, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recs := s.Records()
+	if len(recs) != len(ids) {
+		t.Fatalf("Records = %d, want %d", len(recs), len(ids))
+	}
+	for _, rec := range recs {
+		if rec.State != Ready || len(rec.Locations) != 1 || rec.Locations[0] != loc {
+			t.Fatalf("rec = %+v", rec)
+		}
+	}
+	if err := s.WaitReady(context.Background(), ids[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get(idgen.Next()); !errors.Is(err, ErrUnknownObject) {
+		t.Fatalf("Get unknown = %v", err)
+	}
+}
+
+// pickMigratingID creates pending entries until it finds one whose owner
+// changes when `joiner` joins the ring — i.e. an entry that will be handed
+// off. Ring hashing is deterministic, so probing a few IDs always finds one.
+func pickMigratingID(t *testing.T, s *ShardedTable, joiner idgen.NodeID, owner, task idgen.NodeID) idgen.ObjectID {
+	t.Helper()
+	probe := NewRing(16)
+	for _, m := range s.Members() {
+		probe.Add(m)
+	}
+	probe.Add(joiner)
+	for i := 0; i < 10000; i++ {
+		id := idgen.Next()
+		before, _ := s.OwnerOf(id)
+		after, _ := probe.OwnerOf(id)
+		if after == joiner && before != joiner {
+			if err := s.CreatePending(id, owner, task); err != nil {
+				t.Fatal(err)
+			}
+			return id
+		}
+	}
+	t.Fatal("no migrating key found")
+	return idgen.Nil
+}
+
+func TestShardedHandoffPreservesWaiters(t *testing.T) {
+	s, _ := newShardedWith(3)
+	joiner := idgen.Next()
+	id := pickMigratingID(t, s, joiner, idgen.Next(), idgen.Next())
+
+	done := make(chan error, 1)
+	ready := make(chan struct{})
+	go func() {
+		close(ready)
+		done <- s.WaitReady(context.Background(), id)
+	}()
+	<-ready
+	time.Sleep(5 * time.Millisecond) // let the waiter park
+
+	if moved := s.AddMember(joiner); moved == 0 {
+		t.Fatal("AddMember moved nothing; expected at least the test entry")
+	}
+	if got, _ := s.OwnerOf(id); got != joiner {
+		t.Fatalf("owner after join = %s, want joiner", got.Short())
+	}
+	if _, err := s.MarkReady(id, 4, idgen.Next(), idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("WaitReady across handoff = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("waiter never released after handoff + MarkReady")
+	}
+}
+
+func TestShardedHandoffPreservesForwards(t *testing.T) {
+	s, nodes := newShardedWith(3)
+	joiner := idgen.Next()
+	id := pickMigratingID(t, s, joiner, idgen.Next(), idgen.Next())
+	a, b := nodes[0], nodes[1]
+	if _, err := s.MarkReady(id, 4, a, idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MoveLocation(id, a, b); err != nil {
+		t.Fatal(err)
+	}
+	s.AddMember(joiner)
+	to, found := s.ResolveForward(id, a)
+	if !found || to != b {
+		t.Fatalf("forward after handoff = (%s,%v), want (%s,true)", to.Short(), found, b.Short())
+	}
+}
+
+func TestShardedSubscribeAcrossHandoff(t *testing.T) {
+	s, _ := newShardedWith(3)
+	joiner := idgen.Next()
+	id := pickMigratingID(t, s, joiner, idgen.Next(), idgen.Next())
+	sub := idgen.Next()
+	if ready, _, err := s.Subscribe(id, sub); err != nil || ready {
+		t.Fatalf("Subscribe = (%v,%v)", ready, err)
+	}
+	s.AddMember(joiner)
+	loc := idgen.Next()
+	subs, err := s.MarkReady(id, 4, loc, idgen.Nil, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 || subs[0] != sub {
+		t.Fatalf("subscribers after handoff = %v, want [%s]", subs, sub.Short())
+	}
+}
+
+func TestShardedRemoveMemberHandsOff(t *testing.T) {
+	s, nodes := newShardedWith(4)
+	owner, task := idgen.Next(), idgen.Next()
+	ids := make([]idgen.ObjectID, 80)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		if err := s.CreatePending(ids[i], owner, task); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := nodes[1]
+	s.RemoveMember(victim)
+	if s.Len() != len(ids) {
+		t.Fatalf("Len after RemoveMember = %d, want %d", s.Len(), len(ids))
+	}
+	for _, id := range ids {
+		if _, err := s.Get(id); err != nil {
+			t.Fatalf("Get(%s) after handoff: %v", id.Short(), err)
+		}
+		if host, _ := s.OwnerOf(id); host == victim {
+			t.Fatal("id still routed to removed member")
+		}
+	}
+	if s.RemoveMember(victim) != 0 {
+		t.Fatal("second RemoveMember not a no-op")
+	}
+}
+
+func TestShardedLastMemberOrphans(t *testing.T) {
+	s, nodes := newShardedWith(1)
+	id, owner, task := idgen.Next(), idgen.Next(), idgen.Next()
+	if err := s.CreatePending(id, owner, task); err != nil {
+		t.Fatal(err)
+	}
+	s.RemoveMember(nodes[0])
+	if err := s.CreatePending(idgen.Next(), owner, task); !errors.Is(err, ErrNoShards) {
+		t.Fatalf("create on empty ring = %v", err)
+	}
+	if skaderr.CodeOf(errNoShards()) != skaderr.Unavailable {
+		t.Fatalf("ErrNoShards code = %v", skaderr.CodeOf(errNoShards()))
+	}
+	if s.Len() != 1 || len(s.PendingIDs()) != 1 {
+		t.Fatalf("orphan not accounted: Len=%d", s.Len())
+	}
+	// Rejoining adopts the orphan.
+	fresh := idgen.Next()
+	s.AddMember(fresh)
+	if _, err := s.Get(id); err != nil {
+		t.Fatalf("Get after orphan adoption: %v", err)
+	}
+	if _, err := s.MarkReady(id, 4, idgen.Next(), idgen.Nil, ""); err != nil {
+		t.Fatalf("MarkReady after orphan adoption: %v", err)
+	}
+}
+
+func TestShardedCommitGuardCoversNewShards(t *testing.T) {
+	s, _ := newShardedWith(2)
+	bad := idgen.Next()
+	s.SetCommitGuard(func(loc idgen.NodeID, _ idgen.ObjectID) bool { return loc != bad })
+	joiner := idgen.Next()
+	id := pickMigratingID(t, s, joiner, idgen.Next(), idgen.Next())
+	s.AddMember(joiner)
+	// The entry now lives on a shard created after SetCommitGuard; the
+	// guard must still apply there.
+	if _, err := s.MarkReady(id, 4, bad, idgen.Nil, ""); skaderr.CodeOf(err) != skaderr.Unavailable {
+		t.Fatalf("guard bypassed on new shard: %v", err)
+	}
+	if _, err := s.MarkReady(id, 4, idgen.Next(), idgen.Nil, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedChurnRace hammers the directory from concurrent writers while
+// membership churns — run under -race this is the shard-handoff-vs-ops
+// data-race probe.
+func TestShardedChurnRace(t *testing.T) {
+	s, _ := newShardedWith(3)
+	owner, task := idgen.Next(), idgen.Next()
+	const workers = 4
+	const perWorker = 200
+	var wg sync.WaitGroup
+	idsCh := make(chan idgen.ObjectID, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := idgen.Next()
+				if err := s.CreatePending(id, owner, task); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.MarkReady(id, 4, owner, idgen.Nil, ""); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.WaitReady(context.Background(), id); err != nil {
+					t.Error(err)
+					return
+				}
+				idsCh <- id
+			}
+		}()
+	}
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		var extras []idgen.NodeID
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			n := idgen.Next()
+			s.AddMember(n)
+			extras = append(extras, n)
+			if len(extras) > 2 {
+				s.RemoveMember(extras[0])
+				extras = extras[1:]
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+	close(idsCh)
+	count := 0
+	for id := range idsCh {
+		rec, err := s.Get(id)
+		if err != nil || rec.State != Ready {
+			t.Fatalf("post-churn Get(%s) = %+v, %v", id.Short(), rec, err)
+		}
+		count++
+	}
+	if count != workers*perWorker {
+		t.Fatalf("resolved %d of %d", count, workers*perWorker)
+	}
+	if s.Handoffs() == 0 {
+		t.Fatal("churn produced no handoffs; test proved nothing")
+	}
+}

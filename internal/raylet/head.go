@@ -16,8 +16,12 @@ import (
 // and the actor-checkpoint store, and serves the own.*/actor.* RPCs that
 // raylets use for future resolution and stateful-function durability.
 type Head struct {
-	Node    idgen.NodeID
-	Table   *ownership.Table
+	Node idgen.NodeID
+	// Table is the ownership directory this head serves. NewHead installs a
+	// centralized *ownership.Table; the decentralized runtime swaps in an
+	// *ownership.ShardedTable before serving traffic, and worker raylets
+	// then serve their own shards through the same Directory.
+	Table   ownership.Directory
 	Lineage *lineage.Log
 
 	ckptMu sync.Mutex
@@ -78,92 +82,108 @@ func (h *Head) Start(tr transport.Transport) error {
 // service with a co-located raylet on one node.
 func (h *Head) Handler() transport.Handler { return h.handle }
 
-// handle dispatches one inbound RPC.
-func (h *Head) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+// ServeOwnership dispatches one own.* RPC against a Directory. It is
+// shared between the head service (centralized control plane) and worker
+// raylets hosting directory shards (decentralized control plane), so both
+// serve byte-identical protocols. handled is false for non-own.* kinds.
+func ServeOwnership(ctx context.Context, dir ownership.Directory, kind string, payload []byte) (resp []byte, handled bool, err error) {
 	switch kind {
 	case KindOwnCreate:
 		var req OwnCreateRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
 		for _, id := range req.IDs {
-			if err := h.Table.CreatePending(id, req.Owner, req.Task); err != nil {
-				return nil, err
+			if err := dir.CreatePending(id, req.Owner, req.Task); err != nil {
+				return nil, true, err
 			}
 		}
-		return nil, nil
+		return nil, true, nil
 
 	case KindOwnReady:
 		var req OwnReadyRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		subs, err := h.Table.MarkReady(req.ID, req.Size, req.Location, req.DeviceID, req.DeviceHandle)
+		subs, err := dir.MarkReady(req.ID, req.Size, req.Location, req.DeviceID, req.DeviceHandle)
 		if err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		return transport.Encode(OwnReadyResponse{Subscribers: subs})
+		resp, err = transport.Encode(OwnReadyResponse{Subscribers: subs})
+		return resp, true, err
 
 	case KindOwnGet:
 		var req OwnGetRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		rec, err := h.Table.Get(req.ID)
+		rec, err := dir.Get(req.ID)
 		if err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		return transport.Encode(OwnGetResponse{Rec: rec})
+		resp, err = transport.Encode(OwnGetResponse{Rec: rec})
+		return resp, true, err
 
 	case KindOwnWait:
 		var req OwnWaitRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		if err := h.Table.WaitReady(ctx, req.ID); err != nil {
-			return nil, err
+		if err := dir.WaitReady(ctx, req.ID); err != nil {
+			return nil, true, err
 		}
-		return nil, nil
+		return nil, true, nil
 
 	case KindOwnSubscribe:
 		var req OwnSubscribeRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		ready, rec, err := h.Table.Subscribe(req.ID, req.Node)
+		ready, rec, err := dir.Subscribe(req.ID, req.Node)
 		if err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		return transport.Encode(OwnSubscribeResponse{Ready: ready, Rec: rec})
+		resp, err = transport.Encode(OwnSubscribeResponse{Ready: ready, Rec: rec})
+		return resp, true, err
 
 	case KindOwnAddLoc:
 		var req OwnAddLocRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		if err := h.Table.AddLocation(req.ID, req.Node); err != nil {
-			return nil, err
+		if err := dir.AddLocation(req.ID, req.Node); err != nil {
+			return nil, true, err
 		}
-		return nil, nil
+		return nil, true, nil
 
 	case KindOwnMoveLoc:
 		var req OwnMoveLocRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		if err := h.Table.MoveLocation(req.ID, req.From, req.To); err != nil {
-			return nil, err
+		if err := dir.MoveLocation(req.ID, req.From, req.To); err != nil {
+			return nil, true, err
 		}
-		return nil, nil
+		return nil, true, nil
 
 	case KindOwnForward:
 		var req OwnForwardRequest
 		if err := transport.Decode(payload, &req); err != nil {
-			return nil, err
+			return nil, true, err
 		}
-		to, found := h.Table.ResolveForward(req.ID, req.Stale)
-		return transport.Encode(OwnForwardResponse{To: to, Found: found})
+		to, found := dir.ResolveForward(req.ID, req.Stale)
+		resp, err = transport.Encode(OwnForwardResponse{To: to, Found: found})
+		return resp, true, err
+	}
+	return nil, false, nil
+}
 
+// handle dispatches one inbound RPC.
+func (h *Head) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
+	if resp, handled, err := ServeOwnership(ctx, h.Table, kind, payload); handled {
+		return resp, err
+	}
+	switch kind {
 	case KindActorCkpt:
 		var req ActorCkptRequest
 		if err := transport.Decode(payload, &req); err != nil {

@@ -25,6 +25,7 @@ import (
 	"skadi/internal/idgen"
 	"skadi/internal/metrics"
 	"skadi/internal/objectstore"
+	"skadi/internal/ownership"
 	"skadi/internal/task"
 	"skadi/internal/tenancy"
 	"skadi/internal/trace"
@@ -94,6 +95,16 @@ type Config struct {
 	DPUProxy idgen.NodeID
 	// TimeScale scales simulated kernel durations.
 	TimeScale float64
+
+	// Directory, when set, makes this raylet a shard host of the
+	// decentralized ownership directory: inbound own.* RPCs are served
+	// against it instead of being rejected as unknown kinds.
+	Directory ownership.Directory
+	// OwnerRouter, when set, routes outbound own.* RPCs for an object to
+	// its owning shard node instead of Head (the decentralized control
+	// plane's consistent-hash lookup). Head remains the fallback when the
+	// routed owner is unreachable mid-handoff.
+	OwnerRouter func(id idgen.ObjectID) (idgen.NodeID, bool)
 }
 
 // Stats exposes the counters the experiments read.
@@ -237,6 +248,37 @@ func (r *Raylet) call(ctx context.Context, to idgen.NodeID, kind string, payload
 	return resp, err
 }
 
+// callOwner issues an own.* RPC for an object to the node that owns its
+// directory entry. Centralized (no OwnerRouter) that is always Head; with
+// a router it is the object's shard host on the consistent-hash ring. A
+// transport failure re-resolves once — the ring may have handed the shard
+// off while the call was in flight — and finally falls back to Head, which
+// always hosts a shard.
+func (r *Raylet) callOwner(ctx context.Context, id idgen.ObjectID, kind string, payload []byte) ([]byte, error) {
+	if r.cfg.OwnerRouter == nil {
+		return r.call(ctx, r.cfg.Head, kind, payload)
+	}
+	owner, ok := r.cfg.OwnerRouter(id)
+	if !ok {
+		owner = r.cfg.Head
+	}
+	resp, err := r.call(ctx, owner, kind, payload)
+	if err == nil || !errors.Is(err, transport.ErrUnreachable) || ctx.Err() != nil {
+		return resp, err
+	}
+	if next, ok := r.cfg.OwnerRouter(id); ok && next != owner {
+		owner = next
+		resp, err = r.call(ctx, owner, kind, payload)
+		if err == nil || !errors.Is(err, transport.ErrUnreachable) || ctx.Err() != nil {
+			return resp, err
+		}
+	}
+	if owner != r.cfg.Head {
+		return r.call(ctx, r.cfg.Head, kind, payload)
+	}
+	return resp, err
+}
+
 // handle dispatches one inbound RPC.
 func (r *Raylet) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
 	// Gen-1: the inbound message physically entered through the DPU.
@@ -336,6 +378,13 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 		return nil, nil
 
 	default:
+		// Decentralized control plane: shard hosts serve own.* RPCs with
+		// the same dispatch the head uses.
+		if r.cfg.Directory != nil {
+			if resp, handled, err := ServeOwnership(ctx, r.cfg.Directory, kind, payload); handled {
+				return resp, err
+			}
+		}
 		return nil, fmt.Errorf("raylet: unknown RPC kind %q", kind)
 	}
 }
@@ -854,7 +903,7 @@ func (r *Raylet) commit(ctx context.Context, id idgen.ObjectID, data []byte) err
 		ID: id, Size: int64(len(data)), Location: r.cfg.Node,
 		DeviceID: deviceID, DeviceHandle: handle,
 	})
-	resp, err := r.call(ctx, r.cfg.Head, KindOwnReady, payload)
+	resp, err := r.callOwner(ctx, id, KindOwnReady, payload)
 	if err != nil {
 		return fmt.Errorf("raylet: own.ready: %w", err)
 	}
@@ -884,7 +933,7 @@ func (r *Raylet) pushTo(ctx context.Context, to idgen.NodeID, id idgen.ObjectID,
 	r.bump(func(s *Stats) { s.PushesSent++ })
 	// Record the new copy so schedulers and readers can find it.
 	loc := transport.MustEncode(OwnAddLocRequest{ID: id, Node: to})
-	_, err := r.call(ctx, r.cfg.Head, KindOwnAddLoc, loc)
+	_, err := r.callOwner(ctx, id, KindOwnAddLoc, loc)
 	return err
 }
 
@@ -905,11 +954,11 @@ func (r *Raylet) resolveRef(ctx context.Context, id idgen.ObjectID) ([]byte, err
 // owner, look up locations, fetch on demand.
 func (r *Raylet) resolvePull(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
 	wait := transport.MustEncode(OwnWaitRequest{ID: id})
-	if _, err := r.call(ctx, r.cfg.Head, KindOwnWait, wait); err != nil {
+	if _, err := r.callOwner(ctx, id, KindOwnWait, wait); err != nil {
 		return nil, err
 	}
 	get := transport.MustEncode(OwnGetRequest{ID: id})
-	resp, err := r.call(ctx, r.cfg.Head, KindOwnGet, get)
+	resp, err := r.callOwner(ctx, id, KindOwnGet, get)
 	if err != nil {
 		return nil, err
 	}
@@ -924,7 +973,7 @@ func (r *Raylet) resolvePull(ctx context.Context, id idgen.ObjectID) ([]byte, er
 // ready it degenerates to a pull fetch.
 func (r *Raylet) resolvePush(ctx context.Context, id idgen.ObjectID) ([]byte, error) {
 	sub := transport.MustEncode(OwnSubscribeRequest{ID: id, Node: r.cfg.Node})
-	resp, err := r.call(ctx, r.cfg.Head, KindOwnSubscribe, sub)
+	resp, err := r.callOwner(ctx, id, KindOwnSubscribe, sub)
 	if err != nil {
 		return nil, err
 	}
@@ -1027,7 +1076,7 @@ func (r *Raylet) fetch(ctx context.Context, id idgen.ObjectID, locations []idgen
 // its tombstone map is unreachable.
 func (r *Raylet) queryForward(ctx context.Context, id idgen.ObjectID, stale idgen.NodeID) idgen.NodeID {
 	req := transport.MustEncode(OwnForwardRequest{ID: id, Stale: stale})
-	respB, err := r.call(ctx, r.cfg.Head, KindOwnForward, req)
+	respB, err := r.callOwner(ctx, id, KindOwnForward, req)
 	if err != nil {
 		return idgen.Nil
 	}
@@ -1046,5 +1095,5 @@ func (r *Raylet) cacheLocal(ctx context.Context, id idgen.ObjectID, data []byte,
 	}
 	r.cfg.Layer.NoteLocation(r.cfg.Node, id)
 	loc := transport.MustEncode(OwnAddLocRequest{ID: id, Node: r.cfg.Node})
-	_, _ = r.call(ctx, r.cfg.Head, KindOwnAddLoc, loc)
+	_, _ = r.callOwner(ctx, id, KindOwnAddLoc, loc)
 }

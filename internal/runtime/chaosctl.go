@@ -157,6 +157,10 @@ func (rt *Runtime) reviveReachable() {
 	for _, id := range ids {
 		if n := rt.Cluster.Node(id); n != nil && n.Alive() {
 			rt.Sched.SetAlive(id, true)
+			// Decentralized: a partition may have gossip-convicted a node
+			// that never actually died; rejoining clears the verdict and
+			// hands its key range back.
+			rt.noteNodeAlive(id)
 		}
 	}
 }

@@ -1,0 +1,223 @@
+package runtime
+
+import (
+	"time"
+
+	"skadi/internal/gossip"
+	"skadi/internal/idgen"
+)
+
+// decentral.go wires the decentralized control plane (Options.Decentralized)
+// into the runtime: the SWIM gossip detector is the single source of truth
+// for node liveness, and its verdicts drive both the consistent-hash shard
+// ring (ownership directory handoff) and the work-stealing mesh's candidate
+// set. Centralized runtimes leave rt.gossip nil and every hook here is a
+// no-op, so the default path pays nothing.
+
+// Control-plane metric names, refreshed by SampleControlPlane and shown by
+// `skadi -trace`.
+const (
+	// GaugeGossipAlive / Suspect / Dead are the failure detector's current
+	// view counts.
+	GaugeGossipAlive   = "gossip_alive"
+	GaugeGossipSuspect = "gossip_suspect"
+	GaugeGossipDead    = "gossip_dead"
+	// GaugeDirHandoffs is the cumulative count of directory entries that
+	// moved between shards on ring membership changes.
+	GaugeDirHandoffs = "directory_handoffs"
+	// GaugeShardEntries is the per-node directory shard size (labelled by
+	// node short ID).
+	GaugeShardEntries = "directory_shard_entries"
+	// GaugeSchedSteals is the per-node count of tasks a node accepted by
+	// stealing from a saturated home (labelled by node short ID).
+	GaugeSchedSteals = "sched_steals"
+)
+
+// defaultGossipInterval paces the background failure-detector loop. With
+// SuspectTicks=3 this puts silent-partition detection at ~10ms — far inside
+// a chaos episode, far outside a healthy RPC.
+const defaultGossipInterval = 2 * time.Millisecond
+
+// Decentralized reports whether this runtime runs the distributed control
+// plane.
+func (rt *Runtime) Decentralized() bool { return rt.sharded != nil }
+
+// gossipReachable is the detector's network oracle: a probe lands iff the
+// target is up and no chaos partition separates the pair.
+func (rt *Runtime) gossipReachable(from, to idgen.NodeID) bool {
+	n := rt.Cluster.Node(to)
+	if n == nil || !n.Alive() {
+		return false
+	}
+	return !rt.chaosEng.Partitioned(from, to)
+}
+
+// applyGossipEvents feeds membership transitions into the shard ring and
+// the scheduler. Suspect withdraws a node from scheduling but keeps its
+// shard (the suspicion may be refuted); Dead additionally hands its key
+// range to the survivors; Alive reverses both. The head is a permanent
+// ring member and never leaves.
+func (rt *Runtime) applyGossipEvents(events []gossip.Event) {
+	for _, e := range events {
+		switch e.Status {
+		case gossip.Suspect:
+			if e.Node != rt.driver {
+				rt.Sched.SetAlive(e.Node, false)
+			}
+		case gossip.Dead:
+			if e.Node != rt.driver {
+				rt.Sched.SetAlive(e.Node, false)
+				rt.sharded.RemoveMember(e.Node)
+			}
+		case gossip.Alive:
+			// Re-admit only nodes that are actually up: a stale Alive event
+			// must not resurrect a crashed node in the scheduler.
+			if n := rt.Cluster.Node(e.Node); n != nil && n.Alive() {
+				rt.sharded.AddMember(e.Node)
+				if e.Node != rt.driver {
+					rt.Sched.SetAlive(e.Node, true)
+				}
+			}
+		}
+	}
+}
+
+// noteNodeDead records a confirmed crash (KillNode) in gossip and applies
+// the resulting shard handoff synchronously. No-op when centralized.
+func (rt *Runtime) noteNodeDead(node idgen.NodeID) {
+	if rt.gossip == nil {
+		return
+	}
+	rt.gossip.DeclareDead(node)
+	rt.applyGossipEvents(rt.gossip.Drain())
+}
+
+// noteNodeAlive records a (re)join: RestartNode and partition heal route
+// through here. Rejoining bumps the incarnation, which refutes any standing
+// suspicion or death verdict. No-op when centralized or already alive.
+func (rt *Runtime) noteNodeAlive(node idgen.NodeID) {
+	if rt.gossip == nil {
+		return
+	}
+	rt.gossip.Join(node)
+	rt.applyGossipEvents(rt.gossip.Drain())
+}
+
+// noteNodeLeft records a graceful, permanent departure (Decommission).
+func (rt *Runtime) noteNodeLeft(node idgen.NodeID) {
+	if rt.gossip == nil {
+		return
+	}
+	rt.gossip.Leave(node)
+	rt.sharded.RemoveMember(node)
+	rt.applyGossipEvents(rt.gossip.Drain())
+}
+
+// startGossipPump launches the background detector loop: each tick probes,
+// ages suspicions, and applies whatever transitions fall out. This is what
+// catches silent failures — partitions with no KillNode call behind them.
+func (rt *Runtime) startGossipPump(interval time.Duration) {
+	if interval <= 0 {
+		interval = defaultGossipInterval
+	}
+	rt.gossipStop = make(chan struct{})
+	rt.gossipWG.Add(1)
+	go func() {
+		defer rt.gossipWG.Done()
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-rt.gossipStop:
+				return
+			case <-ticker.C:
+				rt.applyGossipEvents(rt.gossip.Tick())
+			}
+		}
+	}()
+}
+
+// stopGossipPump halts the background loop (idempotent; safe when
+// centralized).
+func (rt *Runtime) stopGossipPump() {
+	if rt.gossipStop == nil {
+		return
+	}
+	select {
+	case <-rt.gossipStop:
+	default:
+		close(rt.gossipStop)
+	}
+	rt.gossipWG.Wait()
+}
+
+// StepGossip advances the failure detector n rounds synchronously and
+// applies the emitted transitions, returning how many there were. Tests use
+// it to drive suspicion → death deterministically instead of sleeping
+// against the background pump.
+func (rt *Runtime) StepGossip(n int) int {
+	if rt.gossip == nil {
+		return 0
+	}
+	applied := 0
+	for i := 0; i < n; i++ {
+		events := rt.gossip.Tick()
+		applied += len(events)
+		rt.applyGossipEvents(events)
+	}
+	return applied
+}
+
+// ControlPlaneSample is a point-in-time view of the decentralized control
+// plane's health, for experiments and `skadi -trace`.
+type ControlPlaneSample struct {
+	Decentralized bool
+	// ShardEntries maps each ring member to its directory shard size.
+	ShardEntries map[idgen.NodeID]int
+	// Handoffs is the cumulative count of entries moved between shards.
+	Handoffs uint64
+	// Alive / Suspect / Dead are the gossip view counts.
+	Alive, Suspect, Dead int
+	// Steals maps each node to the tasks it accepted by work stealing.
+	Steals map[idgen.NodeID]uint64
+}
+
+// SampleControlPlane refreshes the control-plane gauge families (gossip
+// view counts, per-shard directory sizes, per-node steal counters) and
+// returns the sample. On a centralized runtime it returns a zero sample and
+// touches nothing.
+func (rt *Runtime) SampleControlPlane() ControlPlaneSample {
+	if rt.sharded == nil {
+		return ControlPlaneSample{}
+	}
+	s := ControlPlaneSample{
+		Decentralized: true,
+		ShardEntries:  rt.sharded.ShardSizes(),
+		Handoffs:      rt.sharded.Handoffs(),
+		Steals:        rt.mesh.Steals(),
+	}
+	s.Alive, s.Suspect, s.Dead = rt.gossip.Counts()
+
+	rt.Metrics.Gauge(GaugeGossipAlive).Set(int64(s.Alive))
+	rt.Metrics.Gauge(GaugeGossipSuspect).Set(int64(s.Suspect))
+	rt.Metrics.Gauge(GaugeGossipDead).Set(int64(s.Dead))
+	rt.Metrics.Gauge(GaugeDirHandoffs).Set(int64(s.Handoffs))
+
+	shards := rt.Metrics.GaugeVec(GaugeShardEntries)
+	current := make(map[string]bool, len(s.ShardEntries))
+	for node, n := range s.ShardEntries {
+		label := node.Short()
+		current[label] = true
+		shards.With(label).Set(int64(n))
+	}
+	for _, label := range shards.Labels() {
+		if !current[label] {
+			shards.Delete(label)
+		}
+	}
+	steals := rt.Metrics.GaugeVec(GaugeSchedSteals)
+	for node, n := range s.Steals {
+		steals.With(node.Short()).Set(int64(n))
+	}
+	return s
+}

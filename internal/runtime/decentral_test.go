@@ -1,0 +1,368 @@
+package runtime
+
+import (
+	"context"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"skadi/internal/chaos"
+	"skadi/internal/gossip"
+	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
+	"skadi/internal/task"
+	"skadi/internal/tenancy"
+)
+
+func ringHas(members []idgen.NodeID, n idgen.NodeID) bool {
+	for _, m := range members {
+		if m == n {
+			return true
+		}
+	}
+	return false
+}
+
+// TestDecentralizedEndToEnd: the full task API runs unchanged on the
+// distributed control plane — sharded directory, work-stealing mesh, gossip
+// liveness — and the control-plane sample is coherent at quiesce.
+func TestDecentralizedEndToEnd(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 4, ServerSlots: 2, ServerMemBytes: 64 << 20,
+	}, Options{Decentralized: true, Recovery: RecoverLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if !rt.Decentralized() {
+		t.Fatal("Decentralized() = false")
+	}
+	// Ring membership: the head (permanent member) plus every worker.
+	members := rt.sharded.Members()
+	if len(members) != 5 {
+		t.Fatalf("ring members = %d, want 5", len(members))
+	}
+	if !ringHas(members, rt.Driver()) {
+		t.Fatal("head missing from the ring")
+	}
+
+	registerSquareAgg(rt, 0)
+	aggRefs, _, want := submitFanOutFanIn(rt, 8, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for a, ref := range aggRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			t.Fatalf("agg %d: %v", a, err)
+		}
+		if got, _ := strconv.Atoi(string(data)); got != want[a] {
+			t.Fatalf("agg %d = %q, want %d", a, data, want[a])
+		}
+	}
+	rt.Drain()
+
+	s := rt.SampleControlPlane()
+	if !s.Decentralized || s.Alive != 5 || s.Suspect != 0 || s.Dead != 0 {
+		t.Fatalf("sample = %+v, want 5 alive members", s)
+	}
+	total := 0
+	for _, n := range s.ShardEntries {
+		total += n
+	}
+	if total != rt.Head.Table.Len() {
+		t.Fatalf("shard sizes sum to %d, directory holds %d", total, rt.Head.Table.Len())
+	}
+}
+
+// TestDecentralizedCrashHandsOffShard: killing a ring member moves its
+// directory shard to the survivors with nothing lost, and a restart takes a
+// key range back.
+func TestDecentralizedCrashHandsOffShard(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 4, ServerSlots: 2, ServerMemBytes: 64 << 20,
+	}, Options{Decentralized: true, Recovery: RecoverLineage})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	registerSquareAgg(rt, 0)
+	aggRefs, _, want := submitFanOutFanIn(rt, 12, 3)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, ref := range aggRefs {
+		if _, err := rt.Get(ctx, ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt.Drain()
+	recordsBefore := len(rt.Head.Table.Records())
+
+	victim := rt.workerServers()[0]
+	if !ringHas(rt.sharded.Members(), victim) {
+		t.Fatalf("victim %s not a ring member", victim.Short())
+	}
+	rt.KillNode(victim)
+	if ringHas(rt.sharded.Members(), victim) {
+		t.Fatal("dead node still owns a shard")
+	}
+	if st, _, ok := rt.gossip.Status(victim); !ok || st != gossip.Dead {
+		t.Fatalf("gossip status = %v, %v; want dead", st, ok)
+	}
+	// The handoff must not drop entries: every record survives on the
+	// remaining shards (locations shrink, the directory does not).
+	if got := len(rt.Head.Table.Records()); got != recordsBefore {
+		t.Fatalf("records after handoff = %d, want %d", got, recordsBefore)
+	}
+	// Results remain fetchable through lineage recovery + rerouted lookups.
+	for a, ref := range aggRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			t.Fatalf("agg %d after crash: %v", a, err)
+		}
+		if got, _ := strconv.Atoi(string(data)); got != want[a] {
+			t.Fatalf("agg %d after crash = %q, want %d", a, data, want[a])
+		}
+	}
+
+	rt.RestartNode(victim)
+	if !ringHas(rt.sharded.Members(), victim) {
+		t.Fatal("restarted node did not rejoin the ring")
+	}
+	if st, _, ok := rt.gossip.Status(victim); !ok || st != gossip.Alive {
+		t.Fatalf("gossip status after restart = %v, %v; want alive", st, ok)
+	}
+}
+
+// TestDecentralizedGossipConvictsPartitioned: a silent partition — no
+// KillNode call — is detected by the background protocol (here stepped
+// manually for determinism), the victim loses its shard and its place in
+// the scheduler, and the heal path brings it back via refutation.
+func TestDecentralizedGossipConvictsPartitioned(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 3, ServerSlots: 2, ServerMemBytes: 64 << 20,
+	}, Options{Decentralized: true, GossipInterval: time.Hour}) // manual ticks only
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+
+	victim := rt.workerServers()[0]
+	rt.Chaos().Partition([]idgen.NodeID{victim})
+	// One tick to suspect, SuspectTicks more to convict.
+	rt.StepGossip(8)
+	if ringHas(rt.sharded.Members(), victim) {
+		t.Fatal("partitioned node still owns a shard after conviction")
+	}
+	if st, _, _ := rt.gossip.Status(victim); st != gossip.Dead {
+		t.Fatalf("gossip status = %v, want dead", st)
+	}
+	s := rt.SampleControlPlane()
+	if s.Dead != 1 {
+		t.Fatalf("sample dead = %d, want 1", s.Dead)
+	}
+
+	// Heal: the node never actually died, so it refutes and rejoins.
+	rt.Chaos().HealPartition()
+	rt.HealChaos()
+	if !ringHas(rt.sharded.Members(), victim) {
+		t.Fatal("healed node did not rejoin the ring")
+	}
+	if st, inc, _ := rt.gossip.Status(victim); st != gossip.Alive || inc == 0 {
+		t.Fatalf("gossip status = %v inc=%d, want alive with bumped incarnation", st, inc)
+	}
+	// Steady state: further ticks must not re-convict anyone.
+	rt.StepGossip(8)
+	if s := rt.SampleControlPlane(); s.Dead != 0 || s.Suspect != 0 {
+		t.Fatalf("post-heal sample = %+v, want all alive", s)
+	}
+}
+
+// TestDecentralizedHandoffRacesCrash: two ring members crash and restart
+// concurrently while the DAG is in flight — shard handoff triggered by one
+// crash races the other crash and both rejoin handoffs. Every future must
+// still resolve and every invariant hold.
+func TestDecentralizedHandoffRacesCrash(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 5, ServerSlots: 2, ServerMemBytes: 64 << 20,
+	}, Options{Decentralized: true, Recovery: RecoverLineage, TimeScale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	registerSquareAgg(rt, 200*time.Microsecond)
+	checker := rt.ChaosChecker()
+
+	aggRefs, _, want := submitFanOutFanIn(rt, 12, 3)
+	workers := rt.workerServers()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(victim idgen.NodeID) {
+			defer wg.Done()
+			rt.KillNode(victim)
+			time.Sleep(time.Millisecond)
+			rt.RestartNode(victim)
+		}(workers[i])
+	}
+	wg.Wait()
+	rt.HealChaos()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for a, ref := range aggRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			if skaderr.CodeOf(err) == skaderr.OK {
+				t.Fatalf("agg %d failed untyped: %v", a, err)
+			}
+			continue
+		}
+		if got, _ := strconv.Atoi(string(data)); got != want[a] {
+			t.Fatalf("agg %d = %q, want %d", a, data, want[a])
+		}
+	}
+	rt.Drain()
+	for i := 0; i < 2; i++ {
+		if !ringHas(rt.sharded.Members(), workers[i]) {
+			t.Fatalf("victim %d missing from the ring after restart", i)
+		}
+	}
+	if vs := checker.Check(); len(vs) != 0 {
+		t.Fatalf("%d invariant violation(s): %v", len(vs), vs)
+	}
+}
+
+// TestDecentralizedDecommission: a graceful drain leaves gossip and the
+// ring permanently — no refutation resurrects a decommissioned node.
+func TestDecentralizedDecommission(t *testing.T) {
+	rt, err := New(ClusterSpec{
+		Servers: 3, ServerSlots: 2, ServerMemBytes: 64 << 20,
+	}, Options{Decentralized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	victim := rt.workerServers()[0]
+	if _, err := rt.Decommission(context.Background(), victim); err != nil {
+		t.Fatal(err)
+	}
+	if ringHas(rt.sharded.Members(), victim) {
+		t.Fatal("decommissioned node still owns a shard")
+	}
+	if _, _, ok := rt.gossip.Status(victim); ok {
+		t.Fatal("decommissioned node still a gossip member")
+	}
+	// Further protocol rounds must not resurrect it.
+	rt.StepGossip(4)
+	if ringHas(rt.sharded.Members(), victim) {
+		t.Fatal("gossip resurrected a decommissioned node")
+	}
+}
+
+// runDecentralChaosEpisode is the sharded-directory version of the chaos
+// property episode, with the tenancy plane armed so I6 (per-tenant
+// accounting) is checked alongside I2 (ownership residency) against shard
+// handoffs racing the generated crash/partition schedule.
+func runDecentralChaosEpisode(t *testing.T, seed int64) {
+	rt, err := New(ClusterSpec{
+		Servers: 4, ServerSlots: 2, ServerMemBytes: 64 << 20,
+	}, Options{
+		Decentralized: true,
+		Recovery:      RecoverLineage, TimeScale: 1.0,
+		Tenancy: tenancy.Options{FairShare: true, Preemption: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Shutdown()
+	if err := rt.RegisterTenant(tenancy.Config{Name: "blue", Priority: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.RegisterTenant(tenancy.Config{Name: "green"}); err != nil {
+		t.Fatal(err)
+	}
+	registerSquareAgg(rt, 300*time.Microsecond)
+	checker := rt.ChaosChecker()
+
+	_, faultable := rt.ChaosNodes()
+	plan := chaos.Generate(seed, chaos.GenConfig{
+		Faultable: faultable,
+		Window:    3 * time.Millisecond,
+		Mix:       chaos.Mix(uint64(seed) % 4),
+	})
+
+	const leaves, aggs = 8, 2
+	tenantOf := func(i int) string {
+		if i%2 == 0 {
+			return "blue"
+		}
+		return "green"
+	}
+	want := make([]int, aggs)
+	leafRefs := make([]idgen.ObjectID, leaves)
+	for i := 0; i < leaves; i++ {
+		lctx := tenancy.ContextWith(context.Background(), tenantOf(i))
+		spec := task.NewSpec(rt.Job(), "leaf", []task.Arg{task.ValueArg([]byte(strconv.Itoa(i)))}, 1)
+		leafRefs[i] = rt.SubmitCtx(lctx, spec)[0]
+		want[i%aggs] += i * i
+	}
+	aggRefs := make([]idgen.ObjectID, aggs)
+	for a := 0; a < aggs; a++ {
+		var args []task.Arg
+		for i := a; i < leaves; i += aggs {
+			args = append(args, task.RefArg(leafRefs[i]))
+		}
+		actx := tenancy.ContextWith(context.Background(), tenantOf(a))
+		aggRefs[a] = rt.SubmitCtx(actx, task.NewSpec(rt.Job(), "agg", args, 1))[0]
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	rt.RunPlan(ctx, plan)
+
+	for a, ref := range aggRefs {
+		data, err := rt.Get(ctx, ref)
+		if err != nil {
+			if skaderr.CodeOf(err) == skaderr.OK {
+				failEpisode(t, rt, seed, "episode seed=%d: agg %d failed untyped: %v", seed, a, err)
+			}
+			continue
+		}
+		if got, _ := strconv.Atoi(string(data)); got != want[a] {
+			failEpisode(t, rt, seed, "episode seed=%d: agg %d = %q, want %d", seed, a, data, want[a])
+		}
+	}
+	rt.Drain()
+
+	if vs := checker.Check(); len(vs) != 0 {
+		failEpisode(t, rt, seed, "episode seed=%d: %d invariant violation(s): %v", seed, len(vs), vs)
+	}
+	// Quiesce sanity specific to this plane: shard sizes must cover the
+	// whole directory (no entry stranded by a handoff).
+	s := rt.SampleControlPlane()
+	total := 0
+	for _, n := range s.ShardEntries {
+		total += n
+	}
+	if total != rt.Head.Table.Len() {
+		failEpisode(t, rt, seed, "episode seed=%d: shards hold %d entries, directory %d",
+			seed, total, rt.Head.Table.Len())
+	}
+}
+
+// TestChaosPropertyDecentralized is the randomized chaos suite against the
+// decentralized control plane: seeded fault plans (crashes, restarts,
+// partitions, message chaos) over a two-tenant DAG, with shard handoff and
+// gossip conviction happening mid-episode, all six invariants checked at
+// quiesce. Uses the same seed space and replay recipe as TestChaosProperty.
+func TestChaosPropertyDecentralized(t *testing.T) {
+	base := chaos.FlagSeed()
+	for ep := 0; ep < chaosEpisodes(); ep++ {
+		seed := base + int64(ep)
+		runDecentralChaosEpisode(t, seed)
+		if t.Failed() {
+			return
+		}
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"skadi/internal/cluster"
 	"skadi/internal/dsm"
 	"skadi/internal/fabric"
+	"skadi/internal/gossip"
 	"skadi/internal/idgen"
 	"skadi/internal/metrics"
 	"skadi/internal/migrate"
@@ -116,14 +117,25 @@ type Options struct {
 	// preemption). The controller stays inert — zero cost on every submit
 	// path — until RegisterTenant is called.
 	Tenancy tenancy.Options
+	// Decentralized replaces the centralized control plane with the
+	// distributed one: the ownership directory is sharded across raylet
+	// nodes by consistent hashing, placement runs on the per-node
+	// work-stealing mesh instead of the global-lock scheduler, and node
+	// liveness is decided by SWIM-style gossip instead of the head.
+	Decentralized bool
+	// GossipInterval is the background failure-detector tick period in
+	// decentralized mode (default 2ms; ignored when Decentralized is off).
+	GossipInterval time.Duration
 }
 
 // Runtime is a running Skadi instance.
 type Runtime struct {
-	Cluster  *cluster.Cluster
-	Layer    *caching.Layer
-	Head     *raylet.Head
-	Sched    *scheduler.Scheduler
+	Cluster *cluster.Cluster
+	Layer   *caching.Layer
+	Head    *raylet.Head
+	// Sched is the placement engine: the centralized *scheduler.Scheduler
+	// by default, the work-stealing *scheduler.Mesh in decentralized mode.
+	Sched    scheduler.Placer
 	Registry *task.Registry
 	// Metrics holds runtime-level gauges: per-node resident bytes, actor
 	// counts, and queue depths (GaugeVec families keyed by node), refreshed
@@ -164,6 +176,14 @@ type Runtime struct {
 	// chaosEng interposes on the transport for fault injection; always
 	// present, transparent until a plan is installed. See chaosctl.go.
 	chaosEng *chaos.Engine
+
+	// Decentralized control plane (all nil/zero in centralized mode). See
+	// decentral.go for the wiring.
+	sharded    *ownership.ShardedTable
+	mesh       *scheduler.Mesh
+	gossip     *gossip.Cluster
+	gossipStop chan struct{}
+	gossipWG   sync.WaitGroup
 }
 
 // Metric names for the cancellation subsystem, read by `skadi -trace` and
@@ -214,11 +234,11 @@ type actorPlacement struct {
 	backend string
 }
 
-// locator adapts the caching layer + ownership table to the scheduler's
-// ObjectLocator.
+// locator adapts the caching layer + ownership directory to the
+// scheduler's ObjectLocator.
 type locator struct {
 	layer *caching.Layer
-	table *ownership.Table
+	table ownership.Directory
 }
 
 func (l *locator) Locations(id idgen.ObjectID) []idgen.NodeID { return l.layer.Locations(id) }
@@ -271,6 +291,18 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	rt.driver = headNode.ID
 	rt.Head = raylet.NewHead(headNode.ID)
 	layer.AddStore(headNode.ID, caching.HostDRAM, objectstore.New(1<<30, nil))
+	if opts.Decentralized {
+		// Swap the head's centralized table for the sharded directory before
+		// any traffic. The head is a permanent ring member, so the ring is
+		// never empty: worker crashes hand their shards somewhere, and a
+		// one-node cluster still resolves every key.
+		rt.sharded = ownership.NewSharded(0)
+		rt.sharded.AddMember(headNode.ID)
+		rt.Head.Table = rt.sharded
+		rt.gossip = gossip.New(gossip.Config{}, rt.gossipReachable)
+		rt.gossip.Join(headNode.ID)
+		rt.gossip.Drain()
+	}
 	// Residency guard: a commit naming a location must be backed by bytes —
 	// either in that node's store or redundantly elsewhere (DSM, EC,
 	// another verified replica). Rejects own.ready/own.addloc messages from
@@ -283,7 +315,13 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 		return layer.RecoverableWithout(loc, id)
 	})
 
-	rt.Sched = scheduler.New(opts.Policy, &locator{layer: layer, table: rt.Head.Table})
+	loc := &locator{layer: layer, table: rt.Head.Table}
+	if opts.Decentralized {
+		rt.mesh = scheduler.NewMesh(opts.Policy, loc)
+		rt.Sched = rt.mesh
+	} else {
+		rt.Sched = scheduler.New(opts.Policy, loc)
+	}
 	// Worker quotas are enforced twice: at the tenancy slot gate (the
 	// primary, fair-share path) and here at placement, covering gang and
 	// recovery placements that bypass the gate.
@@ -338,12 +376,17 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 
 	// Driver-side raylet on the head node, multiplexed with the head
 	// service on one transport endpoint. Not a scheduling target.
-	drv, err := raylet.New(raylet.Config{
+	drvCfg := raylet.Config{
 		Node: headNode.ID, Backend: "cpu", Slots: 2,
 		Head: headNode.ID, Transport: c.Transport, Fabric: c.Fabric,
 		Layer: layer, Registry: rt.Registry, Resolution: opts.Resolution,
 		TimeScale: opts.TimeScale,
-	})
+	}
+	if rt.sharded != nil {
+		drvCfg.Directory = rt.sharded
+		drvCfg.OwnerRouter = rt.sharded.OwnerOf
+	}
+	drv, err := raylet.New(drvCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -362,6 +405,9 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 	rt.migrator = migrate.New(migrate.Config{
 		Self: headNode.ID, Head: headNode.ID, Transport: c.Transport,
 	})
+	if rt.gossip != nil {
+		rt.startGossipPump(opts.GossipInterval)
+	}
 	return rt, nil
 }
 
@@ -373,6 +419,12 @@ func (rt *Runtime) addRaylet(node *cluster.Node, backend string, slots int, dpuP
 		Head: rt.driver, Transport: rt.Cluster.Transport, Fabric: rt.Cluster.Fabric,
 		Layer: rt.Layer, Registry: rt.Registry, Resolution: rt.opts.Resolution,
 		DPUProxy: dpuProxy, TimeScale: rt.opts.TimeScale,
+	}
+	if rt.sharded != nil {
+		// Decentralized: the raylet serves its own directory shard and
+		// routes ownership RPCs to whichever node the ring says owns the key.
+		cfg.Directory = rt.sharded
+		cfg.OwnerRouter = rt.sharded.OwnerOf
 	}
 	rl, err := raylet.New(cfg)
 	if err != nil {
@@ -386,6 +438,14 @@ func (rt *Runtime) addRaylet(node *cluster.Node, backend string, slots int, dpuP
 	rt.rayletCfg[node.ID] = cfg
 	rt.mu.Unlock()
 	rt.Sched.AddNode(scheduler.NodeInfo{ID: node.ID, Backend: backend, Slots: slots})
+	if rt.sharded != nil {
+		// Joining the ring pulls this node's key range over from the
+		// existing members (whole-entry handoff: waiters and forwards move
+		// with the records); joining gossip makes it probe-able.
+		rt.sharded.AddMember(node.ID)
+		rt.gossip.Join(node.ID)
+		rt.applyGossipEvents(rt.gossip.Drain())
+	}
 	// The node's slots and store bytes join the capacity pool the
 	// fair-share controller divides among tenants.
 	rt.Tenancy.AddCapacity(slots, node.Res.MemBytes)
@@ -995,6 +1055,10 @@ func (rt *Runtime) KillNode(node idgen.NodeID) []idgen.ObjectID {
 	rt.chaosEng.CrashNode(node)
 	rt.Cluster.Kill(node)
 	rt.Sched.SetAlive(node, false)
+	// Decentralized: confirm the death in gossip (the crash is known, not
+	// suspected) so the event handler hands the victim's directory shard to
+	// the surviving ring members before locations are scrubbed.
+	rt.noteNodeDead(node)
 	if store := rt.Layer.Store(node); store != nil {
 		store.Clear()
 	}
@@ -1237,6 +1301,9 @@ func (rt *Runtime) RestartNode(node idgen.NodeID) {
 		}
 	}
 	rt.Sched.SetAlive(node, true)
+	// Decentralized: rejoin gossip (bumping the incarnation refutes any
+	// stale suspicion) and take a key range back from the ring.
+	rt.noteNodeAlive(node)
 }
 
 // Free releases objects cluster-wide: every cached copy, replica, EC
@@ -1262,6 +1329,7 @@ func (rt *Runtime) FabricStats() fabric.Stats { return rt.Cluster.Fabric.TotalSt
 // never-to-be-produced object (with skaderr.Unavailable), and tears down the
 // transport. No Get/Wait goroutine outlives it.
 func (rt *Runtime) Shutdown() {
+	rt.stopGossipPump()
 	rt.Drain()
 	// Record the cause before AbortPending wakes waiters: a released Get
 	// must observe Unavailable, never a bare loss.

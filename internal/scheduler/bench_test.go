@@ -65,6 +65,46 @@ func BenchmarkPickDataLocality(b *testing.B) {
 	}
 }
 
+// BenchmarkPickLargeCluster is the candidate-cache regression benchmark:
+// with many registered nodes across several backends, Pick must not pay an
+// O(nodes) scan per placement.
+func BenchmarkPickLargeCluster(b *testing.B) {
+	s := New(RoundRobin, nil)
+	backends := []string{"cpu", "gpu", "dpu", "fpga"}
+	for i := 0; i < 1024; i++ {
+		s.AddNode(NodeInfo{ID: idgen.Next(), Backend: backends[i%len(backends)], Slots: 64})
+	}
+	spec := task.NewSpec(idgen.Next(), "f", nil, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node, err := s.Pick(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Finished(node)
+	}
+}
+
+// BenchmarkMeshPickParallel measures the decentralized submit path under
+// contention — the lock structure E20 scales out.
+func BenchmarkMeshPickParallel(b *testing.B) {
+	m := NewMesh(RoundRobin, nil)
+	for i := 0; i < 256; i++ {
+		m.AddNode(NodeInfo{ID: idgen.Next(), Backend: "cpu", Slots: 64})
+	}
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		spec := task.NewSpec(idgen.Next(), "f", nil, 1)
+		for pb.Next() {
+			node, err := m.Pick(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Finished(node)
+		}
+	})
+}
+
 func BenchmarkPickGang8(b *testing.B) {
 	s := benchScheduler(b, RoundRobin, 16)
 	specs := make([]*task.Spec, 8)

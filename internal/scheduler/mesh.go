@@ -1,0 +1,522 @@
+package scheduler
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
+	"skadi/internal/task"
+	"skadi/internal/trace"
+)
+
+// stealProbes is how many random peers a saturated home node probes before
+// falling back to least-loaded placement. Two random choices already give
+// exponential load-balance improvement (power-of-k-choices); three keeps
+// the steal path short while tolerating a stale snapshot entry or two.
+const stealProbes = 3
+
+// local is one node's scheduler state in the decentralized mesh: its own
+// slot accounting behind its own lock, so the submit→exec hot path touches
+// no global mutex.
+type local struct {
+	info NodeInfo
+
+	mu       sync.Mutex
+	inflight int
+	alive    bool
+
+	// steals counts tasks this node accepted from another node's overflow
+	// — the work-stealing traffic `skadi -trace` and E20 report.
+	steals atomic.Uint64
+}
+
+// tryReserve accounts one task if the node is alive and (when strict) has
+// a free slot. Slots <= 0 means unbounded.
+func (l *local) tryReserve(strict bool) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.alive {
+		return false
+	}
+	if strict && l.info.Slots > 0 && l.inflight >= l.info.Slots {
+		return false
+	}
+	l.inflight++
+	return true
+}
+
+func (l *local) release() {
+	l.mu.Lock()
+	if l.inflight > 0 {
+		l.inflight--
+	}
+	l.mu.Unlock()
+}
+
+func (l *local) load() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inflight
+}
+
+func (l *local) isAlive() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alive
+}
+
+// meshSnap is the copy-on-write membership snapshot Pick routes through:
+// rebuilt on every membership/liveness change, read lock-free on every
+// placement. byBackend holds only live nodes; byID holds all registered
+// nodes so Finished/Started resolve even across a liveness flap.
+type meshSnap struct {
+	byBackend map[string][]*local
+	byID      map[idgen.NodeID]*local
+}
+
+var emptySnap = &meshSnap{
+	byBackend: map[string][]*local{},
+	byID:      map[idgen.NodeID]*local{},
+}
+
+// capHolder wraps a capacity-watch channel behind one atomic pointer so
+// Finished can notify watchers without any lock (a nil swap when nobody is
+// watching).
+type capHolder struct{ ch chan struct{} }
+
+// Mesh is the decentralized control plane's Placer: per-node local slot
+// accounting plus work stealing. Submission picks a home node from a
+// lock-free snapshot (round-robin, random, locality — same policies as the
+// centralized Scheduler); if the home is saturated, it probes a few random
+// peers and hands the task to the first with a free slot, counting a
+// steal. Only membership changes (add/remove/liveness) take the mesh-wide
+// lock; Pick, Started, and Finished touch at most a couple of per-node
+// mutexes, so submit→exec scales with node count instead of serializing on
+// one scheduler mutex.
+type Mesh struct {
+	gateMu sync.RWMutex
+	gate   func(*task.Spec) error
+
+	mu      sync.Mutex // membership, policy; never held on the Pick fast path
+	policy  Policy
+	locator ObjectLocator
+	locals  map[idgen.NodeID]*local
+	order   []idgen.NodeID
+
+	snap   atomic.Value // *meshSnap
+	capPtr atomic.Pointer[capHolder]
+	rr     atomic.Uint64
+	seq    atomic.Uint64
+}
+
+// NewMesh returns an empty work-stealing mesh with the given policy.
+// locator may be nil for policies that ignore data placement.
+func NewMesh(policy Policy, locator ObjectLocator) *Mesh {
+	m := &Mesh{
+		policy:  policy,
+		locator: locator,
+		locals:  make(map[idgen.NodeID]*local),
+	}
+	m.seq.Store(0x9e3779b97f4a7c15) // fixed seed: probe order is reproducible
+	m.snap.Store(emptySnap)
+	return m
+}
+
+// splitmix64 hashes a counter draw into a well-mixed 64-bit value.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func (m *Mesh) loadSnap() *meshSnap { return m.snap.Load().(*meshSnap) }
+
+// rebuildLocked recomputes the routing snapshot. Caller holds mu.
+func (m *Mesh) rebuildLocked() {
+	ns := &meshSnap{
+		byBackend: make(map[string][]*local),
+		byID:      make(map[idgen.NodeID]*local, len(m.locals)),
+	}
+	for _, id := range m.order {
+		l := m.locals[id]
+		ns.byID[id] = l
+		if l.isAlive() {
+			ns.byBackend[l.info.Backend] = append(ns.byBackend[l.info.Backend], l)
+		}
+	}
+	m.snap.Store(ns)
+}
+
+// notifyCapacity wakes every capacity watcher; a single atomic swap when
+// nobody is watching.
+func (m *Mesh) notifyCapacity() {
+	if h := m.capPtr.Swap(nil); h != nil {
+		close(h.ch)
+	}
+}
+
+// CapacityWatch returns a channel closed the next time capacity may have
+// grown. Obtain it BEFORE attempting a placement.
+func (m *Mesh) CapacityWatch() <-chan struct{} {
+	for {
+		if h := m.capPtr.Load(); h != nil {
+			return h.ch
+		}
+		nh := &capHolder{ch: make(chan struct{})}
+		if m.capPtr.CompareAndSwap(nil, nh) {
+			return nh.ch
+		}
+	}
+}
+
+// SetGate installs a placement veto consulted before node selection.
+func (m *Mesh) SetGate(gate func(*task.Spec) error) {
+	m.gateMu.Lock()
+	m.gate = gate
+	m.gateMu.Unlock()
+}
+
+func (m *Mesh) checkGate(spec *task.Spec) error {
+	m.gateMu.RLock()
+	gate := m.gate
+	m.gateMu.RUnlock()
+	if gate == nil {
+		return nil
+	}
+	return gate(spec)
+}
+
+// SetPolicy switches the placement policy at runtime.
+func (m *Mesh) SetPolicy(p Policy) {
+	m.mu.Lock()
+	m.policy = p
+	m.mu.Unlock()
+}
+
+// Policy returns the active policy.
+func (m *Mesh) Policy() Policy {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.policy
+}
+
+// AddNode registers a schedulable node.
+func (m *Mesh) AddNode(info NodeInfo) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.locals[info.ID]; ok {
+		return
+	}
+	m.locals[info.ID] = &local{info: info, alive: true}
+	m.order = append(m.order, info.ID)
+	m.rebuildLocked()
+	m.notifyCapacity()
+}
+
+// RemoveNode unregisters a node.
+func (m *Mesh) RemoveNode(id idgen.NodeID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.locals[id]; !ok {
+		return
+	}
+	delete(m.locals, id)
+	for i, n := range m.order {
+		if n == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.rebuildLocked()
+}
+
+// SetAlive marks a node up or down without unregistering it. Dead nodes
+// leave the routing snapshot; their in-flight accounting is preserved.
+func (m *Mesh) SetAlive(id idgen.NodeID, alive bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	l, ok := m.locals[id]
+	if !ok {
+		return
+	}
+	l.mu.Lock()
+	changed := l.alive != alive
+	l.alive = alive
+	l.mu.Unlock()
+	if !changed {
+		return
+	}
+	m.rebuildLocked()
+	if alive {
+		m.notifyCapacity()
+	}
+}
+
+// NodeCount returns the number of live registered nodes.
+func (m *Mesh) NodeCount() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, l := range m.locals {
+		if l.isAlive() {
+			n++
+		}
+	}
+	return n
+}
+
+// pickHome selects the task's home node from the snapshot candidates.
+func (m *Mesh) pickHome(spec *task.Spec, cands []*local) *local {
+	switch m.Policy() {
+	case Random:
+		return cands[splitmix64(m.seq.Add(1))%uint64(len(cands))]
+	case CPUCentric:
+		// Approximate least-loaded with a bounded probe instead of a
+		// global scan: power-of-k-choices over the snapshot.
+		best := cands[m.rr.Add(1)%uint64(len(cands))]
+		for i := 0; i < stealProbes; i++ {
+			c := cands[splitmix64(m.seq.Add(1))%uint64(len(cands))]
+			if c.load() < best.load() {
+				best = c
+			}
+		}
+		return best
+	case DataLocality:
+		if m.locator == nil {
+			return cands[m.rr.Add(1)%uint64(len(cands))]
+		}
+		localBytes := make(map[idgen.NodeID]int64)
+		for _, ref := range spec.RefArgs() {
+			size := m.locator.Size(ref)
+			if size == 0 {
+				size = 1
+			}
+			for _, node := range m.locator.Locations(ref) {
+				localBytes[node] += size
+			}
+		}
+		best := cands[0]
+		for _, c := range cands[1:] {
+			bi, ci := localBytes[best.info.ID], localBytes[c.info.ID]
+			if ci > bi || (ci == bi && c.load() < best.load()) {
+				best = c
+			}
+		}
+		return best
+	default: // RoundRobin
+		return cands[m.rr.Add(1)%uint64(len(cands))]
+	}
+}
+
+// Pick chooses a node for the task and accounts one in-flight task on it.
+// The hot path reads the membership snapshot lock-free, reserves on the
+// home node's own mutex, and only on saturation probes a few peers — the
+// steal protocol.
+func (m *Mesh) Pick(spec *task.Spec) (idgen.NodeID, error) {
+	if err := m.checkGate(spec); err != nil {
+		return idgen.Nil, err
+	}
+	cands := m.loadSnap().byBackend[spec.Backend]
+	if len(cands) == 0 {
+		return idgen.Nil, skaderr.Mark(skaderr.FailedPrecondition,
+			fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend))
+	}
+	home := m.pickHome(spec, cands)
+	if home.tryReserve(true) {
+		return home.info.ID, nil
+	}
+	// Home saturated (or died behind a stale snapshot): probe a few random
+	// peers for a free slot — the first taker steals the task.
+	probed := [stealProbes]*local{}
+	for i := 0; i < stealProbes; i++ {
+		c := cands[splitmix64(m.seq.Add(1))%uint64(len(cands))]
+		probed[i] = c
+		if c == home {
+			continue
+		}
+		if c.tryReserve(true) {
+			c.steals.Add(1)
+			return c.info.ID, nil
+		}
+	}
+	// Everyone probed is full: fall back to the least-loaded of the nodes
+	// we looked at, oversubscribing like the centralized Pick (which never
+	// fails on capacity, only on liveness).
+	var best *local
+	for _, c := range append(probed[:], home) {
+		if c == nil || !c.isAlive() {
+			continue
+		}
+		if best == nil || c.load() < best.load() {
+			best = c
+		}
+	}
+	if best == nil {
+		// Stale snapshot full of dead nodes; rebuild and retry once.
+		m.mu.Lock()
+		m.rebuildLocked()
+		m.mu.Unlock()
+		cands = m.loadSnap().byBackend[spec.Backend]
+		for _, c := range cands {
+			if c.tryReserve(false) {
+				if c != home {
+					c.steals.Add(1)
+				}
+				return c.info.ID, nil
+			}
+		}
+		return idgen.Nil, skaderr.Mark(skaderr.FailedPrecondition,
+			fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend))
+	}
+	if !best.tryReserve(false) {
+		// Lost an alive→dead race after the check; treat as no nodes only
+		// if nothing else can take it.
+		for _, c := range cands {
+			if c.tryReserve(false) {
+				if c != home {
+					c.steals.Add(1)
+				}
+				return c.info.ID, nil
+			}
+		}
+		return idgen.Nil, skaderr.Mark(skaderr.FailedPrecondition,
+			fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend))
+	}
+	if best != home {
+		best.steals.Add(1)
+	}
+	return best.info.ID, nil
+}
+
+// PickCtx is Pick with trace annotation, mirroring Scheduler.PickCtx.
+func (m *Mesh) PickCtx(ctx context.Context, spec *task.Spec) (idgen.NodeID, error) {
+	_, sp := trace.Start(ctx, trace.KindSchedPick, idgen.Nil)
+	node, err := m.Pick(spec)
+	if sp != nil {
+		sp.SetAttr("policy", m.Policy().String())
+		if spec.Backend != "" {
+			sp.SetAttr("backend", spec.Backend)
+		}
+		if err == nil {
+			sp.SetAttr("node", node.Short())
+		} else {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return node, err
+}
+
+// PickGang atomically places a gang: slots are reserved node by node,
+// spread over distinct nodes first, and every reservation is rolled back
+// if the gang cannot be fully placed.
+func (m *Mesh) PickGang(specs []*task.Spec) ([]idgen.NodeID, error) {
+	if len(specs) == 0 {
+		return nil, nil
+	}
+	for _, spec := range specs {
+		if err := m.checkGate(spec); err != nil {
+			return nil, err
+		}
+	}
+	for _, spec := range specs[1:] {
+		if spec.Backend != specs[0].Backend {
+			return nil, fmt.Errorf("scheduler: gang mixes backends %q and %q", specs[0].Backend, spec.Backend)
+		}
+	}
+	cands := m.loadSnap().byBackend[specs[0].Backend]
+	if len(cands) == 0 {
+		return nil, skaderr.Mark(skaderr.FailedPrecondition,
+			fmt.Errorf("%w: backend %q", ErrNoNodes, specs[0].Backend))
+	}
+	placements := make([]idgen.NodeID, 0, len(specs))
+	reserved := make([]*local, 0, len(specs))
+	rollback := func() {
+		for _, l := range reserved {
+			l.release()
+		}
+	}
+	start := int(m.rr.Add(1) % uint64(len(cands)))
+	for len(placements) < len(specs) {
+		progressed := false
+		for i := 0; i < len(cands) && len(placements) < len(specs); i++ {
+			c := cands[(start+i)%len(cands)]
+			if c.tryReserve(true) {
+				reserved = append(reserved, c)
+				placements = append(placements, c.info.ID)
+				progressed = true
+			}
+		}
+		if !progressed {
+			rollback()
+			alive := 0
+			for _, c := range cands {
+				if c.isAlive() {
+					alive++
+				}
+			}
+			if alive == 0 {
+				return nil, skaderr.Mark(skaderr.FailedPrecondition,
+					fmt.Errorf("%w: backend %q", ErrNoNodes, specs[0].Backend))
+			}
+			return nil, skaderr.Mark(skaderr.ResourceExhausted,
+				fmt.Errorf("%w: need %d slots", ErrNoCapacity, len(specs)))
+		}
+	}
+	return placements, nil
+}
+
+// Started accounts one in-flight task on a node placed outside Pick.
+func (m *Mesh) Started(id idgen.NodeID) {
+	if l, ok := m.loadSnap().byID[id]; ok {
+		l.mu.Lock()
+		l.inflight++
+		l.mu.Unlock()
+	}
+}
+
+// Finished releases one in-flight task and wakes capacity watchers.
+func (m *Mesh) Finished(id idgen.NodeID) {
+	if l, ok := m.loadSnap().byID[id]; ok {
+		l.release()
+		m.notifyCapacity()
+	}
+}
+
+// Inflight returns a node's current in-flight count.
+func (m *Mesh) Inflight(id idgen.NodeID) int {
+	if l, ok := m.loadSnap().byID[id]; ok {
+		return l.load()
+	}
+	return 0
+}
+
+// Steals returns the per-node steal counters (tasks a node accepted from
+// another home's overflow).
+func (m *Mesh) Steals() map[idgen.NodeID]uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[idgen.NodeID]uint64, len(m.locals))
+	for id, l := range m.locals {
+		out[id] = l.steals.Load()
+	}
+	return out
+}
+
+// StealCount returns the total number of stolen placements.
+func (m *Mesh) StealCount() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n uint64
+	for _, l := range m.locals {
+		n += l.steals.Load()
+	}
+	return n
+}

@@ -1,0 +1,378 @@
+package scheduler
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"skadi/internal/idgen"
+	"skadi/internal/skaderr"
+	"skadi/internal/task"
+)
+
+func addMeshNodes(m *Mesh, n int, backend string, slots int) []idgen.NodeID {
+	ids := make([]idgen.NodeID, n)
+	for i := range ids {
+		ids[i] = idgen.Next()
+		m.AddNode(NodeInfo{ID: ids[i], Backend: backend, Slots: slots})
+	}
+	return ids
+}
+
+func TestMeshPickSpreads(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	ids := addMeshNodes(m, 4, "cpu", 8)
+	counts := make(map[idgen.NodeID]int)
+	for i := 0; i < 16; i++ {
+		node, err := m.Pick(cpuSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[node]++
+	}
+	for _, id := range ids {
+		if counts[id] != 4 {
+			t.Fatalf("round-robin spread = %v", counts)
+		}
+		if m.Inflight(id) != 4 {
+			t.Fatalf("inflight(%s) = %d", id.Short(), m.Inflight(id))
+		}
+	}
+}
+
+func TestMeshNoNodes(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	if _, err := m.Pick(cpuSpec()); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Pick on empty mesh = %v", err)
+	} else if skaderr.CodeOf(err) != skaderr.FailedPrecondition {
+		t.Fatalf("code = %v", skaderr.CodeOf(err))
+	}
+	spec := task.NewSpec(idgen.Next(), "f", nil, 1)
+	spec.Backend = "gpu"
+	addMeshNodes(m, 2, "cpu", 4)
+	if _, err := m.Pick(spec); !errors.Is(err, ErrNoNodes) {
+		t.Fatalf("Pick wrong backend = %v", err)
+	}
+}
+
+func TestMeshStealFromSaturatedHome(t *testing.T) {
+	// DataLocality pins the home to the node holding the input bytes; with
+	// the home full, the task must be stolen by a peer with free slots.
+	loc := &mapLocator{
+		locs:  map[idgen.ObjectID][]idgen.NodeID{},
+		sizes: map[idgen.ObjectID]int64{},
+	}
+	m := NewMesh(DataLocality, loc)
+	ids := addMeshNodes(m, 4, "cpu", 1)
+	home := ids[0]
+	ref := idgen.Next()
+	loc.locs[ref] = []idgen.NodeID{home}
+	loc.sizes[ref] = 1 << 20
+	spec := task.NewSpec(idgen.Next(), "f", []task.Arg{task.RefArg(ref)}, 1)
+
+	first, err := m.Pick(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != home {
+		t.Fatalf("unsaturated pick = %s, want home %s", first.Short(), home.Short())
+	}
+	if m.StealCount() != 0 {
+		t.Fatal("unexpected steal on the unsaturated pick")
+	}
+	stolen, err := m.Pick(spec) // home now full (slots=1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stolen == home {
+		t.Fatal("second pick landed on the saturated home")
+	}
+	if m.StealCount() != 1 {
+		t.Fatalf("StealCount = %d, want 1", m.StealCount())
+	}
+	steals := m.Steals()
+	if steals[stolen] != 1 {
+		t.Fatalf("per-node steal counter = %v", steals)
+	}
+}
+
+func TestMeshOversubscribesWhenAllFull(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	addMeshNodes(m, 2, "cpu", 1)
+	for i := 0; i < 6; i++ {
+		if _, err := m.Pick(cpuSpec()); err != nil {
+			t.Fatalf("pick %d: %v (Pick must not fail on capacity)", i, err)
+		}
+	}
+}
+
+func TestMeshDeadNodesAvoided(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	ids := addMeshNodes(m, 3, "cpu", 4)
+	m.SetAlive(ids[0], false)
+	m.SetAlive(ids[1], false)
+	for i := 0; i < 8; i++ {
+		node, err := m.Pick(cpuSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if node != ids[2] {
+			t.Fatalf("picked dead node %s", node.Short())
+		}
+	}
+	if m.NodeCount() != 1 {
+		t.Fatalf("NodeCount = %d", m.NodeCount())
+	}
+	m.SetAlive(ids[0], true)
+	seen := make(map[idgen.NodeID]bool)
+	for i := 0; i < 8; i++ {
+		node, _ := m.Pick(cpuSpec())
+		seen[node] = true
+	}
+	if !seen[ids[0]] {
+		t.Fatal("revived node never picked")
+	}
+}
+
+func TestMeshPickGangAtomic(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	ids := addMeshNodes(m, 2, "cpu", 2)
+	specs := make([]*task.Spec, 4)
+	for i := range specs {
+		specs[i] = cpuSpec()
+	}
+	placements, err := m.PickGang(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != 4 {
+		t.Fatalf("placements = %d", len(placements))
+	}
+	// Distinct-node spread: both nodes used.
+	used := make(map[idgen.NodeID]int)
+	for _, p := range placements {
+		used[p]++
+	}
+	if len(used) != 2 {
+		t.Fatalf("gang not spread: %v", used)
+	}
+	// A fifth task cannot fit; the failed gang must not leak reservations.
+	if _, err := m.PickGang([]*task.Spec{cpuSpec()}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("overfull gang = %v", err)
+	}
+	if got := m.Inflight(ids[0]) + m.Inflight(ids[1]); got != 4 {
+		t.Fatalf("inflight after failed gang = %d, want 4 (rollback leaked)", got)
+	}
+	for _, p := range placements {
+		m.Finished(p)
+	}
+	if got := m.Inflight(ids[0]) + m.Inflight(ids[1]); got != 0 {
+		t.Fatalf("inflight after finish = %d", got)
+	}
+}
+
+func TestMeshGangMixedBackends(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	addMeshNodes(m, 2, "cpu", 4)
+	a, b := cpuSpec(), cpuSpec()
+	b.Backend = "gpu"
+	if _, err := m.PickGang([]*task.Spec{a, b}); err == nil {
+		t.Fatal("mixed-backend gang accepted")
+	}
+}
+
+func TestMeshCapacityWatch(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	ids := addMeshNodes(m, 1, "cpu", 1)
+	if _, err := m.PickGang([]*task.Spec{cpuSpec()}); err != nil {
+		t.Fatal(err)
+	}
+	watch := m.CapacityWatch()
+	if _, err := m.PickGang([]*task.Spec{cpuSpec()}); !errors.Is(err, ErrNoCapacity) {
+		t.Fatalf("gang on full mesh = %v", err)
+	}
+	select {
+	case <-watch:
+		t.Fatal("watch fired with no capacity change")
+	default:
+	}
+	m.Finished(ids[0])
+	select {
+	case <-watch:
+	case <-time.After(time.Second):
+		t.Fatal("watch never fired after Finished")
+	}
+	if _, err := m.PickGang([]*task.Spec{cpuSpec()}); err != nil {
+		t.Fatalf("gang after capacity freed = %v", err)
+	}
+}
+
+func TestMeshGate(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	addMeshNodes(m, 2, "cpu", 4)
+	sentinel := errors.New("quota")
+	m.SetGate(func(*task.Spec) error { return sentinel })
+	if _, err := m.Pick(cpuSpec()); !errors.Is(err, sentinel) {
+		t.Fatalf("gated Pick = %v", err)
+	}
+	if _, err := m.PickGang([]*task.Spec{cpuSpec()}); !errors.Is(err, sentinel) {
+		t.Fatalf("gated PickGang = %v", err)
+	}
+	m.SetGate(nil)
+	if _, err := m.Pick(cpuSpec()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// churnPlacer runs the satellite churn scenario against any Placer: pickers
+// and gang-pickers race membership churn (add/remove/flap), and every
+// successful placement must name a node that was registered at some point.
+func churnPlacer(t *testing.T, p Placer) {
+	t.Helper()
+	var mu sync.Mutex
+	everKnown := make(map[idgen.NodeID]bool)
+	addKnown := func(id idgen.NodeID) {
+		mu.Lock()
+		everKnown[id] = true
+		mu.Unlock()
+	}
+	base := make([]idgen.NodeID, 4)
+	for i := range base {
+		base[i] = idgen.Next()
+		addKnown(base[i])
+		p.AddNode(NodeInfo{ID: base[i], Backend: "cpu", Slots: 4})
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		var extras []idgen.NodeID
+		flip := false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				for _, id := range extras {
+					p.RemoveNode(id)
+				}
+				return
+			default:
+			}
+			id := idgen.Next()
+			addKnown(id)
+			p.AddNode(NodeInfo{ID: id, Backend: "cpu", Slots: 2})
+			extras = append(extras, id)
+			if len(extras) > 3 {
+				p.RemoveNode(extras[0])
+				extras = extras[1:]
+			}
+			// Flap a base node dead/alive mid-pick.
+			p.SetAlive(base[i%len(base)], flip)
+			flip = !flip
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				if i%3 == 0 {
+					specs := []*task.Spec{cpuSpec(), cpuSpec(), cpuSpec()}
+					placements, err := p.PickGang(specs)
+					if err != nil {
+						if !errors.Is(err, ErrNoCapacity) && !errors.Is(err, ErrNoNodes) {
+							t.Errorf("gang churn error: %v", err)
+							return
+						}
+						continue
+					}
+					mu.Lock()
+					for _, pl := range placements {
+						if !everKnown[pl] {
+							t.Errorf("gang placed on never-registered node %s", pl.Short())
+						}
+					}
+					mu.Unlock()
+					for _, pl := range placements {
+						p.Finished(pl)
+					}
+					continue
+				}
+				node, err := p.Pick(cpuSpec())
+				if err != nil {
+					if !errors.Is(err, ErrNoNodes) {
+						t.Errorf("pick churn error: %v", err)
+						return
+					}
+					continue
+				}
+				mu.Lock()
+				if !everKnown[node] {
+					t.Errorf("placed on never-registered node %s", node.Short())
+				}
+				mu.Unlock()
+				p.Finished(node)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+}
+
+func TestSchedulerChurn(t *testing.T) {
+	churnPlacer(t, New(RoundRobin, nil))
+}
+
+func TestMeshChurn(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	churnPlacer(t, m)
+}
+
+// TestMeshStealChurn keeps the pool near saturation while membership
+// churns, so the steal path itself races add/remove/liveness flaps.
+func TestMeshStealChurn(t *testing.T) {
+	m := NewMesh(RoundRobin, nil)
+	ids := addMeshNodes(m, 3, "cpu", 1)
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		flip := false
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			m.SetAlive(ids[i%len(ids)], flip)
+			flip = !flip
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				node, err := m.Pick(cpuSpec())
+				if err != nil {
+					if !errors.Is(err, ErrNoNodes) {
+						t.Errorf("steal churn error: %v", err)
+						return
+					}
+					continue
+				}
+				m.Finished(node)
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	churn.Wait()
+}

@@ -90,6 +90,10 @@ type Scheduler struct {
 	locator ObjectLocator
 	rr      int
 	rng     uint64
+	// cands caches the live-candidate slice per backend so Pick is O(1)
+	// amortized instead of an O(nodes) scan under the lock per submit.
+	// Invalidated by any membership or liveness change.
+	cands map[string][]*nodeState
 	// capCh is closed (and replaced) whenever capacity may have grown: a
 	// task finished, a node came up or was added. Blocked gang submitters
 	// wait on it instead of polling.
@@ -174,6 +178,7 @@ func (s *Scheduler) AddNode(info NodeInfo) {
 	ns := &nodeState{info: info, alive: true}
 	s.nodes = append(s.nodes, ns)
 	s.byID[info.ID] = ns
+	s.invalidateCandidatesLocked()
 	s.notifyCapacityLocked()
 }
 
@@ -191,6 +196,7 @@ func (s *Scheduler) RemoveNode(id idgen.NodeID) {
 			break
 		}
 	}
+	s.invalidateCandidatesLocked()
 }
 
 // SetAlive marks a node up or down without unregistering it.
@@ -199,6 +205,7 @@ func (s *Scheduler) SetAlive(id idgen.NodeID, alive bool) {
 	defer s.mu.Unlock()
 	if ns, ok := s.byID[id]; ok {
 		ns.alive = alive
+		s.invalidateCandidatesLocked()
 		if alive {
 			s.notifyCapacityLocked()
 		}
@@ -226,15 +233,31 @@ func (s *Scheduler) nextRand() uint64 {
 	return s.rng * 0x2545f4914f6cdd1d
 }
 
-// candidatesLocked returns live nodes matching the spec's backend.
+// candidatesLocked returns live nodes matching the spec's backend, from
+// the per-backend cache when valid. The cached slice is only ever read
+// under mu and rebuilt (never mutated) on invalidation, so callers may not
+// retain it across an unlock.
 func (s *Scheduler) candidatesLocked(backend string) []*nodeState {
-	var out []*nodeState
+	if cached, ok := s.cands[backend]; ok {
+		return cached
+	}
+	out := []*nodeState{}
 	for _, ns := range s.nodes {
 		if ns.alive && ns.info.Backend == backend {
 			out = append(out, ns)
 		}
 	}
+	if s.cands == nil {
+		s.cands = make(map[string][]*nodeState)
+	}
+	s.cands[backend] = out
 	return out
+}
+
+// invalidateCandidatesLocked drops the per-backend candidate cache after a
+// membership or liveness change. Caller holds mu.
+func (s *Scheduler) invalidateCandidatesLocked() {
+	s.cands = nil
 }
 
 // Pick chooses a node for the task and accounts one in-flight task on it.
