@@ -269,10 +269,14 @@ func main() {
 			fmt.Println("\n== control plane (decentralized) ==")
 			fmt.Printf("gossip view: %d alive, %d suspect, %d dead\n", cp.Alive, cp.Suspect, cp.Dead)
 			fmt.Printf("directory: %d shards, %d handoffs\n", len(cp.ShardEntries), cp.Handoffs)
+			fmt.Printf("replication: %d replicas, %d promotions, %d restored, %d lost\n",
+				cp.Repl.Replicas, cp.Repl.Promotions, cp.Repl.Restored, cp.Repl.Lost)
 			for _, line := range strings.Split(s.Runtime().Metrics.Snapshot(), "\n") {
 				if strings.Contains(line, "gossip_") ||
 					strings.Contains(line, "directory_") ||
-					strings.Contains(line, "sched_steals") {
+					strings.Contains(line, "repl_") ||
+					strings.Contains(line, "lineage_") ||
+					strings.Contains(line, "sched_steal") {
 					fmt.Println(line)
 				}
 			}

@@ -400,3 +400,42 @@ func TestUninstalledEngineIsTransparent(t *testing.T) {
 
 // Interface conformance pinned at compile time.
 var _ transport.Interposer = (*Engine)(nil)
+
+// TestCheckerDurability exercises I7 with fake views: lost entries,
+// replica divergence, and forbidden lineage replays are each violations;
+// clean promotions — and lineage replays in configurations that permit
+// them — are not.
+func TestCheckerDurability(t *testing.T) {
+	cases := []struct {
+		name string
+		d    *Durability
+		want int
+	}{
+		{"disabled", &Durability{Enabled: false, LostEntries: 9}, 0},
+		{"nil", nil, 0},
+		{"clean promotion", &Durability{Enabled: true, Promotions: 2, Restored: 40}, 0},
+		{"lost entries", &Durability{Enabled: true, Promotions: 1, Restored: 10, LostEntries: 3}, 1},
+		{"divergence", &Durability{Enabled: true, Mismatches: []string{"shard x: entry y missing"}}, 1},
+		{"forbidden replay", &Durability{Enabled: true, LineageRecoveries: 4, LineageForbidden: true}, 1},
+		{"permitted replay", &Durability{Enabled: true, LineageRecoveries: 4, LineageForbidden: false}, 0},
+		{"everything wrong", &Durability{
+			Enabled: true, LostEntries: 1,
+			Mismatches:        []string{"a", "b"},
+			LineageRecoveries: 1, LineageForbidden: true,
+		}, 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			v := View{Durability: func() *Durability { return tc.d }}
+			got := NewChecker(v, nil).Check()
+			if len(got) != tc.want {
+				t.Fatalf("violations = %v, want %d", got, tc.want)
+			}
+			for _, viol := range got {
+				if viol.Invariant != "I7-durability" {
+					t.Fatalf("invariant = %q, want I7-durability", viol.Invariant)
+				}
+			}
+		})
+	}
+}

@@ -73,6 +73,38 @@ type View struct {
 	// Tenants snapshots per-tenant admission/completion accounting at
 	// quiesce (nil when tenancy is inert).
 	Tenants func() []TenantAccount
+	// Durability snapshots the replicated shard-metadata state at quiesce
+	// (nil, or a snapshot with Enabled false, when the control plane is
+	// centralized or unreplicated).
+	Durability func() *Durability
+}
+
+// Durability is the decentralized control plane's metadata-durability
+// evidence at quiesce, judged by I7: replica promotions on node death must
+// restore every directory entry, primaries and their successor replicas
+// must agree once replication logs drain, and — when the data plane is
+// itself replicated — no recovery may fall back to lineage replay.
+type Durability struct {
+	// Enabled marks a runtime running replicated shard metadata; snapshots
+	// with Enabled false skip the check.
+	Enabled bool
+	// Promotions counts replica promotions (shards rebuilt from a ring
+	// successor's copy after their primary died).
+	Promotions uint64
+	// Restored / LostEntries split the directory entries those promotions
+	// recovered from replicas vs. the entries no replica covered. Any loss
+	// is a violation: the replication log is drained before promotion, so
+	// the replica must hold everything the primary committed.
+	Restored, LostEntries uint64
+	// Mismatches lists primary/replica divergences found at quiesce.
+	Mismatches []string
+	// LineageRecoveries counts task re-executions forced by lineage
+	// replay. LineageForbidden marks configurations (replicated data plane
+	// + replicated metadata) where replay means the directory lost track
+	// of a surviving copy — a durability failure even though the answer
+	// comes out right.
+	LineageRecoveries uint64
+	LineageForbidden  bool
 }
 
 // Violation is one failed invariant.
@@ -115,6 +147,7 @@ func (c *Checker) Check() []Violation {
 	out = append(out, c.checkGoroutines()...)
 	out = append(out, c.checkAccounting()...)
 	out = append(out, c.checkTenants()...)
+	out = append(out, c.checkDurability()...)
 	return out
 }
 
@@ -271,11 +304,20 @@ func (c *Checker) checkTenants() []Violation {
 
 // checkAccounting — I5: every message the engine saw attempted is
 // accounted delivered, dropped, or undeliverable — both counts and bytes.
+// Failure-detector probes ride the transport, so even at quiesce the
+// background gossip pump keeps a trickle of messages mid-flight (attempted
+// but not yet resolved); poll briefly for a balanced snapshot. A true
+// accounting leak never balances and is still reported.
 func (c *Checker) checkAccounting() []Violation {
 	if c.engine == nil {
 		return nil
 	}
 	a := c.engine.Accounting()
+	// One probe is bounded by its 50ms timeout; 250ms covers stragglers.
+	for deadline := time.Now().Add(250 * time.Millisecond); !a.Balanced() && time.Now().Before(deadline); {
+		time.Sleep(time.Millisecond)
+		a = c.engine.Accounting()
+	}
 	if !a.Balanced() {
 		return []Violation{{
 			Invariant: "I5-accounting",
@@ -286,4 +328,42 @@ func (c *Checker) checkAccounting() []Violation {
 		}}
 	}
 	return nil
+}
+
+// checkDurability — I7: replicated shard metadata survives its primary.
+// Promotions must lose nothing, primaries and replicas must agree at
+// quiesce, and (when the configuration forbids it) no recovery may have
+// fallen back to lineage replay.
+func (c *Checker) checkDurability() []Violation {
+	if c.view.Durability == nil {
+		return nil
+	}
+	d := c.view.Durability()
+	if d == nil || !d.Enabled {
+		return nil
+	}
+	var out []Violation
+	if d.LostEntries > 0 {
+		out = append(out, Violation{
+			Invariant: "I7-durability",
+			Detail: fmt.Sprintf(
+				"%d directory entries lost across %d promotions (%d restored from replicas)",
+				d.LostEntries, d.Promotions, d.Restored),
+		})
+	}
+	for _, m := range d.Mismatches {
+		out = append(out, Violation{
+			Invariant: "I7-durability",
+			Detail:    "replica divergence at quiesce: " + m,
+		})
+	}
+	if d.LineageForbidden && d.LineageRecoveries > 0 {
+		out = append(out, Violation{
+			Invariant: "I7-durability",
+			Detail: fmt.Sprintf(
+				"%d lineage replays despite replicated data + metadata (promotion should have restored the directory)",
+				d.LineageRecoveries),
+		})
+	}
+	return out
 }

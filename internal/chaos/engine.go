@@ -25,8 +25,8 @@ type Hooks struct {
 // per interposed message attempt; bytes include the transport's framing
 // overhead as reported by the transports.
 type Accounting struct {
-	Attempted, Delivered, Dropped, Undeliverable, Duplicated uint64
-	AttemptedBytes, DeliveredBytes, DroppedBytes, UndeliverableBytes      uint64
+	Attempted, Delivered, Dropped, Undeliverable, Duplicated         uint64
+	AttemptedBytes, DeliveredBytes, DroppedBytes, UndeliverableBytes uint64
 }
 
 // Balanced reports whether every attempted message is accounted for as
@@ -241,16 +241,19 @@ func (e *Engine) Intercept(from, to idgen.NodeID, kind string, size int) transpo
 
 	e.mu.Lock()
 	p := e.plan
-	if p == nil {
-		e.mu.Unlock()
-		return transport.Verdict{}
-	}
+	// Partitions apply with or without an armed plan: tests raise ad-hoc
+	// partitions via Partition(), and transport traffic (including gossip
+	// probes — the failure detector rides the same wire) must see them.
 	if e.parted && e.group[from] != e.group[to] {
 		e.logLocked("partition-drop %s->%s kind=%s size=%d", from.Short(), to.Short(), kind, size)
 		e.mu.Unlock()
 		e.dropped.Add(1)
 		e.droppedB.Add(uint64(size))
 		return transport.Verdict{Drop: true}
+	}
+	if p == nil {
+		e.mu.Unlock()
+		return transport.Verdict{}
 	}
 	fi, fok := e.index[from]
 	ti, tok := e.index[to]

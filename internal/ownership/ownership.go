@@ -127,6 +127,11 @@ type Table struct {
 	mu      sync.Mutex
 	entries map[idgen.ObjectID]*entry
 	guard   CommitGuard
+	// oplog, when set, observes every successful mutation under mu — in
+	// apply order — so a replica can mirror this table (replica.go).
+	// Handoff moves (takeMisplaced/takeAll/adopt) bypass it: membership
+	// changes resync replicas wholesale instead.
+	oplog func(repOp)
 }
 
 // NewTable returns an empty table.
@@ -145,6 +150,21 @@ func (t *Table) SetCommitGuard(g CommitGuard) {
 	t.guard = g
 }
 
+// setOpLog installs the mutation observer. Like the commit guard it runs
+// under the table lock and must not call back into this table.
+func (t *Table) setOpLog(fn func(repOp)) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.oplog = fn
+}
+
+// logOp forwards a successful mutation to the observer. Caller holds mu.
+func (t *Table) logOp(op repOp) {
+	if t.oplog != nil {
+		t.oplog(op)
+	}
+}
+
 // CreatePending registers a new object in Pending state.
 func (t *Table) CreatePending(id idgen.ObjectID, owner idgen.NodeID, task idgen.TaskID) error {
 	t.mu.Lock()
@@ -157,6 +177,7 @@ func (t *Table) CreatePending(id idgen.ObjectID, owner idgen.NodeID, task idgen.
 		locations:   make(map[idgen.NodeID]bool),
 		subscribers: make(map[idgen.NodeID]bool),
 	}
+	t.logOp(repOp{kind: opCreate, id: id, owner: owner, task: task})
 	return nil
 }
 
@@ -193,6 +214,7 @@ func (t *Table) MarkReady(id idgen.ObjectID, size int64, location idgen.NodeID, 
 	}
 	sort.Slice(subs, func(i, j int) bool { return subs[i].Less(subs[j]) })
 	e.subscribers = make(map[idgen.NodeID]bool)
+	t.logOp(repOp{kind: opReady, id: id, size: size, node: location, device: deviceID, handle: deviceHandle})
 	return subs, nil
 }
 
@@ -224,6 +246,7 @@ func (t *Table) AddLocation(id idgen.ObjectID, node idgen.NodeID) error {
 	}
 	e.locations[node] = true
 	e.syncLocations()
+	t.logOp(repOp{kind: opAddLoc, id: id, node: node})
 	return nil
 }
 
@@ -250,6 +273,7 @@ func (t *Table) MoveLocation(id idgen.ObjectID, from, to idgen.NodeID) error {
 	// drop the destination's own stale forward, if any.
 	delete(e.forwards, to)
 	e.syncLocations()
+	t.logOp(repOp{kind: opMoveLoc, id: id, node: from, node2: to})
 	return nil
 }
 
@@ -292,6 +316,7 @@ func (t *Table) Subscribe(id idgen.ObjectID, node idgen.NodeID) (ready bool, rec
 		return true, e.rec, nil
 	}
 	e.subscribers[node] = true
+	t.logOp(repOp{kind: opSubscribe, id: id, node: node})
 	return false, e.rec, nil
 }
 
@@ -350,6 +375,11 @@ func (t *Table) waitChan(id idgen.ObjectID) (chan State, error) {
 	}
 	ch := make(chan State, 1)
 	e.waiters = append(e.waiters, ch)
+	// The waiter channel itself replicates: if this table's host dies
+	// before the object resolves, the promoted replica still holds the
+	// channel and the eventual MarkReady/MarkLost on the promoted shard
+	// releases the parked caller.
+	t.logOp(repOp{kind: opWaiter, id: id, waiter: ch})
 	return ch, nil
 }
 
@@ -401,6 +431,9 @@ func (t *Table) AbortPending() []idgen.ObjectID {
 		e.waiters = nil
 	}
 	sort.Slice(aborted, func(i, j int) bool { return aborted[i].Less(aborted[j]) })
+	if len(aborted) > 0 {
+		t.logOp(repOp{kind: opAbort})
+	}
 	return aborted
 }
 
@@ -427,6 +460,7 @@ func (t *Table) RemoveNodeLocations(node idgen.NodeID) []idgen.ObjectID {
 		}
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i].Less(lost[j]) })
+	t.logOp(repOp{kind: opRemoveNode, node: node})
 	return lost
 }
 
@@ -446,6 +480,7 @@ func (t *Table) MarkLost(id idgen.ObjectID) error {
 		w <- Lost
 	}
 	e.waiters = nil
+	t.logOp(repOp{kind: opMarkLost, id: id})
 	return nil
 }
 
@@ -462,6 +497,7 @@ func (t *Table) Reset(id idgen.ObjectID) error {
 	e.locations = make(map[idgen.NodeID]bool)
 	e.forwards = nil // re-execution commits fresh copies; old forwards are moot
 	e.syncLocations()
+	t.logOp(repOp{kind: opReset, id: id})
 	return nil
 }
 
@@ -474,6 +510,7 @@ func (t *Table) Delete(id idgen.ObjectID) {
 			w <- Lost
 		}
 		delete(t.entries, id)
+		t.logOp(repOp{kind: opDelete, id: id})
 	}
 }
 

@@ -109,6 +109,60 @@ func (r *Ring) OwnerOf(id idgen.ObjectID) (idgen.NodeID, bool) {
 	return r.points[i].node, true
 }
 
+// SuccessorOf returns the member owning the first point clockwise from n's
+// lowest-hash point, skipping n's own points — the natural home for n's
+// shard replica: when n dies its keys land on exactly the members holding
+// the next points clockwise, and the successor is the first of them.
+// Reports false when the ring has fewer than two members.
+func (r *Ring) SuccessorOf(n idgen.NodeID) (idgen.NodeID, bool) {
+	if !r.members[n] || len(r.members) < 2 {
+		return idgen.Nil, false
+	}
+	first := -1
+	for i, p := range r.points {
+		if p.node == n {
+			first = i
+			break
+		}
+	}
+	if first < 0 {
+		return idgen.Nil, false
+	}
+	for off := 1; off <= len(r.points); off++ {
+		p := r.points[(first+off)%len(r.points)]
+		if p.node != n {
+			return p.node, true
+		}
+	}
+	return idgen.Nil, false
+}
+
+// successors returns SuccessorOf for every member in one O(points) pass
+// plus a short clockwise walk per member. Members without a successor
+// (ring of one) are absent from the map.
+func (r *Ring) successors() map[idgen.NodeID]idgen.NodeID {
+	out := make(map[idgen.NodeID]idgen.NodeID, len(r.members))
+	if len(r.members) < 2 {
+		return out
+	}
+	first := make(map[idgen.NodeID]int, len(r.members))
+	for i, p := range r.points {
+		if _, ok := first[p.node]; !ok {
+			first[p.node] = i
+		}
+	}
+	for n, i := range first {
+		for off := 1; off <= len(r.points); off++ {
+			p := r.points[(i+off)%len(r.points)]
+			if p.node != n {
+				out[n] = p.node
+				break
+			}
+		}
+	}
+	return out
+}
+
 // Has reports membership.
 func (r *Ring) Has(n idgen.NodeID) bool { return r.members[n] }
 

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"skadi/internal/idgen"
 	"skadi/internal/skaderr"
@@ -43,6 +44,16 @@ type ShardedTable struct {
 	// next AddMember adopts them. The runtime keeps the head node a
 	// permanent member, so this is a safety net, not a steady state.
 	orphans map[idgen.ObjectID]*entry
+
+	// repl maps each primary to the replica of its shard, hosted at its
+	// ring successor (sharded_repl.go). Map mutations happen under mu
+	// (write); op-path reads hold mu in some mode.
+	repl            map[idgen.NodeID]*replState
+	replAppended    atomic.Uint64
+	replApplied     atomic.Uint64
+	promotions      uint64
+	restoredEntries uint64
+	lostEntries     uint64
 }
 
 // NewSharded returns an empty sharded directory with the given virtual-node
@@ -51,6 +62,7 @@ func NewSharded(vnodes int) *ShardedTable {
 	return &ShardedTable{
 		ring:   NewRing(vnodes),
 		shards: make(map[idgen.NodeID]*Table),
+		repl:   make(map[idgen.NodeID]*replState),
 	}
 }
 
@@ -67,9 +79,11 @@ func (s *ShardedTable) AddMember(n idgen.NodeID) int {
 	if t == nil {
 		t = NewTable()
 		t.SetCommitGuard(s.guard)
+		t.setOpLog(func(op repOp) { s.appendRep(n, op) })
 		s.shards[n] = t
 	}
 	moved := 0
+	touched := map[idgen.NodeID]bool{n: true}
 	// Only keys that now land on the new member move; every other arc is
 	// untouched — the consistent-hashing property that bounds handoff.
 	for host, shard := range s.shards {
@@ -80,6 +94,9 @@ func (s *ShardedTable) AddMember(n idgen.NodeID) int {
 			owner, _ := s.ring.OwnerOf(id)
 			return owner == host
 		})
+		if len(taken) > 0 {
+			touched[host] = true
+		}
 		moved += len(taken)
 		t.adopt(taken)
 	}
@@ -100,9 +117,11 @@ func (s *ShardedTable) AddMember(n idgen.NodeID) int {
 		}
 		for owner, m := range byOwner {
 			s.shards[owner].adopt(m)
+			touched[owner] = true
 		}
 	}
 	s.handoffs += uint64(moved)
+	s.syncReplicasLocked(touched)
 	return moved
 }
 
@@ -118,7 +137,9 @@ func (s *ShardedTable) RemoveMember(n idgen.NodeID) int {
 	}
 	shard := s.shards[n]
 	delete(s.shards, n)
+	delete(s.repl, n)
 	if shard == nil {
+		s.syncReplicasLocked(nil)
 		return 0
 	}
 	taken := shard.takeAll()
@@ -133,8 +154,10 @@ func (s *ShardedTable) RemoveMember(n idgen.NodeID) int {
 			}
 		}
 		s.handoffs += uint64(moved)
+		s.syncReplicasLocked(nil)
 		return moved
 	}
+	touched := make(map[idgen.NodeID]bool)
 	byOwner := make(map[idgen.NodeID]map[idgen.ObjectID]*entry)
 	for id, e := range taken {
 		owner, _ := s.ring.OwnerOf(id)
@@ -147,8 +170,10 @@ func (s *ShardedTable) RemoveMember(n idgen.NodeID) int {
 	}
 	for owner, m := range byOwner {
 		s.shards[owner].adopt(m)
+		touched[owner] = true
 	}
 	s.handoffs += uint64(moved)
+	s.syncReplicasLocked(touched)
 	return moved
 }
 

@@ -290,6 +290,13 @@ func TestShardedChurnRace(t *testing.T) {
 		}
 	}()
 	wg.Wait()
+	// Every entry now exists, so any churn iteration from here must move
+	// some; under a loaded scheduler the churn goroutine may not have run
+	// at all yet, so give it a bounded beat before stopping — otherwise
+	// the handoffs assertion below flakes on starvation, not on a bug.
+	for i := 0; i < 1000 && s.Handoffs() == 0; i++ {
+		time.Sleep(100 * time.Microsecond)
+	}
 	close(stop)
 	churn.Wait()
 	close(idsCh)

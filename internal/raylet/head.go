@@ -90,7 +90,7 @@ func ServeOwnership(ctx context.Context, dir ownership.Directory, kind string, p
 	switch kind {
 	case KindOwnCreate:
 		var req OwnCreateRequest
-		if err := transport.Decode(payload, &req); err != nil {
+		if err := DecodeOwnCreateRequest(payload, &req); err != nil {
 			return nil, true, err
 		}
 		for _, id := range req.IDs {
@@ -102,27 +102,25 @@ func ServeOwnership(ctx context.Context, dir ownership.Directory, kind string, p
 
 	case KindOwnReady:
 		var req OwnReadyRequest
-		if err := transport.Decode(payload, &req); err != nil {
+		if err := DecodeOwnReadyRequest(payload, &req); err != nil {
 			return nil, true, err
 		}
 		subs, err := dir.MarkReady(req.ID, req.Size, req.Location, req.DeviceID, req.DeviceHandle)
 		if err != nil {
 			return nil, true, err
 		}
-		resp, err = transport.Encode(OwnReadyResponse{Subscribers: subs})
-		return resp, true, err
+		return EncodeOwnReadyResponse(&OwnReadyResponse{Subscribers: subs}), true, nil
 
 	case KindOwnGet:
 		var req OwnGetRequest
-		if err := transport.Decode(payload, &req); err != nil {
+		if err := DecodeOwnGetRequest(payload, &req); err != nil {
 			return nil, true, err
 		}
 		rec, err := dir.Get(req.ID)
 		if err != nil {
 			return nil, true, err
 		}
-		resp, err = transport.Encode(OwnGetResponse{Rec: rec})
-		return resp, true, err
+		return EncodeOwnGetResponse(&OwnGetResponse{Rec: rec}), true, nil
 
 	case KindOwnWait:
 		var req OwnWaitRequest
@@ -178,12 +176,25 @@ func ServeOwnership(ctx context.Context, dir ownership.Directory, kind string, p
 	return nil, false, nil
 }
 
+// ServeGossipProbe answers a failure-detector probe on behalf of node.
+// Shared by the head service and worker raylets: every gossip member must
+// ack probes, or the detector would convict it.
+func ServeGossipProbe(node idgen.NodeID, payload []byte) ([]byte, error) {
+	var req GossipProbeRequest
+	if err := DecodeGossipProbe(payload, &req); err != nil {
+		return nil, err
+	}
+	return EncodeGossipAck(&GossipProbeAck{Node: node, Nonce: req.Nonce}), nil
+}
+
 // handle dispatches one inbound RPC.
 func (h *Head) handle(ctx context.Context, from idgen.NodeID, kind string, payload []byte) ([]byte, error) {
 	if resp, handled, err := ServeOwnership(ctx, h.Table, kind, payload); handled {
 		return resp, err
 	}
 	switch kind {
+	case KindGossipProbe:
+		return ServeGossipProbe(h.Node, payload)
 	case KindActorCkpt:
 		var req ActorCkptRequest
 		if err := transport.Decode(payload, &req); err != nil {

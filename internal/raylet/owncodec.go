@@ -1,0 +1,248 @@
+package raylet
+
+import (
+	"fmt"
+
+	"skadi/internal/idgen"
+	"skadi/internal/ownership"
+	"skadi/internal/wire"
+)
+
+// The decentralized control plane turns own.create / own.ready / own.get
+// and the gossip probe into per-task cross-process RPCs. gob re-sends type
+// descriptors on every message and reflects over each field — a tax that
+// is noise on a 4 MiB object push but dominates a 60-byte directory op.
+// These hot control messages therefore get the PR 6 treatment: fixed-tag,
+// hand-rolled wire layouts over internal/wire. The remaining own.* kinds
+// (wait/subscribe/addloc/moveloc/forward) are off the per-task path and
+// stay gob for schema agility.
+
+const (
+	ownCreateTag    = 0xB1
+	ownReadyReqTag  = 0xB2
+	ownReadyRespTag = 0xB3
+	ownGetReqTag    = 0xB4
+	ownGetRespTag   = 0xB5
+	gossipProbeTag  = 0xB6
+	gossipAckTag    = 0xB7
+)
+
+func appendRecord(buf *wire.Buffer, rec *ownership.Record) {
+	buf.Bytes16(rec.ID)
+	buf.Bytes16(rec.Owner)
+	buf.Varint(int64(rec.State))
+	buf.Varint(rec.Size)
+	buf.Bytes16(rec.Task)
+	buf.Uvarint(uint64(len(rec.Locations)))
+	for _, n := range rec.Locations {
+		buf.Bytes16(n)
+	}
+	buf.Bytes16(rec.DeviceID)
+	buf.String(rec.DeviceHandle)
+}
+
+func readRecord(rd *wire.Reader, rec *ownership.Record) {
+	rec.ID = idgen.ObjectID(rd.Bytes16())
+	rec.Owner = idgen.NodeID(rd.Bytes16())
+	rec.State = ownership.State(rd.Varint())
+	rec.Size = rd.Varint()
+	rec.Task = idgen.TaskID(rd.Bytes16())
+	n := int(rd.Uvarint())
+	if n > rd.Remaining()/16 {
+		rd.Raw(rd.Remaining() + 1) // poison: length exceeds payload
+		return
+	}
+	rec.Locations = make([]idgen.NodeID, n)
+	for i := range rec.Locations {
+		rec.Locations[i] = idgen.NodeID(rd.Bytes16())
+	}
+	rec.DeviceID = idgen.NodeID(rd.Bytes16())
+	rec.DeviceHandle = rd.String()
+}
+
+// EncodeOwnCreateRequest encodes an own.create payload.
+func EncodeOwnCreateRequest(r *OwnCreateRequest) []byte {
+	buf := wire.NewBuffer(48 + 16*len(r.IDs))
+	buf.Byte(ownCreateTag)
+	buf.Uvarint(uint64(len(r.IDs)))
+	for _, id := range r.IDs {
+		buf.Bytes16(id)
+	}
+	buf.Bytes16(r.Owner)
+	buf.Bytes16(r.Task)
+	return buf.Bytes()
+}
+
+// DecodeOwnCreateRequest decodes into r.
+func DecodeOwnCreateRequest(b []byte, r *OwnCreateRequest) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != ownCreateTag {
+		return fmt.Errorf("raylet: not an own.create payload")
+	}
+	n := int(rd.Uvarint())
+	if n > rd.Remaining()/16 {
+		return fmt.Errorf("raylet: corrupt own.create: id count %d exceeds payload", n)
+	}
+	r.IDs = make([]idgen.ObjectID, n)
+	for i := range r.IDs {
+		r.IDs[i] = idgen.ObjectID(rd.Bytes16())
+	}
+	r.Owner = idgen.NodeID(rd.Bytes16())
+	r.Task = idgen.TaskID(rd.Bytes16())
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt own.create: %w", err)
+	}
+	return nil
+}
+
+// EncodeOwnReadyRequest encodes an own.ready payload.
+func EncodeOwnReadyRequest(r *OwnReadyRequest) []byte {
+	buf := wire.NewBuffer(72 + len(r.DeviceHandle))
+	buf.Byte(ownReadyReqTag)
+	buf.Bytes16(r.ID)
+	buf.Varint(r.Size)
+	buf.Bytes16(r.Location)
+	buf.Bytes16(r.DeviceID)
+	buf.String(r.DeviceHandle)
+	return buf.Bytes()
+}
+
+// DecodeOwnReadyRequest decodes into r.
+func DecodeOwnReadyRequest(b []byte, r *OwnReadyRequest) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != ownReadyReqTag {
+		return fmt.Errorf("raylet: not an own.ready payload")
+	}
+	r.ID = idgen.ObjectID(rd.Bytes16())
+	r.Size = rd.Varint()
+	r.Location = idgen.NodeID(rd.Bytes16())
+	r.DeviceID = idgen.NodeID(rd.Bytes16())
+	r.DeviceHandle = rd.String()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt own.ready: %w", err)
+	}
+	return nil
+}
+
+// EncodeOwnReadyResponse encodes an own.ready response.
+func EncodeOwnReadyResponse(r *OwnReadyResponse) []byte {
+	buf := wire.NewBuffer(8 + 16*len(r.Subscribers))
+	buf.Byte(ownReadyRespTag)
+	buf.Uvarint(uint64(len(r.Subscribers)))
+	for _, n := range r.Subscribers {
+		buf.Bytes16(n)
+	}
+	return buf.Bytes()
+}
+
+// DecodeOwnReadyResponse decodes into r.
+func DecodeOwnReadyResponse(b []byte, r *OwnReadyResponse) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != ownReadyRespTag {
+		return fmt.Errorf("raylet: not an own.ready response")
+	}
+	n := int(rd.Uvarint())
+	if n > rd.Remaining()/16 {
+		return fmt.Errorf("raylet: corrupt own.ready response: subscriber count %d exceeds payload", n)
+	}
+	if n > 0 {
+		r.Subscribers = make([]idgen.NodeID, n)
+		for i := range r.Subscribers {
+			r.Subscribers[i] = idgen.NodeID(rd.Bytes16())
+		}
+	} else {
+		r.Subscribers = nil
+	}
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt own.ready response: %w", err)
+	}
+	return nil
+}
+
+// EncodeOwnGetRequest encodes an own.get payload.
+func EncodeOwnGetRequest(r *OwnGetRequest) []byte {
+	buf := wire.NewBuffer(24)
+	buf.Byte(ownGetReqTag)
+	buf.Bytes16(r.ID)
+	return buf.Bytes()
+}
+
+// DecodeOwnGetRequest decodes into r.
+func DecodeOwnGetRequest(b []byte, r *OwnGetRequest) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != ownGetReqTag {
+		return fmt.Errorf("raylet: not an own.get payload")
+	}
+	r.ID = idgen.ObjectID(rd.Bytes16())
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt own.get: %w", err)
+	}
+	return nil
+}
+
+// EncodeOwnGetResponse encodes an own.get response.
+func EncodeOwnGetResponse(r *OwnGetResponse) []byte {
+	buf := wire.NewBuffer(96 + 16*len(r.Rec.Locations) + len(r.Rec.DeviceHandle))
+	buf.Byte(ownGetRespTag)
+	appendRecord(buf, &r.Rec)
+	return buf.Bytes()
+}
+
+// DecodeOwnGetResponse decodes into r.
+func DecodeOwnGetResponse(b []byte, r *OwnGetResponse) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != ownGetRespTag {
+		return fmt.Errorf("raylet: not an own.get response")
+	}
+	readRecord(rd, &r.Rec)
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt own.get response: %w", err)
+	}
+	return nil
+}
+
+// EncodeGossipProbe encodes a gossip.probe payload.
+func EncodeGossipProbe(r *GossipProbeRequest) []byte {
+	buf := wire.NewBuffer(32)
+	buf.Byte(gossipProbeTag)
+	buf.Bytes16(r.From)
+	buf.Uvarint(r.Nonce)
+	return buf.Bytes()
+}
+
+// DecodeGossipProbe decodes into r.
+func DecodeGossipProbe(b []byte, r *GossipProbeRequest) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != gossipProbeTag {
+		return fmt.Errorf("raylet: not a gossip.probe payload")
+	}
+	r.From = idgen.NodeID(rd.Bytes16())
+	r.Nonce = rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt gossip.probe: %w", err)
+	}
+	return nil
+}
+
+// EncodeGossipAck encodes a gossip.probe ack.
+func EncodeGossipAck(r *GossipProbeAck) []byte {
+	buf := wire.NewBuffer(32)
+	buf.Byte(gossipAckTag)
+	buf.Bytes16(r.Node)
+	buf.Uvarint(r.Nonce)
+	return buf.Bytes()
+}
+
+// DecodeGossipAck decodes into r.
+func DecodeGossipAck(b []byte, r *GossipProbeAck) error {
+	rd := wire.NewReader(b)
+	if rd.Byte() != gossipAckTag {
+		return fmt.Errorf("raylet: not a gossip.probe ack")
+	}
+	r.Node = idgen.NodeID(rd.Bytes16())
+	r.Nonce = rd.Uvarint()
+	if err := rd.Err(); err != nil {
+		return fmt.Errorf("raylet: corrupt gossip ack: %w", err)
+	}
+	return nil
+}

@@ -71,6 +71,15 @@ const (
 	KindOwnForward = "own.forward"
 )
 
+// RPC kinds of the failure detector. Gossip probe rounds run over the
+// same transport as everything else, so a probe observes exactly the
+// faults (partitions, crashes, injected drops) that data traffic does.
+const (
+	// KindGossipProbe checks liveness; any raylet or the head answers
+	// with an ack echoing the nonce.
+	KindGossipProbe = "gossip.probe"
+)
+
 // ExecRequest asks for one task execution.
 type ExecRequest struct {
 	Spec task.Spec
@@ -206,6 +215,21 @@ type OwnForwardRequest struct {
 type OwnForwardResponse struct {
 	To    idgen.NodeID
 	Found bool
+}
+
+// GossipProbeRequest is one failure-detector probe. From is the gossip
+// member the probe is issued on behalf of (the transport's from field
+// already carries it; duplicating it in the payload keeps the probe
+// self-describing in journals and traces).
+type GossipProbeRequest struct {
+	From  idgen.NodeID
+	Nonce uint64
+}
+
+// GossipProbeAck answers a probe; Nonce echoes the request.
+type GossipProbeAck struct {
+	Node  idgen.NodeID
+	Nonce uint64
 }
 
 // MigrateFreezeRequest pauses an actor on the source raylet.

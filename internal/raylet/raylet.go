@@ -344,6 +344,9 @@ func (r *Raylet) dispatch(ctx context.Context, from idgen.NodeID, kind string, p
 	case KindPing:
 		return []byte("pong"), nil
 
+	case KindGossipProbe:
+		return ServeGossipProbe(r.cfg.Node, payload)
+
 	case KindMigrateFreeze:
 		var req MigrateFreezeRequest
 		if err := transport.Decode(payload, &req); err != nil {
@@ -408,8 +411,8 @@ const tombstoneTTL = time.Minute
 // and held locks must be zero, and tombstones must be bounded (live ones
 // expire; none may survive a full drain).
 type HygieneCounts struct {
-	FrozenActors int
-	HeldLocks    int
+	FrozenActors                                  int
+	HeldLocks                                     int
 	LiveActorTombstones, ExpiredActorTombstones   int
 	LiveObjectTombstones, ExpiredObjectTombstones int
 }
@@ -899,7 +902,7 @@ func (r *Raylet) commit(ctx context.Context, id idgen.ObjectID, data []byte) err
 		deviceID = r.cfg.Node
 		handle = fmt.Sprintf("%s:%s/obj-%s", r.cfg.Backend, r.cfg.Node.Short(), id.Short())
 	}
-	payload := transport.MustEncode(OwnReadyRequest{
+	payload := EncodeOwnReadyRequest(&OwnReadyRequest{
 		ID: id, Size: int64(len(data)), Location: r.cfg.Node,
 		DeviceID: deviceID, DeviceHandle: handle,
 	})
@@ -908,7 +911,7 @@ func (r *Raylet) commit(ctx context.Context, id idgen.ObjectID, data []byte) err
 		return fmt.Errorf("raylet: own.ready: %w", err)
 	}
 	var ready OwnReadyResponse
-	if err := transport.Decode(resp, &ready); err != nil {
+	if err := DecodeOwnReadyResponse(resp, &ready); err != nil {
 		return err
 	}
 	for _, sub := range ready.Subscribers {
@@ -957,13 +960,13 @@ func (r *Raylet) resolvePull(ctx context.Context, id idgen.ObjectID) ([]byte, er
 	if _, err := r.callOwner(ctx, id, KindOwnWait, wait); err != nil {
 		return nil, err
 	}
-	get := transport.MustEncode(OwnGetRequest{ID: id})
+	get := EncodeOwnGetRequest(&OwnGetRequest{ID: id})
 	resp, err := r.callOwner(ctx, id, KindOwnGet, get)
 	if err != nil {
 		return nil, err
 	}
 	var rec OwnGetResponse
-	if err := transport.Decode(resp, &rec); err != nil {
+	if err := DecodeOwnGetResponse(resp, &rec); err != nil {
 		return nil, err
 	}
 	return r.fetch(ctx, id, rec.Rec.Locations)

@@ -100,7 +100,7 @@ func registerTestFns(reg *task.Registry) {
 // raylet at index idx, returning the exec response.
 func (r *rig) submit(idx int, spec *task.Spec) (*ExecResponse, error) {
 	r.t.Helper()
-	create := transport.MustEncode(OwnCreateRequest{IDs: spec.Returns, Owner: r.driver, Task: spec.ID})
+	create := EncodeOwnCreateRequest(&OwnCreateRequest{IDs: spec.Returns, Owner: r.driver, Task: spec.ID})
 	if _, err := r.cluster.Transport.Call(context.Background(), r.driver, r.head.Node, KindOwnCreate, create); err != nil {
 		return nil, err
 	}
@@ -212,7 +212,7 @@ func TestPushResolutionDeliversProactively(t *testing.T) {
 	// Register both, start the consumer first: it must block, subscribe,
 	// and receive the push when the producer commits.
 	for _, s := range []*task.Spec{prod, cons} {
-		create := transport.MustEncode(OwnCreateRequest{IDs: s.Returns, Owner: r.driver, Task: s.ID})
+		create := EncodeOwnCreateRequest(&OwnCreateRequest{IDs: s.Returns, Owner: r.driver, Task: s.ID})
 		if _, err := r.cluster.Transport.Call(context.Background(), r.driver, r.head.Node, KindOwnCreate, create); err != nil {
 			t.Fatal(err)
 		}
@@ -295,7 +295,7 @@ func TestGen1DPUHopsCharged(t *testing.T) {
 
 	spec := task.NewSpec(idgen.Next(), "produce", []task.Arg{task.ValueArg([]byte("gpu-data"))}, 1)
 	spec.Backend = "gpu"
-	create := transport.MustEncode(OwnCreateRequest{IDs: spec.Returns, Owner: headNode.ID, Task: spec.ID})
+	create := EncodeOwnCreateRequest(&OwnCreateRequest{IDs: spec.Returns, Owner: headNode.ID, Task: spec.ID})
 	if _, err := c.Transport.Call(context.Background(), headNode.ID, headNode.ID, KindOwnCreate, create); err != nil {
 		t.Fatal(err)
 	}

@@ -156,7 +156,7 @@ func (tr *tcpRig) setResolution(t *testing.T, res Resolution) {
 }
 
 func (tr *tcpRig) create(spec *task.Spec) error {
-	payload := transport.MustEncode(OwnCreateRequest{IDs: spec.Returns, Owner: tr.head.Node, Task: spec.ID})
+	payload := EncodeOwnCreateRequest(&OwnCreateRequest{IDs: spec.Returns, Owner: tr.head.Node, Task: spec.ID})
 	_, err := tr.transport.Call(context.Background(), tr.head.Node, tr.head.Node, KindOwnCreate, payload)
 	return err
 }

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"skadi/internal/caching"
 	"skadi/internal/chaos"
 	"skadi/internal/cluster"
 	"skadi/internal/idgen"
@@ -219,6 +220,26 @@ func (rt *Runtime) ChaosChecker() *chaos.Checker {
 				})
 			}
 			return out
+		},
+		Durability: func() *chaos.Durability {
+			if rt.sharded == nil {
+				return nil
+			}
+			st := rt.sharded.ReplicationStats()
+			return &chaos.Durability{
+				Enabled:           true,
+				Promotions:        st.Promotions,
+				Restored:          st.Restored,
+				LostEntries:       st.Lost,
+				Mismatches:        rt.sharded.ReplicaDivergence(),
+				LineageRecoveries: uint64(rt.Metrics.Counter(MetricLineageRecoveries).Value()),
+				// With the data plane replicating every object and the
+				// metadata replicating every shard, a crash should never
+				// force recomputation: promotion restores the directory and
+				// a surviving copy serves the bytes.
+				LineageForbidden: rt.opts.Caching.Mode == caching.ModeReplicate &&
+					rt.opts.Recovery == RecoverLineage,
+			}
 		},
 	}
 	return chaos.NewChecker(view, rt.chaosEng)

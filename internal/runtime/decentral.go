@@ -5,6 +5,7 @@ import (
 
 	"skadi/internal/gossip"
 	"skadi/internal/idgen"
+	"skadi/internal/ownership"
 )
 
 // decentral.go wires the decentralized control plane (Options.Decentralized)
@@ -31,7 +32,27 @@ const (
 	// GaugeSchedSteals is the per-node count of tasks a node accepted by
 	// stealing from a saturated home (labelled by node short ID).
 	GaugeSchedSteals = "sched_steals"
+	// GaugeStealLocalBytes / RemoteBytes split the reference-arg bytes of
+	// stolen tasks by whether the thief already held a copy — the measure
+	// of locality-aware stealing (E20's steal-bytes column).
+	GaugeStealLocalBytes  = "sched_steal_local_bytes"
+	GaugeStealRemoteBytes = "sched_steal_remote_bytes"
+	// GaugeReplLogDepth is the total backlog across shard replication logs
+	// (ops applied to a primary but not yet to its successor replica).
+	GaugeReplLogDepth = "repl_log_depth"
+	// GaugeReplPromotions / Restored / Lost count replica promotions on
+	// node death, the directory entries they restored, and the entries no
+	// replica covered (lost > 0 is an I7 durability violation).
+	GaugeReplPromotions = "repl_promotions"
+	GaugeReplRestored   = "repl_restored_entries"
+	GaugeReplLost       = "repl_lost_entries"
 )
+
+// MetricLineageRecoveries counts task re-executions driven by lineage
+// replay. With a replicated data plane and replicated shard metadata the
+// chaos durability invariant (I7) requires this to stay zero: promotion
+// must restore the directory, not recompute it.
+const MetricLineageRecoveries = "lineage_recoveries"
 
 // defaultGossipInterval paces the background failure-detector loop. With
 // SuspectTicks=3 this puts silent-partition detection at ~10ms — far inside
@@ -42,14 +63,18 @@ const defaultGossipInterval = 2 * time.Millisecond
 // plane.
 func (rt *Runtime) Decentralized() bool { return rt.sharded != nil }
 
-// gossipReachable is the detector's network oracle: a probe lands iff the
-// target is up and no chaos partition separates the pair.
+// gossipReachable is the detector's network oracle. Liveness is checked
+// against cluster state first (a crashed node must never ack), then the
+// probe rides the real transport as a gossip.probe RPC: it crosses the
+// chaos interposer and the fabric, so the detector observes exactly the
+// faults data traffic does — partitions drop the frame, injected
+// chaos verdicts apply — instead of an oracle's opinion of them.
 func (rt *Runtime) gossipReachable(from, to idgen.NodeID) bool {
 	n := rt.Cluster.Node(to)
 	if n == nil || !n.Alive() {
 		return false
 	}
-	return !rt.chaosEng.Partitioned(from, to)
+	return rt.gossipProbe(from, to)
 }
 
 // applyGossipEvents feeds membership transitions into the shard ring and
@@ -67,7 +92,13 @@ func (rt *Runtime) applyGossipEvents(events []gossip.Event) {
 		case gossip.Dead:
 			if e.Node != rt.driver {
 				rt.Sched.SetAlive(e.Node, false)
-				rt.sharded.RemoveMember(e.Node)
+				// Death promotes the node's replica: its shard is rebuilt
+				// from the ring successor's copy, restoring waiters,
+				// subscribers, and forwarding chains without lineage replay.
+				// (Graceful departures keep using RemoveMember — see
+				// noteNodeLeft — because the live table is still the best
+				// source.)
+				rt.sharded.RemoveMemberDead(e.Node)
 			}
 		case gossip.Alive:
 			// Re-admit only nodes that are actually up: a stale Alive event
@@ -132,6 +163,10 @@ func (rt *Runtime) startGossipPump(interval time.Duration) {
 				return
 			case <-ticker.C:
 				rt.applyGossipEvents(rt.gossip.Tick())
+				// Drain shard replication logs on the same cadence, so a
+				// replica's lag is bounded by one gossip interval plus the
+				// replogCap overflow drain.
+				rt.sharded.FlushReplication()
 			}
 		}
 	}()
@@ -164,6 +199,7 @@ func (rt *Runtime) StepGossip(n int) int {
 		events := rt.gossip.Tick()
 		applied += len(events)
 		rt.applyGossipEvents(events)
+		rt.sharded.FlushReplication()
 	}
 	return applied
 }
@@ -180,6 +216,12 @@ type ControlPlaneSample struct {
 	Alive, Suspect, Dead int
 	// Steals maps each node to the tasks it accepted by work stealing.
 	Steals map[idgen.NodeID]uint64
+	// StealLocalBytes / StealRemoteBytes split stolen tasks' reference-arg
+	// bytes by whether the thief already held a copy.
+	StealLocalBytes, StealRemoteBytes int64
+	// Repl summarizes shard replication: log backlog, promotions on node
+	// death, and the entries those promotions restored or lost.
+	Repl ownership.ReplicationStats
 }
 
 // SampleControlPlane refreshes the control-plane gauge families (gossip
@@ -197,11 +239,19 @@ func (rt *Runtime) SampleControlPlane() ControlPlaneSample {
 		Steals:        rt.mesh.Steals(),
 	}
 	s.Alive, s.Suspect, s.Dead = rt.gossip.Counts()
+	s.StealLocalBytes, s.StealRemoteBytes = rt.mesh.StealBytes()
+	s.Repl = rt.sharded.ReplicationStats()
 
 	rt.Metrics.Gauge(GaugeGossipAlive).Set(int64(s.Alive))
 	rt.Metrics.Gauge(GaugeGossipSuspect).Set(int64(s.Suspect))
 	rt.Metrics.Gauge(GaugeGossipDead).Set(int64(s.Dead))
 	rt.Metrics.Gauge(GaugeDirHandoffs).Set(int64(s.Handoffs))
+	rt.Metrics.Gauge(GaugeStealLocalBytes).Set(s.StealLocalBytes)
+	rt.Metrics.Gauge(GaugeStealRemoteBytes).Set(s.StealRemoteBytes)
+	rt.Metrics.Gauge(GaugeReplLogDepth).Set(int64(s.Repl.LogDepth))
+	rt.Metrics.Gauge(GaugeReplPromotions).Set(int64(s.Repl.Promotions))
+	rt.Metrics.Gauge(GaugeReplRestored).Set(int64(s.Repl.Restored))
+	rt.Metrics.Gauge(GaugeReplLost).Set(int64(s.Repl.Lost))
 
 	shards := rt.Metrics.GaugeVec(GaugeShardEntries)
 	current := make(map[string]bool, len(s.ShardEntries))

@@ -184,6 +184,10 @@ type Runtime struct {
 	gossip     *gossip.Cluster
 	gossipStop chan struct{}
 	gossipWG   sync.WaitGroup
+	// gossipProbe sends one failure-detector probe over the transport
+	// (raylet.GossipProber); gossipReachable composes it with cluster
+	// liveness.
+	gossipProbe func(from, to idgen.NodeID) bool
 }
 
 // Metric names for the cancellation subsystem, read by `skadi -trace` and
@@ -299,6 +303,7 @@ func New(spec ClusterSpec, opts Options) (*Runtime, error) {
 		rt.sharded = ownership.NewSharded(0)
 		rt.sharded.AddMember(headNode.ID)
 		rt.Head.Table = rt.sharded
+		rt.gossipProbe = raylet.GossipProber(c.Transport, 0)
 		rt.gossip = gossip.New(gossip.Config{}, rt.gossipReachable)
 		rt.gossip.Join(headNode.ID)
 		rt.gossip.Drain()
@@ -1151,6 +1156,7 @@ func (rt *Runtime) recoverByLineage(ctx context.Context, lost []idgen.ObjectID) 
 		if rt.revokedTask(spec) {
 			continue
 		}
+		rt.Metrics.Counter(MetricLineageRecoveries).Inc()
 		for _, ret := range spec.Returns {
 			_ = rt.Head.Table.Reset(ret)
 		}

@@ -3,6 +3,7 @@ package scheduler
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -110,6 +111,14 @@ type Mesh struct {
 	capPtr atomic.Pointer[capHolder]
 	rr     atomic.Uint64
 	seq    atomic.Uint64
+
+	// localitySteal orders steal probes by where the task's reference
+	// args already live (on by default when a locator is wired);
+	// stealLocalBytes/stealRemoteBytes account, per stolen task, the arg
+	// bytes local vs remote to the thief — E20's comparison metric.
+	localitySteal    atomic.Bool
+	stealLocalBytes  atomic.Int64
+	stealRemoteBytes atomic.Int64
 }
 
 // NewMesh returns an empty work-stealing mesh with the given policy.
@@ -122,7 +131,18 @@ func NewMesh(policy Policy, locator ObjectLocator) *Mesh {
 	}
 	m.seq.Store(0x9e3779b97f4a7c15) // fixed seed: probe order is reproducible
 	m.snap.Store(emptySnap)
+	m.localitySteal.Store(true)
 	return m
+}
+
+// SetLocalitySteal toggles locality-aware steal-probe ordering (on by
+// default). Off, probes are uniformly random — the E20 baseline arm.
+func (m *Mesh) SetLocalitySteal(on bool) { m.localitySteal.Store(on) }
+
+// StealBytes returns the cumulative reference-arg bytes that were local
+// (resp. remote) to the thief across all stolen tasks.
+func (m *Mesh) StealBytes() (local, remote int64) {
+	return m.stealLocalBytes.Load(), m.stealRemoteBytes.Load()
 }
 
 // splitmix64 hashes a counter draw into a well-mixed 64-bit value.
@@ -332,17 +352,20 @@ func (m *Mesh) Pick(spec *task.Spec) (idgen.NodeID, error) {
 	if home.tryReserve(true) {
 		return home.info.ID, nil
 	}
-	// Home saturated (or died behind a stale snapshot): probe a few random
-	// peers for a free slot — the first taker steals the task.
-	probed := [stealProbes]*local{}
-	for i := 0; i < stealProbes; i++ {
-		c := cands[splitmix64(m.seq.Add(1))%uint64(len(cands))]
-		probed[i] = c
-		if c == home {
+	// Home saturated (or died behind a stale snapshot): probe a few peers
+	// for a free slot — the first taker steals the task. With a locator
+	// wired, probe order is locality-aware: peers already holding the
+	// task's reference args go first (reusing the data-centric policy's
+	// byte accounting), so a stolen task moves fewer arg bytes; remaining
+	// probe slots fill with random picks, preserving the power-of-k
+	// load-balance property.
+	probed := m.stealOrder(spec, cands, home)
+	for _, c := range probed {
+		if c == nil || c == home {
 			continue
 		}
 		if c.tryReserve(true) {
-			c.steals.Add(1)
+			m.noteSteal(spec, c)
 			return c.info.ID, nil
 		}
 	}
@@ -367,7 +390,7 @@ func (m *Mesh) Pick(spec *task.Spec) (idgen.NodeID, error) {
 		for _, c := range cands {
 			if c.tryReserve(false) {
 				if c != home {
-					c.steals.Add(1)
+					m.noteSteal(spec, c)
 				}
 				return c.info.ID, nil
 			}
@@ -381,7 +404,7 @@ func (m *Mesh) Pick(spec *task.Spec) (idgen.NodeID, error) {
 		for _, c := range cands {
 			if c.tryReserve(false) {
 				if c != home {
-					c.steals.Add(1)
+					m.noteSteal(spec, c)
 				}
 				return c.info.ID, nil
 			}
@@ -390,9 +413,90 @@ func (m *Mesh) Pick(spec *task.Spec) (idgen.NodeID, error) {
 			fmt.Errorf("%w: backend %q", ErrNoNodes, spec.Backend))
 	}
 	if best != home {
-		best.steals.Add(1)
+		m.noteSteal(spec, best)
 	}
 	return best.info.ID, nil
+}
+
+// stealOrder fills the probe list for a saturated home. Locality-aware
+// mode front-loads candidates whose nodes hold the task's reference args,
+// ranked by resident arg bytes (ties to the lighter-loaded); the rest of
+// the probes stay random.
+func (m *Mesh) stealOrder(spec *task.Spec, cands []*local, home *local) [stealProbes]*local {
+	var out [stealProbes]*local
+	i := 0
+	if m.localitySteal.Load() && m.locator != nil {
+		if refs := spec.RefArgs(); len(refs) > 0 {
+			localBytes := make(map[idgen.NodeID]int64)
+			for _, ref := range refs {
+				size := m.locator.Size(ref)
+				if size == 0 {
+					size = 1
+				}
+				for _, node := range m.locator.Locations(ref) {
+					localBytes[node] += size
+				}
+			}
+			type scored struct {
+				c     *local
+				bytes int64
+			}
+			var holders []scored
+			for _, c := range cands {
+				if c == home {
+					continue
+				}
+				if b := localBytes[c.info.ID]; b > 0 {
+					holders = append(holders, scored{c, b})
+				}
+			}
+			sort.Slice(holders, func(a, b int) bool {
+				if holders[a].bytes != holders[b].bytes {
+					return holders[a].bytes > holders[b].bytes
+				}
+				return holders[a].c.load() < holders[b].c.load()
+			})
+			for _, h := range holders {
+				if i >= stealProbes {
+					break
+				}
+				out[i] = h.c
+				i++
+			}
+		}
+	}
+	for ; i < stealProbes; i++ {
+		out[i] = cands[splitmix64(m.seq.Add(1))%uint64(len(cands))]
+	}
+	return out
+}
+
+// noteSteal accounts one stolen task on the thief: the per-node steal
+// counter plus the local/remote split of the task's arg bytes relative to
+// the thief.
+func (m *Mesh) noteSteal(spec *task.Spec, thief *local) {
+	thief.steals.Add(1)
+	if m.locator == nil {
+		return
+	}
+	for _, ref := range spec.RefArgs() {
+		size := m.locator.Size(ref)
+		if size == 0 {
+			size = 1
+		}
+		resident := false
+		for _, node := range m.locator.Locations(ref) {
+			if node == thief.info.ID {
+				resident = true
+				break
+			}
+		}
+		if resident {
+			m.stealLocalBytes.Add(size)
+		} else {
+			m.stealRemoteBytes.Add(size)
+		}
+	}
 }
 
 // PickCtx is Pick with trace annotation, mirroring Scheduler.PickCtx.

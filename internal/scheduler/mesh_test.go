@@ -376,3 +376,126 @@ func TestMeshStealChurn(t *testing.T) {
 	close(stop)
 	churn.Wait()
 }
+
+// TestMeshStealOrderRanksHolders checks the locality-aware probe order
+// directly: candidates holding more of the task's arg bytes come first,
+// and disabling locality falls back to all-random (every slot filled).
+func TestMeshStealOrderRanksHolders(t *testing.T) {
+	loc := &mapLocator{
+		locs:  map[idgen.ObjectID][]idgen.NodeID{},
+		sizes: map[idgen.ObjectID]int64{},
+	}
+	m := NewMesh(DataLocality, loc)
+	ids := addMeshNodes(m, 6, "cpu", 1)
+	big, small := idgen.Next(), idgen.Next()
+	loc.locs[big] = []idgen.NodeID{ids[2]}
+	loc.sizes[big] = 4 << 20
+	loc.locs[small] = []idgen.NodeID{ids[4]}
+	loc.sizes[small] = 1 << 20
+	spec := task.NewSpec(idgen.Next(), "f",
+		[]task.Arg{task.RefArg(big), task.RefArg(small)}, 1)
+
+	cands := m.loadSnap().byBackend["cpu"]
+	var home *local
+	for _, c := range cands {
+		if c.info.ID == ids[0] {
+			home = c
+		}
+	}
+	if home == nil {
+		t.Fatal("home not in snapshot")
+	}
+
+	order := m.stealOrder(spec, cands, home)
+	if order[0] == nil || order[0].info.ID != ids[2] {
+		t.Fatalf("probe[0] = %v, want big-holder %s", order[0], ids[2].Short())
+	}
+	if order[1] == nil || order[1].info.ID != ids[4] {
+		t.Fatalf("probe[1] = %v, want small-holder %s", order[1], ids[4].Short())
+	}
+	for i, c := range order {
+		if c == nil {
+			t.Fatalf("probe[%d] unfilled", i)
+		}
+	}
+
+	m.SetLocalitySteal(false)
+	order = m.stealOrder(spec, cands, home)
+	for i, c := range order {
+		if c == nil {
+			t.Fatalf("random probe[%d] unfilled", i)
+		}
+	}
+}
+
+// TestMeshLocalityStealLandsOnHolder drives the full Pick path: with the
+// home saturated, the steal must land on the peer already holding part of
+// the task's arg bytes, and the split accounting charges the resident ref
+// as local and the rest as remote.
+func TestMeshLocalityStealLandsOnHolder(t *testing.T) {
+	loc := &mapLocator{
+		locs:  map[idgen.ObjectID][]idgen.NodeID{},
+		sizes: map[idgen.ObjectID]int64{},
+	}
+	m := NewMesh(DataLocality, loc)
+	ids := addMeshNodes(m, 8, "cpu", 1)
+	home, holder := ids[0], ids[5]
+	// big pins pickHome to home; small gives holder the best steal rank.
+	big, small := idgen.Next(), idgen.Next()
+	loc.locs[big] = []idgen.NodeID{home}
+	loc.sizes[big] = 8 << 20
+	loc.locs[small] = []idgen.NodeID{home, holder}
+	loc.sizes[small] = 1 << 20
+	args := []task.Arg{task.RefArg(big), task.RefArg(small)}
+
+	first, err := m.Pick(task.NewSpec(idgen.Next(), "f", args, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != home {
+		t.Fatalf("unsaturated pick = %s, want home %s", first.Short(), home.Short())
+	}
+	stolen, err := m.Pick(task.NewSpec(idgen.Next(), "f", args, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stolen != holder {
+		t.Fatalf("steal landed on %s, want arg-holder %s", stolen.Short(), holder.Short())
+	}
+	localB, remoteB := m.StealBytes()
+	if localB != 1<<20 || remoteB != 8<<20 {
+		t.Fatalf("StealBytes = (%d, %d), want (%d, %d)", localB, remoteB, 1<<20, 8<<20)
+	}
+}
+
+// TestMeshStealBytesRemote checks the remote side of the accounting: when
+// no candidate holds the args, whatever peer takes the steal pays the full
+// arg bytes as remote.
+func TestMeshStealBytesRemote(t *testing.T) {
+	loc := &mapLocator{
+		locs:  map[idgen.ObjectID][]idgen.NodeID{},
+		sizes: map[idgen.ObjectID]int64{},
+	}
+	m := NewMesh(DataLocality, loc)
+	ids := addMeshNodes(m, 3, "cpu", 1)
+	home := ids[0]
+	ref := idgen.Next()
+	loc.locs[ref] = []idgen.NodeID{home} // only the home holds it
+	loc.sizes[ref] = 2 << 20
+	spec := task.NewSpec(idgen.Next(), "f", []task.Arg{task.RefArg(ref)}, 1)
+
+	if first, err := m.Pick(spec); err != nil || first != home {
+		t.Fatalf("first pick = %s, %v", first.Short(), err)
+	}
+	stolen, err := m.Pick(task.NewSpec(idgen.Next(), "f", []task.Arg{task.RefArg(ref)}, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stolen == home {
+		t.Fatal("steal landed on the saturated home")
+	}
+	localB, remoteB := m.StealBytes()
+	if localB != 0 || remoteB != 2<<20 {
+		t.Fatalf("StealBytes = (%d, %d), want (0, %d)", localB, remoteB, 2<<20)
+	}
+}

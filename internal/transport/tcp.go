@@ -378,9 +378,16 @@ func (s *tcpServer) serveConn(conn net.Conn) {
 		}
 		// Rebuild the caller's context on this side of the wire: trace
 		// position, absolute deadline, and a cancel hook for cancel frames.
+		// The span context re-anchors whenever the frame carried one — with
+		// or without a local tracer — so a handler observes the caller's
+		// TraceID/SpanID exactly as it would in process; the tracer only
+		// governs whether this side records spans of its own.
 		hctx := context.Background()
-		if s.tracer != nil && sc.IsValid() {
-			hctx = trace.ContextWith(trace.WithTracer(hctx, s.tracer), sc)
+		if sc.IsValid() {
+			if s.tracer != nil {
+				hctx = trace.WithTracer(hctx, s.tracer)
+			}
+			hctx = trace.ContextWith(hctx, sc)
 		}
 		if tenant != "" {
 			hctx = tenancy.ContextWith(hctx, tenant)
